@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the H2O-NAS machinery: the per-step costs
+//! that determine how fast a search runs (the paper's "NAS efficiency"
+//! axis, §2.2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use h2o_core::{PerfObjective, Policy, RewardFn, RewardKind};
+use h2o_data::{CtrTraffic, CtrTrafficConfig, TrafficSource};
+use h2o_hwsim::{HardwareConfig, Simulator, SystemConfig};
+use h2o_models::coatnet::CoAtNet;
+use h2o_perfmodel::{PerfModel, PerfTargets, TrainConfig};
+use h2o_space::{DlrmSpace, DlrmSpaceConfig, DlrmSupernet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_simulator(c: &mut Criterion) {
+    let sim = Simulator::new(HardwareConfig::tpu_v4());
+    let graph = CoAtNet::family().pop().unwrap().build_graph(64);
+    c.bench_function("simulate CoAtNet-5 training step (graph walk)", |b| {
+        b.iter(|| black_box(sim.simulate_training(&graph, &SystemConfig::training_pod()).time))
+    });
+    let space = DlrmSpace::new(DlrmSpaceConfig::production());
+    let arch = space.decode(&space.baseline());
+    c.bench_function("build + simulate production DLRM graph", |b| {
+        b.iter(|| {
+            let g = arch.build_graph(64, 128);
+            black_box(sim.simulate_training(&g, &SystemConfig::training_pod()).time)
+        })
+    });
+}
+
+fn bench_policy(c: &mut Criterion) {
+    let space = DlrmSpace::new(DlrmSpaceConfig::production());
+    let policy = Policy::uniform(space.space());
+    let mut rng = StdRng::seed_from_u64(0);
+    c.bench_function("policy sample (330-decision DLRM space)", |b| {
+        b.iter(|| black_box(policy.sample(&mut rng)))
+    });
+    let mut policy2 = policy.clone();
+    let sample = policy.sample(&mut rng);
+    c.bench_function("REINFORCE update (1 sample)", |b| {
+        b.iter(|| policy2.reinforce_update(black_box(&[(sample.clone(), 0.1)]), 0.05))
+    });
+}
+
+fn bench_reward(c: &mut Criterion) {
+    let reward = RewardFn::new(
+        RewardKind::Relu,
+        vec![PerfObjective::new("time", 1.0, -2.0), PerfObjective::new("size", 1e9, -1.0)],
+    );
+    c.bench_function("ReLU reward evaluation", |b| {
+        b.iter(|| black_box(reward.reward(85.0, &[1.2, 0.9e9])))
+    });
+}
+
+fn bench_supernet(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut supernet = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut rng);
+    let space = supernet.space().space().clone();
+    let sample = space.sample_uniform(&mut rng);
+    supernet.apply_sample(&sample);
+    let mut traffic = CtrTraffic::new(CtrTrafficConfig::tiny(), 2);
+    let batch = traffic.next_batch(64);
+    c.bench_function("supernet train_step (batch 64)", |b| {
+        b.iter(|| black_box(supernet.train_step(&batch)))
+    });
+    c.bench_function("supernet apply_sample (masking)", |b| {
+        b.iter(|| supernet.apply_sample(black_box(&sample)))
+    });
+}
+
+fn bench_perfmodel(c: &mut Criterion) {
+    let mut model = PerfModel::new(64, &[256, 256], 0);
+    let xs = model.random_features(64, 64);
+    let ys: Vec<PerfTargets> = (0..64)
+        .map(|i| PerfTargets { training: 1e-3 * (i + 1) as f64, serving: 1e-4 })
+        .collect();
+    model.pretrain(&xs, &ys, TrainConfig { epochs: 2, batch_size: 16, lr: 1e-3 });
+    c.bench_function("perf model inference (2x256 MLP)", |b| {
+        b.iter(|| black_box(model.predict(&xs[0])))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut traffic = CtrTraffic::new(CtrTrafficConfig::tiny(), 3);
+    c.bench_function("CTR traffic generation (batch 256)", |b| {
+        b.iter(|| black_box(traffic.next_batch(256).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_simulator, bench_policy, bench_reward, bench_supernet, bench_perfmodel,
+        bench_pipeline
+}
+criterion_main!(benches);

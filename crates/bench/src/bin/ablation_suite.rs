@@ -1,0 +1,5 @@
+//! Regenerates the paper's ablations experiment. See the module docs in
+//! `h2o_bench::experiments::ablations` for knobs and expected shapes.
+fn main() {
+    print!("{}", h2o_bench::experiments::ablations::run());
+}

@@ -1,0 +1,4 @@
+//! Extension experiment. See `h2o_bench::experiments::ext_codesign` docs.
+fn main() {
+    print!("{}", h2o_bench::experiments::ext_codesign::run());
+}

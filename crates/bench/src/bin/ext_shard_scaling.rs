@@ -1,0 +1,4 @@
+//! Extension experiment. See `h2o_bench::experiments::ext_scaling` docs.
+fn main() {
+    print!("{}", h2o_bench::experiments::ext_scaling::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig5 experiment. See the module docs in
+//! `h2o_bench::experiments::fig5` for knobs and expected shapes.
+fn main() {
+    print!("{}", h2o_bench::experiments::fig5::run());
+}

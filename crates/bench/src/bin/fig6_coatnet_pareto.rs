@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig6 experiment. See the module docs in
+//! `h2o_bench::experiments::fig6` for knobs and expected shapes.
+fn main() {
+    print!("{}", h2o_bench::experiments::fig6::run());
+}

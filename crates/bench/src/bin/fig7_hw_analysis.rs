@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig7 experiment. See the module docs in
+//! `h2o_bench::experiments::fig7` for knobs and expected shapes.
+fn main() {
+    print!("{}", h2o_bench::experiments::fig7::run());
+}

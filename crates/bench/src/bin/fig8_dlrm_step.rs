@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig8 experiment. See the module docs in
+//! `h2o_bench::experiments::fig8` for knobs and expected shapes.
+fn main() {
+    print!("{}", h2o_bench::experiments::fig8::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig9 experiment. See the module docs in
+//! `h2o_bench::experiments::fig9` for knobs and expected shapes.
+fn main() {
+    print!("{}", h2o_bench::experiments::fig9::run());
+}

@@ -1,0 +1,5 @@
+//! The complete Fig. 1 system end to end. See
+//! `h2o_bench::experiments::full_pipeline` docs.
+fn main() {
+    print!("{}", h2o_bench::experiments::full_pipeline::run());
+}

@@ -1,0 +1,37 @@
+//! Runs every experiment and prints a combined report — the source of
+//! EXPERIMENTS.md. Expect a few minutes in release mode.
+use h2o_bench::experiments as ex;
+
+type Experiment = (&'static str, fn() -> String);
+
+fn main() {
+    let experiments: Vec<Experiment> = vec![
+        ("Table 5 (search spaces)", ex::table5::run),
+        ("Table 2 (domains)", ex::table2::run),
+        ("Fig. 4 (rooflines)", ex::fig4::run),
+        ("Table 3 (CoAtNet ablation)", ex::table3::run),
+        ("Fig. 6 (CoAtNet Pareto)", ex::fig6::run),
+        ("Fig. 7 (hardware analysis)", ex::fig7::run),
+        ("Fig. 8 (DLRM step time)", ex::fig8::run),
+        ("Table 4 (EfficientNet)", ex::table4::run),
+        ("Fig. 9 (energy)", ex::fig9::run),
+        ("Table 1 (perf model)", ex::table1::run),
+        ("Fig. 5 (reward functions)", ex::fig5::run),
+        ("Fig. 10 (production fleet)", ex::fig10::run),
+        ("Ablations", ex::ablations::run),
+        ("Extension: search baselines", ex::ext_baselines::run),
+        ("Extension: universal perf model", ex::ext_universal::run),
+        ("Extension: transformer search", ex::ext_transformer::run),
+        ("Extension: serving multi-objective", ex::ext_serving::run),
+        ("Extension: hardware co-design", ex::ext_codesign::run),
+        ("Extension: NAS cost accounting", ex::ext_cost::run),
+        ("Extension: shard scaling", ex::ext_scaling::run),
+        ("Fig. 1 end-to-end pipeline", ex::full_pipeline::run),
+    ];
+    for (name, run) in experiments {
+        println!("\n{}\n>>> {name}\n{}", "=".repeat(72), "=".repeat(72));
+        let start = std::time::Instant::now();
+        print!("{}", run());
+        println!("\n[{name} completed in {:.1?}]", start.elapsed());
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table2 experiment. See the module docs in
+//! `h2o_bench::experiments::table2` for knobs and expected shapes.
+fn main() {
+    print!("{}", h2o_bench::experiments::table2::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 experiment. See the module docs in
+//! `h2o_bench::experiments::table3` for knobs and expected shapes.
+fn main() {
+    print!("{}", h2o_bench::experiments::table3::run());
+}

@@ -1,0 +1,96 @@
+//! Fig. 4b/4c — rooflines and latency of MBConv vs Fused-MBConv on TPUv4i.
+
+use crate::report::{seconds, Table};
+use h2o_graph::blocks::{fused_mbconv, mbconv, MbConvConfig};
+use h2o_graph::{DType, Graph, OpKind};
+use h2o_hwsim::{roofline_envelope, HardwareConfig, Simulator};
+
+fn block_graph(fused: bool, depth: usize, batch: usize) -> Graph {
+    let cfg = MbConvConfig::square(56, depth, batch);
+    let mut g = Graph::new(
+        format!("{}({depth})", if fused { "F-MBC" } else { "MBC" }),
+        DType::Bf16,
+    );
+    let input = g.add(OpKind::Reshape { elems: 1 }, &[]);
+    if fused {
+        fused_mbconv(&mut g, &cfg, input);
+    } else {
+        mbconv(&mut g, &cfg, input);
+    }
+    g.fuse_elementwise();
+    g
+}
+
+/// Runs the experiment and renders the report.
+pub fn run() -> String {
+    let hw = HardwareConfig::tpu_v4i();
+    let sim = Simulator::new(hw.clone());
+    let batch = 8;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Fig. 4b/4c reproduction on {} (peak {:.0} TFLOPS, HBM {:.0} GB/s, ridge {:.0} FLOPs/B)\n",
+        hw.name,
+        hw.peak_flops / 1e12,
+        hw.hbm_bw / 1e9,
+        hw.ridge_intensity()
+    ));
+
+    let mut roof = Table::new(
+        "Fig. 4b: roofline points (paper: fused MBConv always has higher intensity & FLOPS)",
+        &["block", "op intensity (FLOPs/B)", "achieved TFLOPS", "% of envelope"],
+    );
+    let mut lat = Table::new(
+        "Fig. 4c: latency (paper: F-MBC wins at depth 32, loses at depth 128)",
+        &["depth", "MBC latency", "F-MBC latency", "faster"],
+    );
+    for depth in [16usize, 32, 64, 128, 256] {
+        let mut lat_row: Vec<String> = vec![depth.to_string()];
+        let mut times = [0.0f64; 2];
+        for (i, fused) in [false, true].into_iter().enumerate() {
+            let g = block_graph(fused, depth, batch);
+            let report = sim.simulate(&g);
+            let cost = g.total_cost();
+            let intensity = cost.operational_intensity();
+            let envelope = roofline_envelope(intensity, &hw);
+            roof.row(&[
+                g.name().to_string(),
+                format!("{intensity:.1}"),
+                format!("{:.1}", report.achieved_flops_rate / 1e12),
+                format!("{:.0}%", 100.0 * report.achieved_flops_rate / envelope),
+            ]);
+            times[i] = report.time;
+        }
+        lat_row.push(seconds(times[0]));
+        lat_row.push(seconds(times[1]));
+        lat_row.push(if times[1] < times[0] { "F-MBC".into() } else { "MBC".into() });
+        lat.row(&lat_row);
+    }
+    out.push_str(&roof.render());
+    out.push_str(&lat.render());
+    out.push_str(
+        "\nExpected shape: fused blocks sit further right and higher on the roofline at\n\
+         every depth; the latency winner crosses over from F-MBC (shallow) to MBC (deep).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_crossover() {
+        let r = run();
+        assert!(r.contains("Fig. 4b"));
+        // Depth 32 row must declare F-MBC the winner, depth 128 must not.
+        let winner = |depth: &str| -> String {
+            r.lines()
+                .find(|l| l.starts_with(&format!("| {depth} ")))
+                .and_then(|l| l.split('|').rev().find(|c| !c.trim().is_empty()))
+                .map(|c| c.trim().to_string())
+                .expect("row present")
+        };
+        assert_eq!(winner("32"), "F-MBC");
+        assert_eq!(winner("128"), "MBC");
+    }
+}

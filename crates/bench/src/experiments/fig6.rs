@@ -1,0 +1,106 @@
+//! Fig. 6 — CoAtNet-H vs CoAtNet Pareto fronts (accuracy × training
+//! throughput) at three dataset scales; paper headline: 1.54× geomean
+//! training throughput at neutral quality.
+
+use super::table3::{desc_of, training_throughput};
+use crate::report::{geomean, ratio, Table};
+use h2o_core::pareto::{pareto_front, ParetoPoint};
+use h2o_models::coatnet::CoAtNet;
+use h2o_models::quality::{DatasetScale, VisionQualityModel};
+
+/// Runs the experiment and renders the report.
+pub fn run() -> String {
+    let mut out = String::new();
+    let baseline = CoAtNet::family();
+    let h_family = CoAtNet::h_family();
+    let throughput_base: Vec<f64> = baseline.iter().map(training_throughput).collect();
+    let throughput_h: Vec<f64> = h_family.iter().map(training_throughput).collect();
+
+    for dataset in DatasetScale::ALL {
+        let quality = VisionQualityModel::new(dataset);
+        let mut table = Table::new(
+            format!("Fig. 6 ({dataset:?} data): accuracy vs training throughput"),
+            &["model", "top-1 acc", "img/s/chip", "Δacc vs base", "speedup"],
+        );
+        for (i, (b, h)) in baseline.iter().zip(&h_family).enumerate() {
+            let acc_b = quality.accuracy(&desc_of(b));
+            let acc_h = quality.accuracy(&desc_of(h));
+            table.row(&[
+                b.name.clone(),
+                format!("{acc_b:.1}%"),
+                format!("{:.0}", throughput_base[i]),
+                "-".into(),
+                "-".into(),
+            ]);
+            table.row(&[
+                h.name.clone(),
+                format!("{acc_h:.1}%"),
+                format!("{:.0}", throughput_h[i]),
+                format!("{:+.2}", acc_h - acc_b),
+                ratio(throughput_h[i] / throughput_base[i]),
+            ]);
+        }
+        out.push_str(&table.render());
+
+        // Pareto check: the H front must dominate or match the baseline.
+        let mut points = Vec::new();
+        for (i, m) in baseline.iter().enumerate() {
+            points.push(ParetoPoint {
+                quality: quality.accuracy(&desc_of(m)),
+                cost: 1.0 / throughput_base[i],
+                index: i,
+            });
+        }
+        for (i, m) in h_family.iter().enumerate() {
+            points.push(ParetoPoint {
+                quality: quality.accuracy(&desc_of(m)),
+                cost: 1.0 / throughput_h[i],
+                index: baseline.len() + i,
+            });
+        }
+        let front = pareto_front(&points);
+        let h_on_front =
+            front.iter().filter(|p| p.index >= baseline.len()).count();
+        out.push_str(&format!(
+            "Pareto front holds {} points, {} of them CoAtNet-H.\n",
+            front.len(),
+            h_on_front
+        ));
+    }
+
+    let speedups: Vec<f64> =
+        throughput_h.iter().zip(&throughput_base).map(|(h, b)| h / b).collect();
+    out.push_str(&format!(
+        "\nGeomean training speedup CoAtNet-H vs CoAtNet: {} (paper: 1.54x; C5 pair: {} vs paper 1.84x)\n",
+        ratio(geomean(&speedups)),
+        ratio(speedups[speedups.len() - 1]),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h_family_dominates_throughput() {
+        let base = CoAtNet::family();
+        let h = CoAtNet::h_family();
+        let speedups: Vec<f64> = h
+            .iter()
+            .zip(&base)
+            .map(|(h, b)| training_throughput(h) / training_throughput(b))
+            .collect();
+        let gm = geomean(&speedups);
+        assert!(gm > 1.3, "geomean speedup {gm} (paper 1.54)");
+        assert!(gm < 3.0, "geomean speedup {gm} should stay in the paper's ballpark (1.54)");
+    }
+
+    #[test]
+    fn report_renders_three_scales() {
+        let r = run();
+        assert!(r.contains("Small"));
+        assert!(r.contains("Medium"));
+        assert!(r.contains("Large"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Fig. 7 — hardware-counter analysis of CoAtNet-H5 vs CoAtNet-5 on TPUv4.
+//!
+//! Paper ratios (C-H5 / C5): speedup 1.84×, compute rate (FLOPS) 0.86×,
+//! total compute (FLOPs) 0.47×, total memory bandwidth 1.20×, CMEM
+//! bandwidth 5.3×, HBM traffic 0.65×.
+
+use crate::report::{ratio, Table};
+use h2o_hwsim::{HardwareConfig, SimReport, Simulator, SystemConfig};
+use h2o_models::coatnet::CoAtNet;
+
+/// Simulated training-step counters for one model at per-chip batch 64.
+pub fn counters(model: &CoAtNet) -> SimReport {
+    let sim = Simulator::new(HardwareConfig::tpu_v4());
+    sim.simulate_training(&model.build_graph(64), &SystemConfig::training_pod())
+}
+
+/// Runs the experiment and renders the report.
+pub fn run() -> String {
+    let c5 = CoAtNet::family().pop().expect("family");
+    let h5 = CoAtNet::h_family().pop().expect("family");
+    let base = counters(&c5);
+    let opt = counters(&h5);
+
+    let mut table = Table::new(
+        "Fig. 7: C-H5 counters normalised to C5 (training step, TPUv4, batch 64)",
+        &["metric", "C5 (raw)", "C-H5 (raw)", "C-H5 / C5", "paper"],
+    );
+    let rows: Vec<(&str, f64, f64, &str)> = vec![
+        ("speedup (1/time)", 1.0 / base.time, 1.0 / opt.time, "1.84x"),
+        ("compute rate (TFLOPS)", base.achieved_flops_rate / 1e12, opt.achieved_flops_rate / 1e12, "0.86x"),
+        ("total compute (TFLOPs)", base.flops / 1e12, opt.flops / 1e12, "0.47x"),
+        ("total mem BW (GB/s)", base.total_mem_bw() / 1e9, opt.total_mem_bw() / 1e9, "1.20x"),
+        ("CMEM BW (GB/s)", base.cmem_bw_used / 1e9, opt.cmem_bw_used / 1e9, "5.30x"),
+        ("HBM traffic (GB/step)", base.hbm_bytes / 1e9, opt.hbm_bytes / 1e9, "0.65x"),
+    ];
+    for (name, b, o, paper) in rows {
+        table.row(&[
+            name.to_string(),
+            format!("{b:.2}"),
+            format!("{o:.2}"),
+            ratio(o / b),
+            paper.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(
+        "\nReading: total compute halves and memory traffic shifts from HBM into on-chip\n\
+         CMEM (Fig. 9's power story follows from CMEM bytes being ~10x cheaper in energy).\n\
+         Known deviation: the paper measures a 14% compute-rate DROP for C-H5; our roofline\n\
+         model instead predicts a small rate increase (the shrunk working set is less\n\
+         memory-bound), so our speedup overshoots the paper's 1.84x. The pipeline-level\n\
+         inefficiencies behind the paper's rate drop are outside this simulator's scope.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_ratios_match_paper_shape() {
+        let base = counters(&CoAtNet::family().pop().unwrap());
+        let opt = counters(&CoAtNet::h_family().pop().unwrap());
+        let speedup = base.time / opt.time;
+        assert!((1.4..3.0).contains(&speedup), "speedup {speedup} (paper 1.84)");
+        let flops_ratio = opt.flops / base.flops;
+        assert!((0.3..0.7).contains(&flops_ratio), "FLOPs ratio {flops_ratio} (paper 0.47)");
+        let hbm_ratio = opt.hbm_bytes / base.hbm_bytes;
+        assert!(hbm_ratio < 1.0, "HBM traffic must drop: {hbm_ratio} (paper 0.65)");
+        let cmem_ratio = (opt.cmem_bw_used / base.cmem_bw_used.max(1.0)).max(0.0);
+        assert!(cmem_ratio > 1.2, "CMEM bandwidth must rise: {cmem_ratio} (paper 5.3)");
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().contains("Fig. 7"));
+    }
+}

@@ -1,0 +1,23 @@
+//! One module per paper table/figure, each exposing `run() -> String`.
+
+pub mod ablations;
+pub mod ext_baselines;
+pub mod ext_codesign;
+pub mod ext_cost;
+pub mod ext_scaling;
+pub mod ext_serving;
+pub mod ext_transformer;
+pub mod ext_universal;
+pub mod fig10;
+pub mod full_pipeline;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

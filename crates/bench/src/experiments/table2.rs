@@ -1,0 +1,55 @@
+//! Table 2 — model characteristics and hardware configuration of the three
+//! key domains, computed from this repository's model families.
+
+use crate::report::Table;
+use h2o_models::coatnet::CoAtNet;
+use h2o_models::efficientnet::EfficientNet;
+
+/// Runs the experiment and renders the report.
+pub fn run() -> String {
+    let coatnet = CoAtNet::family();
+    let enet = EfficientNet::x_family();
+    let dlrm = h2o_models::dlrm::baseline();
+    let dlrm_params = (dlrm.embedding_params() + dlrm.mlp_params()) / 1e6;
+    let dlrm_flops = dlrm.build_graph(1, 1).total_flops() / 1e9 * 64.0; // per-64 batch
+
+    let fmt_range = |lo: f64, hi: f64| format!("{lo:.1} ~ {hi:.0}");
+    let mut table = Table::new(
+        "Table 2: model characteristics and hardware configurations",
+        &["", "VIT", "DLRM", "CNN"],
+    );
+    table.row(&[
+        "baseline".into(),
+        "CoAtNet".into(),
+        "production-style".into(),
+        "EfficientNet-X".into(),
+    ]);
+    table.row(&[
+        "params (M)".into(),
+        fmt_range(coatnet[0].params_m(), coatnet[5].params_m()),
+        format!("O({:.0})", dlrm_params),
+        fmt_range(enet[0].params_m(), enet[7].params_m()),
+    ]);
+    table.row(&[
+        "FLOPs (B)".into(),
+        fmt_range(coatnet[0].flops_b(), coatnet[5].flops_b()),
+        format!("O({dlrm_flops:.0})"),
+        fmt_range(enet[0].flops_b(), enet[7].flops_b()),
+    ]);
+    table.row_str(&["paper params (M)", "25~688", "O(1000)", "7.6~199"]);
+    table.row_str(&["paper FLOPs (B)", "8.4~1060", "O(100)", "1.8~186"]);
+    table.row_str(&["training HW", "128 TPUv4", "128 TPUv4", "128 TPUv4"]);
+    table.row_str(&["serving HW", "1 TPUv4i", "1 TPUv4i", "1 TPUv4i"]);
+    table.row_str(&["dominant cost", "training", "training", "training"]);
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_renders_all_domains() {
+        let r = super::run();
+        assert!(r.contains("VIT") && r.contains("DLRM") && r.contains("CNN"));
+        assert!(r.contains("128 TPUv4"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Table 3 — CoAtNet-H ablation: accuracy, params, FLOPs, training
+//! throughput per architecture change.
+
+use crate::report::Table;
+use h2o_hwsim::{HardwareConfig, Simulator, SystemConfig};
+use h2o_models::coatnet::{CoAtNet, FfnAct};
+use h2o_models::quality::{ActFamily, DatasetScale, VisionModelDesc, VisionQualityModel};
+
+/// Per-chip training throughput (images/s) at per-chip batch 64 on TPUv4,
+/// matching the Table 3 footnote.
+pub fn training_throughput(model: &CoAtNet) -> f64 {
+    let batch = 64;
+    let sim = Simulator::new(HardwareConfig::tpu_v4());
+    let g = model.build_graph(batch);
+    let report = sim.simulate_training(&g, &SystemConfig::training_pod());
+    batch as f64 / report.time
+}
+
+/// Quality-surrogate descriptor of a CoAtNet variant.
+pub fn desc_of(model: &CoAtNet) -> VisionModelDesc {
+    VisionModelDesc {
+        params_m: model.params_m(),
+        resolution: model.resolution,
+        conv_depth: model.conv_layers(),
+        act: match model.ffn_act {
+            FfnAct::Gelu => ActFamily::Gelu,
+            FfnAct::Relu => ActFamily::Relu,
+            FfnAct::SquaredRelu => ActFamily::SquaredRelu,
+        },
+        has_se: true,
+        has_residuals: true,
+    }
+}
+
+/// Runs the experiment and renders the report.
+pub fn run() -> String {
+    let quality = VisionQualityModel::new(DatasetScale::Small);
+    let mut table = Table::new(
+        "Table 3: CoAtNet-H ablation (paper: 89.7/688M/1012B/101 -> 90.3 -> 88.9/474B/186 -> 89.7)",
+        &["model", "top-1 acc", "params (M)", "FLOPs (B)", "train img/s/chip"],
+    );
+    let paper = [
+        ("paper CoAtNet-5", 89.7, 688.0, 1012.0, 101.0),
+        ("paper +DeeperConv", 90.3, 697.0, 1060.0, 97.0),
+        ("paper +ResShrink", 88.9, 697.0, 474.0, 186.0),
+        ("paper +SquaredReLU", 89.7, 697.0, 476.0, 186.0),
+    ];
+    for model in CoAtNet::table3_ablation() {
+        table.row(&[
+            model.name.clone(),
+            format!("{:.1}%", quality.accuracy(&desc_of(&model))),
+            format!("{:.0}", model.params_m()),
+            format!("{:.0}", model.flops_b()),
+            format!("{:.0}", training_throughput(&model)),
+        ]);
+    }
+    for (name, acc, p, f, t) in paper {
+        table.row(&[
+            name.to_string(),
+            format!("{acc:.1}%"),
+            format!("{p:.0}"),
+            format!("{f:.0}"),
+            format!("{t:.0}"),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_improves_down_the_ladder() {
+        let ladder = CoAtNet::table3_ablation();
+        let base = training_throughput(&ladder[0]);
+        let deeper = training_throughput(&ladder[1]);
+        let shrunk = training_throughput(&ladder[2]);
+        assert!(deeper < base, "deeper conv must cost throughput");
+        assert!(shrunk > 1.5 * base, "resolution shrink must roughly double throughput");
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().contains("Table 3"));
+    }
+}

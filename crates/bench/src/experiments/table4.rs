@@ -1,0 +1,98 @@
+//! Table 4 — EfficientNet-H vs EfficientNet-X geomean speedups on three
+//! hardware targets; paper: 5 % train TPUv4 (14 % for B5–B7), 6 % serve
+//! TPUv4i (16 %), 6 % serve V100 (17 %).
+
+use crate::report::{geomean, Table};
+use h2o_hwsim::{HardwareConfig, Simulator, SystemConfig};
+use h2o_models::efficientnet::EfficientNet;
+
+/// Per-variant speedups (X time / H time) for (train TPUv4, serve TPUv4i,
+/// serve V100).
+pub fn speedups() -> Vec<(String, f64, f64, f64)> {
+    let train_sim = Simulator::new(HardwareConfig::tpu_v4());
+    let serve_v4i = Simulator::new(HardwareConfig::tpu_v4i());
+    let serve_v100 = Simulator::new(HardwareConfig::gpu_v100());
+    let pod = SystemConfig::training_pod();
+    EfficientNet::x_family()
+        .iter()
+        .zip(EfficientNet::h_family().iter())
+        .map(|(x, h)| {
+            let gx_train = x.build_graph(64);
+            let gh_train = h.build_graph(64);
+            let train = train_sim.simulate_training(&gx_train, &pod).time
+                / train_sim.simulate_training(&gh_train, &pod).time;
+            let gx_serve = x.build_graph(8);
+            let gh_serve = h.build_graph(8);
+            let v4i = serve_v4i.simulate(&gx_serve).time / serve_v4i.simulate(&gh_serve).time;
+            let v100 = serve_v100.simulate(&gx_serve).time / serve_v100.simulate(&gh_serve).time;
+            (x.name.replace("EfficientNet-X-", ""), train, v4i, v100)
+        })
+        .collect()
+}
+
+/// Runs the experiment and renders the report.
+pub fn run() -> String {
+    let per_variant = speedups();
+    let mut table = Table::new(
+        "Table 4: EfficientNet-H speedup over EfficientNet-X",
+        &["variant", "train TPUv4", "serve TPUv4i", "serve GPUv100"],
+    );
+    for (name, t, s4, s100) in &per_variant {
+        table.row(&[
+            name.clone(),
+            format!("{:+.1}%", (t - 1.0) * 100.0),
+            format!("{:+.1}%", (s4 - 1.0) * 100.0),
+            format!("{:+.1}%", (s100 - 1.0) * 100.0),
+        ]);
+    }
+    type Row = (String, f64, f64, f64);
+    let gm = |f: &dyn Fn(&Row) -> f64, rows: &[Row]| {
+        geomean(&rows.iter().map(f).collect::<Vec<f64>>())
+    };
+    let big = &per_variant[5..];
+    table.row(&[
+        "geomean B0-B7".into(),
+        format!("{:+.1}% (paper +5%)", (gm(&|r| r.1, &per_variant) - 1.0) * 100.0),
+        format!("{:+.1}% (paper +6%)", (gm(&|r| r.2, &per_variant) - 1.0) * 100.0),
+        format!("{:+.1}% (paper +6%)", (gm(&|r| r.3, &per_variant) - 1.0) * 100.0),
+    ]);
+    table.row(&[
+        "geomean B5-B7".into(),
+        format!("{:+.1}% (paper +14%)", (gm(&|r| r.1, big) - 1.0) * 100.0),
+        format!("{:+.1}% (paper +16%)", (gm(&|r| r.2, big) - 1.0) * 100.0),
+        format!("{:+.1}% (paper +17%)", (gm(&|r| r.3, big) - 1.0) * 100.0),
+    ]);
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn b0_to_b4_unchanged_b5_plus_faster() {
+        let rows = speedups();
+        for (name, t, s4, s100) in &rows[..5] {
+            assert!((t - 1.0).abs() < 1e-9, "{name} train {t}");
+            assert!((s4 - 1.0).abs() < 1e-9, "{name} {s4}");
+            assert!((s100 - 1.0).abs() < 1e-9, "{name} {s100}");
+        }
+        for (name, t, s4, s100) in &rows[5..] {
+            assert!(*t > 1.03, "{name} train speedup {t} (paper ~14%)");
+            assert!(*s4 > 1.03, "{name} serve v4i speedup {s4} (paper ~16%)");
+            assert!(*s100 > 1.03, "{name} serve v100 speedup {s100} (paper ~17%)");
+        }
+    }
+
+    #[test]
+    fn family_geomean_in_paper_ballpark() {
+        let rows = speedups();
+        let gm = geomean(&rows.iter().map(|r| r.1).collect::<Vec<f64>>());
+        assert!((1.01..1.25).contains(&gm), "family train geomean {gm} (paper 1.05)");
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().contains("Table 4"));
+    }
+}

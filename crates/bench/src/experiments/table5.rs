@@ -1,0 +1,69 @@
+//! Table 5 — search-space definitions and sizes.
+//!
+//! Paper sizes: convolutional ≈ (302400)⁷·8 ≈ O(10³⁹); DLRM ≈ 7^O(300) ·
+//! (7·10·10)^O(10) ≈ O(10²⁸²); transformer ≈ 17920² ≈ O(10⁸); hybrid ViT
+//! ≈ O(10²¹).
+
+use crate::report::Table;
+use h2o_space::{CnnSpace, CnnSpaceConfig, DlrmSpace, DlrmSpaceConfig, VitSpace, VitSpaceConfig};
+
+/// `(name, decisions, log10 size, paper log10)` for every space.
+pub fn space_sizes() -> Vec<(&'static str, usize, f64, f64)> {
+    let cnn = CnnSpace::new(CnnSpaceConfig::default());
+    let dlrm = DlrmSpace::new(DlrmSpaceConfig::production());
+    let tfm = VitSpace::new(VitSpaceConfig::pure());
+    let hybrid = VitSpace::new(VitSpaceConfig::hybrid());
+    vec![
+        ("convolutional (7 blocks)", cnn.space().num_decisions(), cnn.space().log10_size(), 39.0),
+        ("DLRM (production)", dlrm.space().num_decisions(), dlrm.space().log10_size(), 282.0),
+        ("transformer (2 TFM blocks)", tfm.space().num_decisions(), tfm.space().log10_size(), 8.0),
+        ("hybrid ViT (2 conv + 2 TFM)", hybrid.space().num_decisions(), hybrid.space().log10_size(), 21.0),
+    ]
+}
+
+/// Runs the experiment and renders the report.
+pub fn run() -> String {
+    let mut table = Table::new(
+        "Table 5: search-space sizes",
+        &["space", "categorical decisions", "log10(candidates)", "paper log10"],
+    );
+    for (name, decisions, log, paper) in space_sizes() {
+        table.row(&[
+            name.to_string(),
+            decisions.to_string(),
+            format!("{log:.1}"),
+            format!("~{paper:.0}"),
+        ]);
+    }
+    let mut out = table.render();
+    let cnn = CnnSpace::new(CnnSpaceConfig::default());
+    let mut dims = Table::new(
+        "Table 5 detail: per-block convolutional decisions (product = 302400)",
+        &["decision", "choices"],
+    );
+    for d in cnn.space().decisions().iter().take(10) {
+        dims.row(&[d.name.replace("block0/", ""), d.choices.to_string()]);
+    }
+    out.push_str(&dims.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper_orders_of_magnitude() {
+        for (name, _, log, paper) in space_sizes() {
+            assert!(
+                (log - paper).abs() < 2.0,
+                "{name}: log10 {log} vs paper ~{paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().contains("Table 5"));
+    }
+}

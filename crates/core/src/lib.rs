@@ -1,0 +1,66 @@
+//! # h2o-core — the H2O-NAS search algorithm
+//!
+//! The paper's first pillar: a massively parallel one-shot RL search that
+//! learns the architecture policy `π` and the shared weights `W` in a
+//! **unified single step** per batch (§4, Fig. 2), plus the third pillar's
+//! multi-objective rewards (§6.1):
+//!
+//! * [`Policy`] — independent multinomials over categorical decisions,
+//!   trained with cross-shard REINFORCE; the final architecture is the
+//!   per-decision argmax.
+//! * [`RewardFn`] — the single-sided **ReLU reward** (Eq. 1) and the TuNAS
+//!   absolute-value baseline (Eq. 2), over any number of performance
+//!   objectives ([`PerfObjective`]).
+//! * [`parallel_search`] — the sharded search loop: every virtual
+//!   accelerator samples its own candidate, rewards drive one cross-shard
+//!   policy update (threads stand in for TPU cores).
+//! * [`unified_search`] / [`tunas_search`] — one-shot search over the
+//!   *real trainable* DLRM super-network, with the in-memory pipeline's
+//!   α-before-W ordering enforced per batch; the TuNAS variant is the
+//!   alternating two-stream baseline the paper improves upon.
+//! * [`pareto`] — Pareto fronts and the bucketised comparisons of Fig. 5.
+//!
+//! # Examples
+//!
+//! ```
+//! use h2o_core::{parallel_search, RewardFn, RewardKind, PerfObjective, SearchConfig,
+//!                EvalResult};
+//! use h2o_space::{SearchSpace, Decision, ArchSample};
+//!
+//! let mut space = SearchSpace::new("toy");
+//! space.push(Decision::new("width", 8));
+//! let reward = RewardFn::new(RewardKind::Relu,
+//!     vec![PerfObjective::new("cost", 4.0, -20.0)]);
+//! let outcome = parallel_search(
+//!     &space,
+//!     &reward,
+//!     |_shard| |s: &ArchSample| EvalResult {
+//!         quality: s[0] as f64,           // bigger is more accurate...
+//!         perf_values: vec![s[0] as f64], // ...and slower
+//!     },
+//!     &SearchConfig { steps: 100, shards: 4, ..Default::default() },
+//! );
+//! assert_eq!(outcome.best[0], 4, "the target-width candidate wins");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baselines;
+mod oneshot;
+mod oneshot_generic;
+pub mod pareto;
+mod policy;
+mod reward;
+mod search;
+pub mod telemetry;
+
+pub use baselines::{evolution_search, random_search, BaselineOutcome, EvolutionConfig};
+pub use oneshot::{tunas_search, unified_search, OneShotConfig};
+pub use oneshot_generic::{unified_search_over, OneShotSupernet};
+pub use policy::{Policy, RewardBaseline};
+pub use reward::{PerfObjective, RewardFn, RewardKind};
+pub use search::{
+    parallel_search, ArchEvaluator, EvalResult, EvaluatedCandidate, SearchConfig, SearchOutcome,
+    StepRecord,
+};

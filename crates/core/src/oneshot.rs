@@ -1,0 +1,235 @@
+//! One-shot search with a *real* trainable super-network (Fig. 2).
+//!
+//! Two algorithms over the same DLRM super-network and in-memory traffic:
+//!
+//! * [`unified_search`] — the H2O-NAS **unified single-step** algorithm
+//!   (Fig. 2 right): each virtual shard pulls a *fresh* batch, the policy
+//!   learns from it first (the batch has never been used to train `W`, so
+//!   no train/validation split is needed), then the shared weights train
+//!   on the very same batch. The in-memory pipeline enforces the ordering.
+//! * [`tunas_search`] — the TuNAS-style **alternating two-step** baseline
+//!   (Fig. 2 left): weight steps on a training stream strictly alternate
+//!   with policy steps on a *separate validation stream* — the design the
+//!   paper improves upon (and the ablation bench compares against).
+
+use crate::policy::{Policy, RewardBaseline};
+use crate::reward::RewardFn;
+use crate::search::{EvaluatedCandidate, EvalResult, SearchOutcome, StepRecord};
+use h2o_data::{CtrTraffic, InMemoryPipeline};
+use h2o_data::TrafficSource;
+use h2o_space::{ArchSample, DlrmSupernet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the one-shot supernet searches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OneShotConfig {
+    /// Search steps (policy updates).
+    pub steps: usize,
+    /// Candidates sampled per step ("virtual shards"; the paper runs these
+    /// on separate accelerators, we run them within the step).
+    pub shards: usize,
+    /// Examples per batch.
+    pub batch_size: usize,
+    /// REINFORCE learning rate.
+    pub policy_lr: f64,
+    /// Reward-baseline EMA momentum.
+    pub baseline_momentum: f64,
+    /// Scale applied to −logloss to produce the quality term (puts quality
+    /// on a comparable footing with the reward's perf penalties).
+    pub quality_scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OneShotConfig {
+    fn default() -> Self {
+        Self {
+            steps: 150,
+            shards: 4,
+            batch_size: 64,
+            policy_lr: 0.05,
+            baseline_momentum: 0.9,
+            quality_scale: 10.0,
+            seed: 0,
+        }
+    }
+}
+
+/// The H2O-NAS unified single-step search (Fig. 2 right).
+///
+/// Per step and shard: pull a fresh batch → evaluate the sampled
+/// candidate's quality on it (**policy use — always first**) → after the
+/// policy update, train the shared weights on the same batch (**weights
+/// use**). The pipeline's ordering guarantee is exercised on every batch.
+///
+/// `perf_of` supplies the performance objective values for a sample (from
+/// the performance model or analytic size — §6.2).
+pub fn unified_search(
+    supernet: &mut DlrmSupernet,
+    pipeline: &InMemoryPipeline<CtrTraffic>,
+    reward_fn: &RewardFn,
+    perf_of: impl FnMut(&ArchSample) -> Vec<f64>,
+    config: &OneShotConfig,
+) -> SearchOutcome {
+    // Delegates to the domain-generic implementation (the DLRM supernet's
+    // quality signal is -logloss via its `OneShotSupernet` impl).
+    crate::oneshot_generic::unified_search_over(supernet, pipeline, reward_fn, perf_of, config)
+}
+
+/// The TuNAS-style alternating baseline (Fig. 2 left): weight training on a
+/// training stream, policy learning on a **separate validation stream**.
+///
+/// Uses the same step/shard budget as [`unified_search`] but needs two
+/// statistically stable streams — the operational burden the paper's
+/// unified algorithm removes.
+pub fn tunas_search(
+    supernet: &mut DlrmSupernet,
+    train_stream: &mut CtrTraffic,
+    valid_stream: &mut CtrTraffic,
+    reward_fn: &RewardFn,
+    mut perf_of: impl FnMut(&ArchSample) -> Vec<f64>,
+    config: &OneShotConfig,
+) -> SearchOutcome {
+    let space = supernet.space().space().clone();
+    let mut policy = Policy::uniform(&space);
+    let mut baseline = RewardBaseline::new(config.baseline_momentum);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut history = Vec::with_capacity(config.steps);
+    let mut evaluated = Vec::with_capacity(config.steps * config.shards);
+
+    for step in 0..config.steps {
+        // Step A: train shared weights W on the training stream.
+        for _ in 0..config.shards {
+            let batch = train_stream.next_batch(config.batch_size);
+            let sample = policy.sample(&mut rng);
+            supernet.apply_sample(&sample);
+            supernet.train_step(&batch);
+        }
+        // Step B: learn the policy π on the validation stream.
+        let mut step_samples = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let batch = valid_stream.next_batch(config.batch_size);
+            let sample = policy.sample(&mut rng);
+            supernet.apply_sample(&sample);
+            let (logloss, _) = supernet.evaluate(&batch);
+            let quality = -config.quality_scale * logloss as f64;
+            let perf_values = perf_of(&sample);
+            step_samples.push((sample, quality, perf_values));
+        }
+        let rewards: Vec<f64> =
+            step_samples.iter().map(|(_, q, p)| reward_fn.reward(*q, p)).collect();
+        let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
+        let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let b = baseline.update(mean);
+        let update: Vec<(ArchSample, f64)> = step_samples
+            .iter()
+            .zip(&rewards)
+            .map(|((sample, _, _), &r)| (sample.clone(), r - b))
+            .collect();
+        policy.reinforce_update(&update, config.policy_lr);
+        for ((sample, quality, perf_values), reward) in step_samples.into_iter().zip(rewards) {
+            evaluated.push(EvaluatedCandidate {
+                sample,
+                result: EvalResult { quality, perf_values },
+                reward,
+            });
+        }
+        history.push(StepRecord {
+            step,
+            mean_reward: mean,
+            best_reward: best,
+            entropy: policy.mean_entropy(),
+        });
+    }
+    SearchOutcome { best: policy.argmax(), policy, history, evaluated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::{PerfObjective, RewardKind};
+    use h2o_data::CtrTrafficConfig;
+    use h2o_space::DlrmSpaceConfig;
+    use rand::SeedableRng;
+
+    fn setup() -> (DlrmSupernet, InMemoryPipeline<CtrTraffic>) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let supernet = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut rng);
+        let pipeline = InMemoryPipeline::new(CtrTraffic::new(CtrTrafficConfig::tiny(), 1));
+        (supernet, pipeline)
+    }
+
+    fn size_reward(supernet: &DlrmSupernet) -> (RewardFn, impl FnMut(&ArchSample) -> Vec<f64>) {
+        let space = supernet.space().clone();
+        let baseline_size = space.decode(&space.baseline()).model_size_bytes();
+        let reward =
+            RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("size", baseline_size, -2.0)]);
+        let perf = move |sample: &ArchSample| vec![space.decode(sample).model_size_bytes()];
+        (reward, perf)
+    }
+
+    #[test]
+    fn unified_search_runs_and_respects_pipeline_invariants() {
+        let (mut supernet, pipeline) = setup();
+        let (reward, perf) = size_reward(&supernet);
+        let cfg = OneShotConfig { steps: 10, shards: 2, batch_size: 32, ..Default::default() };
+        let outcome = unified_search(&mut supernet, &pipeline, &reward, perf, &cfg);
+        assert_eq!(outcome.evaluated.len(), 20);
+        let stats = pipeline.stats();
+        assert_eq!(stats.policy_used, 20);
+        assert_eq!(stats.weights_used, 20);
+        assert_eq!(pipeline.in_flight(), 0, "every batch fully consumed once");
+    }
+
+    #[test]
+    fn unified_search_improves_reward() {
+        let (mut supernet, pipeline) = setup();
+        let (reward, perf) = size_reward(&supernet);
+        let cfg = OneShotConfig { steps: 60, shards: 4, batch_size: 64, ..Default::default() };
+        let outcome = unified_search(&mut supernet, &pipeline, &reward, perf, &cfg);
+        let early: f64 =
+            outcome.history[..10].iter().map(|h| h.mean_reward).sum::<f64>() / 10.0;
+        let late: f64 =
+            outcome.history[outcome.history.len() - 10..].iter().map(|h| h.mean_reward).sum::<f64>()
+                / 10.0;
+        assert!(late > early, "reward should improve: {early} -> {late}");
+    }
+
+    #[test]
+    fn tunas_search_runs_with_two_streams() {
+        let (mut supernet, _) = setup();
+        let (reward, perf) = size_reward(&supernet);
+        let mut train = CtrTraffic::new(CtrTrafficConfig::tiny(), 10);
+        let mut valid = CtrTraffic::new(CtrTrafficConfig::tiny(), 11);
+        let cfg = OneShotConfig { steps: 10, shards: 2, batch_size: 32, ..Default::default() };
+        let outcome = tunas_search(&mut supernet, &mut train, &mut valid, &reward, perf, &cfg);
+        assert_eq!(outcome.evaluated.len(), 20);
+        // TuNAS consumes twice the batches for the same number of policy
+        // samples (training + validation streams).
+        assert_eq!(train.examples_produced(), 10 * 2 * 32);
+        assert_eq!(valid.examples_produced(), 10 * 2 * 32);
+    }
+
+    #[test]
+    fn unified_search_prefers_smaller_models_under_tight_size_target() {
+        let (mut supernet, pipeline) = setup();
+        let space = supernet.space().clone();
+        let baseline_size = space.decode(&space.baseline()).model_size_bytes();
+        // Target at 60% of baseline: the search must shrink something.
+        let reward = RewardFn::new(
+            RewardKind::Relu,
+            vec![PerfObjective::new("size", 0.6 * baseline_size, -20.0)],
+        );
+        let space2 = space.clone();
+        let perf = move |sample: &ArchSample| vec![space2.decode(sample).model_size_bytes()];
+        let cfg = OneShotConfig { steps: 80, shards: 4, batch_size: 32, ..Default::default() };
+        let outcome = unified_search(&mut supernet, &pipeline, &reward, perf, &cfg);
+        let final_size = space.decode(&outcome.best).model_size_bytes();
+        assert!(
+            final_size < 0.9 * baseline_size,
+            "search should shrink the model: {final_size} vs baseline {baseline_size}"
+        );
+    }
+}

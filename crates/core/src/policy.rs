@@ -1,0 +1,406 @@
+//! The RL controller's policy: independent multinomials over categorical
+//! decisions, trained with REINFORCE.
+//!
+//! §4.1: "the RL algorithm learns a policy π, a probability distribution
+//! over a collection of independent multinomial variables. Each variable
+//! controls a decision of the search space." At the end of a search "the
+//! final architecture is obtained by independently selecting the most
+//! probable value for each categorical decision in π".
+
+use h2o_space::{ArchSample, SearchSpace};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Softmax policy over a search space's decisions.
+///
+/// # Examples
+///
+/// ```
+/// use h2o_core::Policy;
+/// use h2o_space::{SearchSpace, Decision};
+/// use rand::SeedableRng;
+///
+/// let mut space = SearchSpace::new("toy");
+/// space.push(Decision::new("k", 3));
+/// let policy = Policy::uniform(&space);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let sample = policy.sample(&mut rng);
+/// assert!(sample[0] < 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Policy {
+    logits: Vec<Vec<f64>>,
+}
+
+impl Policy {
+    /// A uniform policy over the space (all logits zero).
+    pub fn uniform(space: &SearchSpace) -> Self {
+        Self { logits: space.decisions().iter().map(|d| vec![0.0; d.choices]).collect() }
+    }
+
+    /// Number of decisions.
+    pub fn num_decisions(&self) -> usize {
+        self.logits.len()
+    }
+
+    /// Softmax probabilities of one decision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decision` is out of range.
+    pub fn probs(&self, decision: usize) -> Vec<f64> {
+        let logits = &self.logits[decision];
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / sum).collect()
+    }
+
+    /// Samples one architecture from the product of multinomials.
+    pub fn sample(&self, rng: &mut impl Rng) -> ArchSample {
+        (0..self.logits.len())
+            .map(|d| {
+                let probs = self.probs(d);
+                let u: f64 = rng.gen();
+                let mut acc = 0.0;
+                for (c, p) in probs.iter().enumerate() {
+                    acc += p;
+                    if u < acc {
+                        return c;
+                    }
+                }
+                probs.len() - 1
+            })
+            .collect()
+    }
+
+    /// The most probable architecture (the search's final answer).
+    pub fn argmax(&self) -> ArchSample {
+        self.logits
+            .iter()
+            .map(|logits| {
+                logits
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Log-probability of a sample under the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample shape mismatches the policy.
+    pub fn log_prob(&self, sample: &ArchSample) -> f64 {
+        assert_eq!(sample.len(), self.logits.len(), "sample length mismatch");
+        sample.iter().enumerate().map(|(d, &c)| self.probs(d)[c].max(1e-300).ln()).sum()
+    }
+
+    /// Mean per-decision entropy in nats — a convergence diagnostic.
+    pub fn mean_entropy(&self) -> f64 {
+        let total: f64 = (0..self.logits.len())
+            .map(|d| -self.probs(d).iter().map(|p| p * p.max(1e-300).ln()).sum::<f64>())
+            .sum();
+        total / self.logits.len().max(1) as f64
+    }
+
+    /// One cross-shard REINFORCE update (§4.2): for every (sample,
+    /// advantage) pair, moves each chosen logit by
+    /// `lr · advantage · (1 − p)` and the others by `−lr · advantage · p`.
+    /// Advantages should already be baseline-subtracted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch.
+    pub fn reinforce_update(&mut self, batch: &[(ArchSample, f64)], lr: f64) {
+        self.reinforce_update_regularized(batch, lr, 0.0);
+    }
+
+    /// REINFORCE with an entropy bonus: adds `entropy_weight · ∇H(π)` to
+    /// each updated decision, counteracting premature convergence on large
+    /// spaces (a standard RL-NAS stabiliser; weight 0 recovers plain
+    /// REINFORCE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes mismatch or `entropy_weight < 0`.
+    pub fn reinforce_update_regularized(
+        &mut self,
+        batch: &[(ArchSample, f64)],
+        lr: f64,
+        entropy_weight: f64,
+    ) {
+        assert!(entropy_weight >= 0.0, "entropy weight must be non-negative");
+        for (sample, advantage) in batch {
+            assert_eq!(sample.len(), self.logits.len(), "sample length mismatch");
+            for (d, &chosen) in sample.iter().enumerate() {
+                let probs = self.probs(d);
+                // ∂H/∂logit_c = −p_c (log p_c + H)  for softmax policies.
+                let entropy: f64 =
+                    -probs.iter().map(|p| p * p.max(1e-300).ln()).sum::<f64>();
+                let logits = &mut self.logits[d];
+                for (c, logit) in logits.iter_mut().enumerate() {
+                    let indicator = if c == chosen { 1.0 } else { 0.0 };
+                    let policy_grad = advantage * (indicator - probs[c]);
+                    let entropy_grad =
+                        -probs[c] * (probs[c].max(1e-300).ln() + entropy);
+                    *logit += lr * (policy_grad + entropy_weight * entropy_grad);
+                }
+            }
+        }
+    }
+
+    /// Warm-starts the policy at a known architecture: adds `boost` to the
+    /// given sample's logits so the search begins *near* a trusted baseline
+    /// instead of uniform — how production re-optimisation runs seed from
+    /// the incumbent model (§7.3's zero-touch re-optimisation setting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample shape mismatches or `boost` is not finite.
+    pub fn bias_toward(&mut self, sample: &ArchSample, boost: f64) {
+        assert!(boost.is_finite(), "boost must be finite");
+        assert_eq!(sample.len(), self.logits.len(), "sample length mismatch");
+        for (logits, &choice) in self.logits.iter_mut().zip(sample) {
+            assert!(choice < logits.len(), "choice out of range");
+            logits[choice] += boost;
+        }
+    }
+
+    /// Samples with a softmax temperature: τ > 1 flattens the policy
+    /// (exploration), τ < 1 sharpens it (exploitation).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `temperature > 0`.
+    pub fn sample_with_temperature(&self, rng: &mut impl Rng, temperature: f64) -> ArchSample {
+        assert!(temperature > 0.0, "temperature must be positive");
+        (0..self.logits.len())
+            .map(|d| {
+                let logits = &self.logits[d];
+                let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let exps: Vec<f64> =
+                    logits.iter().map(|l| ((l - max) / temperature).exp()).collect();
+                let sum: f64 = exps.iter().sum();
+                let u: f64 = rng.gen::<f64>() * sum;
+                let mut acc = 0.0;
+                for (c, e) in exps.iter().enumerate() {
+                    acc += e;
+                    if u < acc {
+                        return c;
+                    }
+                }
+                exps.len() - 1
+            })
+            .collect()
+    }
+}
+
+/// Exponential-moving-average reward baseline, shared across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardBaseline {
+    value: f64,
+    momentum: f64,
+    initialized: bool,
+}
+
+impl RewardBaseline {
+    /// Creates a baseline with the given EMA momentum (e.g. 0.9).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ momentum < 1`.
+    pub fn new(momentum: f64) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self { value: 0.0, momentum, initialized: false }
+    }
+
+    /// Current baseline value (0 until the first update).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Folds a new mean reward into the EMA and returns the *previous*
+    /// baseline (the one advantages at this step should subtract).
+    pub fn update(&mut self, mean_reward: f64) -> f64 {
+        let prev = if self.initialized { self.value } else { mean_reward };
+        self.value = if self.initialized {
+            self.momentum * self.value + (1.0 - self.momentum) * mean_reward
+        } else {
+            mean_reward
+        };
+        self.initialized = true;
+        prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2o_space::Decision;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        let mut s = SearchSpace::new("t");
+        s.push(Decision::new("a", 3));
+        s.push(Decision::new("b", 4));
+        s
+    }
+
+    #[test]
+    fn uniform_probs_sum_to_one() {
+        let p = Policy::uniform(&space());
+        for d in 0..2 {
+            let sum: f64 = p.probs(d).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+        }
+        assert!((p.probs(0)[0] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_are_in_range() {
+        let p = Policy::uniform(&space());
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            let s = p.sample(&mut rng);
+            assert!(s[0] < 3 && s[1] < 4);
+        }
+    }
+
+    #[test]
+    fn reinforce_concentrates_on_rewarded_choice() {
+        // Reward choice 2 of decision 0; the policy must converge there.
+        let mut p = Policy::uniform(&space());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut baseline = RewardBaseline::new(0.9);
+        for _ in 0..400 {
+            let samples: Vec<ArchSample> = (0..8).map(|_| p.sample(&mut rng)).collect();
+            let rewards: Vec<f64> =
+                samples.iter().map(|s| if s[0] == 2 { 1.0 } else { 0.0 }).collect();
+            let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
+            let b = baseline.update(mean);
+            let batch: Vec<(ArchSample, f64)> =
+                samples.into_iter().zip(rewards.iter().map(|r| r - b)).collect();
+            p.reinforce_update(&batch, 0.1);
+        }
+        assert_eq!(p.argmax()[0], 2);
+        assert!(p.probs(0)[2] > 0.8, "probs {:?}", p.probs(0));
+    }
+
+    #[test]
+    fn entropy_decreases_as_policy_concentrates() {
+        let mut p = Policy::uniform(&space());
+        let before = p.mean_entropy();
+        p.reinforce_update(&[(vec![0, 0], 5.0)], 1.0);
+        assert!(p.mean_entropy() < before);
+    }
+
+    #[test]
+    fn log_prob_uniform() {
+        let p = Policy::uniform(&space());
+        let lp = p.log_prob(&vec![0, 0]);
+        assert!((lp - ((1.0f64 / 3.0).ln() + 0.25f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn argmax_picks_highest_logit() {
+        let mut p = Policy::uniform(&space());
+        p.logits[1][3] = 2.0;
+        assert_eq!(p.argmax()[1], 3);
+    }
+
+    #[test]
+    fn bias_toward_concentrates_on_the_seed() {
+        let mut p = Policy::uniform(&space());
+        p.bias_toward(&vec![2, 3], 2.0);
+        assert_eq!(p.argmax(), vec![2, 3]);
+        // But not deterministically: other choices keep probability mass.
+        assert!(p.probs(0)[0] > 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bias_toward_rejects_wrong_shape() {
+        let mut p = Policy::uniform(&space());
+        p.bias_toward(&vec![0], 1.0);
+    }
+
+    #[test]
+    fn baseline_returns_previous_value() {
+        let mut b = RewardBaseline::new(0.5);
+        assert_eq!(b.update(10.0), 10.0); // first update: baseline = first mean
+        assert_eq!(b.update(20.0), 10.0); // returns pre-update value
+        assert_eq!(b.value(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn bad_momentum_panics() {
+        RewardBaseline::new(1.5);
+    }
+
+    #[test]
+    fn entropy_regularization_slows_collapse() {
+        // Same rewarded updates, with and without the entropy bonus: the
+        // regularized policy must stay strictly more uniform.
+        let run = |weight: f64| {
+            let mut p = Policy::uniform(&space());
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..100 {
+                let s = p.sample(&mut rng);
+                let r = if s[0] == 1 { 1.0 } else { 0.0 };
+                p.reinforce_update_regularized(&[(s, r)], 0.2, weight);
+            }
+            p.mean_entropy()
+        };
+        assert!(run(0.5) > run(0.0));
+    }
+
+    #[test]
+    fn entropy_gradient_restores_uniformity_without_rewards() {
+        // Pure entropy ascent from a peaked policy must flatten it.
+        let mut p = Policy::uniform(&space());
+        p.logits[0][2] = 3.0;
+        let before = p.mean_entropy();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let s = p.sample(&mut rng);
+            p.reinforce_update_regularized(&[(s, 0.0)], 0.3, 1.0);
+        }
+        assert!(p.mean_entropy() > before, "{} -> {}", before, p.mean_entropy());
+    }
+
+    #[test]
+    fn high_temperature_flattens_sampling() {
+        let mut p = Policy::uniform(&space());
+        p.logits[0][0] = 4.0; // strongly peaked
+        let mut rng = StdRng::seed_from_u64(7);
+        let count_zero = |temp: f64, rng: &mut StdRng| {
+            (0..500).filter(|_| p.sample_with_temperature(rng, temp)[0] == 0).count()
+        };
+        let sharp = count_zero(0.5, &mut rng);
+        let flat = count_zero(8.0, &mut rng);
+        assert!(sharp > 450, "sharp sampling should lock in: {sharp}");
+        assert!(flat < 350, "hot sampling should explore: {flat}");
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature")]
+    fn zero_temperature_rejected() {
+        let p = Policy::uniform(&space());
+        let mut rng = StdRng::seed_from_u64(8);
+        p.sample_with_temperature(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn zero_advantage_leaves_policy_unchanged() {
+        let mut p = Policy::uniform(&space());
+        let before = p.clone();
+        p.reinforce_update(&[(vec![1, 1], 0.0)], 0.5);
+        assert_eq!(p, before);
+    }
+}

@@ -1,0 +1,281 @@
+//! The massively parallel single-step search loop (§4.2, Fig. 2 right).
+//!
+//! Each step, every virtual accelerator shard (1) samples its own
+//! architecture `αᵢ` from the shared policy `π` and evaluates its quality
+//! and performance, (2) all shards' rewards drive one **cross-shard
+//! REINFORCE update** of `π`, and (3) shared weights `W` are updated on the
+//! same batches (for evaluators that train — see `crate::oneshot`).
+//! Shards run on real threads (crossbeam scoped), standing in for the
+//! paper's hundreds of TPU cores.
+
+use crate::policy::{Policy, RewardBaseline};
+use crate::reward::RewardFn;
+use h2o_space::{ArchSample, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Quality and measured performance of one evaluated candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Quality `Q(α)` (accuracy / AUC / −logloss, higher better).
+    pub quality: f64,
+    /// One measured value per reward objective, `Tᵢ(α)`.
+    pub perf_values: Vec<f64>,
+}
+
+/// Evaluates candidates on one shard. Implementations may be stateful
+/// (e.g. hold a simulator, a performance model, or a trainable supernet
+/// shard).
+pub trait ArchEvaluator {
+    /// Produces the quality and performance signals for a sampled
+    /// architecture.
+    fn evaluate(&mut self, sample: &ArchSample) -> EvalResult;
+}
+
+impl<F> ArchEvaluator for F
+where
+    F: FnMut(&ArchSample) -> EvalResult,
+{
+    fn evaluate(&mut self, sample: &ArchSample) -> EvalResult {
+        self(sample)
+    }
+}
+
+/// Configuration of the parallel search loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Search steps (policy updates).
+    pub steps: usize,
+    /// Virtual accelerator shards per step (parallel candidate samples).
+    pub shards: usize,
+    /// REINFORCE learning rate on the policy logits.
+    pub policy_lr: f64,
+    /// EMA momentum of the reward baseline.
+    pub baseline_momentum: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self { steps: 200, shards: 8, policy_lr: 0.05, baseline_momentum: 0.9, seed: 0 }
+    }
+}
+
+/// Per-step telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Step index.
+    pub step: usize,
+    /// Mean shard reward.
+    pub mean_reward: f64,
+    /// Best shard reward.
+    pub best_reward: f64,
+    /// Mean per-decision policy entropy (nats).
+    pub entropy: f64,
+}
+
+/// One evaluated candidate with its reward.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedCandidate {
+    /// The sampled architecture.
+    pub sample: ArchSample,
+    /// Its evaluation.
+    pub result: EvalResult,
+    /// The combined reward.
+    pub reward: f64,
+}
+
+/// The result of a search run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The final architecture: per-decision argmax of the policy (§4.2).
+    pub best: ArchSample,
+    /// The trained policy.
+    pub policy: Policy,
+    /// Step telemetry.
+    pub history: Vec<StepRecord>,
+    /// Every candidate evaluated during the search.
+    pub evaluated: Vec<EvaluatedCandidate>,
+}
+
+impl SearchOutcome {
+    /// The evaluated candidate with the highest reward.
+    pub fn best_evaluated(&self) -> Option<&EvaluatedCandidate> {
+        self.evaluated
+            .iter()
+            .max_by(|a, b| a.reward.partial_cmp(&b.reward).expect("no NaN rewards"))
+    }
+}
+
+/// Runs the massively parallel single-step search with per-shard
+/// evaluators built by `make_evaluator(shard_index)`.
+///
+/// Evaluator construction happens once per shard; evaluators persist
+/// across steps (so stateful evaluators amortise setup and can train
+/// shard-local state).
+///
+/// # Panics
+///
+/// Panics if `config.shards == 0` or `config.steps == 0`.
+pub fn parallel_search<E, F>(
+    space: &SearchSpace,
+    reward_fn: &RewardFn,
+    mut make_evaluator: F,
+    config: &SearchConfig,
+) -> SearchOutcome
+where
+    E: ArchEvaluator + Send,
+    F: FnMut(usize) -> E,
+{
+    assert!(config.shards > 0, "need at least one shard");
+    assert!(config.steps > 0, "need at least one step");
+    let mut policy = Policy::uniform(space);
+    let mut baseline = RewardBaseline::new(config.baseline_momentum);
+    let mut history = Vec::with_capacity(config.steps);
+    let mut evaluated = Vec::with_capacity(config.steps * config.shards);
+    let mut evaluators: Vec<E> = (0..config.shards).map(&mut make_evaluator).collect();
+
+    for step in 0..config.steps {
+        // Stage 1: every shard samples and evaluates its own candidate, in
+        // parallel (Fig. 2's per-core sample + forward pass).
+        let policy_ref = &policy;
+        let results: Vec<(ArchSample, EvalResult)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = evaluators
+                .iter_mut()
+                .enumerate()
+                .map(|(shard, evaluator)| {
+                    scope.spawn(move |_| {
+                        let mut rng = StdRng::seed_from_u64(
+                            config.seed ^ (step as u64) << 20 ^ shard as u64,
+                        );
+                        let sample = policy_ref.sample(&mut rng);
+                        let result = evaluator.evaluate(&sample);
+                        (sample, result)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
+        })
+        .expect("scope panicked");
+
+        // Stage 2: cross-shard reward + policy update (REINFORCE).
+        let rewards: Vec<f64> = results
+            .iter()
+            .map(|(_, r)| reward_fn.reward(r.quality, &r.perf_values))
+            .collect();
+        let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
+        let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let b = baseline.update(mean);
+        let batch: Vec<(ArchSample, f64)> = results
+            .iter()
+            .zip(&rewards)
+            .map(|((sample, _), &r)| (sample.clone(), r - b))
+            .collect();
+        policy.reinforce_update(&batch, config.policy_lr);
+
+        history.push(StepRecord { step, mean_reward: mean, best_reward: best, entropy: policy.mean_entropy() });
+        for ((sample, result), reward) in results.into_iter().zip(rewards) {
+            evaluated.push(EvaluatedCandidate { sample, result, reward });
+        }
+    }
+
+    SearchOutcome { best: policy.argmax(), policy, history, evaluated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::{PerfObjective, RewardKind};
+    use h2o_space::Decision;
+
+    fn space() -> SearchSpace {
+        let mut s = SearchSpace::new("t");
+        s.push(Decision::new("width", 8));
+        s.push(Decision::new("depth", 4));
+        s
+    }
+
+    /// Quality grows with width; cost grows faster beyond width 5.
+    fn toy_evaluator(_shard: usize) -> impl ArchEvaluator + Send {
+        |sample: &ArchSample| {
+            let width = sample[0] as f64;
+            let depth = sample[1] as f64;
+            EvalResult {
+                quality: 10.0 * (1.0 - (-0.5 * (width + depth)).exp()),
+                perf_values: vec![0.5 + 0.25 * width],
+            }
+        }
+    }
+
+    fn reward() -> RewardFn {
+        RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("time", 1.5, -8.0)])
+    }
+
+    #[test]
+    fn search_finds_pareto_sweet_spot() {
+        let cfg = SearchConfig { steps: 300, shards: 8, policy_lr: 0.08, ..Default::default() };
+        let outcome = parallel_search(&space(), &reward(), toy_evaluator, &cfg);
+        // Width 4 hits the time target exactly (0.5 + 0.25*4 = 1.5); higher
+        // widths get penalised at β = −8 per unit deviation. Depth is free,
+        // so it should max out.
+        assert!(outcome.best[0] >= 3 && outcome.best[0] <= 5, "width {:?}", outcome.best);
+        assert_eq!(outcome.best[1], 3, "free quality dimension must max out");
+    }
+
+    #[test]
+    fn entropy_decreases_over_search() {
+        let cfg = SearchConfig { steps: 150, shards: 4, ..Default::default() };
+        let outcome = parallel_search(&space(), &reward(), toy_evaluator, &cfg);
+        let first = outcome.history.first().unwrap().entropy;
+        let last = outcome.history.last().unwrap().entropy;
+        assert!(last < first, "entropy {first} -> {last}");
+    }
+
+    #[test]
+    fn all_candidates_recorded() {
+        let cfg = SearchConfig { steps: 10, shards: 3, ..Default::default() };
+        let outcome = parallel_search(&space(), &reward(), toy_evaluator, &cfg);
+        assert_eq!(outcome.evaluated.len(), 30);
+        assert!(outcome.best_evaluated().is_some());
+    }
+
+    #[test]
+    fn search_is_deterministic_for_fixed_seed() {
+        let cfg = SearchConfig { steps: 20, shards: 4, seed: 42, ..Default::default() };
+        let a = parallel_search(&space(), &reward(), toy_evaluator, &cfg);
+        let b = parallel_search(&space(), &reward(), toy_evaluator, &cfg);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history.last().unwrap().mean_reward, b.history.last().unwrap().mean_reward);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let cfg = SearchConfig { steps: 5, shards: 2, seed: 1, ..Default::default() };
+        let a = parallel_search(&space(), &reward(), toy_evaluator, &cfg);
+        let cfg2 = SearchConfig { seed: 2, ..cfg };
+        let b = parallel_search(&space(), &reward(), toy_evaluator, &cfg2);
+        assert_ne!(
+            a.evaluated.iter().map(|e| &e.sample).collect::<Vec<_>>(),
+            b.evaluated.iter().map(|e| &e.sample).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let cfg = SearchConfig { shards: 0, ..Default::default() };
+        parallel_search(&space(), &reward(), toy_evaluator, &cfg);
+    }
+
+    #[test]
+    fn more_shards_same_steps_converges_at_least_as_well() {
+        let narrow = SearchConfig { steps: 120, shards: 2, seed: 7, ..Default::default() };
+        let wide = SearchConfig { steps: 120, shards: 16, seed: 7, ..Default::default() };
+        let a = parallel_search(&space(), &reward(), toy_evaluator, &narrow);
+        let b = parallel_search(&space(), &reward(), toy_evaluator, &wide);
+        let final_of = |o: &SearchOutcome| o.history.last().unwrap().mean_reward;
+        assert!(final_of(&b) >= final_of(&a) - 0.5, "{} vs {}", final_of(&a), final_of(&b));
+    }
+}

@@ -1,0 +1,129 @@
+//! Search telemetry export.
+//!
+//! Production NAS runs are monitored: reward curves, entropy decay and the
+//! evaluated-candidate cloud (Fig. 5a's scatter) all come from step
+//! telemetry. This module renders a [`SearchOutcome`] into CSV, ready for
+//! any plotting tool, and writes it to disk — the only on-disk artefact the
+//! system produces (architectures and telemetry only; never training data,
+//! per the §3 privacy posture).
+
+use crate::search::SearchOutcome;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders per-step telemetry (`step, mean_reward, best_reward, entropy`)
+/// as CSV.
+pub fn history_csv(outcome: &SearchOutcome) -> String {
+    let mut out = String::from("step,mean_reward,best_reward,entropy\n");
+    for record in &outcome.history {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            record.step, record.mean_reward, record.best_reward, record.entropy
+        );
+    }
+    out
+}
+
+/// Renders the evaluated-candidate cloud
+/// (`reward, quality, perf_0..perf_{n-1}, sample`) as CSV. The sample is
+/// encoded as `/`-joined choice indices so it stays a single CSV field.
+pub fn candidates_csv(outcome: &SearchOutcome) -> String {
+    let n_perf =
+        outcome.evaluated.first().map(|c| c.result.perf_values.len()).unwrap_or(0);
+    let mut out = String::from("reward,quality");
+    for i in 0..n_perf {
+        let _ = write!(out, ",perf_{i}");
+    }
+    out.push_str(",sample\n");
+    for c in &outcome.evaluated {
+        let _ = write!(out, "{},{}", c.reward, c.result.quality);
+        for v in &c.result.perf_values {
+            let _ = write!(out, ",{v}");
+        }
+        let sample: Vec<String> = c.sample.iter().map(|x| x.to_string()).collect();
+        let _ = writeln!(out, ",{}", sample.join("/"));
+    }
+    out
+}
+
+/// Writes both CSVs next to each other: `<stem>_history.csv` and
+/// `<stem>_candidates.csv`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csvs(outcome: &SearchOutcome, stem: &Path) -> io::Result<()> {
+    let with_suffix = |suffix: &str| {
+        let mut name = stem.file_name().unwrap_or_default().to_os_string();
+        name.push(suffix);
+        stem.with_file_name(name)
+    };
+    std::fs::write(with_suffix("_history.csv"), history_csv(outcome))?;
+    std::fs::write(with_suffix("_candidates.csv"), candidates_csv(outcome))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{EvalResult, EvaluatedCandidate, StepRecord};
+    use crate::Policy;
+    use h2o_space::{Decision, SearchSpace};
+
+    fn outcome() -> SearchOutcome {
+        let mut space = SearchSpace::new("t");
+        space.push(Decision::new("a", 3));
+        SearchOutcome {
+            best: vec![1],
+            policy: Policy::uniform(&space),
+            history: vec![
+                StepRecord { step: 0, mean_reward: 1.0, best_reward: 2.0, entropy: 1.1 },
+                StepRecord { step: 1, mean_reward: 1.5, best_reward: 2.5, entropy: 0.9 },
+            ],
+            evaluated: vec![EvaluatedCandidate {
+                sample: vec![2],
+                result: EvalResult { quality: 9.0, perf_values: vec![0.5, 100.0] },
+                reward: 8.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn history_csv_has_header_and_rows() {
+        let csv = history_csv(&outcome());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "step,mean_reward,best_reward,entropy");
+        assert!(lines[1].starts_with("0,1,2,"));
+    }
+
+    #[test]
+    fn candidates_csv_encodes_perf_columns_and_sample() {
+        let csv = candidates_csv(&outcome());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "reward,quality,perf_0,perf_1,sample");
+        assert_eq!(lines[1], "8.5,9,0.5,100,2");
+    }
+
+    #[test]
+    fn write_csvs_creates_both_files() {
+        let dir = std::env::temp_dir().join("h2o_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("run1");
+        write_csvs(&outcome(), &stem).unwrap();
+        assert!(dir.join("run1_history.csv").exists());
+        assert!(dir.join("run1_candidates.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_outcome_yields_headers_only() {
+        let mut o = outcome();
+        o.history.clear();
+        o.evaluated.clear();
+        assert_eq!(history_csv(&o).lines().count(), 1);
+        assert_eq!(candidates_csv(&o).lines().count(), 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! The pure in-memory data pipeline with the paper's ordering guarantee.
+//!
+//! §4.1: "our in-memory data pipeline is designed to ensure that learning
+//! model architecture choices α always precede training shared model
+//! weights W in each step" and "every incoming data is initially used by
+//! learning model architecture choices before it can be used by training
+//! model weights". Privacy: "production traffic cannot be persisted in
+//! non-volatile media" — this pipeline offers no serialisation of payloads
+//! and enforces single consumption.
+//!
+//! [`InMemoryPipeline`] stamps every batch with a sequence number and
+//! tracks its lifecycle: `Produced → PolicyUsed → WeightsUsed → Dropped`.
+//! Violations (weights before policy, double use) return typed errors, and
+//! the pipeline keeps aggregate statistics for auditing.
+
+use crate::traffic::TrafficSource;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Lifecycle state of a stamped batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BatchState {
+    Produced,
+    PolicyUsed,
+}
+
+/// A batch stamped with its pipeline sequence number.
+#[derive(Debug, Clone)]
+pub struct StampedBatch<B> {
+    /// Monotonic sequence number, unique within the pipeline.
+    pub seq: u64,
+    /// The payload. Intentionally consumed in memory only.
+    pub data: B,
+}
+
+/// Usage-ordering violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The sequence number was never produced by this pipeline (or has
+    /// already completed its lifecycle and been dropped).
+    UnknownBatch(u64),
+    /// `mark_weights_use` before `mark_policy_use` — the α-before-W
+    /// ordering guarantee would be broken.
+    WeightsBeforePolicy(u64),
+    /// The batch was already consumed in this role (use-once violation).
+    AlreadyUsed(u64),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::UnknownBatch(s) => write!(f, "unknown or completed batch {s}"),
+            PipelineError::WeightsBeforePolicy(s) => {
+                write!(f, "batch {s} offered to weight training before policy learning")
+            }
+            PipelineError::AlreadyUsed(s) => write!(f, "batch {s} already consumed in this role"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Aggregate pipeline statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineStats {
+    /// Batches handed out.
+    pub produced: u64,
+    /// Batches consumed by policy (α) learning.
+    pub policy_used: u64,
+    /// Batches consumed by weight (W) training.
+    pub weights_used: u64,
+    /// Examples handed out.
+    pub examples: u64,
+}
+
+struct Inner<S: TrafficSource> {
+    source: S,
+    states: HashMap<u64, BatchState>,
+    next_seq: u64,
+    stats: PipelineStats,
+}
+
+/// A shareable, thread-safe in-memory pipeline over a traffic source.
+///
+/// Clones share the same underlying stream and bookkeeping, so the search
+/// shards of the parallel algorithm each pull *fresh* data (§4.2).
+///
+/// # Examples
+///
+/// ```
+/// use h2o_data::{InMemoryPipeline, CtrTraffic, CtrTrafficConfig};
+///
+/// let pipeline = InMemoryPipeline::new(CtrTraffic::new(CtrTrafficConfig::tiny(), 1));
+/// let batch = pipeline.next_batch(16);
+/// pipeline.mark_policy_use(batch.seq).unwrap();
+/// pipeline.mark_weights_use(batch.seq).unwrap();
+/// assert_eq!(pipeline.stats().weights_used, 1);
+/// ```
+pub struct InMemoryPipeline<S: TrafficSource> {
+    inner: Arc<Mutex<Inner<S>>>,
+}
+
+impl<S: TrafficSource> fmt::Debug for InMemoryPipeline<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        write!(f, "InMemoryPipeline({stats:?})")
+    }
+}
+
+impl<S: TrafficSource> Clone for InMemoryPipeline<S> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<S: TrafficSource> InMemoryPipeline<S> {
+    /// Wraps a traffic source.
+    pub fn new(source: S) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Inner {
+                source,
+                states: HashMap::new(),
+                next_seq: 0,
+                stats: PipelineStats::default(),
+            })),
+        }
+    }
+
+    /// Pulls the next fresh batch of `n` examples.
+    pub fn next_batch(&self, n: usize) -> StampedBatch<S::Batch> {
+        let mut inner = self.inner.lock();
+        let data = inner.source.next_batch(n);
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.states.insert(seq, BatchState::Produced);
+        inner.stats.produced += 1;
+        inner.stats.examples += n as u64;
+        StampedBatch { seq, data }
+    }
+
+    /// Records that policy (α) learning consumed the batch.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnknownBatch`] if never produced / already dropped;
+    /// [`PipelineError::AlreadyUsed`] if policy learning already saw it.
+    pub fn mark_policy_use(&self, seq: u64) -> Result<(), PipelineError> {
+        let mut inner = self.inner.lock();
+        match inner.states.get(&seq).copied() {
+            None => Err(PipelineError::UnknownBatch(seq)),
+            Some(BatchState::Produced) => {
+                inner.states.insert(seq, BatchState::PolicyUsed);
+                inner.stats.policy_used += 1;
+                Ok(())
+            }
+            Some(_) => Err(PipelineError::AlreadyUsed(seq)),
+        }
+    }
+
+    /// Records that weight (W) training consumed the batch. Enforces the
+    /// α-before-W ordering.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::WeightsBeforePolicy`] if policy learning has not
+    /// consumed the batch yet; [`PipelineError::UnknownBatch`] /
+    /// [`PipelineError::AlreadyUsed`] as for policy use.
+    pub fn mark_weights_use(&self, seq: u64) -> Result<(), PipelineError> {
+        let mut inner = self.inner.lock();
+        match inner.states.get(&seq).copied() {
+            None => Err(PipelineError::UnknownBatch(seq)),
+            Some(BatchState::Produced) => Err(PipelineError::WeightsBeforePolicy(seq)),
+            Some(BatchState::PolicyUsed) => {
+                // Lifecycle complete: drop the record — no trace of the
+                // batch remains (the privacy posture of §3).
+                inner.states.remove(&seq);
+                inner.stats.weights_used += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> PipelineStats {
+        self.inner.lock().stats
+    }
+
+    /// Number of batches currently in flight (produced but not fully
+    /// consumed). Bounded in a healthy search loop.
+    pub fn in_flight(&self) -> usize {
+        self.inner.lock().states.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{CtrTraffic, CtrTrafficConfig};
+
+    fn pipeline() -> InMemoryPipeline<CtrTraffic> {
+        InMemoryPipeline::new(CtrTraffic::new(CtrTrafficConfig::tiny(), 1))
+    }
+
+    #[test]
+    fn happy_path_lifecycle() {
+        let p = pipeline();
+        let b = p.next_batch(8);
+        assert!(p.mark_policy_use(b.seq).is_ok());
+        assert!(p.mark_weights_use(b.seq).is_ok());
+        let stats = p.stats();
+        assert_eq!(stats.produced, 1);
+        assert_eq!(stats.policy_used, 1);
+        assert_eq!(stats.weights_used, 1);
+        assert_eq!(p.in_flight(), 0, "completed batches leave no trace");
+    }
+
+    #[test]
+    fn weights_before_policy_rejected() {
+        let p = pipeline();
+        let b = p.next_batch(8);
+        assert_eq!(p.mark_weights_use(b.seq), Err(PipelineError::WeightsBeforePolicy(b.seq)));
+    }
+
+    #[test]
+    fn double_policy_use_rejected() {
+        let p = pipeline();
+        let b = p.next_batch(8);
+        p.mark_policy_use(b.seq).unwrap();
+        assert_eq!(p.mark_policy_use(b.seq), Err(PipelineError::AlreadyUsed(b.seq)));
+    }
+
+    #[test]
+    fn double_weights_use_rejected() {
+        let p = pipeline();
+        let b = p.next_batch(8);
+        p.mark_policy_use(b.seq).unwrap();
+        p.mark_weights_use(b.seq).unwrap();
+        assert_eq!(p.mark_weights_use(b.seq), Err(PipelineError::UnknownBatch(b.seq)));
+    }
+
+    #[test]
+    fn unknown_batch_rejected() {
+        let p = pipeline();
+        assert_eq!(p.mark_policy_use(99), Err(PipelineError::UnknownBatch(99)));
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_and_monotonic() {
+        let p = pipeline();
+        let a = p.next_batch(4);
+        let b = p.next_batch(4);
+        assert!(b.seq > a.seq);
+    }
+
+    #[test]
+    fn clones_share_the_stream() {
+        let p = pipeline();
+        let q = p.clone();
+        let a = p.next_batch(4);
+        let b = q.next_batch(4);
+        assert_ne!(a.seq, b.seq, "clones must not replay data");
+        assert_eq!(p.stats().produced, 2);
+    }
+
+    #[test]
+    fn parallel_shards_pull_fresh_data() {
+        let p = pipeline();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    let b = p.next_batch(4);
+                    p.mark_policy_use(b.seq).unwrap();
+                    p.mark_weights_use(b.seq).unwrap();
+                    b.seq
+                })
+            })
+            .collect();
+        let mut seqs: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 8, "every shard saw distinct data");
+        assert_eq!(p.stats().weights_used, 8);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(PipelineError::WeightsBeforePolicy(5).to_string().contains("before policy"));
+    }
+}

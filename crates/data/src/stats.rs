@@ -1,0 +1,159 @@
+//! Runtime statistics collected from live traffic.
+//!
+//! §6.2.3 lists the paper's simulator inputs; input (3) is "runtime
+//! statistics for the target ML model such as loop/branch counts and
+//! embedding table access counts", because static model descriptions do
+//! not say how *hot* each embedding table actually is. This module
+//! measures those statistics from a traffic stream so the cost model can
+//! consume observed access counts rather than configured guesses.
+
+use crate::traffic::TrafficSource;
+use h2o_space::DlrmBatch;
+
+/// Measured embedding-access statistics for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableAccessStats {
+    /// Mean ids looked up per example (multi-valued features > 1).
+    pub ids_per_example: f64,
+    /// Fraction of lookups hitting the 1 % hottest ids observed — the
+    /// skew that decides how cacheable the table is.
+    pub hot_fraction: f64,
+    /// Distinct ids observed.
+    pub unique_ids: usize,
+}
+
+/// Measured statistics across all tables of a DLRM stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeStats {
+    /// Per-table access statistics, in table order.
+    pub tables: Vec<TableAccessStats>,
+    /// Examples observed.
+    pub examples: usize,
+}
+
+impl RuntimeStats {
+    /// Collects statistics from `batches` × `batch_size` fresh examples of
+    /// a recommendation stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batches` or `batch_size` is zero.
+    pub fn collect<S>(source: &mut S, batches: usize, batch_size: usize) -> Self
+    where
+        S: TrafficSource<Batch = DlrmBatch>,
+    {
+        assert!(batches > 0 && batch_size > 0, "need a positive sample budget");
+        let mut counters: Vec<std::collections::HashMap<usize, u64>> = Vec::new();
+        let mut totals: Vec<u64> = Vec::new();
+        let mut examples = 0usize;
+        for _ in 0..batches {
+            let batch = source.next_batch(batch_size);
+            if counters.is_empty() {
+                counters = vec![std::collections::HashMap::new(); batch.sparse.len()];
+                totals = vec![0; batch.sparse.len()];
+            }
+            examples += batch.len();
+            for (t, per_example) in batch.sparse.iter().enumerate() {
+                for ids in per_example {
+                    totals[t] += ids.len() as u64;
+                    for &id in ids {
+                        *counters[t].entry(id).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        let tables = counters
+            .iter()
+            .zip(&totals)
+            .map(|(counter, &total)| {
+                let mut counts: Vec<u64> = counter.values().copied().collect();
+                counts.sort_unstable_by(|a, b| b.cmp(a));
+                let hot_n = (counter.len().div_ceil(100)).max(1);
+                let hot: u64 = counts.iter().take(hot_n).sum();
+                TableAccessStats {
+                    ids_per_example: total as f64 / examples.max(1) as f64,
+                    hot_fraction: if total > 0 { hot as f64 / total as f64 } else { 0.0 },
+                    unique_ids: counter.len(),
+                }
+            })
+            .collect();
+        Self { tables, examples }
+    }
+
+    /// Writes the measured per-table access rates into a DLRM architecture,
+    /// so `build_graph` prices the embedding branch with *observed* traffic
+    /// (the paper's simulator input 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table counts differ.
+    pub fn apply_to(&self, arch: &mut h2o_space::DlrmArch) {
+        assert_eq!(arch.tables.len(), self.tables.len(), "table count mismatch");
+        for (table, stats) in arch.tables.iter_mut().zip(&self.tables) {
+            table.ids_per_example = stats.ids_per_example;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{CtrTraffic, CtrTrafficConfig};
+
+    #[test]
+    fn collect_measures_ids_per_example() {
+        let mut cfg = CtrTrafficConfig::tiny();
+        cfg.ids_per_example = 3;
+        let mut stream = CtrTraffic::new(cfg, 1);
+        let stats = RuntimeStats::collect(&mut stream, 10, 64);
+        assert_eq!(stats.examples, 640);
+        for t in &stats.tables {
+            assert!((t.ids_per_example - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_traffic_has_hot_heads() {
+        let mut stream = CtrTraffic::new(CtrTrafficConfig::tiny(), 2);
+        let stats = RuntimeStats::collect(&mut stream, 40, 64);
+        // Zipf(1.1) traffic: the hottest ~1% of ids should carry a clearly
+        // super-proportional share of lookups.
+        for (i, t) in stats.tables.iter().enumerate() {
+            assert!(t.hot_fraction > 0.05, "table {i}: hot fraction {}", t.hot_fraction);
+            assert!(t.unique_ids > 1);
+        }
+    }
+
+    #[test]
+    fn apply_to_updates_arch_access_rates() {
+        use h2o_space::{DlrmSpace, DlrmSpaceConfig};
+        let mut cfg = CtrTrafficConfig::tiny();
+        cfg.ids_per_example = 2;
+        let mut stream = CtrTraffic::new(cfg, 3);
+        let stats = RuntimeStats::collect(&mut stream, 5, 32);
+        let space = DlrmSpace::new(DlrmSpaceConfig::tiny());
+        let mut arch = space.decode(&space.baseline());
+        stats.apply_to(&mut arch);
+        for t in &arch.tables {
+            assert!((t.ids_per_example - 2.0).abs() < 1e-9);
+        }
+        // Measured access rates change the graph's embedding traffic.
+        let baseline = space.decode(&space.baseline());
+        let cost_measured = arch.build_graph(64, 1).total_cost();
+        let cost_config = baseline.build_graph(64, 1).total_cost();
+        assert!(cost_measured.bytes_read > cost_config.bytes_read);
+    }
+
+    #[test]
+    #[should_panic(expected = "table count mismatch")]
+    fn apply_to_rejects_mismatched_tables() {
+        use h2o_space::{DlrmSpace, DlrmSpaceConfig};
+        let mut stream = CtrTraffic::new(CtrTrafficConfig::tiny(), 4);
+        let stats = RuntimeStats::collect(&mut stream, 2, 16);
+        let mut cfg = DlrmSpaceConfig::tiny();
+        cfg.tables.pop();
+        let space = DlrmSpace::new(cfg);
+        let mut arch = space.decode(&space.baseline());
+        stats.apply_to(&mut arch);
+    }
+}

@@ -1,0 +1,395 @@
+//! Synthetic production-traffic generators.
+//!
+//! The paper trains directly on live production traffic (§4.1): volumes are
+//! large enough that "it is feasible to use each data sample only once".
+//! We cannot ship production logs, so these generators produce *unbounded*
+//! streams with planted, learnable structure (see DESIGN.md):
+//!
+//! * [`CtrTraffic`] — recommendation traffic: Zipf-distributed sparse ids
+//!   per table, Gaussian dense features, and click labels from a hidden
+//!   factorized logistic model, so bigger embeddings genuinely help
+//!   (memorisation) and MLP capacity genuinely helps (generalisation).
+//! * [`VisionTraffic`] — a feature-vector classification stream for
+//!   CNN/ViT-flavoured tests and examples.
+
+use h2o_space::DlrmBatch;
+use h2o_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An endless source of training batches.
+///
+/// Implementations must be *stateless over content*: every call produces
+/// fresh, never-before-seen examples (the use-once property comes from the
+/// stream, not from bookkeeping).
+pub trait TrafficSource {
+    /// The batch type produced.
+    type Batch;
+
+    /// Produces the next `n`-example batch.
+    fn next_batch(&mut self, n: usize) -> Self::Batch;
+}
+
+/// A Zipf sampler over `0..vocab` with exponent `s` (id popularity follows
+/// a power law, as production categorical features do).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab == 0` or `s < 0`.
+    pub fn new(vocab: usize, s: f64) -> Self {
+        assert!(vocab > 0, "vocab must be non-zero");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(vocab);
+        let mut acc = 0.0;
+        for k in 1..=vocab {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Samples an id in `0..vocab`.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Configuration of the synthetic CTR stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtrTrafficConfig {
+    /// Per-table vocabulary sizes (ground-truth id universes).
+    pub table_vocabs: Vec<usize>,
+    /// Dense feature count.
+    pub dense_features: usize,
+    /// Zipf exponent for id popularity.
+    pub zipf_exponent: f64,
+    /// Ids per example per table (1 = single-valued features).
+    pub ids_per_example: usize,
+    /// Seed for the *hidden ground-truth model* (not the stream noise).
+    pub truth_seed: u64,
+}
+
+impl CtrTrafficConfig {
+    /// A configuration matching [`h2o_space::DlrmSpaceConfig::tiny`].
+    pub fn tiny() -> Self {
+        Self {
+            table_vocabs: vec![64, 128, 256, 512],
+            dense_features: 8,
+            zipf_exponent: 1.1,
+            ids_per_example: 1,
+            truth_seed: 1234,
+        }
+    }
+}
+
+/// The synthetic recommendation (CTR) traffic stream.
+///
+/// Hidden ground truth: each table id carries a latent scalar effect, dense
+/// features carry linear + pairwise effects, and the click probability is
+/// the logistic of their sum. Rare-tail ids have effects too, so truncating
+/// vocabulary (the search space's 50 % option) costs real quality —
+/// reproducing the paper's memorisation/efficiency trade-off.
+///
+/// # Examples
+///
+/// ```
+/// use h2o_data::{CtrTraffic, CtrTrafficConfig, TrafficSource};
+///
+/// let mut source = CtrTraffic::new(CtrTrafficConfig::tiny(), 7);
+/// let batch = source.next_batch(32);
+/// assert_eq!(batch.len(), 32);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtrTraffic {
+    config: CtrTrafficConfig,
+    zipfs: Vec<Zipf>,
+    /// Latent per-id effects, one vector per table.
+    id_effects: Vec<Vec<f32>>,
+    /// Latent dense-feature weights.
+    dense_weights: Vec<f32>,
+    rng: StdRng,
+    produced: u64,
+}
+
+impl CtrTraffic {
+    /// Creates the stream. `stream_seed` controls the sampled examples;
+    /// `config.truth_seed` controls the hidden model (fix it to compare
+    /// candidates fairly).
+    pub fn new(config: CtrTrafficConfig, stream_seed: u64) -> Self {
+        let mut truth_rng = StdRng::seed_from_u64(config.truth_seed);
+        let id_effects = config
+            .table_vocabs
+            .iter()
+            .map(|&v| (0..v).map(|_| truth_rng.gen_range(-1.0..1.0f32)).collect())
+            .collect();
+        let dense_weights =
+            (0..config.dense_features).map(|_| truth_rng.gen_range(-1.0..1.0f32)).collect();
+        let zipfs = config
+            .table_vocabs
+            .iter()
+            .map(|&v| Zipf::new(v, config.zipf_exponent))
+            .collect();
+        Self {
+            config,
+            zipfs,
+            id_effects,
+            dense_weights,
+            rng: StdRng::seed_from_u64(stream_seed),
+            produced: 0,
+        }
+    }
+
+    /// Total examples produced so far.
+    pub fn examples_produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> &CtrTrafficConfig {
+        &self.config
+    }
+}
+
+impl TrafficSource for CtrTraffic {
+    type Batch = DlrmBatch;
+
+    fn next_batch(&mut self, n: usize) -> DlrmBatch {
+        let dense =
+            Matrix::from_fn(n, self.config.dense_features, |_, _| self.rng.gen_range(-1.0..1.0));
+        let mut sparse: Vec<Vec<Vec<usize>>> =
+            vec![Vec::with_capacity(n); self.config.table_vocabs.len()];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut logit = 0.0f32;
+            for (f, &w) in self.dense_weights.iter().enumerate() {
+                logit += w * dense.get(i, f);
+            }
+            // A pairwise dense interaction keeps the task non-linear.
+            if self.config.dense_features >= 2 {
+                logit += 1.5 * dense.get(i, 0) * dense.get(i, 1);
+            }
+            for (t, zipf) in self.zipfs.iter().enumerate() {
+                let mut ids = Vec::with_capacity(self.config.ids_per_example);
+                for _ in 0..self.config.ids_per_example {
+                    let id = zipf.sample(&mut self.rng);
+                    logit += self.id_effects[t][id];
+                    ids.push(id);
+                }
+                sparse[t].push(ids);
+            }
+            let p = 1.0 / (1.0 + (-logit).exp());
+            labels.push(if self.rng.gen::<f32>() < p { 1.0 } else { 0.0 });
+        }
+        self.produced += n as u64;
+        DlrmBatch { dense, sparse, labels }
+    }
+}
+
+/// A labelled feature-vector batch for vision-flavoured streams.
+#[derive(Debug, Clone)]
+pub struct VisionBatch {
+    /// Feature vectors, `(batch, features)`.
+    pub features: Matrix,
+    /// Class labels in `0..classes`.
+    pub labels: Vec<usize>,
+}
+
+/// A synthetic classification stream: class prototypes plus noise.
+#[derive(Debug, Clone)]
+pub struct VisionTraffic {
+    prototypes: Matrix,
+    noise: f32,
+    rng: StdRng,
+}
+
+impl VisionTraffic {
+    /// Creates a stream with `classes` Gaussian class prototypes in
+    /// `features` dimensions. The class prototypes (the hidden ground
+    /// truth) and the sampled examples both derive from `seed`; use
+    /// [`VisionTraffic::with_truth_seed`] to hold the task fixed while
+    /// varying the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or `features == 0`.
+    pub fn new(classes: usize, features: usize, noise: f32, seed: u64) -> Self {
+        Self::with_truth_seed(classes, features, noise, seed, seed)
+    }
+
+    /// Creates a stream whose hidden task (`truth_seed`) is decoupled from
+    /// its example sampling (`stream_seed`) — two streams with the same
+    /// truth seed are train/eval splits of the same task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0` or `features == 0`.
+    pub fn with_truth_seed(
+        classes: usize,
+        features: usize,
+        noise: f32,
+        truth_seed: u64,
+        stream_seed: u64,
+    ) -> Self {
+        assert!(classes > 0 && features > 0, "need classes and features");
+        let mut truth_rng = StdRng::seed_from_u64(truth_seed ^ 0xdead_beef);
+        let prototypes = Matrix::from_fn(classes, features, |_, _| truth_rng.gen_range(-1.0..1.0));
+        Self { prototypes, noise, rng: StdRng::seed_from_u64(stream_seed) }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.prototypes.rows()
+    }
+}
+
+impl TrafficSource for VisionTraffic {
+    type Batch = VisionBatch;
+
+    fn next_batch(&mut self, n: usize) -> VisionBatch {
+        let classes = self.prototypes.rows();
+        let features = self.prototypes.cols();
+        let mut labels = Vec::with_capacity(n);
+        let mut x = Matrix::zeros(n, features);
+        for i in 0..n {
+            let c = self.rng.gen_range(0..classes);
+            labels.push(c);
+            for f in 0..features {
+                let v = self.prototypes.get(c, f) + self.rng.gen_range(-1.0..1.0) * self.noise;
+                x.set(i, f, v);
+            }
+        }
+        VisionBatch { features: x, labels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_head_is_heavier_than_tail() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut head = 0;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        assert!(head > 4_000, "top-10 ids should dominate, got {head}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut head = 0;
+        for _ in 0..10_000 {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        assert!((800..1300).contains(&head), "got {head}");
+    }
+
+    #[test]
+    fn ctr_batches_have_consistent_shapes() {
+        let mut s = CtrTraffic::new(CtrTrafficConfig::tiny(), 3);
+        let b = s.next_batch(16);
+        assert_eq!(b.dense.shape(), (16, 8));
+        assert_eq!(b.sparse.len(), 4);
+        assert_eq!(b.sparse[0].len(), 16);
+        assert_eq!(b.labels.len(), 16);
+    }
+
+    #[test]
+    fn ctr_labels_are_balancedish() {
+        let mut s = CtrTraffic::new(CtrTrafficConfig::tiny(), 4);
+        let b = s.next_batch(2000);
+        let pos: f32 = b.labels.iter().sum();
+        let rate = pos / 2000.0;
+        assert!((0.2..0.8).contains(&rate), "click rate {rate}");
+    }
+
+    #[test]
+    fn ctr_stream_never_repeats_batches() {
+        let mut s = CtrTraffic::new(CtrTrafficConfig::tiny(), 5);
+        let a = s.next_batch(8);
+        let b = s.next_batch(8);
+        assert_ne!(a.dense, b.dense, "use-once property: fresh data every batch");
+    }
+
+    #[test]
+    fn ctr_truth_is_shared_across_streams() {
+        // Two streams with the same truth seed must agree on id effects:
+        // a model trained on one generalises to the other.
+        let a = CtrTraffic::new(CtrTrafficConfig::tiny(), 1);
+        let b = CtrTraffic::new(CtrTrafficConfig::tiny(), 2);
+        assert_eq!(a.id_effects, b.id_effects);
+        assert_ne!(
+            a.clone().next_batch(4).dense,
+            b.clone().next_batch(4).dense,
+            "but the sampled examples differ"
+        );
+    }
+
+    #[test]
+    fn ctr_ids_within_vocab() {
+        let mut s = CtrTraffic::new(CtrTrafficConfig::tiny(), 6);
+        let b = s.next_batch(64);
+        for (t, &v) in s.config().table_vocabs.iter().enumerate() {
+            for ids in &b.sparse[t] {
+                assert!(ids.iter().all(|&id| id < v));
+            }
+        }
+    }
+
+    #[test]
+    fn vision_labels_in_range_and_learnable() {
+        let mut s = VisionTraffic::new(4, 16, 0.1, 9);
+        let b = s.next_batch(128);
+        assert!(b.labels.iter().all(|&l| l < 4));
+        // Low noise ⇒ nearest-prototype classification should beat chance.
+        let mut correct = 0;
+        for i in 0..128 {
+            let mut best = (f32::MAX, 0usize);
+            for c in 0..4 {
+                let d: f32 = (0..16)
+                    .map(|f| {
+                        let diff = b.features.get(i, f) - s.prototypes.get(c, f);
+                        diff * diff
+                    })
+                    .sum();
+                if d < best.0 {
+                    best = (d, c);
+                }
+            }
+            if best.1 == b.labels[i] {
+                correct += 1;
+            }
+        }
+        assert!(correct > 100, "nearest prototype got {correct}/128");
+    }
+
+    #[test]
+    fn examples_produced_counts() {
+        let mut s = CtrTraffic::new(CtrTrafficConfig::tiny(), 8);
+        s.next_batch(10);
+        s.next_batch(22);
+        assert_eq!(s.examples_produced(), 32);
+    }
+}

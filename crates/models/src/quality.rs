@@ -1,0 +1,376 @@
+//! Calibrated analytic quality surrogates.
+//!
+//! We cannot train ImageNet/JFT-scale vision models (or production CTR
+//! models) in pure Rust on CPU, so architecture *quality* — the `Q(α)`
+//! term of the reward — comes from closed-form surrogates whose
+//! coefficients are calibrated against the paper's own numbers (Table 3's
+//! ablation ladder for vision; Fig. 8's +0.02 % for DLRM). The DLRM path
+//! additionally has a fully *real* quality source — the trainable
+//! super-network in `h2o-space` — used by the small-scale examples and
+//! tests; the surrogate covers paper-scale spaces. See DESIGN.md.
+//!
+//! Surrogate structure (vision):
+//!
+//! ```text
+//! acc = cap(dataset) − amp(dataset) · params_M^(−γ)      (capacity saturation)
+//!       + 2.39 · ln(conv_depth / 14)                     (Table 3: +0.6 for 12→16 conv layers)
+//!       + 4.16 · ln(resolution / 224)                    (Table 3: −1.4 for 224→160)
+//!       + activation bonus                               (Table 3: +0.8 for GELU→Squared ReLU)
+//!       + small structural bonuses (SE, residuals)
+//! ```
+
+use h2o_space::cnn::CnnArch;
+use h2o_space::DlrmArch;
+use serde::{Deserialize, Serialize};
+
+/// Pre-training dataset scale (Fig. 6: ImageNet1K / ImageNet21K / JFT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetScale {
+    /// ImageNet-1K ("SD" in Fig. 6).
+    Small,
+    /// ImageNet-21K ("MD").
+    Medium,
+    /// JFT-300M ("LD").
+    Large,
+}
+
+impl DatasetScale {
+    /// All scales, Fig. 6 order.
+    pub const ALL: [DatasetScale; 3] =
+        [DatasetScale::Small, DatasetScale::Medium, DatasetScale::Large];
+
+    fn cap(self) -> f64 {
+        match self {
+            DatasetScale::Small => 90.95,
+            DatasetScale::Medium => 92.15,
+            DatasetScale::Large => 93.45,
+        }
+    }
+
+    fn amp(self) -> f64 {
+        // Bigger datasets reward capacity more (smaller penalty decay).
+        match self {
+            DatasetScale::Small => 22.4,
+            DatasetScale::Medium => 24.0,
+            DatasetScale::Large => 26.5,
+        }
+    }
+}
+
+/// Activation family, for the quality bonus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActFamily {
+    /// `max(0, x)`.
+    Relu,
+    /// SiLU.
+    Swish,
+    /// GELU.
+    Gelu,
+    /// Squared ReLU (the CoAtNet-H pick).
+    SquaredRelu,
+}
+
+impl ActFamily {
+    fn bonus(self) -> f64 {
+        match self {
+            ActFamily::Relu => 0.0,
+            ActFamily::Swish => 0.3,
+            ActFamily::Gelu => 0.4,
+            ActFamily::SquaredRelu => 1.2,
+        }
+    }
+}
+
+/// Everything the vision surrogate needs to score a model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VisionModelDesc {
+    /// Trainable parameters, millions.
+    pub params_m: f64,
+    /// Input resolution.
+    pub resolution: usize,
+    /// Convolutional layer count (Table 3's "convolution part").
+    pub conv_depth: usize,
+    /// Dominant activation family.
+    pub act: ActFamily,
+    /// Squeeze-and-excite present.
+    pub has_se: bool,
+    /// Identity residuals present.
+    pub has_residuals: bool,
+}
+
+/// The calibrated vision quality surrogate.
+///
+/// # Examples
+///
+/// ```
+/// use h2o_models::quality::{VisionQualityModel, VisionModelDesc, ActFamily, DatasetScale};
+///
+/// let model = VisionQualityModel::new(DatasetScale::Small);
+/// let desc = VisionModelDesc {
+///     params_m: 688.0,
+///     resolution: 224,
+///     conv_depth: 14,
+///     act: ActFamily::Gelu,
+///     has_se: true,
+///     has_residuals: true,
+/// };
+/// let acc = model.accuracy(&desc);
+/// assert!((acc - 89.7).abs() < 0.3); // Table 3: CoAtNet-5 = 89.7 %
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisionQualityModel {
+    dataset: DatasetScale,
+}
+
+/// Calibration constants derived from Table 3 (see module docs).
+const GAMMA: f64 = 0.35;
+const DEPTH_COEF: f64 = 2.387; // +0.6 acc for conv 14 → 18 layers
+const RES_COEF: f64 = 4.161; // −1.4 acc for res 224 → 160
+const REF_CONV_DEPTH: f64 = 14.0;
+const REF_RESOLUTION: f64 = 224.0;
+
+impl VisionQualityModel {
+    /// Creates a surrogate for a dataset scale.
+    pub fn new(dataset: DatasetScale) -> Self {
+        Self { dataset }
+    }
+
+    /// Top-1 accuracy estimate in percent.
+    pub fn accuracy(&self, desc: &VisionModelDesc) -> f64 {
+        let capacity = self.dataset.cap() - self.dataset.amp() * desc.params_m.max(0.1).powf(-GAMMA);
+        let depth = DEPTH_COEF * (desc.conv_depth.max(1) as f64 / REF_CONV_DEPTH).ln();
+        let res = RES_COEF * (desc.resolution.max(32) as f64 / REF_RESOLUTION).ln();
+        let se = if desc.has_se { 0.25 } else { 0.0 };
+        let residual = if desc.has_residuals { 0.35 } else { 0.0 };
+        capacity + depth + res + desc.act.bonus() + se + residual
+    }
+
+    /// Scores a decoded (hybrid) ViT search-space architecture. Transformer
+    /// layers count toward depth at a discount (the Table 3 depth
+    /// calibration is for convolutional layers); the activation bonus uses
+    /// the FFN activation, and the Primer depthwise-conv option earns the
+    /// small structural bonus its paper reports.
+    pub fn accuracy_of_vit(&self, arch: &h2o_space::VitArch, params_m: f64) -> f64 {
+        let conv_depth: usize = arch.conv_blocks.iter().map(|b| b.depth).sum();
+        let tfm_depth: usize = arch.tfm_blocks.iter().map(|b| b.layers).sum();
+        let act = arch
+            .tfm_blocks
+            .first()
+            .map(|b| match b.act {
+                h2o_space::vit::ActChoice::Relu => ActFamily::Relu,
+                h2o_space::vit::ActChoice::Swish => ActFamily::Swish,
+                h2o_space::vit::ActChoice::Gelu => ActFamily::Gelu,
+                h2o_space::vit::ActChoice::SquaredRelu => ActFamily::SquaredRelu,
+            })
+            .unwrap_or(ActFamily::Gelu);
+        let primer_bonus = if arch.tfm_blocks.iter().any(|b| b.primer) { 0.2 } else { 0.0 };
+        // Aggressive sequence pooling costs a little accuracy (tokens are
+        // discarded); extreme low rank costs capacity beyond the params
+        // already counted.
+        let pool_penalty =
+            0.15 * arch.tfm_blocks.iter().filter(|b| b.seq_pool).count() as f64;
+        let rank_penalty: f64 = arch
+            .tfm_blocks
+            .iter()
+            .map(|b| if b.low_rank < 0.3 { 0.3 } else { 0.0 })
+            .sum();
+        let base = self.accuracy(&VisionModelDesc {
+            params_m,
+            resolution: arch.resolution.unwrap_or(224),
+            conv_depth: (conv_depth + tfm_depth / 2).max(1),
+            act,
+            has_se: !arch.conv_blocks.is_empty(),
+            has_residuals: true,
+        });
+        base + primer_bonus - pool_penalty - rank_penalty
+    }
+
+    /// Scores a decoded CNN search-space architecture.
+    pub fn accuracy_of_cnn(&self, arch: &CnnArch, params_m: f64) -> f64 {
+        let conv_depth: usize = arch.blocks.iter().map(|b| b.depth).sum();
+        let swish = arch.blocks.iter().filter(|b| b.swish).count() * 2 > arch.blocks.len();
+        let has_se = arch.blocks.iter().any(|b| b.se_ratio > 0.0);
+        let has_residuals = arch.blocks.iter().any(|b| b.skip);
+        self.accuracy(&VisionModelDesc {
+            params_m,
+            resolution: arch.resolution,
+            conv_depth,
+            act: if swish { ActFamily::Swish } else { ActFamily::Relu },
+            has_se,
+            has_residuals,
+        })
+    }
+}
+
+/// The DLRM quality surrogate: saturating returns on embedding capacity
+/// (memorisation) and effective MLP capacity (generalisation), referenced
+/// to a baseline architecture so "quality" reads as a delta-friendly
+/// percentage (§5.1.1's memorisation/generalisation framing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DlrmQualityModel {
+    base_embedding_params: f64,
+    base_mlp_params: f64,
+    /// Quality of the reference architecture, percent (e.g. AUC·100).
+    pub base_quality: f64,
+}
+
+impl DlrmQualityModel {
+    /// Memorisation weight (embedding capacity).
+    const MEMO_COEF: f64 = 2.0;
+    /// Generalisation weight (MLP capacity).
+    const GEN_COEF: f64 = 0.8;
+    /// Saturation scale in log-capacity units.
+    const SCALE: f64 = 2.0;
+
+    /// Creates the surrogate referenced to a baseline architecture.
+    pub fn new(reference: &DlrmArch, base_quality: f64) -> Self {
+        Self {
+            base_embedding_params: reference.embedding_params().max(1.0),
+            base_mlp_params: reference.mlp_params().max(1.0),
+            base_quality,
+        }
+    }
+
+    /// Quality estimate in percent. The reference architecture scores
+    /// exactly `base_quality`.
+    pub fn quality(&self, arch: &DlrmArch) -> f64 {
+        let memo = (arch.embedding_params().max(1.0) / self.base_embedding_params).ln();
+        let gen = (arch.mlp_params().max(1.0) / self.base_mlp_params).ln();
+        self.base_quality
+            + Self::MEMO_COEF * (memo / Self::SCALE).tanh()
+            + Self::GEN_COEF * (gen / Self::SCALE).tanh()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coatnet::{CoAtNet, FfnAct};
+
+    fn desc_of(m: &CoAtNet) -> VisionModelDesc {
+        VisionModelDesc {
+            params_m: m.params_m(),
+            resolution: m.resolution,
+            conv_depth: m.conv_layers(),
+            act: match m.ffn_act {
+                FfnAct::Gelu => ActFamily::Gelu,
+                FfnAct::Relu => ActFamily::Relu,
+                FfnAct::SquaredRelu => ActFamily::SquaredRelu,
+            },
+            has_se: true,
+            has_residuals: true,
+        }
+    }
+
+    #[test]
+    fn table3_ablation_ladder_reproduced() {
+        // Paper: 89.7 -> 90.3 -> 88.9 -> 89.7 (±0.35 tolerance: our params
+        // differ slightly from the paper's exact 688M).
+        let model = VisionQualityModel::new(DatasetScale::Small);
+        let ladder = CoAtNet::table3_ablation();
+        let accs: Vec<f64> = ladder.iter().map(|m| model.accuracy(&desc_of(m))).collect();
+        let expected = [89.7, 90.3, 88.9, 89.7];
+        for (got, want) in accs.iter().zip(expected) {
+            assert!((got - want).abs() < 0.35, "got {accs:?}, want {expected:?}");
+        }
+    }
+
+    #[test]
+    fn bigger_models_are_more_accurate() {
+        let model = VisionQualityModel::new(DatasetScale::Small);
+        let fam = CoAtNet::family();
+        let accs: Vec<f64> = fam.iter().map(|m| model.accuracy(&desc_of(m))).collect();
+        assert!(accs.windows(2).all(|w| w[0] < w[1]), "{accs:?}");
+    }
+
+    #[test]
+    fn larger_datasets_lift_large_models_more() {
+        let small = VisionQualityModel::new(DatasetScale::Small);
+        let large = VisionQualityModel::new(DatasetScale::Large);
+        let fam = CoAtNet::family();
+        let lift_c0 = large.accuracy(&desc_of(&fam[0])) - small.accuracy(&desc_of(&fam[0]));
+        let lift_c5 = large.accuracy(&desc_of(&fam[5])) - small.accuracy(&desc_of(&fam[5]));
+        assert!(lift_c5 > lift_c0, "c0 lift {lift_c0}, c5 lift {lift_c5}");
+    }
+
+    #[test]
+    fn coatnet_h_family_is_quality_neutral() {
+        // Fig. 6: neutral accuracy at much better throughput.
+        let model = VisionQualityModel::new(DatasetScale::Small);
+        for (h, b) in CoAtNet::h_family().iter().zip(CoAtNet::family().iter()) {
+            let dq = model.accuracy(&desc_of(h)) - model.accuracy(&desc_of(b));
+            assert!(dq.abs() < 0.6, "{}: Δacc {dq}", h.name);
+        }
+    }
+
+    #[test]
+    fn dlrm_h_gains_slight_quality() {
+        // Fig. 8: +0.02 % quality for DLRM-H.
+        let base = crate::dlrm::baseline();
+        let model = DlrmQualityModel::new(&base, 85.0);
+        let dq = model.quality(&crate::dlrm::h_variant()) - model.quality(&base);
+        assert!(dq > 0.0, "DLRM-H must not lose quality: {dq}");
+        assert!(dq < 0.30, "gain should be small: {dq} (paper 0.02)");
+    }
+
+    #[test]
+    fn dlrm_reference_scores_base_quality() {
+        let base = crate::dlrm::baseline();
+        let model = DlrmQualityModel::new(&base, 85.0);
+        assert!((model.quality(&base) - 85.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vit_surrogate_scores_hybrid_archs() {
+        use h2o_space::{VitSpace, VitSpaceConfig};
+        use rand::SeedableRng;
+        let space = VitSpace::new(VitSpaceConfig::hybrid());
+        let model = VisionQualityModel::new(DatasetScale::Medium);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let arch = space.decode(&space.space().sample_uniform(&mut rng));
+            let params = arch.build_graph(1, 196).param_count() / 1e6;
+            let acc = model.accuracy_of_vit(&arch, params);
+            assert!((40.0..97.0).contains(&acc), "acc {acc}");
+        }
+    }
+
+    #[test]
+    fn vit_surrogate_rewards_squared_relu_and_primer() {
+        use h2o_space::vit::{ActChoice, TfmBlockArch};
+        use h2o_space::VitArch;
+        let model = VisionQualityModel::new(DatasetScale::Small);
+        let block = |act, primer| TfmBlockArch {
+            hidden: 512,
+            low_rank: 1.0,
+            act,
+            seq_pool: false,
+            primer,
+            layers: 6,
+        };
+        let mk = |act, primer| VitArch {
+            resolution: None,
+            patch: None,
+            conv_blocks: vec![],
+            tfm_blocks: vec![block(act, primer)],
+            head_dim: 64,
+        };
+        let relu = model.accuracy_of_vit(&mk(ActChoice::Relu, false), 100.0);
+        let sq = model.accuracy_of_vit(&mk(ActChoice::SquaredRelu, false), 100.0);
+        let sq_primer = model.accuracy_of_vit(&mk(ActChoice::SquaredRelu, true), 100.0);
+        assert!(sq > relu);
+        assert!(sq_primer > sq);
+    }
+
+    #[test]
+    fn dlrm_quality_saturates() {
+        let base = crate::dlrm::baseline();
+        let model = DlrmQualityModel::new(&base, 85.0);
+        let mut huge = base.clone();
+        for t in &mut huge.tables {
+            t.width *= 64;
+            t.vocab *= 64;
+        }
+        assert!(model.quality(&huge) < 85.0 + 3.0, "bounded gains: coefficients cap at MEMO+GEN");
+    }
+}

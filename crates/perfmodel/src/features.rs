@@ -1,0 +1,98 @@
+//! Architecture featurisation for the MLP performance model.
+//!
+//! §6.2.1: "The inputs of the performance model are the model architecture
+//! hyper-parameters as shown in Table 5" — i.e. the categorical sample
+//! itself, not simulated quantities. Each decision's choice index is
+//! normalised to `[0, 1]` so models transfer across decision arities.
+
+use h2o_space::{ArchSample, SearchSpace};
+
+/// Maps categorical samples to normalised feature vectors.
+///
+/// # Examples
+///
+/// ```
+/// use h2o_perfmodel::Featurizer;
+/// use h2o_space::{SearchSpace, Decision};
+///
+/// let mut space = SearchSpace::new("toy");
+/// space.push(Decision::new("a", 3));
+/// space.push(Decision::new("b", 2));
+/// let f = Featurizer::from_space(&space);
+/// assert_eq!(f.featurize(&vec![2, 0]), vec![1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Featurizer {
+    arities: Vec<usize>,
+}
+
+impl Featurizer {
+    /// Builds a featurizer for a space's decision list.
+    pub fn from_space(space: &SearchSpace) -> Self {
+        Self { arities: space.decisions().iter().map(|d| d.choices).collect() }
+    }
+
+    /// Feature dimensionality (= number of decisions).
+    pub fn dim(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Normalises a sample: choice `c` of an `n`-way decision becomes
+    /// `c / (n - 1)` (or 0.5 for degenerate single-choice decisions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample length mismatches the space.
+    pub fn featurize(&self, sample: &ArchSample) -> Vec<f32> {
+        assert_eq!(sample.len(), self.arities.len(), "sample length mismatch");
+        sample
+            .iter()
+            .zip(&self.arities)
+            .map(|(&c, &n)| {
+                debug_assert!(c < n, "choice out of range");
+                if n <= 1 {
+                    0.5
+                } else {
+                    c as f32 / (n - 1) as f32
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use h2o_space::Decision;
+
+    fn featurizer() -> Featurizer {
+        let mut s = SearchSpace::new("t");
+        s.push(Decision::new("x", 5));
+        s.push(Decision::new("y", 1));
+        Featurizer::from_space(&s)
+    }
+
+    #[test]
+    fn features_are_unit_interval() {
+        let f = featurizer();
+        let v = f.featurize(&vec![4, 0]);
+        assert_eq!(v, vec![1.0, 0.5]);
+    }
+
+    #[test]
+    fn zero_choice_maps_to_zero() {
+        let f = featurizer();
+        assert_eq!(f.featurize(&vec![0, 0])[0], 0.0);
+    }
+
+    #[test]
+    fn dim_matches_decisions() {
+        assert_eq!(featurizer().dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        featurizer().featurize(&vec![0]);
+    }
+}

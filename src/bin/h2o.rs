@@ -1,0 +1,404 @@
+//! `h2o` — command-line interface to the H2O-NAS reproduction.
+//!
+//! ```text
+//! h2o spaces                                        list search spaces and sizes
+//! h2o simulate --model coatnet-5 --hw tpuv4         simulate a named model
+//! h2o roofline --hw tpuv4i                          platform roofline + fusion crossover
+//! h2o search --domain cnn --budget-ms 100           run a hardware-aware search
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency set is
+//! intentionally small); every subcommand prints plain text.
+
+use h2o_nas::core::{
+    parallel_search, EvalResult, PerfObjective, RewardFn, RewardKind, SearchConfig,
+};
+use h2o_nas::graph::Graph;
+use h2o_nas::hwsim::{HardwareConfig, Simulator, SystemConfig};
+use h2o_nas::models::coatnet::CoAtNet;
+use h2o_nas::models::efficientnet::EfficientNet;
+use h2o_nas::models::quality::{DatasetScale, DlrmQualityModel, VisionQualityModel};
+use h2o_nas::space::{
+    ArchSample, CnnSpace, CnnSpaceConfig, DlrmSpace, DlrmSpaceConfig, VitSpace, VitSpaceConfig,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+h2o — Hyperscale Hardware Optimized NAS (ASPLOS'23 reproduction)
+
+USAGE:
+  h2o spaces
+  h2o simulate --model <NAME> [--hw <tpuv3|tpuv4|tpuv4i|v100|a100|h100>] [--batch N] [--serving]
+  h2o simulate --hlo <FILE>   [--hw ...] [--serving]      simulate a textual HLO graph
+  h2o dump --model <NAME> [--batch N]                     print a model as textual HLO
+  h2o roofline [--hw <tpuv3|tpuv4|tpuv4i|v100|a100|h100>]
+  h2o sweep --model <NAME> [--hw ...] [--batches 1,8,64,256] [--load 0.7]
+  h2o search --domain <cnn|dlrm|vit> [--budget-ms X] [--steps N] [--shards N] [--csv STEM]
+
+MODELS:
+  coatnet-0..coatnet-5, coatnet-h0..coatnet-h5,
+  efficientnet-x-b0..b7, efficientnet-h-b0..b7, dlrm, dlrm-h
+";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            flags.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+        }
+    }
+    Ok(flags)
+}
+
+fn hardware(flags: &HashMap<String, String>) -> Result<HardwareConfig, String> {
+    let name = flags.get("hw").map(String::as_str).unwrap_or("tpuv4");
+    HardwareConfig::by_name(name).ok_or_else(|| format!("unknown hardware '{name}'"))
+}
+
+fn find_model(name: &str, batch: usize) -> Option<Graph> {
+    let lname = name.to_ascii_lowercase();
+    for m in CoAtNet::family().into_iter().chain(CoAtNet::h_family()) {
+        if m.name.to_ascii_lowercase() == lname {
+            return Some(m.build_graph(batch));
+        }
+    }
+    for m in EfficientNet::x_family().into_iter().chain(EfficientNet::h_family()) {
+        if m.name.to_ascii_lowercase() == lname {
+            return Some(m.build_graph(batch));
+        }
+    }
+    match lname.as_str() {
+        "dlrm" => Some(h2o_nas::models::dlrm::baseline().build_graph(batch, 128)),
+        "dlrm-h" => Some(h2o_nas::models::dlrm::h_variant().build_graph(batch, 128)),
+        _ => None,
+    }
+}
+
+fn cmd_spaces() {
+    println!("search spaces (Table 5):");
+    let rows = [
+        ("cnn", CnnSpace::new(CnnSpaceConfig::default()).space().clone()),
+        ("dlrm", DlrmSpace::new(DlrmSpaceConfig::production()).space().clone()),
+        ("transformer", VitSpace::new(VitSpaceConfig::pure()).space().clone()),
+        ("hybrid-vit", VitSpace::new(VitSpaceConfig::hybrid()).space().clone()),
+    ];
+    for (name, space) in rows {
+        println!(
+            "  {name:12} {:>4} decisions   O(10^{:.1}) candidates",
+            space.num_decisions(),
+            space.log10_size()
+        );
+    }
+}
+
+fn load_graph(flags: &HashMap<String, String>, batch: usize) -> Result<Graph, String> {
+    if let Some(path) = flags.get("hlo") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        return h2o_nas::graph::text::parse(&text).map_err(|e| format!("parsing {path}: {e}"));
+    }
+    let model = flags.get("model").ok_or("missing --model or --hlo")?;
+    find_model(model, batch).ok_or_else(|| format!("unknown model '{model}'"))
+}
+
+fn cmd_dump(flags: &HashMap<String, String>) -> Result<(), String> {
+    let batch: usize =
+        flags.get("batch").map(|b| b.parse().map_err(|_| "bad --batch")).transpose()?.unwrap_or(64);
+    let graph = load_graph(flags, batch)?;
+    print!("{}", h2o_nas::graph::text::to_text(&graph));
+    Ok(())
+}
+
+fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let batch: usize =
+        flags.get("batch").map(|b| b.parse().map_err(|_| "bad --batch")).transpose()?.unwrap_or(64);
+    let graph = load_graph(flags, batch)?;
+    let hw = hardware(flags)?;
+    let sim = Simulator::new(hw.clone());
+    let serving = flags.contains_key("serving");
+    let report = if serving {
+        sim.simulate(&graph)
+    } else {
+        sim.simulate_training(&graph, &SystemConfig::training_pod())
+    };
+    println!(
+        "{} on {} (batch {batch}, {}):",
+        graph.name(),
+        hw.name,
+        if serving { "serving" } else { "training step, 128-chip pod" }
+    );
+    println!("  time            : {:.3} ms", report.time * 1e3);
+    println!("  throughput      : {:.0} examples/s/chip", batch as f64 / report.time);
+    println!("  compute         : {:.1} TFLOPs at {:.1} TFLOPS achieved", report.flops / 1e12, report.achieved_flops_rate / 1e12);
+    println!("  MXU utilization : {:.0}%", report.mxu_utilization() * 100.0);
+    println!("  HBM traffic     : {:.2} GB ({:.0} GB/s)", report.hbm_bytes / 1e9, report.hbm_bw_used / 1e9);
+    println!("  CMEM traffic    : {:.2} GB ({:.0} GB/s)", report.cmem_bytes / 1e9, report.cmem_bw_used / 1e9);
+    println!("  ICI traffic     : {:.2} GB", report.ici_bytes / 1e9);
+    println!("  power           : {:.0} W  energy {:.2} J", report.avg_power, report.energy);
+    println!("  params          : {:.1} M", report.params / 1e6);
+    let mut slowest: Vec<(&String, &f64)> = report.breakdown.iter().collect();
+    slowest.sort_by(|a, b| b.1.partial_cmp(a.1).expect("no NaN"));
+    println!("  top op classes  :");
+    for (label, t) in slowest.iter().take(4) {
+        println!("    {label:20} {:.3} ms", **t * 1e3);
+    }
+    Ok(())
+}
+
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<(), String> {
+    use h2o_nas::hwsim::sweep::{batch_sweep, ServingLoadModel};
+    let hw = hardware(flags)?;
+    let model = flags.get("model").ok_or("missing --model")?.clone();
+    let batches: Vec<usize> = flags
+        .get("batches")
+        .map(String::as_str)
+        .unwrap_or("1,4,16,64,256")
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad batch '{s}'")))
+        .collect::<Result<_, _>>()?;
+    let load: f64 = flags
+        .get("load")
+        .map(|s| s.parse().map_err(|_| "bad --load"))
+        .transpose()?
+        .unwrap_or(0.7);
+    let queue = ServingLoadModel::new(load);
+    let sim = Simulator::new(hw.clone());
+    let points = batch_sweep(
+        &sim,
+        |b| find_model(&model, b).unwrap_or_else(|| panic!("unknown model '{model}'")),
+        &batches,
+    );
+    println!(
+        "{model} serving sweep on {} (queueing load {:.0}%):",
+        hw.name,
+        load * 100.0
+    );
+    println!("  batch | latency (ms) | P99@load (ms) | qps      | MXU util | J/example");
+    for p in points {
+        println!(
+            "  {:>5} | {:>12.3} | {:>13.3} | {:>8.0} | {:>7.0}% | {:.4}",
+            p.batch,
+            p.latency * 1e3,
+            queue.p99_sojourn(p.latency) * 1e3,
+            p.throughput,
+            p.mxu_utilization * 100.0,
+            p.energy_per_example
+        );
+    }
+    Ok(())
+}
+
+fn cmd_roofline(flags: &HashMap<String, String>) -> Result<(), String> {
+    let hw = hardware(flags)?;
+    println!(
+        "{}: peak {:.0} TFLOPS, HBM {:.0} GB/s, CMEM {:.0} MB @ {:.1} TB/s, ridge {:.0} FLOPs/B",
+        hw.name,
+        hw.peak_flops / 1e12,
+        hw.hbm_bw / 1e9,
+        hw.cmem_capacity / 1e6,
+        hw.cmem_bw / 1e12,
+        hw.ridge_intensity()
+    );
+    let sim = Simulator::new(hw);
+    println!("\nMBConv dynamic-fusion crossover (56x56 feature map, batch 8):");
+    for depth in [16usize, 32, 64, 128, 256] {
+        use h2o_nas::graph::blocks::{fused_mbconv, mbconv, MbConvConfig};
+        use h2o_nas::graph::{DType, OpKind};
+        let time_of = |fused: bool| {
+            let cfg = MbConvConfig::square(56, depth, 8);
+            let mut g = Graph::new("b", DType::Bf16);
+            let input = g.add(OpKind::Reshape { elems: 1 }, &[]);
+            if fused {
+                fused_mbconv(&mut g, &cfg, input);
+            } else {
+                mbconv(&mut g, &cfg, input);
+            }
+            g.fuse_elementwise();
+            sim.simulate(&g).time
+        };
+        let (t_mbc, t_fused) = (time_of(false), time_of(true));
+        println!(
+            "  depth {depth:>3}: MBC {:>8.1} us  F-MBC {:>8.1} us  -> {}",
+            t_mbc * 1e6,
+            t_fused * 1e6,
+            if t_fused < t_mbc { "fuse" } else { "don't fuse" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
+    let domain = flags.get("domain").ok_or("missing --domain")?.as_str();
+    let steps: usize =
+        flags.get("steps").map(|s| s.parse().map_err(|_| "bad --steps")).transpose()?.unwrap_or(120);
+    let shards: usize =
+        flags.get("shards").map(|s| s.parse().map_err(|_| "bad --shards")).transpose()?.unwrap_or(8);
+    let budget_ms: f64 = flags
+        .get("budget-ms")
+        .map(|s| s.parse().map_err(|_| "bad --budget-ms"))
+        .transpose()?
+        .unwrap_or(100.0);
+    let budget = budget_ms / 1e3;
+    let cfg = SearchConfig { steps, shards, policy_lr: 0.06, baseline_momentum: 0.9, seed: 0 };
+    let reward =
+        RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("step_time", budget, -8.0)]);
+    println!("searching {domain} space: {steps} steps x {shards} shards, step budget {budget_ms} ms");
+    let csv_stem = flags.get("csv").cloned();
+    let maybe_export = |outcome: &h2o_nas::core::SearchOutcome| -> Result<(), String> {
+        if let Some(stem) = &csv_stem {
+            h2o_nas::core::telemetry::write_csvs(outcome, std::path::Path::new(stem))
+                .map_err(|e| format!("writing telemetry: {e}"))?;
+            println!("telemetry written to {stem}_history.csv / {stem}_candidates.csv");
+        }
+        Ok(())
+    };
+
+    match domain {
+        "cnn" => {
+            let space = CnnSpace::new(CnnSpaceConfig::default());
+            let quality = VisionQualityModel::new(DatasetScale::Medium);
+            let outcome = parallel_search(
+                space.space(),
+                &reward,
+                |_| {
+                    let space = CnnSpace::new(CnnSpaceConfig::default());
+                    let sim = Simulator::new(HardwareConfig::tpu_v4());
+                    move |sample: &ArchSample| {
+                        let arch = space.decode(sample);
+                        let graph = arch.build_graph(64);
+                        EvalResult {
+                            quality: quality.accuracy_of_cnn(&arch, graph.param_count() / 1e6),
+                            perf_values: vec![
+                                sim.simulate_training(&graph, &SystemConfig::training_pod()).time,
+                            ],
+                        }
+                    }
+                },
+                &cfg,
+            );
+            maybe_export(&outcome)?;
+            let best = space.decode(&outcome.best);
+            println!("best: resolution {}, blocks:", best.resolution);
+            for (i, b) in best.blocks.iter().enumerate() {
+                println!(
+                    "  {i}: {:?} k{} e{} d{} w{}",
+                    b.block_type, b.kernel, b.expansion, b.depth, b.width
+                );
+            }
+        }
+        "dlrm" => {
+            let mut config = DlrmSpaceConfig::production();
+            config.tables.truncate(40);
+            let space = DlrmSpace::new(config.clone());
+            let base = space.decode(&space.baseline());
+            let quality = DlrmQualityModel::new(&base, 85.0);
+            let outcome = parallel_search(
+                space.space(),
+                &reward,
+                |_| {
+                    let space = DlrmSpace::new(config.clone());
+                    let sim = Simulator::new(HardwareConfig::tpu_v4());
+                    let quality = quality.clone();
+                    move |sample: &ArchSample| {
+                        let arch = space.decode(sample);
+                        EvalResult {
+                            quality: quality.quality(&arch),
+                            perf_values: vec![sim
+                                .simulate_training(
+                                    &arch.build_graph(64, 128),
+                                    &SystemConfig::training_pod(),
+                                )
+                                .time],
+                        }
+                    }
+                },
+                &cfg,
+            );
+            maybe_export(&outcome)?;
+            let best = space.decode(&outcome.best);
+            println!(
+                "best: {} tables totalling {:.0}M embedding params, {} MLP groups, size {:.1} MB",
+                best.tables.len(),
+                best.embedding_params() / 1e6,
+                best.mlp_groups.len(),
+                best.model_size_bytes() / 1e6
+            );
+        }
+        "vit" => {
+            let space = VitSpace::new(VitSpaceConfig::pure());
+            let quality = VisionQualityModel::new(DatasetScale::Medium);
+            let outcome = parallel_search(
+                space.space(),
+                &reward,
+                |_| {
+                    let space = VitSpace::new(VitSpaceConfig::pure());
+                    let sim = Simulator::new(HardwareConfig::tpu_v4());
+                    move |sample: &ArchSample| {
+                        let arch = space.decode(sample);
+                        let graph = arch.build_graph(32, 512);
+                        EvalResult {
+                            quality: quality.accuracy_of_vit(&arch, graph.param_count() / 1e6),
+                            perf_values: vec![
+                                sim.simulate_training(&graph, &SystemConfig::training_pod()).time,
+                            ],
+                        }
+                    }
+                },
+                &cfg,
+            );
+            maybe_export(&outcome)?;
+            let best = space.decode(&outcome.best);
+            for (i, b) in best.tfm_blocks.iter().enumerate() {
+                println!(
+                    "  block {i}: hidden {} x{} layers, {:?}, rank {:.1}, pool={}, primer={}",
+                    b.hidden, b.layers, b.act, b.low_rank, b.seq_pool, b.primer
+                );
+            }
+        }
+        other => return Err(format!("unknown domain '{other}' (cnn|dlrm|vit)")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match parse_flags(rest) {
+        Err(e) => Err(e),
+        Ok(flags) => match cmd.as_str() {
+            "spaces" => {
+                cmd_spaces();
+                Ok(())
+            }
+            "simulate" => cmd_simulate(&flags),
+            "dump" => cmd_dump(&flags),
+            "roofline" => cmd_roofline(&flags),
+            "sweep" => cmd_sweep(&flags),
+            "search" => cmd_search(&flags),
+            "help" | "--help" | "-h" => {
+                print!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command '{other}'")),
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Cross-crate consistency: the analytic accounting, the graph builder and
+//! the simulator must agree with each other wherever they overlap.
+
+use h2o_nas::hwsim::{HardwareConfig, ProductionHardware, Simulator, SystemConfig};
+use h2o_nas::perfmodel::{Featurizer, PerfModel, PerfTargets, TrainConfig};
+use h2o_nas::space::{DlrmSpace, DlrmSpaceConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// DlrmArch's analytic parameter count must agree with the graph builder's
+/// op-level accounting (they are independent implementations).
+#[test]
+fn dlrm_analytic_params_match_graph_params() {
+    let space = DlrmSpace::new(DlrmSpaceConfig::tiny());
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..20 {
+        let arch = space.decode(&space.space().sample_uniform(&mut rng));
+        let analytic = arch.embedding_params() + arch.mlp_params();
+        let graph = arch.build_graph(16, 1);
+        let from_graph = graph.param_count();
+        let rel = (analytic - from_graph).abs() / analytic.max(1.0);
+        assert!(rel < 0.05, "analytic {analytic} vs graph {from_graph} ({rel:.3})");
+    }
+}
+
+/// Graph construction must be deterministic: same arch, same costs.
+#[test]
+fn graph_building_is_deterministic() {
+    let space = DlrmSpace::new(DlrmSpaceConfig::tiny());
+    let arch = space.decode(&space.baseline());
+    let a = arch.build_graph(32, 4);
+    let b = arch.build_graph(32, 4);
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.total_cost(), b.total_cost());
+    let sim = Simulator::new(HardwareConfig::tpu_v4());
+    assert_eq!(sim.simulate(&a).time, sim.simulate(&b).time);
+}
+
+/// The simulator must be monotone in problem size: uniformly scaling a
+/// DLRM's MLP widths up cannot make the step faster.
+#[test]
+fn simulator_monotone_in_mlp_width() {
+    let space = DlrmSpace::new(DlrmSpaceConfig::tiny());
+    let mut small = space.decode(&space.baseline());
+    let mut big = small.clone();
+    for g in &mut small.mlp_groups {
+        g.width = 32;
+    }
+    for g in &mut big.mlp_groups {
+        g.width = 256;
+    }
+    let sim = Simulator::new(HardwareConfig::tpu_v4());
+    let pod = SystemConfig::training_pod();
+    let t_small = sim.simulate_training(&small.build_graph(64, 1), &pod).time;
+    let t_big = sim.simulate_training(&big.build_graph(64, 1), &pod).time;
+    assert!(t_big > t_small, "{t_big} vs {t_small}");
+}
+
+/// A perf model trained on simulator outputs must *rank* unseen
+/// architectures like the simulator does (rank agreement is what the RL
+/// controller actually needs).
+#[test]
+fn perf_model_preserves_simulator_ranking() {
+    let mut config = DlrmSpaceConfig::production();
+    config.tables.truncate(8);
+    let space = DlrmSpace::new(config);
+    let featurizer = Featurizer::from_space(space.space());
+    let sim = Simulator::new(HardwareConfig::tpu_v4());
+    let pod = SystemConfig::training_pod();
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for _ in 0..800 {
+        let sample = space.space().sample_uniform(&mut rng);
+        let t = sim.simulate_training(&space.decode(&sample).build_graph(64, 128), &pod).time;
+        xs.push(featurizer.featurize(&sample));
+        ys.push(PerfTargets { training: t, serving: t * 0.3 });
+    }
+    let mut model = PerfModel::new(featurizer.dim(), &[128, 128], 1);
+    model.pretrain(&xs[..600], &ys[..600], TrainConfig {
+        epochs: 60,
+        batch_size: 64,
+        lr: 1e-3,
+    });
+    // Kendall-style pairwise rank agreement on held-out candidates.
+    let preds: Vec<f64> = xs[600..].iter().map(|x| model.predict(x).training).collect();
+    let truth: Vec<f64> = ys[600..].iter().map(|y| y.training).collect();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..preds.len() {
+        for j in i + 1..preds.len() {
+            if (truth[i] - truth[j]).abs() / truth[i] < 0.02 {
+                continue; // skip near-ties
+            }
+            total += 1;
+            if (preds[i] < preds[j]) == (truth[i] < truth[j]) {
+                agree += 1;
+            }
+        }
+    }
+    let agreement = agree as f64 / total as f64;
+    assert!(agreement > 0.75, "rank agreement {agreement:.3}");
+}
+
+/// Production measurements must stay rank-consistent with the simulator
+/// (systematic distortion, not rank corruption) — the property that makes
+/// 20-sample fine-tuning possible at all.
+#[test]
+fn production_hardware_is_rank_consistent_with_simulator() {
+    let space = DlrmSpace::new(DlrmSpaceConfig::tiny());
+    let sim = Simulator::new(HardwareConfig::tpu_v4());
+    let prod = ProductionHardware::new(HardwareConfig::tpu_v4(), 42);
+    let pod = SystemConfig::training_pod();
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut pairs = Vec::new();
+    for _ in 0..30 {
+        let arch = space.decode(&space.space().sample_uniform(&mut rng));
+        let g = arch.build_graph(64, 128);
+        pairs.push((sim.simulate_training(&g, &pod).time, prod.measure_step_time(&g, &pod)));
+    }
+    let mut agree = 0;
+    let mut total = 0;
+    for i in 0..pairs.len() {
+        for j in i + 1..pairs.len() {
+            if (pairs[i].0 - pairs[j].0).abs() / pairs[i].0 < 0.05 {
+                continue;
+            }
+            total += 1;
+            if (pairs[i].0 < pairs[j].0) == (pairs[i].1 < pairs[j].1) {
+                agree += 1;
+            }
+        }
+    }
+    assert!(agree as f64 / total as f64 > 0.85, "{agree}/{total}");
+}
+
+/// Serving on TPUv4i must be slower than TPUv4 for the same graph (sanity
+/// across platform presets), and V100 must sit between idle and TPU peaks.
+#[test]
+fn platform_ordering_is_sane() {
+    let space = DlrmSpace::new(DlrmSpaceConfig::tiny());
+    let mut arch = space.decode(&space.baseline());
+    for g in &mut arch.mlp_groups {
+        g.width = 512; // compute-heavy so peak FLOPS dominates
+    }
+    let g = arch.build_graph(256, 1);
+    let t_v4 = Simulator::new(HardwareConfig::tpu_v4()).simulate(&g).time;
+    let t_v4i = Simulator::new(HardwareConfig::tpu_v4i()).simulate(&g).time;
+    let t_v100 = Simulator::new(HardwareConfig::gpu_v100()).simulate(&g).time;
+    assert!(t_v4 < t_v4i, "TPUv4 must beat TPUv4i: {t_v4} vs {t_v4i}");
+    assert!(t_v4 < t_v100, "TPUv4 must beat V100: {t_v4} vs {t_v100}");
+}
+
+/// A model dumped to the textual HLO format and parsed back must simulate
+/// identically — the interchange path the CLI exposes (`h2o dump` /
+/// `h2o simulate --hlo`).
+#[test]
+fn hlo_text_roundtrip_simulates_identically() {
+    use h2o_nas::graph::text::{parse, to_text};
+    let model = h2o_nas::models::efficientnet::EfficientNet::x_family()
+        .into_iter()
+        .next()
+        .expect("family non-empty");
+    let graph = model.build_graph(8);
+    let parsed = parse(&to_text(&graph)).expect("roundtrip");
+    let sim = Simulator::new(HardwareConfig::tpu_v4i());
+    let a = sim.simulate(&graph);
+    let b = sim.simulate(&parsed);
+    assert_eq!(a.time, b.time);
+    assert_eq!(a.hbm_bytes, b.hbm_bytes);
+    assert_eq!(a.energy, b.energy);
+}
+
+/// Runtime statistics measured from traffic must change the simulated
+/// embedding traffic the way the measured access rates say (§6.2.3 input 3
+/// feeding the cost model).
+#[test]
+fn runtime_stats_flow_into_simulated_costs() {
+    use h2o_nas::data::{CtrTraffic, CtrTrafficConfig, RuntimeStats};
+    let mut cfg = CtrTrafficConfig::tiny();
+    cfg.ids_per_example = 4;
+    let mut stream = CtrTraffic::new(cfg, 17);
+    let stats = RuntimeStats::collect(&mut stream, 5, 64);
+    let space = DlrmSpace::new(DlrmSpaceConfig::tiny());
+    let baseline = space.decode(&space.baseline());
+    let mut measured = baseline.clone();
+    stats.apply_to(&mut measured);
+    let sim = Simulator::new(HardwareConfig::tpu_v4());
+    let t_base = sim.simulate(&baseline.build_graph(64, 1)).time;
+    let t_measured = sim.simulate(&measured.build_graph(64, 1)).time;
+    assert!(t_measured >= t_base, "4x hotter tables cannot be cheaper: {t_measured} vs {t_base}");
+}

@@ -1,0 +1,271 @@
+//! Property-based tests (proptest) on the core invariants of the system.
+
+use h2o_nas::core::pareto::{pareto_front, ParetoPoint};
+use h2o_nas::core::{PerfObjective, Policy, RewardFn, RewardKind};
+use h2o_nas::graph::{DType, Graph, OpKind};
+use h2o_nas::hwsim::{roofline::time_op, HardwareConfig};
+use h2o_nas::space::{CnnSpace, CnnSpaceConfig, Decision, DlrmSpace, DlrmSpaceConfig, SearchSpace};
+use h2o_nas::tensor::{loss, Activation, Matrix, MaskedDense};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Policy probabilities stay a distribution under arbitrary REINFORCE
+    /// updates.
+    #[test]
+    fn policy_probs_remain_normalised(
+        advantages in prop::collection::vec(-5.0f64..5.0, 1..10),
+        choices in 2usize..8,
+    ) {
+        let mut space = SearchSpace::new("p");
+        space.push(Decision::new("d", choices));
+        let mut policy = Policy::uniform(&space);
+        let mut rng = StdRng::seed_from_u64(1);
+        for adv in advantages {
+            let sample = policy.sample(&mut rng);
+            policy.reinforce_update(&[(sample, adv)], 0.2);
+            let probs = policy.probs(0);
+            let sum: f64 = probs.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(probs.iter().all(|p| *p >= 0.0));
+        }
+    }
+
+    /// The ReLU reward never penalises being under target, is monotone
+    /// non-increasing in the measured value, and agrees with the absolute
+    /// reward above target.
+    #[test]
+    fn relu_reward_properties(
+        quality in 0.0f64..100.0,
+        target in 0.1f64..10.0,
+        beta in -10.0f64..-0.1,
+        value in 0.0f64..20.0,
+    ) {
+        let relu = RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("t", target, beta)]);
+        let abs = RewardFn::new(RewardKind::Absolute, vec![PerfObjective::new("t", target, beta)]);
+        let r = relu.reward(quality, &[value]);
+        prop_assert!(r <= quality + 1e-12);
+        if value <= target {
+            prop_assert!((r - quality).abs() < 1e-12, "no penalty under target");
+        } else {
+            prop_assert!((r - abs.reward(quality, &[value])).abs() < 1e-9);
+        }
+        // Monotone: a strictly larger value can never increase the reward.
+        let r2 = relu.reward(quality, &[value * 1.5 + 0.1]);
+        prop_assert!(r2 <= r + 1e-12);
+    }
+
+    /// Reward scale invariance: scaling value and target together is a
+    /// no-op (§6.1: "normalizing by T0 ensures that the reward is
+    /// scale-invariant").
+    #[test]
+    fn reward_scale_invariance(
+        scale in 0.01f64..100.0,
+        value in 0.1f64..10.0,
+        target in 0.1f64..10.0,
+    ) {
+        let a = RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("t", target, -2.0)]);
+        let b = RewardFn::new(
+            RewardKind::Relu,
+            vec![PerfObjective::new("t", target * scale, -2.0)],
+        );
+        let ra = a.reward(50.0, &[value]);
+        let rb = b.reward(50.0, &[value * scale]);
+        prop_assert!((ra - rb).abs() < 1e-6, "{ra} vs {rb}");
+    }
+
+    /// Masked forward equals the extracted dense layer's forward on the
+    /// retained sub-matrix, for arbitrary active shapes.
+    #[test]
+    fn masked_dense_equals_extracted(
+        active_in in 1usize..12,
+        active_out in 1usize..12,
+        batch in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut md = MaskedDense::new(12, 12, Activation::Swish, &mut rng);
+        md.set_active(active_in, active_out);
+        let x = Matrix::xavier(batch, active_in, &mut rng);
+        let got = md.forward(&x);
+        let dense = md.extract_dense(&mut rng);
+        let want = dense.infer(&x);
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Every uniformly sampled CNN candidate decodes, builds a non-empty
+    /// graph, and its cost accounting is internally consistent.
+    #[test]
+    fn cnn_space_decode_total(seed in 0u64..500) {
+        let space = CnnSpace::new(CnnSpaceConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = space.space().sample_uniform(&mut rng);
+        prop_assert!(space.space().validate(&sample).is_ok());
+        let arch = space.decode(&sample);
+        let graph = arch.build_graph(2);
+        prop_assert!(graph.total_flops() > 0.0);
+        prop_assert!(graph.param_count() > 0.0);
+        let cost = graph.total_cost();
+        prop_assert!(cost.bytes_read >= cost.weight_bytes);
+    }
+
+    /// DLRM decode: widths and vocabularies always positive; embedding
+    /// params equal Σ vocab·width exactly.
+    #[test]
+    fn dlrm_space_decode_total(seed in 0u64..500) {
+        let space = DlrmSpace::new(DlrmSpaceConfig::tiny());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let arch = space.decode(&space.space().sample_uniform(&mut rng));
+        let expected: f64 =
+            arch.tables.iter().map(|t| (t.vocab * t.width) as f64).sum();
+        prop_assert!((arch.embedding_params() - expected).abs() < 1e-6);
+        prop_assert!(arch.mlp_groups.iter().all(|g| g.width >= 8 && g.depth >= 1));
+    }
+
+    /// Roofline monotonicity: more FLOPs at the same shape never runs
+    /// faster; more bandwidth never runs slower.
+    #[test]
+    fn roofline_monotonicity(m in 1usize..512, k in 1usize..512, n in 1usize..512) {
+        let hw = HardwareConfig::tpu_v4();
+        let small = OpKind::MatMul { m, k, n };
+        let big = OpKind::MatMul { m: m * 2, k, n };
+        let t_small = time_op(&small, &small.cost(DType::Bf16), &hw).time;
+        let t_big = time_op(&big, &big.cost(DType::Bf16), &hw).time;
+        prop_assert!(t_big >= t_small - 1e-12);
+
+        let mut fast = hw.clone();
+        fast.hbm_bw *= 2.0;
+        fast.cmem_bw *= 2.0;
+        let t_fast = time_op(&small, &small.cost(DType::Bf16), &fast).time;
+        prop_assert!(t_fast <= t_small + 1e-12);
+    }
+
+    /// Pareto front invariants: pairwise non-domination, and every input
+    /// point is dominated-or-equal by some front point.
+    #[test]
+    fn pareto_front_invariants(
+        points in prop::collection::vec((0.0f64..10.0, 0.1f64..10.0), 1..40),
+    ) {
+        let pts: Vec<ParetoPoint> = points
+            .iter()
+            .enumerate()
+            .map(|(i, &(q, c))| ParetoPoint { quality: q, cost: c, index: i })
+            .collect();
+        let front = pareto_front(&pts);
+        prop_assert!(!front.is_empty());
+        for a in &front {
+            for b in &front {
+                let dominates = b.quality >= a.quality
+                    && b.cost <= a.cost
+                    && (b.quality > a.quality || b.cost < a.cost);
+                prop_assert!(!dominates, "front contains dominated point");
+            }
+        }
+        for p in &pts {
+            prop_assert!(
+                front.iter().any(|f| f.quality >= p.quality && f.cost <= p.cost),
+                "input point not covered by the front"
+            );
+        }
+    }
+
+    /// AUC is invariant under strictly monotone score transforms and
+    /// flips under negation.
+    #[test]
+    fn auc_monotone_invariance(
+        scores in prop::collection::vec(-5.0f32..5.0, 4..40),
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let labels: Vec<f32> =
+            (0..scores.len()).map(|_| if rng.gen::<bool>() { 1.0 } else { 0.0 }).collect();
+        let a = loss::auc(&scores, &labels);
+        let transformed: Vec<f32> = scores.iter().map(|s| s * 3.0 + 1.0).collect();
+        let b = loss::auc(&transformed, &labels);
+        prop_assert!((a - b).abs() < 1e-9);
+        let pos = labels.iter().filter(|&&l| l > 0.5).count();
+        if pos > 0 && pos < labels.len() {
+            let negated: Vec<f32> = scores.iter().map(|s| -s).collect();
+            let c = loss::auc(&negated, &labels);
+            prop_assert!((a + c - 1.0).abs() < 1e-6, "{a} + {c} != 1");
+        }
+    }
+
+    /// NRMSE is non-negative, zero iff exact, and scale-invariant.
+    #[test]
+    fn nrmse_properties(
+        target in prop::collection::vec(0.1f64..10.0, 2..20),
+        noise in 0.0f64..1.0,
+        scale in 0.1f64..10.0,
+    ) {
+        let pred: Vec<f64> = target.iter().map(|t| t + noise).collect();
+        let e = loss::nrmse(&pred, &target);
+        prop_assert!(e >= 0.0);
+        if noise == 0.0 {
+            prop_assert!(e < 1e-12);
+        }
+        let pred_s: Vec<f64> = pred.iter().map(|p| p * scale).collect();
+        let target_s: Vec<f64> = target.iter().map(|t| t * scale).collect();
+        prop_assert!((loss::nrmse(&pred_s, &target_s) - e).abs() < 1e-9);
+    }
+
+    /// The textual HLO format round-trips arbitrary random graphs exactly
+    /// (cost accounting and topology preserved).
+    #[test]
+    fn hlo_text_roundtrip(ops in prop::collection::vec((0usize..6, 1usize..64), 1..30)) {
+        use h2o_nas::graph::text::{parse, to_text};
+        let mut g = Graph::new("fuzz", DType::Bf16);
+        let mut prev: Option<h2o_nas::graph::NodeId> = None;
+        for (kind_idx, dim) in ops {
+            let inputs: Vec<_> = prev.into_iter().collect();
+            let kind = match kind_idx {
+                0 => OpKind::MatMul { m: dim, k: dim, n: dim },
+                1 => OpKind::Elementwise {
+                    elems: dim * dim,
+                    ops_per_elem: 1.0,
+                    label: format!("act_{dim}"),
+                },
+                2 => OpKind::Reshape { elems: dim },
+                3 => OpKind::EmbeddingLookup { lookups: dim, width: dim, vocab: dim * 10 },
+                4 => OpKind::Concat { elems: dim },
+                _ => OpKind::Pool { batch: 1, h: dim, w: dim, c: 4, window: 2 },
+            };
+            prev = Some(g.add(kind, &inputs));
+        }
+        g.fuse_elementwise();
+        let parsed = parse(&to_text(&g)).expect("roundtrip parse");
+        prop_assert_eq!(parsed.len(), g.len());
+        prop_assert_eq!(parsed.total_cost(), g.total_cost());
+        for (a, b) in g.nodes().iter().zip(parsed.nodes()) {
+            prop_assert_eq!(&a.kind, &b.kind);
+            prop_assert_eq!(&a.inputs, &b.inputs);
+            prop_assert_eq!(a.fused, b.fused);
+        }
+    }
+
+    /// Graph critical path is bounded by the serial sum of node times and
+    /// at least the largest single node time.
+    #[test]
+    fn critical_path_bounds(times in prop::collection::vec(0.0f64..5.0, 1..20)) {
+        let mut g = Graph::new("t", DType::Bf16);
+        let mut prev: Option<h2o_nas::graph::NodeId> = None;
+        for _ in 0..times.len() {
+            let inputs: Vec<_> = prev.into_iter().collect();
+            prev = Some(g.add(
+                OpKind::Elementwise { elems: 1, ops_per_elem: 1.0, label: "e".into() },
+                &inputs,
+            ));
+        }
+        let cp = g.critical_path_time(|id| times[id.0]);
+        let sum: f64 = times.iter().sum();
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(cp <= sum + 1e-9);
+        prop_assert!(cp >= max - 1e-9);
+    }
+}

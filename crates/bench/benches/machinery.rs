@@ -16,14 +16,22 @@ fn bench_simulator(c: &mut Criterion) {
     let sim = Simulator::new(HardwareConfig::tpu_v4());
     let graph = CoAtNet::family().pop().unwrap().build_graph(64);
     c.bench_function("simulate CoAtNet-5 training step (graph walk)", |b| {
-        b.iter(|| black_box(sim.simulate_training(&graph, &SystemConfig::training_pod()).time))
+        b.iter(|| {
+            black_box(
+                sim.simulate_training(&graph, &SystemConfig::training_pod())
+                    .time,
+            )
+        })
     });
     let space = DlrmSpace::new(DlrmSpaceConfig::production());
     let arch = space.decode(&space.baseline());
     c.bench_function("build + simulate production DLRM graph", |b| {
         b.iter(|| {
             let g = arch.build_graph(64, 128);
-            black_box(sim.simulate_training(&g, &SystemConfig::training_pod()).time)
+            black_box(
+                sim.simulate_training(&g, &SystemConfig::training_pod())
+                    .time,
+            )
         })
     });
 }
@@ -45,7 +53,10 @@ fn bench_policy(c: &mut Criterion) {
 fn bench_reward(c: &mut Criterion) {
     let reward = RewardFn::new(
         RewardKind::Relu,
-        vec![PerfObjective::new("time", 1.0, -2.0), PerfObjective::new("size", 1e9, -1.0)],
+        vec![
+            PerfObjective::new("time", 1.0, -2.0),
+            PerfObjective::new("size", 1e9, -1.0),
+        ],
     );
     c.bench_function("ReLU reward evaluation", |b| {
         b.iter(|| black_box(reward.reward(85.0, &[1.2, 0.9e9])))
@@ -72,9 +83,20 @@ fn bench_perfmodel(c: &mut Criterion) {
     let mut model = PerfModel::new(64, &[256, 256], 0);
     let xs = model.random_features(64, 64);
     let ys: Vec<PerfTargets> = (0..64)
-        .map(|i| PerfTargets { training: 1e-3 * (i + 1) as f64, serving: 1e-4 })
+        .map(|i| PerfTargets {
+            training: 1e-3 * (i + 1) as f64,
+            serving: 1e-4,
+        })
         .collect();
-    model.pretrain(&xs, &ys, TrainConfig { epochs: 2, batch_size: 16, lr: 1e-3 });
+    model.pretrain(
+        &xs,
+        &ys,
+        TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            lr: 1e-3,
+        },
+    );
     c.bench_function("perf model inference (2x256 MLP)", |b| {
         b.iter(|| black_box(model.predict(&xs[0])))
     });
@@ -87,6 +109,32 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
+/// Hot-path metric recording must stay nanosecond-scale so instrumenting
+/// the search loop is free relative to a simulator walk or train step
+/// (< 1 µs per record is the budget).
+fn bench_obs(c: &mut Criterion) {
+    let registry = h2o_obs::Registry::new();
+    let counter = registry.counter("bench_counter");
+    c.bench_function("obs counter inc (cached handle)", |b| {
+        b.iter(|| counter.inc())
+    });
+    let gauge = registry.gauge("bench_gauge");
+    c.bench_function("obs gauge set (cached handle)", |b| {
+        b.iter(|| gauge.set(black_box(0.5)))
+    });
+    let histogram = registry.histogram("bench_histogram");
+    c.bench_function("obs histogram record (cached handle)", |b| {
+        b.iter(|| histogram.record(black_box(1.2345e-4)))
+    });
+    c.bench_function("obs counter via registry lookup", |b| {
+        b.iter(|| registry.counter("bench_counter").inc())
+    });
+    let tracer = h2o_obs::Tracer::with_capacity(registry.clone(), 1024);
+    c.bench_function("obs span open/close", |b| {
+        b.iter(|| tracer.time("bench_span", || black_box(1u64)))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -94,6 +142,6 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_simulator, bench_policy, bench_reward, bench_supernet, bench_perfmodel,
-        bench_pipeline
+        bench_pipeline, bench_obs
 }
 criterion_main!(benches);

@@ -1,8 +1,48 @@
 //! Runs every experiment and prints a combined report — the source of
 //! EXPERIMENTS.md. Expect a few minutes in release mode.
 use h2o_bench::experiments as ex;
+use h2o_bench::report::Table;
 
 type Experiment = (&'static str, fn() -> String);
+
+/// Renders the global metrics accumulated during one experiment as a
+/// compact summary table (top counters and busiest histograms).
+fn metrics_summary() -> Option<String> {
+    let snap = h2o_obs::snapshot();
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty() {
+        return None;
+    }
+    let mut table = Table::new("metrics", &["metric", "count/value", "mean", "p95"]);
+    for (name, v) in &snap.counters {
+        table.row(&[name.clone(), v.to_string(), String::new(), String::new()]);
+    }
+    for (name, v) in &snap.gauges {
+        table.row(&[
+            name.clone(),
+            format!("{v:.4}"),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    // Histograms, busiest first; cap the list so span timings of deep
+    // loops don't swamp the report.
+    let mut hists: Vec<_> = snap.histograms.iter().collect();
+    hists.sort_by(|a, b| b.1.count.cmp(&a.1.count).then(a.0.cmp(b.0)));
+    for (name, h) in hists.into_iter().take(12) {
+        let mean = if h.count == 0 {
+            0.0
+        } else {
+            h.sum / h.count as f64
+        };
+        table.row(&[
+            name.clone(),
+            h.count.to_string(),
+            format!("{mean:.3e}"),
+            format!("{:.3e}", h.p95),
+        ]);
+    }
+    Some(table.render())
+}
 
 fn main() {
     let experiments: Vec<Experiment> = vec![
@@ -30,8 +70,14 @@ fn main() {
     ];
     for (name, run) in experiments {
         println!("\n{}\n>>> {name}\n{}", "=".repeat(72), "=".repeat(72));
+        // Fresh instruments per experiment, so the summary below reflects
+        // this experiment alone.
+        h2o_obs::reset();
         let start = std::time::Instant::now();
         print!("{}", run());
+        if let Some(summary) = metrics_summary() {
+            print!("\n{summary}");
+        }
         println!("\n[{name} completed in {:.1?}]", start.elapsed());
     }
 }

@@ -10,22 +10,22 @@
 //!   of one-shot NAS (§5.1.2).
 
 use crate::report::{env_usize, Table};
-use h2o_core::{
-    tunas_search, unified_search, OneShotConfig, PerfObjective, RewardFn, RewardKind,
-};
+use h2o_core::{tunas_search, unified_search, OneShotConfig, PerfObjective, RewardFn, RewardKind};
 use h2o_data::{CtrTraffic, CtrTrafficConfig, InMemoryPipeline, TrafficSource};
 use h2o_space::{ArchSample, DlrmSpaceConfig, DlrmSupernet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn reward_and_perf(
-    supernet: &DlrmSupernet,
-) -> (RewardFn, impl FnMut(&ArchSample) -> Vec<f64>) {
+fn reward_and_perf(supernet: &DlrmSupernet) -> (RewardFn, impl FnMut(&ArchSample) -> Vec<f64>) {
     let space = supernet.space().clone();
     let base_size = space.decode(&space.baseline()).model_size_bytes();
-    let reward =
-        RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("size", base_size, -2.0)]);
-    (reward, move |sample: &ArchSample| vec![space.decode(sample).model_size_bytes()])
+    let reward = RewardFn::new(
+        RewardKind::Relu,
+        vec![PerfObjective::new("size", base_size, -2.0)],
+    );
+    (reward, move |sample: &ArchSample| {
+        vec![space.decode(sample).model_size_bytes()]
+    })
 }
 
 /// Evaluates an architecture's AUC after applying it to a trained supernet,
@@ -46,7 +46,12 @@ fn eval_auc(supernet: &mut DlrmSupernet, arch: &ArchSample, seed: u64) -> f64 {
 /// Unified vs TuNAS at equal data budgets. Returns
 /// `(unified_auc, tunas_auc, unified_examples, tunas_examples)`.
 pub fn single_step_ablation(steps: usize) -> (f64, f64, u64, u64) {
-    let cfg = OneShotConfig { steps, shards: 4, batch_size: 64, ..Default::default() };
+    let cfg = OneShotConfig {
+        steps,
+        shards: 4,
+        batch_size: 64,
+        ..Default::default()
+    };
 
     // Unified: one stream, every batch used for both α and W.
     let mut rng = StdRng::seed_from_u64(21);
@@ -62,9 +67,19 @@ pub fn single_step_ablation(steps: usize) -> (f64, f64, u64, u64) {
     let mut supernet_t = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut rng);
     let mut train = CtrTraffic::new(CtrTrafficConfig::tiny(), 51);
     let mut valid = CtrTraffic::new(CtrTrafficConfig::tiny(), 52);
-    let cfg_t = OneShotConfig { steps: steps / 2, ..cfg };
+    let cfg_t = OneShotConfig {
+        steps: steps / 2,
+        ..cfg
+    };
     let (reward, perf) = reward_and_perf(&supernet_t);
-    let outcome_t = tunas_search(&mut supernet_t, &mut train, &mut valid, &reward, perf, &cfg_t);
+    let outcome_t = tunas_search(
+        &mut supernet_t,
+        &mut train,
+        &mut valid,
+        &reward,
+        perf,
+        &cfg_t,
+    );
     let tunas_examples = train.examples_produced() + valid.examples_produced();
 
     let auc_u = eval_auc(&mut supernet_u, &outcome_u.best, 99);
@@ -77,8 +92,9 @@ pub fn single_step_ablation(steps: usize) -> (f64, f64, u64, u64) {
 pub fn weight_sharing_ablation(budget_batches: usize) -> (f64, f64) {
     let mut rng = StdRng::seed_from_u64(7);
     let space = h2o_space::DlrmSpace::new(DlrmSpaceConfig::tiny());
-    let candidates: Vec<ArchSample> =
-        (0..4).map(|_| space.space().sample_uniform(&mut rng)).collect();
+    let candidates: Vec<ArchSample> = (0..4)
+        .map(|_| space.space().sample_uniform(&mut rng))
+        .collect();
 
     // Shared: one supernet, the whole budget, candidates interleaved.
     let mut shared = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut rng);
@@ -116,10 +132,25 @@ pub fn run() -> String {
     let (auc_u, auc_t, ex_u, ex_t) = single_step_ablation(steps);
     let mut t1 = Table::new(
         "Ablation: unified single-step vs TuNAS alternating (equal data budget)",
-        &["algorithm", "final-arch AUC", "examples consumed", "streams needed"],
+        &[
+            "algorithm",
+            "final-arch AUC",
+            "examples consumed",
+            "streams needed",
+        ],
     );
-    t1.row(&["unified (H2O-NAS)".into(), format!("{auc_u:.4}"), ex_u.to_string(), "1".into()]);
-    t1.row(&["alternating (TuNAS)".into(), format!("{auc_t:.4}"), ex_t.to_string(), "2".into()]);
+    t1.row(&[
+        "unified (H2O-NAS)".into(),
+        format!("{auc_u:.4}"),
+        ex_u.to_string(),
+        "1".into(),
+    ]);
+    t1.row(&[
+        "alternating (TuNAS)".into(),
+        format!("{auc_t:.4}"),
+        ex_t.to_string(),
+        "2".into(),
+    ]);
     let mut out = t1.render();
 
     let budget = env_usize("H2O_ABL_BUDGET", 160);
@@ -154,6 +185,9 @@ mod tests {
     #[test]
     fn weight_sharing_beats_isolated_training() {
         let (shared, isolated) = weight_sharing_ablation(80);
-        assert!(shared > isolated - 0.01, "shared {shared} vs isolated {isolated}");
+        assert!(
+            shared > isolated - 0.01,
+            "shared {shared} vs isolated {isolated}"
+        );
     }
 }

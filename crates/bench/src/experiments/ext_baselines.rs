@@ -25,13 +25,19 @@ fn evaluator() -> impl FnMut(&ArchSample) -> EvalResult {
         let graph = arch.build_graph(64);
         EvalResult {
             quality: quality.accuracy_of_cnn(&arch, graph.param_count() / 1e6),
-            perf_values: vec![sim.simulate_training(&graph, &SystemConfig::training_pod()).time],
+            perf_values: vec![
+                sim.simulate_training(&graph, &SystemConfig::training_pod())
+                    .time,
+            ],
         }
     }
 }
 
 fn reward() -> RewardFn {
-    RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("step", 0.10, -10.0)])
+    RewardFn::new(
+        RewardKind::Relu,
+        vec![PerfObjective::new("step", 0.10, -10.0)],
+    )
 }
 
 /// `(rl, random, evolution)` best rewards at the given evaluation budget.
@@ -61,7 +67,10 @@ pub fn compare(budget: usize) -> (f64, f64, f64) {
         &reward,
         &mut eval,
         budget,
-        &EvolutionConfig { seed: 5, ..Default::default() },
+        &EvolutionConfig {
+            seed: 5,
+            ..Default::default()
+        },
     );
     (rl_best, random.best.reward, evo.best.reward)
 }
@@ -70,7 +79,12 @@ pub fn compare(budget: usize) -> (f64, f64, f64) {
 pub fn run() -> String {
     let mut table = Table::new(
         "Extension: search-algorithm sample efficiency (CNN space, best reward at budget)",
-        &["evaluations", "RL one-shot (H2O-NAS)", "random", "regularized evolution"],
+        &[
+            "evaluations",
+            "RL one-shot (H2O-NAS)",
+            "random",
+            "regularized evolution",
+        ],
     );
     let budgets = [
         env_usize("H2O_EXT_BUDGET_SMALL", 240),

@@ -13,9 +13,7 @@
 //! demonstrating the late-binding workflow.
 
 use crate::report::{env_usize, Table};
-use h2o_core::{
-    parallel_search, EvalResult, PerfObjective, RewardFn, RewardKind, SearchConfig,
-};
+use h2o_core::{parallel_search, EvalResult, PerfObjective, RewardFn, RewardKind, SearchConfig};
 use h2o_hwsim::{HardwareConfig, Simulator, SystemConfig};
 use h2o_models::quality::{DatasetScale, VisionQualityModel};
 use h2o_space::cnn::BlockType;
@@ -79,17 +77,26 @@ pub fn search_on(hw: &HardwareConfig, steps: usize) -> CodesignResult {
             EvalResult {
                 quality: quality.accuracy_of_cnn(&arch, graph.param_count() / 1e6),
                 perf_values: vec![
-                    sim.simulate_training(&graph, &SystemConfig::training_pod()).time,
+                    sim.simulate_training(&graph, &SystemConfig::training_pod())
+                        .time,
                 ],
             }
         }
     };
-    let cfg = SearchConfig { steps, shards: 8, policy_lr: 0.07, baseline_momentum: 0.9, seed: 23 };
+    let cfg = SearchConfig {
+        steps,
+        shards: 8,
+        policy_lr: 0.07,
+        baseline_momentum: 0.9,
+        seed: 23,
+    };
     let outcome = parallel_search(space.space(), &reward, make, &cfg);
     let arch = space.decode(&outcome.best);
     let graph = arch.build_graph(64);
     let sim = Simulator::new(hw.clone());
-    let step = sim.simulate_training(&graph, &SystemConfig::training_pod()).time;
+    let step = sim
+        .simulate_training(&graph, &SystemConfig::training_pod())
+        .time;
     let fused = arch
         .blocks
         .iter()
@@ -112,7 +119,14 @@ pub fn run() -> String {
     let steps = env_usize("H2O_EXT_CODESIGN_STEPS", 120);
     let mut table = Table::new(
         "Extension (§9 vision): the searched architecture re-binds to future hardware",
-        &["hardware variant", "fused blocks", "resolution", "mean expansion", "step (ms)", "quality"],
+        &[
+            "hardware variant",
+            "fused blocks",
+            "resolution",
+            "mean expansion",
+            "step (ms)",
+            "quality",
+        ],
     );
     for hw in variants() {
         let r = search_on(&hw, steps);
@@ -128,9 +142,20 @@ pub fn run() -> String {
     let mut out = table.render();
     let mut real = Table::new(
         "Same sweep on real next-generation chips (late binding across GPU generations)",
-        &["hardware", "fused blocks", "resolution", "mean expansion", "step (ms)", "quality"],
+        &[
+            "hardware",
+            "fused blocks",
+            "resolution",
+            "mean expansion",
+            "step (ms)",
+            "quality",
+        ],
     );
-    for hw in [HardwareConfig::gpu_v100(), HardwareConfig::gpu_a100(), HardwareConfig::gpu_h100()] {
+    for hw in [
+        HardwareConfig::gpu_v100(),
+        HardwareConfig::gpu_a100(),
+        HardwareConfig::gpu_h100(),
+    ] {
         let r = search_on(&hw, steps);
         real.row(&[
             r.hw,
@@ -162,7 +187,12 @@ mod tests {
         let rich = search_on(&variants()[1], steps);
         // Compute-rich hardware must buy more capacity at the same wall
         // budget: quality at least matches, step stays within budget-ish.
-        assert!(rich.quality >= base.quality - 0.3, "{} vs {}", rich.quality, base.quality);
+        assert!(
+            rich.quality >= base.quality - 0.3,
+            "{} vs {}",
+            rich.quality,
+            base.quality
+        );
         // And the *architectures* differ (late binding is non-trivial).
         let differs = rich.fused_fraction != base.fused_fraction
             || rich.resolution != base.resolution

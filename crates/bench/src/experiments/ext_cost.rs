@@ -58,7 +58,8 @@ pub fn evaluate() -> CostReport {
     let mean_candidate_step: f64 = (0..20)
         .map(|_| {
             let sample = space.space().sample_uniform(&mut rng);
-            sim.simulate_training(&space.decode(&sample).build_graph(64, 128), &pod).time
+            sim.simulate_training(&space.decode(&sample).build_graph(64, 128), &pod)
+                .time
         })
         .sum::<f64>()
         / 20.0;
@@ -108,7 +109,11 @@ pub fn run() -> String {
     ]);
     table.row(&[
         "search + retrain".into(),
-        format!("{:.0} h ({})", r.search_hours + r.retrain_hours, ratio(r.total_ratio)),
+        format!(
+            "{:.0} h ({})",
+            r.search_hours + r.retrain_hours,
+            ratio(r.total_ratio)
+        ),
         "~2.5x".into(),
     ]);
     table.row(&[
@@ -133,9 +138,21 @@ mod tests {
     #[test]
     fn cost_ratios_match_section_7_3() {
         let r = evaluate();
-        assert!((1.1..2.4).contains(&r.search_ratio), "search ratio {} (paper ~1.5)", r.search_ratio);
-        assert!((2.0..3.5).contains(&r.total_ratio), "total ratio {} (paper ~2.5)", r.total_ratio);
-        assert!(r.downstream_fraction < 0.05, "downstream fraction {}", r.downstream_fraction);
+        assert!(
+            (1.1..2.4).contains(&r.search_ratio),
+            "search ratio {} (paper ~1.5)",
+            r.search_ratio
+        );
+        assert!(
+            (2.0..3.5).contains(&r.total_ratio),
+            "total ratio {} (paper ~2.5)",
+            r.total_ratio
+        );
+        assert!(
+            r.downstream_fraction < 0.05,
+            "downstream fraction {}",
+            r.downstream_fraction
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@ fn evaluator() -> impl FnMut(&ArchSample) -> EvalResult + Send {
         let graph = arch.build_graph(64);
         EvalResult {
             quality: quality.accuracy_of_cnn(&arch, graph.param_count() / 1e6),
-            perf_values: vec![sim.simulate_training(&graph, &SystemConfig::training_pod()).time],
+            perf_values: vec![
+                sim.simulate_training(&graph, &SystemConfig::training_pod())
+                    .time,
+            ],
         }
     }
 }
@@ -31,12 +34,31 @@ fn evaluator() -> impl FnMut(&ArchSample) -> EvalResult + Send {
 /// final_mean_reward)` where the threshold is a fixed mean reward.
 pub fn scaling_point(shards: usize, steps: usize, threshold: f64) -> (Option<usize>, f64) {
     let space = CnnSpace::new(CnnSpaceConfig::default());
-    let reward =
-        RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("step", 0.10, -10.0)]);
-    let cfg = SearchConfig { steps, shards, policy_lr: 0.06, baseline_momentum: 0.9, seed: 55 };
+    let reward = RewardFn::new(
+        RewardKind::Relu,
+        vec![PerfObjective::new("step", 0.10, -10.0)],
+    );
+    let cfg = SearchConfig {
+        steps,
+        shards,
+        policy_lr: 0.06,
+        baseline_momentum: 0.9,
+        seed: 55,
+    };
     let outcome = parallel_search(space.space(), &reward, |_| evaluator(), &cfg);
-    let hit = outcome.history.iter().find(|h| h.mean_reward >= threshold).map(|h| h.step);
-    (hit, outcome.history.last().map(|h| h.mean_reward).unwrap_or(f64::NEG_INFINITY))
+    let hit = outcome
+        .history
+        .iter()
+        .find(|h| h.mean_reward >= threshold)
+        .map(|h| h.step);
+    (
+        hit,
+        outcome
+            .history
+            .last()
+            .map(|h| h.mean_reward)
+            .unwrap_or(f64::NEG_INFINITY),
+    )
 }
 
 /// Runs the experiment and renders the report.
@@ -51,7 +73,8 @@ pub fn run() -> String {
         let (hit, final_reward) = scaling_point(shards, steps, threshold);
         table.row(&[
             shards.to_string(),
-            hit.map(|s| s.to_string()).unwrap_or_else(|| format!("not in {steps}")),
+            hit.map(|s| s.to_string())
+                .unwrap_or_else(|| format!("not in {steps}")),
             format!("{final_reward:.2}"),
         ]);
     }

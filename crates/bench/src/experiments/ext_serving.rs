@@ -10,16 +10,16 @@
 //! sparse feasible region where the absolute reward stalls.
 
 use crate::report::{env_usize, pct, Table};
-use h2o_core::{
-    parallel_search, EvalResult, PerfObjective, RewardFn, RewardKind, SearchConfig,
-};
+use h2o_core::{parallel_search, EvalResult, PerfObjective, RewardFn, RewardKind, SearchConfig};
 use h2o_hwsim::{HardwareConfig, Simulator, SystemConfig};
 use h2o_models::quality::DlrmQualityModel;
 use h2o_space::{ArchSample, DlrmSpace, DlrmSpaceConfig};
 
 fn space() -> DlrmSpace {
     let mut config = DlrmSpaceConfig::production();
-    config.tables.truncate(env_usize("H2O_EXT_SERVE_TABLES", 40));
+    config
+        .tables
+        .truncate(env_usize("H2O_EXT_SERVE_TABLES", 40));
     DlrmSpace::new(config)
 }
 
@@ -51,7 +51,13 @@ pub fn search(kind: RewardKind, steps: usize) -> (f64, f64, (f64, f64, f64)) {
             PerfObjective::new("model_size", s0, -4.0),
         ],
     );
-    let cfg = SearchConfig { steps, shards: 8, policy_lr: 0.06, baseline_momentum: 0.9, seed: 77 };
+    let cfg = SearchConfig {
+        steps,
+        shards: 8,
+        policy_lr: 0.06,
+        baseline_momentum: 0.9,
+        seed: 77,
+    };
     let make = |_shard: usize| {
         let space = self::space();
         let quality_model = quality_model.clone();
@@ -106,7 +112,11 @@ pub fn run() -> String {
         table.row(&[
             format!("{kind:?}"),
             pct(feasible),
-            if quality.is_finite() { format!("{quality:.2}%") } else { "none".into() },
+            if quality.is_finite() {
+                format!("{quality:.2}%")
+            } else {
+                "none".into()
+            },
             format!(
                 "{:+.0}% / {:+.0}% / {:+.0}%",
                 (t / (t0 * 0.9) - 1.0) * 100.0,

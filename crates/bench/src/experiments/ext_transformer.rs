@@ -26,7 +26,9 @@ fn evaluate_sample(
 ) -> (f64, f64, f64) {
     let arch = space.decode(sample);
     let graph = arch.build_graph(BATCH, SEQ);
-    let step = sim.simulate_training(&graph, &SystemConfig::training_pod()).time;
+    let step = sim
+        .simulate_training(&graph, &SystemConfig::training_pod())
+        .time;
     let q = quality.accuracy_of_vit(&arch, graph.param_count() / 1e6);
     (q, step, graph.param_count())
 }
@@ -65,7 +67,10 @@ pub fn run() -> String {
         let sim = Simulator::new(HardwareConfig::tpu_v4());
         move |sample: &ArchSample| {
             let (q, t, _) = evaluate_sample(&space, &sim, &quality, sample);
-            EvalResult { quality: q, perf_values: vec![t] }
+            EvalResult {
+                quality: q,
+                perf_values: vec![t],
+            }
         }
     };
     let outcome = parallel_search(space.space(), &reward, make, &cfg);
@@ -74,7 +79,13 @@ pub fn run() -> String {
 
     let mut table = Table::new(
         "Extension: transformer(-NLP) search over the pure TFM space (seq 512)",
-        &["model", "quality", "step time (ms)", "params (M)", "speedup"],
+        &[
+            "model",
+            "quality",
+            "step time (ms)",
+            "params (M)",
+            "speedup",
+        ],
     );
     table.row(&[
         "baseline (512h, GELU, full rank)".into(),

@@ -56,9 +56,15 @@ fn gather(n: usize, domain: Domain, width: usize, seed: u64) -> DomainData {
                 f.push((graph.total_flops().max(1.0).log10() as f32 - 10.0) / 4.0);
                 xs.push(pad_features(f, width, domain));
                 let t = sim.simulate_training(&graph, &pod).time;
-                sim_y.push(PerfTargets { training: t, serving: t * 0.3 });
+                sim_y.push(PerfTargets {
+                    training: t,
+                    serving: t * 0.3,
+                });
                 let tp = prod.measure_step_time(&graph, &pod);
-                prod_y.push(PerfTargets { training: tp, serving: tp * 0.3 });
+                prod_y.push(PerfTargets {
+                    training: tp,
+                    serving: tp * 0.3,
+                });
             }
         }
         Domain::Dlrm => {
@@ -75,9 +81,15 @@ fn gather(n: usize, domain: Domain, width: usize, seed: u64) -> DomainData {
                 f.push((graph.total_flops().max(1.0).log10() as f32 - 10.0) / 4.0);
                 xs.push(pad_features(f, width, domain));
                 let t = sim.simulate_training(&graph, &pod).time;
-                sim_y.push(PerfTargets { training: t, serving: t * 0.3 });
+                sim_y.push(PerfTargets {
+                    training: t,
+                    serving: t * 0.3,
+                });
                 let tp = prod.measure_step_time(&graph, &pod);
-                prod_y.push(PerfTargets { training: tp, serving: tp * 0.3 });
+                prod_y.push(PerfTargets {
+                    training: tp,
+                    serving: tp * 0.3,
+                });
             }
         }
     }
@@ -107,11 +119,15 @@ pub fn evaluate() -> Vec<(String, f64, f64, f64)> {
     let mut mixed_y = cnn.sim_y[..n].to_vec();
     mixed_y.extend_from_slice(&dlrm.sim_y[..n]);
     let mut universal = PerfModel::new(input_dim, &[192, 192], 3);
-    universal.pretrain(&mixed_x, &mixed_y, TrainConfig {
-        epochs: env_usize("H2O_EXT_UNI_EPOCHS", 60),
-        batch_size: 64,
-        lr: 1e-3,
-    });
+    universal.pretrain(
+        &mixed_x,
+        &mixed_y,
+        TrainConfig {
+            epochs: env_usize("H2O_EXT_UNI_EPOCHS", 60),
+            batch_size: 64,
+            lr: 1e-3,
+        },
+    );
 
     let mut results = Vec::new();
     for (name, data) in [("CNN", &cnn), ("DLRM", &dlrm)] {
@@ -124,17 +140,37 @@ pub fn evaluate() -> Vec<(String, f64, f64, f64)> {
         let ft_x: Vec<Vec<f32>> = ft_idx.iter().map(|&i| data.xs[i].clone()).collect();
         let ft_y: Vec<PerfTargets> = ft_idx.iter().map(|&i| data.prod_y[i]).collect();
         let mut tuned = universal.clone();
-        tuned.finetune(&ft_x, &ft_y, TrainConfig { epochs: 100, batch_size: 8, lr: 5e-5 });
+        tuned.finetune(
+            &ft_x,
+            &ft_y,
+            TrainConfig {
+                epochs: 100,
+                batch_size: 8,
+                lr: 5e-5,
+            },
+        );
         let after = tuned.evaluate_nrmse(&hold_x, &hold_prod).training;
 
         // Specialist: pretrained on this domain only, same finetune.
         let mut specialist = PerfModel::new(input_dim, &[192, 192], 4);
-        specialist.pretrain(&data.xs[..n], &data.sim_y[..n], TrainConfig {
-            epochs: env_usize("H2O_EXT_UNI_EPOCHS", 60),
-            batch_size: 64,
-            lr: 1e-3,
-        });
-        specialist.finetune(&ft_x, &ft_y, TrainConfig { epochs: 100, batch_size: 8, lr: 5e-5 });
+        specialist.pretrain(
+            &data.xs[..n],
+            &data.sim_y[..n],
+            TrainConfig {
+                epochs: env_usize("H2O_EXT_UNI_EPOCHS", 60),
+                batch_size: 64,
+                lr: 1e-3,
+            },
+        );
+        specialist.finetune(
+            &ft_x,
+            &ft_y,
+            TrainConfig {
+                epochs: 100,
+                batch_size: 8,
+                lr: 5e-5,
+            },
+        );
         let spec = specialist.evaluate_nrmse(&hold_x, &hold_prod).training;
 
         results.push((name.to_string(), before, after, spec));
@@ -179,7 +215,10 @@ mod tests {
         std::env::set_var("H2O_EXT_UNI_SAMPLES", "900");
         std::env::set_var("H2O_EXT_UNI_EPOCHS", "40");
         for (name, before, after, spec) in evaluate() {
-            assert!(after < before, "{name}: finetune must help ({before} -> {after})");
+            assert!(
+                after < before,
+                "{name}: finetune must help ({before} -> {after})"
+            );
             assert!(
                 after < 3.5 * spec + 0.05,
                 "{name}: universal+finetune should approach the specialist ({after} vs {spec})"

@@ -6,9 +6,7 @@
 //! accept a performance regression for quality.
 
 use crate::report::{env_usize, geomean, ratio, Table};
-use h2o_core::{
-    parallel_search, EvalResult, PerfObjective, RewardFn, RewardKind, SearchConfig,
-};
+use h2o_core::{parallel_search, EvalResult, PerfObjective, RewardFn, RewardKind, SearchConfig};
 use h2o_hwsim::{HardwareConfig, Simulator, SystemConfig};
 use h2o_models::production::{fleet, ProductionDomain, ProductionModel};
 use h2o_models::quality::{DatasetScale, DlrmQualityModel, VisionQualityModel};
@@ -51,8 +49,7 @@ pub fn optimize(model: &ProductionModel, steps: usize) -> FleetResult {
             let base_time = sim.simulate_training(&base_graph, &pod).time;
             let base_size = base_graph.param_count() * 4.0;
             let quality_model = VisionQualityModel::new(DatasetScale::Medium);
-            let base_q =
-                quality_model.accuracy_of_cnn(&base_arch, base_graph.param_count() / 1e6);
+            let base_q = quality_model.accuracy_of_cnn(&base_arch, base_graph.param_count() / 1e6);
             let reward = RewardFn::new(
                 RewardKind::Relu,
                 vec![
@@ -67,8 +64,7 @@ pub fn optimize(model: &ProductionModel, steps: usize) -> FleetResult {
                 move |sample: &ArchSample| {
                     let arch = space.decode(sample);
                     let graph = arch.build_graph(64);
-                    let report =
-                        sim.simulate_training(&graph, &SystemConfig::training_pod());
+                    let report = sim.simulate_training(&graph, &SystemConfig::training_pod());
                     let q = quality_model.accuracy_of_cnn(&arch, graph.param_count() / 1e6);
                     EvalResult {
                         quality: qw * q,
@@ -98,7 +94,9 @@ pub fn optimize(model: &ProductionModel, steps: usize) -> FleetResult {
         ProductionDomain::Dlrm(cfg) => {
             let space = DlrmSpace::new(cfg.clone());
             let base_arch = space.decode(&space.baseline());
-            let base_time = sim.simulate_training(&base_arch.build_graph(64, 128), &pod).time;
+            let base_time = sim
+                .simulate_training(&base_arch.build_graph(64, 128), &pod)
+                .time;
             let base_size = base_arch.model_size_bytes();
             let quality_model = DlrmQualityModel::new(&base_arch, 85.0);
             let reward = RewardFn::new(
@@ -115,8 +113,10 @@ pub fn optimize(model: &ProductionModel, steps: usize) -> FleetResult {
                 let quality_model = quality_model.clone();
                 move |sample: &ArchSample| {
                     let arch = space.decode(sample);
-                    let report = sim
-                        .simulate_training(&arch.build_graph(64, 128), &SystemConfig::training_pod());
+                    let report = sim.simulate_training(
+                        &arch.build_graph(64, 128),
+                        &SystemConfig::training_pod(),
+                    );
                     EvalResult {
                         quality: qw * quality_model.quality(&arch),
                         perf_values: vec![report.time, arch.model_size_bytes()],
@@ -132,7 +132,9 @@ pub fn optimize(model: &ProductionModel, steps: usize) -> FleetResult {
             };
             let outcome = parallel_search(space.space(), &reward, make, &cfg_search);
             let final_arch = space.decode(&outcome.best);
-            let final_time = sim.simulate_training(&final_arch.build_graph(64, 128), &pod).time;
+            let final_time = sim
+                .simulate_training(&final_arch.build_graph(64, 128), &pod)
+                .time;
             FleetResult {
                 name: model.name.clone(),
                 perf_gain: base_time / final_time,
@@ -190,7 +192,11 @@ mod tests {
         let model = fleet().into_iter().find(|m| m.name == "CV1").unwrap();
         let result = optimize(&model, 60);
         assert!(result.perf_gain > 1.0, "perf gain {}", result.perf_gain);
-        assert!(result.quality_gain > -1.0, "quality {}", result.quality_gain);
+        assert!(
+            result.quality_gain > -1.0,
+            "quality {}",
+            result.quality_gain
+        );
     }
 
     #[test]

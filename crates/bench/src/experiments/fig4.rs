@@ -37,7 +37,12 @@ pub fn run() -> String {
 
     let mut roof = Table::new(
         "Fig. 4b: roofline points (paper: fused MBConv always has higher intensity & FLOPS)",
-        &["block", "op intensity (FLOPs/B)", "achieved TFLOPS", "% of envelope"],
+        &[
+            "block",
+            "op intensity (FLOPs/B)",
+            "achieved TFLOPS",
+            "% of envelope",
+        ],
     );
     let mut lat = Table::new(
         "Fig. 4c: latency (paper: F-MBC wins at depth 32, loses at depth 128)",
@@ -62,7 +67,11 @@ pub fn run() -> String {
         }
         lat_row.push(seconds(times[0]));
         lat_row.push(seconds(times[1]));
-        lat_row.push(if times[1] < times[0] { "F-MBC".into() } else { "MBC".into() });
+        lat_row.push(if times[1] < times[0] {
+            "F-MBC".into()
+        } else {
+            "MBC".into()
+        });
         lat.row(&lat_row);
     }
     out.push_str(&roof.render());

@@ -10,9 +10,7 @@
 
 use crate::report::{env_usize, pct, Table};
 use h2o_core::pareto::{bucketize_by_cost, bucketize_by_quality, pareto_front, ParetoPoint};
-use h2o_core::{
-    parallel_search, EvalResult, PerfObjective, RewardFn, RewardKind, SearchConfig,
-};
+use h2o_core::{parallel_search, EvalResult, PerfObjective, RewardFn, RewardKind, SearchConfig};
 use h2o_hwsim::{HardwareConfig, Simulator, SystemConfig};
 use h2o_models::quality::DlrmQualityModel;
 use h2o_space::{ArchSample, DlrmSpace, DlrmSpaceConfig};
@@ -42,7 +40,9 @@ pub fn sweep(kind: RewardKind, steps: usize) -> Vec<SweepPoint> {
     let baseline_arch = space.decode(&space.baseline());
     let sim = Simulator::new(HardwareConfig::tpu_v4());
     let pod = SystemConfig::training_pod();
-    let base_time = sim.simulate_training(&baseline_arch.build_graph(64, 128), &pod).time;
+    let base_time = sim
+        .simulate_training(&baseline_arch.build_graph(64, 128), &pod)
+        .time;
     let base_size = baseline_arch.model_size_bytes();
     let quality_model = DlrmQualityModel::new(&baseline_arch, 85.0);
 
@@ -95,7 +95,11 @@ fn to_pareto(points: &[SweepPoint]) -> Vec<ParetoPoint> {
     points
         .iter()
         .enumerate()
-        .map(|(i, p)| ParetoPoint { quality: p.quality, cost: p.step_time, index: i })
+        .map(|(i, p)| ParetoPoint {
+            quality: p.quality,
+            cost: p.step_time,
+            index: i,
+        })
         .collect()
 }
 
@@ -111,10 +115,18 @@ pub fn run() -> String {
     let front_abs = pareto_front(&to_pareto(&abs));
     let mut t5a = Table::new(
         "Fig. 5a: Pareto fronts (quality vs training step time)",
-        &["reward", "front size", "best quality", "fastest front point (ms)"],
+        &[
+            "reward",
+            "front size",
+            "best quality",
+            "fastest front point (ms)",
+        ],
     );
     for (name, front) in [("ReLU", &front_relu), ("Absolute", &front_abs)] {
-        let best_q = front.iter().map(|p| p.quality).fold(f64::NEG_INFINITY, f64::max);
+        let best_q = front
+            .iter()
+            .map(|p| p.quality)
+            .fold(f64::NEG_INFINITY, f64::max);
         let fastest = front.iter().map(|p| p.cost).fold(f64::INFINITY, f64::min);
         t5a.row(&[
             name.into(),
@@ -135,10 +147,12 @@ pub fn run() -> String {
     let mut best_time_adv = 0.0f64;
     for (q, t_relu, _) in &buckets_relu {
         // Find the matching absolute bucket by nearest quality midpoint.
-        if let Some((_, t_abs, _)) = buckets_abs
-            .iter()
-            .min_by(|a, b| (a.0 - q).abs().partial_cmp(&(b.0 - q).abs()).expect("no NaN"))
-        {
+        if let Some((_, t_abs, _)) = buckets_abs.iter().min_by(|a, b| {
+            (a.0 - q)
+                .abs()
+                .partial_cmp(&(b.0 - q).abs())
+                .expect("no NaN")
+        }) {
             let adv = 1.0 - t_relu / t_abs;
             best_time_adv = best_time_adv.max(adv);
             t5b.row(&[
@@ -156,14 +170,21 @@ pub fn run() -> String {
     let qb_abs = bucketize_by_cost(&to_pareto(&abs), 6);
     let mut t5c = Table::new(
         "Fig. 5c: mean quality per step-time bucket (higher is better; paper: ReLU up to +0.4%)",
-        &["step-time bucket (ms)", "ReLU quality", "Absolute quality", "ReLU advantage"],
+        &[
+            "step-time bucket (ms)",
+            "ReLU quality",
+            "Absolute quality",
+            "ReLU advantage",
+        ],
     );
     let mut best_q_adv = f64::NEG_INFINITY;
     for (t, q_relu, _) in &qb_relu {
-        if let Some((_, q_abs, _)) = qb_abs
-            .iter()
-            .min_by(|a, b| (a.0 - t).abs().partial_cmp(&(b.0 - t).abs()).expect("no NaN"))
-        {
+        if let Some((_, q_abs, _)) = qb_abs.iter().min_by(|a, b| {
+            (a.0 - t)
+                .abs()
+                .partial_cmp(&(b.0 - t).abs())
+                .expect("no NaN")
+        }) {
             let adv = q_relu - q_abs;
             best_q_adv = best_q_adv.max(adv);
             t5c.row(&[
@@ -177,9 +198,7 @@ pub fn run() -> String {
     out.push_str(&t5c.render());
 
     // --- serving memory comparison (paper: ReLU 1.6% smaller) ---
-    let mean_size = |pts: &[SweepPoint]| {
-        pts.iter().map(|p| p.size).sum::<f64>() / pts.len() as f64
-    };
+    let mean_size = |pts: &[SweepPoint]| pts.iter().map(|p| p.size).sum::<f64>() / pts.len() as f64;
     let size_adv = 1.0 - mean_size(&relu) / mean_size(&abs);
     out.push_str(&format!(
         "\nSummary: max ReLU step-time advantage {} (paper up to 13%); max quality advantage\n\

@@ -20,7 +20,13 @@ pub fn run() -> String {
         let quality = VisionQualityModel::new(dataset);
         let mut table = Table::new(
             format!("Fig. 6 ({dataset:?} data): accuracy vs training throughput"),
-            &["model", "top-1 acc", "img/s/chip", "Δacc vs base", "speedup"],
+            &[
+                "model",
+                "top-1 acc",
+                "img/s/chip",
+                "Δacc vs base",
+                "speedup",
+            ],
         );
         for (i, (b, h)) in baseline.iter().zip(&h_family).enumerate() {
             let acc_b = quality.accuracy(&desc_of(b));
@@ -59,8 +65,7 @@ pub fn run() -> String {
             });
         }
         let front = pareto_front(&points);
-        let h_on_front =
-            front.iter().filter(|p| p.index >= baseline.len()).count();
+        let h_on_front = front.iter().filter(|p| p.index >= baseline.len()).count();
         out.push_str(&format!(
             "Pareto front holds {} points, {} of them CoAtNet-H.\n",
             front.len(),
@@ -68,8 +73,11 @@ pub fn run() -> String {
         ));
     }
 
-    let speedups: Vec<f64> =
-        throughput_h.iter().zip(&throughput_base).map(|(h, b)| h / b).collect();
+    let speedups: Vec<f64> = throughput_h
+        .iter()
+        .zip(&throughput_base)
+        .map(|(h, b)| h / b)
+        .collect();
     out.push_str(&format!(
         "\nGeomean training speedup CoAtNet-H vs CoAtNet: {} (paper: 1.54x; C5 pair: {} vs paper 1.84x)\n",
         ratio(geomean(&speedups)),
@@ -93,7 +101,10 @@ mod tests {
             .collect();
         let gm = geomean(&speedups);
         assert!(gm > 1.3, "geomean speedup {gm} (paper 1.54)");
-        assert!(gm < 3.0, "geomean speedup {gm} should stay in the paper's ballpark (1.54)");
+        assert!(
+            gm < 3.0,
+            "geomean speedup {gm} should stay in the paper's ballpark (1.54)"
+        );
     }
 
     #[test]

@@ -27,11 +27,36 @@ pub fn run() -> String {
     );
     let rows: Vec<(&str, f64, f64, &str)> = vec![
         ("speedup (1/time)", 1.0 / base.time, 1.0 / opt.time, "1.84x"),
-        ("compute rate (TFLOPS)", base.achieved_flops_rate / 1e12, opt.achieved_flops_rate / 1e12, "0.86x"),
-        ("total compute (TFLOPs)", base.flops / 1e12, opt.flops / 1e12, "0.47x"),
-        ("total mem BW (GB/s)", base.total_mem_bw() / 1e9, opt.total_mem_bw() / 1e9, "1.20x"),
-        ("CMEM BW (GB/s)", base.cmem_bw_used / 1e9, opt.cmem_bw_used / 1e9, "5.30x"),
-        ("HBM traffic (GB/step)", base.hbm_bytes / 1e9, opt.hbm_bytes / 1e9, "0.65x"),
+        (
+            "compute rate (TFLOPS)",
+            base.achieved_flops_rate / 1e12,
+            opt.achieved_flops_rate / 1e12,
+            "0.86x",
+        ),
+        (
+            "total compute (TFLOPs)",
+            base.flops / 1e12,
+            opt.flops / 1e12,
+            "0.47x",
+        ),
+        (
+            "total mem BW (GB/s)",
+            base.total_mem_bw() / 1e9,
+            opt.total_mem_bw() / 1e9,
+            "1.20x",
+        ),
+        (
+            "CMEM BW (GB/s)",
+            base.cmem_bw_used / 1e9,
+            opt.cmem_bw_used / 1e9,
+            "5.30x",
+        ),
+        (
+            "HBM traffic (GB/step)",
+            base.hbm_bytes / 1e9,
+            opt.hbm_bytes / 1e9,
+            "0.65x",
+        ),
     ];
     for (name, b, o, paper) in rows {
         table.row(&[
@@ -63,13 +88,25 @@ mod tests {
         let base = counters(&CoAtNet::family().pop().unwrap());
         let opt = counters(&CoAtNet::h_family().pop().unwrap());
         let speedup = base.time / opt.time;
-        assert!((1.4..3.0).contains(&speedup), "speedup {speedup} (paper 1.84)");
+        assert!(
+            (1.4..3.0).contains(&speedup),
+            "speedup {speedup} (paper 1.84)"
+        );
         let flops_ratio = opt.flops / base.flops;
-        assert!((0.3..0.7).contains(&flops_ratio), "FLOPs ratio {flops_ratio} (paper 0.47)");
+        assert!(
+            (0.3..0.7).contains(&flops_ratio),
+            "FLOPs ratio {flops_ratio} (paper 0.47)"
+        );
         let hbm_ratio = opt.hbm_bytes / base.hbm_bytes;
-        assert!(hbm_ratio < 1.0, "HBM traffic must drop: {hbm_ratio} (paper 0.65)");
+        assert!(
+            hbm_ratio < 1.0,
+            "HBM traffic must drop: {hbm_ratio} (paper 0.65)"
+        );
         let cmem_ratio = (opt.cmem_bw_used / base.cmem_bw_used.max(1.0)).max(0.0);
-        assert!(cmem_ratio > 1.2, "CMEM bandwidth must rise: {cmem_ratio} (paper 5.3)");
+        assert!(
+            cmem_ratio > 1.2,
+            "CMEM bandwidth must rise: {cmem_ratio} (paper 5.3)"
+        );
     }
 
     #[test]

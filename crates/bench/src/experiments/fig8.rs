@@ -36,7 +36,14 @@ pub fn run() -> String {
 
     let mut table = Table::new(
         "Fig. 8: DLRM step time = MAX(embedding, DNN), normalised to baseline",
-        &["model", "step time", "embedding time", "DNN time", "normalised step", "quality Δ"],
+        &[
+            "model",
+            "step time",
+            "embedding time",
+            "DNN time",
+            "normalised step",
+            "quality Δ",
+        ],
     );
     table.row(&[
         "DLRM (baseline)".into(),
@@ -74,7 +81,10 @@ mod tests {
         let (t_base, _, _) = step_breakdown(&h2o_models::dlrm::baseline());
         let (t_opt, _, _) = step_breakdown(&h2o_models::dlrm::h_variant());
         let normalised = t_opt / t_base;
-        assert!((0.6..0.98).contains(&normalised), "normalised step {normalised} (paper ~0.9)");
+        assert!(
+            (0.6..0.98).contains(&normalised),
+            "normalised step {normalised} (paper ~0.9)"
+        );
     }
 
     #[test]

@@ -35,13 +35,23 @@ fn family_ratios(base: &[Graph], opt: &[Graph]) -> (f64, f64, f64) {
 pub fn run() -> String {
     let mut table = Table::new(
         "Fig. 9: perf / power / energy, optimized models normalised to baselines (training, TPUv4)",
-        &["family", "perf", "power", "energy", "paper perf/power/energy"],
+        &[
+            "family",
+            "perf",
+            "power",
+            "energy",
+            "paper perf/power/energy",
+        ],
     );
     // EfficientNet-H vs -X.
-    let enet_base: Vec<Graph> =
-        EfficientNet::x_family().iter().map(|m| m.build_graph(64)).collect();
-    let enet_opt: Vec<Graph> =
-        EfficientNet::h_family().iter().map(|m| m.build_graph(64)).collect();
+    let enet_base: Vec<Graph> = EfficientNet::x_family()
+        .iter()
+        .map(|m| m.build_graph(64))
+        .collect();
+    let enet_opt: Vec<Graph> = EfficientNet::h_family()
+        .iter()
+        .map(|m| m.build_graph(64))
+        .collect();
     let (p, w, e) = family_ratios(&enet_base, &enet_opt);
     table.row(&[
         "EfficientNet-H".into(),
@@ -51,8 +61,14 @@ pub fn run() -> String {
         "1.06x / ~1.0x / 0.94x".into(),
     ]);
     // CoAtNet-H vs CoAtNet.
-    let cnet_base: Vec<Graph> = CoAtNet::family().iter().map(|m| m.build_graph(64)).collect();
-    let cnet_opt: Vec<Graph> = CoAtNet::h_family().iter().map(|m| m.build_graph(64)).collect();
+    let cnet_base: Vec<Graph> = CoAtNet::family()
+        .iter()
+        .map(|m| m.build_graph(64))
+        .collect();
+    let cnet_opt: Vec<Graph> = CoAtNet::h_family()
+        .iter()
+        .map(|m| m.build_graph(64))
+        .collect();
     let (p, w, e) = family_ratios(&cnet_base, &cnet_opt);
     table.row(&[
         "CoAtNet-H".into(),
@@ -87,8 +103,14 @@ mod tests {
 
     #[test]
     fn coatnet_h_saves_energy_and_power() {
-        let base: Vec<Graph> = CoAtNet::family().iter().map(|m| m.build_graph(64)).collect();
-        let opt: Vec<Graph> = CoAtNet::h_family().iter().map(|m| m.build_graph(64)).collect();
+        let base: Vec<Graph> = CoAtNet::family()
+            .iter()
+            .map(|m| m.build_graph(64))
+            .collect();
+        let opt: Vec<Graph> = CoAtNet::h_family()
+            .iter()
+            .map(|m| m.build_graph(64))
+            .collect();
         let (perf, power, energy) = family_ratios(&base, &opt);
         assert!(perf > 1.3, "perf {perf} (paper 1.54)");
         assert!(power < 1.05, "power must not rise: {power} (paper 0.85)");

@@ -59,14 +59,21 @@ pub fn evaluate() -> PipelineResult {
         let graph = space.decode(&sample).build_graph(64, 128);
         let t = sim.simulate_training(&graph, &pod).time;
         xs.push(featurizer.featurize(&sample));
-        sim_y.push(PerfTargets { training: t, serving: t * 0.4 });
+        sim_y.push(PerfTargets {
+            training: t,
+            serving: t * 0.4,
+        });
         samples.push(sample);
     }
     let mut perf_model = PerfModel::new(featurizer.dim(), &[96, 96], 7);
     perf_model.pretrain(
-        &xs[..n_pretrain].to_vec(),
-        &sim_y[..n_pretrain].to_vec(),
-        TrainConfig { epochs: 120, batch_size: 64, lr: 1e-3 },
+        &xs[..n_pretrain],
+        &sim_y[..n_pretrain],
+        TrainConfig {
+            epochs: 120,
+            batch_size: 64,
+            lr: 1e-3,
+        },
     );
     let ft_idx = PerfModel::choose_finetune_indices_seeded(n_pretrain, 20, 3);
     let measure = |sample: &ArchSample| {
@@ -77,16 +84,30 @@ pub fn evaluate() -> PipelineResult {
         .iter()
         .map(|&i| {
             let t = measure(&samples[i]);
-            PerfTargets { training: t, serving: t * 0.4 }
+            PerfTargets {
+                training: t,
+                serving: t * 0.4,
+            }
         })
         .collect();
-    perf_model.finetune(&ft_x, &ft_y, TrainConfig { epochs: 100, batch_size: 8, lr: 5e-5 });
+    perf_model.finetune(
+        &ft_x,
+        &ft_y,
+        TrainConfig {
+            epochs: 100,
+            batch_size: 8,
+            lr: 5e-5,
+        },
+    );
     let hold_x = xs[n_pretrain..].to_vec();
     let hold_y: Vec<PerfTargets> = samples[n_pretrain..]
         .iter()
         .map(|s| {
             let t = measure(s);
-            PerfTargets { training: t, serving: t * 0.4 }
+            PerfTargets {
+                training: t,
+                serving: t * 0.4,
+            }
         })
         .collect();
     let perfmodel_nrmse = perf_model.evaluate_nrmse(&hold_x, &hold_y).training;
@@ -122,8 +143,8 @@ pub fn evaluate() -> PipelineResult {
         ..Default::default()
     };
     let outcome = unified_search(&mut supernet, &pipeline, &reward, perf_of, &cfg);
-    let pipeline_clean = pipeline.in_flight() == 0
-        && pipeline.stats().policy_used == pipeline.stats().weights_used;
+    let pipeline_clean =
+        pipeline.in_flight() == 0 && pipeline.stats().policy_used == pipeline.stats().weights_used;
 
     // --- Stage 3: validate the winner. ---
     let best = outcome.best;
@@ -153,15 +174,33 @@ pub fn run() -> String {
         "Fig. 1 end to end: perf model in the search loop, real supernet, real traffic",
         &["quantity", "value"],
     );
-    table.row(&["perf-model NRMSE vs production (held-out)".into(), format!("{:.1}%", r.perfmodel_nrmse * 100.0)]);
-    table.row(&["baseline step (production)".into(), format!("{:.3} ms", r.baseline_step * 1e3)]);
-    table.row(&["searched arch, predicted step".into(), format!("{:.3} ms", r.predicted_step * 1e3)]);
-    table.row(&["searched arch, measured step".into(), format!("{:.3} ms", r.measured_step * 1e3)]);
+    table.row(&[
+        "perf-model NRMSE vs production (held-out)".into(),
+        format!("{:.1}%", r.perfmodel_nrmse * 100.0),
+    ]);
+    table.row(&[
+        "baseline step (production)".into(),
+        format!("{:.3} ms", r.baseline_step * 1e3),
+    ]);
+    table.row(&[
+        "searched arch, predicted step".into(),
+        format!("{:.3} ms", r.predicted_step * 1e3),
+    ]);
+    table.row(&[
+        "searched arch, measured step".into(),
+        format!("{:.3} ms", r.measured_step * 1e3),
+    ]);
     table.row(&[
         "prediction error on the winner".into(),
-        format!("{:+.1}%", (r.predicted_step / r.measured_step - 1.0) * 100.0),
+        format!(
+            "{:+.1}%",
+            (r.predicted_step / r.measured_step - 1.0) * 100.0
+        ),
     ]);
-    table.row(&["final candidate AUC (fresh traffic)".into(), format!("{:.4}", r.final_auc)]);
+    table.row(&[
+        "final candidate AUC (fresh traffic)".into(),
+        format!("{:.4}", r.final_auc),
+    ]);
     table.row(&["pipeline audit clean".into(), r.pipeline_clean.to_string()]);
     let mut out = table.render();
     out.push_str(
@@ -183,13 +222,22 @@ mod tests {
         std::env::set_var("H2O_PIPE_STEPS", "60");
         let r = evaluate();
         assert!(r.pipeline_clean, "pipeline invariants must hold");
-        assert!(r.perfmodel_nrmse < 0.25, "perf model NRMSE {}", r.perfmodel_nrmse);
+        assert!(
+            r.perfmodel_nrmse < 0.25,
+            "perf model NRMSE {}",
+            r.perfmodel_nrmse
+        );
         // The in-loop predictions must be usable: the winner's predicted
         // step is within 30% of its production measurement.
         let err = (r.predicted_step / r.measured_step - 1.0).abs();
         assert!(err < 0.30, "winner prediction error {err}");
         // The search respected the step-time target (ReLU slack allowed).
-        assert!(r.measured_step <= r.baseline_step * 1.10, "{} vs {}", r.measured_step, r.baseline_step);
+        assert!(
+            r.measured_step <= r.baseline_step * 1.10,
+            "{} vs {}",
+            r.measured_step,
+            r.baseline_step
+        );
         assert!(r.final_auc > 0.6, "AUC {}", r.final_auc);
     }
 }

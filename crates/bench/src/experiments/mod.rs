@@ -9,13 +9,13 @@ pub mod ext_serving;
 pub mod ext_transformer;
 pub mod ext_universal;
 pub mod fig10;
-pub mod full_pipeline;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod full_pipeline;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -74,13 +74,19 @@ pub fn evaluate() -> Table1Result {
         let arch = space.decode(sample);
         let train = sim.simulate_training(&arch.build_graph(64, 128), &pod).time;
         let serve = serve_sim.simulate(&arch.build_graph(16, 1)).time;
-        PerfTargets { training: train, serving: serve }
+        PerfTargets {
+            training: train,
+            serving: serve,
+        }
     };
     let measure = |sample: &Vec<usize>| {
         let arch = space.decode(sample);
         let train = prod.measure_step_time(&arch.build_graph(64, 128), &pod);
         let serve = prod_serve.measure_serving_latency(&arch.build_graph(16, 1));
-        PerfTargets { training: train, serving: serve }
+        PerfTargets {
+            training: train,
+            serving: serve,
+        }
     };
 
     // Phase 1: pretrain on simulator data.
@@ -99,23 +105,33 @@ pub fn evaluate() -> Table1Result {
     model.pretrain(
         train_x,
         train_y,
-        TrainConfig { epochs, batch_size: 64, lr: 1e-3 },
+        TrainConfig {
+            epochs,
+            batch_size: 64,
+            lr: 1e-3,
+        },
     );
     let pretrain_nrmse = model.evaluate_nrmse(hold_x, hold_y).training;
 
     // Production evaluation set (held-out archs measured on "hardware").
     let prod_x: Vec<Vec<f32>> = hold_x.to_vec();
-    let prod_y: Vec<PerfTargets> =
-        samples[n_pretrain..].iter().map(&measure).collect();
+    let prod_y: Vec<PerfTargets> = samples[n_pretrain..].iter().map(&measure).collect();
     let pretrained_on_prod = model.evaluate_nrmse(&prod_x, &prod_y).training;
 
     // Phase 2: fine-tune on O(20) production measurements drawn from the
     // pretraining pool (§6.2.2).
     let finetune_idx = PerfModel::choose_finetune_indices_seeded(n_pretrain, 20, 5);
     let ft_x: Vec<Vec<f32>> = finetune_idx.iter().map(|&i| train_x[i].clone()).collect();
-    let ft_y: Vec<PerfTargets> =
-        finetune_idx.iter().map(|&i| measure(&samples[i])).collect();
-    model.finetune(&ft_x, &ft_y, TrainConfig { epochs: 100, batch_size: 8, lr: 5e-5 });
+    let ft_y: Vec<PerfTargets> = finetune_idx.iter().map(|&i| measure(&samples[i])).collect();
+    model.finetune(
+        &ft_x,
+        &ft_y,
+        TrainConfig {
+            epochs: 100,
+            batch_size: 8,
+            lr: 5e-5,
+        },
+    );
     let finetuned = model.evaluate_nrmse(&prod_x, &prod_y);
 
     Table1Result {
@@ -150,11 +166,7 @@ pub fn run() -> String {
         format!("{:.2}%", r.pretrain_nrmse * 100.0),
         "0.31% ~ 0.47%".into(),
     ]);
-    table.row(&[
-        "fine-tuning samples".into(),
-        "20".into(),
-        "20".into(),
-    ]);
+    table.row(&["fine-tuning samples".into(), "20".into(), "20".into()]);
     table.row(&[
         "NRMSE, pretrained vs production".into(),
         format!("{:.1}%", r.pretrained_on_prod_nrmse * 100.0),
@@ -191,7 +203,11 @@ mod tests {
         std::env::set_var("H2O_T1_HIDDEN", "128");
         std::env::set_var("H2O_T1_EPOCHS", "100");
         let r = evaluate();
-        assert!(r.pretrain_nrmse < 0.15, "pretrain NRMSE {} (paper <0.5%)", r.pretrain_nrmse);
+        assert!(
+            r.pretrain_nrmse < 0.15,
+            "pretrain NRMSE {} (paper <0.5%)",
+            r.pretrain_nrmse
+        );
         assert!(
             r.pretrained_on_prod_nrmse > 0.20,
             "sim-to-prod gap should be large before finetune: {}",

@@ -37,7 +37,13 @@ pub fn run() -> String {
     let quality = VisionQualityModel::new(DatasetScale::Small);
     let mut table = Table::new(
         "Table 3: CoAtNet-H ablation (paper: 89.7/688M/1012B/101 -> 90.3 -> 88.9/474B/186 -> 89.7)",
-        &["model", "top-1 acc", "params (M)", "FLOPs (B)", "train img/s/chip"],
+        &[
+            "model",
+            "top-1 acc",
+            "params (M)",
+            "FLOPs (B)",
+            "train img/s/chip",
+        ],
     );
     let paper = [
         ("paper CoAtNet-5", 89.7, 688.0, 1012.0, 101.0),
@@ -77,7 +83,10 @@ mod tests {
         let deeper = training_throughput(&ladder[1]);
         let shrunk = training_throughput(&ladder[2]);
         assert!(deeper < base, "deeper conv must cost throughput");
-        assert!(shrunk > 1.5 * base, "resolution shrink must roughly double throughput");
+        assert!(
+            shrunk > 1.5 * base,
+            "resolution shrink must roughly double throughput"
+        );
     }
 
     #[test]

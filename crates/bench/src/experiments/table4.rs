@@ -46,15 +46,23 @@ pub fn run() -> String {
         ]);
     }
     type Row = (String, f64, f64, f64);
-    let gm = |f: &dyn Fn(&Row) -> f64, rows: &[Row]| {
-        geomean(&rows.iter().map(f).collect::<Vec<f64>>())
-    };
+    let gm =
+        |f: &dyn Fn(&Row) -> f64, rows: &[Row]| geomean(&rows.iter().map(f).collect::<Vec<f64>>());
     let big = &per_variant[5..];
     table.row(&[
         "geomean B0-B7".into(),
-        format!("{:+.1}% (paper +5%)", (gm(&|r| r.1, &per_variant) - 1.0) * 100.0),
-        format!("{:+.1}% (paper +6%)", (gm(&|r| r.2, &per_variant) - 1.0) * 100.0),
-        format!("{:+.1}% (paper +6%)", (gm(&|r| r.3, &per_variant) - 1.0) * 100.0),
+        format!(
+            "{:+.1}% (paper +5%)",
+            (gm(&|r| r.1, &per_variant) - 1.0) * 100.0
+        ),
+        format!(
+            "{:+.1}% (paper +6%)",
+            (gm(&|r| r.2, &per_variant) - 1.0) * 100.0
+        ),
+        format!(
+            "{:+.1}% (paper +6%)",
+            (gm(&|r| r.3, &per_variant) - 1.0) * 100.0
+        ),
     ]);
     table.row(&[
         "geomean B5-B7".into(),
@@ -80,7 +88,10 @@ mod tests {
         for (name, t, s4, s100) in &rows[5..] {
             assert!(*t > 1.03, "{name} train speedup {t} (paper ~14%)");
             assert!(*s4 > 1.03, "{name} serve v4i speedup {s4} (paper ~16%)");
-            assert!(*s100 > 1.03, "{name} serve v100 speedup {s100} (paper ~17%)");
+            assert!(
+                *s100 > 1.03,
+                "{name} serve v100 speedup {s100} (paper ~17%)"
+            );
         }
     }
 
@@ -88,7 +99,10 @@ mod tests {
     fn family_geomean_in_paper_ballpark() {
         let rows = speedups();
         let gm = geomean(&rows.iter().map(|r| r.1).collect::<Vec<f64>>());
-        assert!((1.01..1.25).contains(&gm), "family train geomean {gm} (paper 1.05)");
+        assert!(
+            (1.01..1.25).contains(&gm),
+            "family train geomean {gm} (paper 1.05)"
+        );
     }
 
     #[test]

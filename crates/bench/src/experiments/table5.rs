@@ -14,10 +14,30 @@ pub fn space_sizes() -> Vec<(&'static str, usize, f64, f64)> {
     let tfm = VitSpace::new(VitSpaceConfig::pure());
     let hybrid = VitSpace::new(VitSpaceConfig::hybrid());
     vec![
-        ("convolutional (7 blocks)", cnn.space().num_decisions(), cnn.space().log10_size(), 39.0),
-        ("DLRM (production)", dlrm.space().num_decisions(), dlrm.space().log10_size(), 282.0),
-        ("transformer (2 TFM blocks)", tfm.space().num_decisions(), tfm.space().log10_size(), 8.0),
-        ("hybrid ViT (2 conv + 2 TFM)", hybrid.space().num_decisions(), hybrid.space().log10_size(), 21.0),
+        (
+            "convolutional (7 blocks)",
+            cnn.space().num_decisions(),
+            cnn.space().log10_size(),
+            39.0,
+        ),
+        (
+            "DLRM (production)",
+            dlrm.space().num_decisions(),
+            dlrm.space().log10_size(),
+            282.0,
+        ),
+        (
+            "transformer (2 TFM blocks)",
+            tfm.space().num_decisions(),
+            tfm.space().log10_size(),
+            8.0,
+        ),
+        (
+            "hybrid ViT (2 conv + 2 TFM)",
+            hybrid.space().num_decisions(),
+            hybrid.space().log10_size(),
+            21.0,
+        ),
     ]
 }
 
@@ -25,7 +45,12 @@ pub fn space_sizes() -> Vec<(&'static str, usize, f64, f64)> {
 pub fn run() -> String {
     let mut table = Table::new(
         "Table 5: search-space sizes",
-        &["space", "categorical decisions", "log10(candidates)", "paper log10"],
+        &[
+            "space",
+            "categorical decisions",
+            "log10(candidates)",
+            "paper log10",
+        ],
     );
     for (name, decisions, log, paper) in space_sizes() {
         table.row(&[

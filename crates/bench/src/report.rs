@@ -55,7 +55,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+            widths
+                .iter()
+                .map(|w| "-".repeat(w + 2))
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             line(&mut out, row);
@@ -92,14 +96,20 @@ pub fn seconds(s: f64) -> String {
 /// Panics on an empty slice or non-positive values.
 pub fn geomean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "geomean of nothing");
-    assert!(values.iter().all(|v| *v > 0.0), "geomean needs positive values");
+    assert!(
+        values.iter().all(|v| *v > 0.0),
+        "geomean needs positive values"
+    );
     (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
 }
 
 /// Reads a `usize` experiment knob from the environment with a default —
 /// used to scale experiments up toward paper-scale sample counts.
 pub fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 #[cfg(test)]

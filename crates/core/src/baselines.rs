@@ -9,7 +9,7 @@
 //! `ext_search_baselines` bench).
 
 use crate::reward::RewardFn;
-use crate::search::{ArchEvaluator, EvaluatedCandidate, EvalResult};
+use crate::search::{ArchEvaluator, EvalResult, EvaluatedCandidate};
 use h2o_space::{ArchSample, SearchSpace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -37,7 +37,11 @@ fn record(
 ) {
     let prev = best_so_far.last().copied().unwrap_or(f64::NEG_INFINITY);
     best_so_far.push(prev.max(reward));
-    evaluated.push(EvaluatedCandidate { sample, result, reward });
+    evaluated.push(EvaluatedCandidate {
+        sample,
+        result,
+        reward,
+    });
 }
 
 fn finish(evaluated: Vec<EvaluatedCandidate>, best_so_far: Vec<f64>) -> BaselineOutcome {
@@ -46,7 +50,11 @@ fn finish(evaluated: Vec<EvaluatedCandidate>, best_so_far: Vec<f64>) -> Baseline
         .max_by(|a, b| a.reward.partial_cmp(&b.reward).expect("no NaN rewards"))
         .expect("at least one evaluation")
         .clone();
-    BaselineOutcome { best, best_so_far, evaluated }
+    BaselineOutcome {
+        best,
+        best_so_far,
+        evaluated,
+    }
 }
 
 /// Uniform random search: `budget` independent uniform samples.
@@ -90,7 +98,12 @@ pub struct EvolutionConfig {
 
 impl Default for EvolutionConfig {
     fn default() -> Self {
-        Self { population: 32, tournament: 8, mutation_rate: 0.05, seed: 0 }
+        Self {
+            population: 32,
+            tournament: 8,
+            mutation_rate: 0.05,
+            seed: 0,
+        }
     }
 }
 
@@ -108,7 +121,10 @@ pub fn evolution_search<E: ArchEvaluator>(
     config: &EvolutionConfig,
 ) -> BaselineOutcome {
     assert!(config.population > 0, "population must be positive");
-    assert!(budget >= config.population, "budget must cover the initial population");
+    assert!(
+        budget >= config.population,
+        "budget must cover the initial population"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut evaluated = Vec::with_capacity(budget);
     let mut best_so_far = Vec::with_capacity(budget);
@@ -195,7 +211,10 @@ mod tests {
             &reward(),
             &mut e2,
             budget,
-            &EvolutionConfig { seed: 3, ..Default::default() },
+            &EvolutionConfig {
+                seed: 3,
+                ..Default::default()
+            },
         );
         assert!(
             evo.best.reward >= random.best.reward,
@@ -213,7 +232,10 @@ mod tests {
             &reward(),
             &mut eval,
             97,
-            &EvolutionConfig { population: 16, ..Default::default() },
+            &EvolutionConfig {
+                population: 16,
+                ..Default::default()
+            },
         );
         assert_eq!(outcome.evaluated.len(), 97);
     }
@@ -227,16 +249,29 @@ mod tests {
             &reward(),
             &mut eval,
             600,
-            &EvolutionConfig { seed: 9, ..Default::default() },
+            &EvolutionConfig {
+                seed: 9,
+                ..Default::default()
+            },
         );
-        assert!(outcome.best.reward >= 36.0, "reward {}", outcome.best.reward);
+        assert!(
+            outcome.best.reward >= 36.0,
+            "reward {}",
+            outcome.best.reward
+        );
     }
 
     #[test]
     #[should_panic(expected = "budget must cover")]
     fn evolution_rejects_tiny_budget() {
         let mut eval = evaluator();
-        evolution_search(&space(), &reward(), &mut eval, 4, &EvolutionConfig::default());
+        evolution_search(
+            &space(),
+            &reward(),
+            &mut eval,
+            4,
+            &EvolutionConfig::default(),
+        );
     }
 
     #[test]

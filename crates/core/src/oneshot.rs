@@ -14,9 +14,9 @@
 
 use crate::policy::{Policy, RewardBaseline};
 use crate::reward::RewardFn;
-use crate::search::{EvaluatedCandidate, EvalResult, SearchOutcome, StepRecord};
-use h2o_data::{CtrTraffic, InMemoryPipeline};
+use crate::search::{EvalResult, EvaluatedCandidate, SearchOutcome, StepRecord};
 use h2o_data::TrafficSource;
+use h2o_data::{CtrTraffic, InMemoryPipeline};
 use h2o_space::{ArchSample, DlrmSupernet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -99,13 +99,19 @@ pub fn tunas_search(
     let mut history = Vec::with_capacity(config.steps);
     let mut evaluated = Vec::with_capacity(config.steps * config.shards);
 
+    let steps_total = h2o_obs::counter("h2o_core_tunas_steps_total");
+
     for step in 0..config.steps {
+        let step_span = h2o_obs::span("tunas_step");
         // Step A: train shared weights W on the training stream.
-        for _ in 0..config.shards {
-            let batch = train_stream.next_batch(config.batch_size);
-            let sample = policy.sample(&mut rng);
-            supernet.apply_sample(&sample);
-            supernet.train_step(&batch);
+        {
+            let _weights = h2o_obs::span("weight_update");
+            for _ in 0..config.shards {
+                let batch = train_stream.next_batch(config.batch_size);
+                let sample = policy.sample(&mut rng);
+                supernet.apply_sample(&sample);
+                supernet.train_step(&batch);
+            }
         }
         // Step B: learn the policy π on the validation stream.
         let mut step_samples = Vec::with_capacity(config.shards);
@@ -113,13 +119,15 @@ pub fn tunas_search(
             let batch = valid_stream.next_batch(config.batch_size);
             let sample = policy.sample(&mut rng);
             supernet.apply_sample(&sample);
-            let (logloss, _) = supernet.evaluate(&batch);
+            let (logloss, _) = h2o_obs::time("supernet_forward", || supernet.evaluate(&batch));
             let quality = -config.quality_scale * logloss as f64;
             let perf_values = perf_of(&sample);
             step_samples.push((sample, quality, perf_values));
         }
-        let rewards: Vec<f64> =
-            step_samples.iter().map(|(_, q, p)| reward_fn.reward(*q, p)).collect();
+        let rewards: Vec<f64> = step_samples
+            .iter()
+            .map(|(_, q, p)| reward_fn.reward(*q, p))
+            .collect();
         let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
         let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let b = baseline.update(mean);
@@ -132,18 +140,29 @@ pub fn tunas_search(
         for ((sample, quality, perf_values), reward) in step_samples.into_iter().zip(rewards) {
             evaluated.push(EvaluatedCandidate {
                 sample,
-                result: EvalResult { quality, perf_values },
+                result: EvalResult {
+                    quality,
+                    perf_values,
+                },
                 reward,
             });
         }
+        steps_total.inc();
+        let step_time_ms = step_span.finish() * 1e3;
         history.push(StepRecord {
             step,
             mean_reward: mean,
             best_reward: best,
             entropy: policy.mean_entropy(),
+            step_time_ms,
         });
     }
-    SearchOutcome { best: policy.argmax(), policy, history, evaluated }
+    SearchOutcome {
+        best: policy.argmax(),
+        policy,
+        history,
+        evaluated,
+    }
 }
 
 #[cfg(test)]
@@ -164,8 +183,10 @@ mod tests {
     fn size_reward(supernet: &DlrmSupernet) -> (RewardFn, impl FnMut(&ArchSample) -> Vec<f64>) {
         let space = supernet.space().clone();
         let baseline_size = space.decode(&space.baseline()).model_size_bytes();
-        let reward =
-            RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("size", baseline_size, -2.0)]);
+        let reward = RewardFn::new(
+            RewardKind::Relu,
+            vec![PerfObjective::new("size", baseline_size, -2.0)],
+        );
         let perf = move |sample: &ArchSample| vec![space.decode(sample).model_size_bytes()];
         (reward, perf)
     }
@@ -174,7 +195,12 @@ mod tests {
     fn unified_search_runs_and_respects_pipeline_invariants() {
         let (mut supernet, pipeline) = setup();
         let (reward, perf) = size_reward(&supernet);
-        let cfg = OneShotConfig { steps: 10, shards: 2, batch_size: 32, ..Default::default() };
+        let cfg = OneShotConfig {
+            steps: 10,
+            shards: 2,
+            batch_size: 32,
+            ..Default::default()
+        };
         let outcome = unified_search(&mut supernet, &pipeline, &reward, perf, &cfg);
         assert_eq!(outcome.evaluated.len(), 20);
         let stats = pipeline.stats();
@@ -187,13 +213,23 @@ mod tests {
     fn unified_search_improves_reward() {
         let (mut supernet, pipeline) = setup();
         let (reward, perf) = size_reward(&supernet);
-        let cfg = OneShotConfig { steps: 60, shards: 4, batch_size: 64, ..Default::default() };
+        let cfg = OneShotConfig {
+            steps: 60,
+            shards: 4,
+            batch_size: 64,
+            ..Default::default()
+        };
         let outcome = unified_search(&mut supernet, &pipeline, &reward, perf, &cfg);
-        let early: f64 =
-            outcome.history[..10].iter().map(|h| h.mean_reward).sum::<f64>() / 10.0;
-        let late: f64 =
-            outcome.history[outcome.history.len() - 10..].iter().map(|h| h.mean_reward).sum::<f64>()
-                / 10.0;
+        let early: f64 = outcome.history[..10]
+            .iter()
+            .map(|h| h.mean_reward)
+            .sum::<f64>()
+            / 10.0;
+        let late: f64 = outcome.history[outcome.history.len() - 10..]
+            .iter()
+            .map(|h| h.mean_reward)
+            .sum::<f64>()
+            / 10.0;
         assert!(late > early, "reward should improve: {early} -> {late}");
     }
 
@@ -203,7 +239,12 @@ mod tests {
         let (reward, perf) = size_reward(&supernet);
         let mut train = CtrTraffic::new(CtrTrafficConfig::tiny(), 10);
         let mut valid = CtrTraffic::new(CtrTrafficConfig::tiny(), 11);
-        let cfg = OneShotConfig { steps: 10, shards: 2, batch_size: 32, ..Default::default() };
+        let cfg = OneShotConfig {
+            steps: 10,
+            shards: 2,
+            batch_size: 32,
+            ..Default::default()
+        };
         let outcome = tunas_search(&mut supernet, &mut train, &mut valid, &reward, perf, &cfg);
         assert_eq!(outcome.evaluated.len(), 20);
         // TuNAS consumes twice the batches for the same number of policy
@@ -224,7 +265,12 @@ mod tests {
         );
         let space2 = space.clone();
         let perf = move |sample: &ArchSample| vec![space2.decode(sample).model_size_bytes()];
-        let cfg = OneShotConfig { steps: 80, shards: 4, batch_size: 32, ..Default::default() };
+        let cfg = OneShotConfig {
+            steps: 80,
+            shards: 4,
+            batch_size: 32,
+            ..Default::default()
+        };
         let outcome = unified_search(&mut supernet, &pipeline, &reward, perf, &cfg);
         let final_size = space.decode(&outcome.best).model_size_bytes();
         assert!(

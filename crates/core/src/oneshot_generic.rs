@@ -12,7 +12,7 @@
 
 use crate::policy::{Policy, RewardBaseline};
 use crate::reward::RewardFn;
-use crate::search::{EvaluatedCandidate, EvalResult, SearchOutcome, StepRecord};
+use crate::search::{EvalResult, EvaluatedCandidate, SearchOutcome, StepRecord};
 use crate::OneShotConfig;
 use h2o_data::{InMemoryPipeline, TrafficSource};
 use h2o_space::{ArchSample, DlrmSupernet, SearchSpace, VisionSupernet};
@@ -103,13 +103,19 @@ where
     let mut history = Vec::with_capacity(config.steps);
     let mut evaluated = Vec::with_capacity(config.steps * config.shards);
 
+    let steps_total = h2o_obs::counter("h2o_core_oneshot_steps_total");
+    let candidates_total = h2o_obs::counter("h2o_core_candidates_evaluated_total");
+
     for step in 0..config.steps {
+        let step_span = h2o_obs::span("search_step");
         let mut shard_data = Vec::with_capacity(config.shards);
         for _ in 0..config.shards {
-            let batch = pipeline.next_batch(config.batch_size);
-            let sample = policy.sample(&mut rng);
+            let batch = h2o_obs::time("pipeline_next_batch", || {
+                pipeline.next_batch(config.batch_size)
+            });
+            let sample = h2o_obs::time("policy_sample", || policy.sample(&mut rng));
             supernet.apply_sample(&sample);
-            let raw_quality = supernet.quality(&batch.data);
+            let raw_quality = h2o_obs::time("supernet_forward", || supernet.quality(&batch.data));
             // A diverged candidate (non-finite loss) gets a hard penalty
             // instead of poisoning the policy update with NaN.
             let quality = if raw_quality.is_finite() {
@@ -118,11 +124,13 @@ where
                 -10.0 * config.quality_scale.abs().max(1.0)
             };
             pipeline.mark_policy_use(batch.seq).expect("fresh batch");
-            let perf_values = perf_of(&sample);
+            let perf_values = h2o_obs::time("reward_eval", || perf_of(&sample));
             shard_data.push((batch, sample, quality, perf_values));
         }
-        let rewards: Vec<f64> =
-            shard_data.iter().map(|(_, _, q, p)| reward_fn.reward(*q, p)).collect();
+        let rewards: Vec<f64> = shard_data
+            .iter()
+            .map(|(_, _, q, p)| reward_fn.reward(*q, p))
+            .collect();
         let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
         let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let b = baseline.update(mean);
@@ -131,27 +139,51 @@ where
             .zip(&rewards)
             .map(|((_, sample, _, _), &r)| (sample.clone(), r - b))
             .collect();
-        policy.reinforce_update(&update, config.policy_lr);
-        for ((batch, sample, quality, perf_values), reward) in
-            shard_data.into_iter().zip(rewards)
+        h2o_obs::time("policy_update", || {
+            policy.reinforce_update(&update, config.policy_lr)
+        });
         {
-            supernet.apply_sample(&sample);
-            supernet.train_step_on(&batch.data);
-            pipeline.mark_weights_use(batch.seq).expect("policy-seen batch");
-            evaluated.push(EvaluatedCandidate {
-                sample,
-                result: EvalResult { quality, perf_values },
-                reward,
-            });
+            let _weights = h2o_obs::span("weight_update");
+            for ((batch, sample, quality, perf_values), reward) in
+                shard_data.into_iter().zip(rewards)
+            {
+                supernet.apply_sample(&sample);
+                supernet.train_step_on(&batch.data);
+                pipeline
+                    .mark_weights_use(batch.seq)
+                    .expect("policy-seen batch");
+                evaluated.push(EvaluatedCandidate {
+                    sample,
+                    result: EvalResult {
+                        quality,
+                        perf_values,
+                    },
+                    reward,
+                });
+            }
         }
+        let entropy = policy.mean_entropy();
+        steps_total.inc();
+        candidates_total.add(config.shards as u64);
+        h2o_obs::gauge("h2o_core_mean_reward").set(mean);
+        h2o_obs::gauge("h2o_core_best_reward").set(best);
+        h2o_obs::gauge("h2o_core_entropy").set(entropy);
+        h2o_obs::gauge("h2o_core_baseline").set(b);
+        let step_time_ms = step_span.finish() * 1e3;
         history.push(StepRecord {
             step,
             mean_reward: mean,
             best_reward: best,
-            entropy: policy.mean_entropy(),
+            entropy,
+            step_time_ms,
         });
     }
-    SearchOutcome { best: policy.argmax(), policy, history, evaluated }
+    SearchOutcome {
+        best: policy.argmax(),
+        policy,
+        history,
+        evaluated,
+    }
 }
 
 #[cfg(test)]
@@ -216,10 +248,13 @@ mod tests {
         let mut net = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut rng);
         let pipeline = InMemoryPipeline::new(CtrTraffic::new(CtrTrafficConfig::tiny(), 9));
         let reward = RewardFn::new(RewardKind::Relu, vec![]);
-        let cfg =
-            OneShotConfig { steps: 5, shards: 2, batch_size: 32, ..Default::default() };
-        let outcome =
-            unified_search_over(&mut net, &pipeline, &reward, |_| vec![], &cfg);
+        let cfg = OneShotConfig {
+            steps: 5,
+            shards: 2,
+            batch_size: 32,
+            ..Default::default()
+        };
+        let outcome = unified_search_over(&mut net, &pipeline, &reward, |_| vec![], &cfg);
         assert_eq!(outcome.evaluated.len(), 10);
     }
 }

@@ -39,10 +39,7 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
 /// the Fig. 5b presentation ("bucketized by quality and then averaged").
 /// Returns `(bucket_midpoint_quality, mean_cost, count)` for non-empty
 /// buckets, in ascending quality order.
-pub fn bucketize_by_quality(
-    points: &[ParetoPoint],
-    num_buckets: usize,
-) -> Vec<(f64, f64, usize)> {
+pub fn bucketize_by_quality(points: &[ParetoPoint], num_buckets: usize) -> Vec<(f64, f64, usize)> {
     bucketize(points, num_buckets, |p| p.quality, |p| p.cost)
 }
 
@@ -105,7 +102,11 @@ mod tests {
     use super::*;
 
     fn p(quality: f64, cost: f64, index: usize) -> ParetoPoint {
-        ParetoPoint { quality, cost, index }
+        ParetoPoint {
+            quality,
+            cost,
+            index,
+        }
     }
 
     #[test]
@@ -136,8 +137,12 @@ mod tests {
 
     #[test]
     fn bucketize_by_quality_orders_and_averages() {
-        let points =
-            vec![p(1.0, 10.0, 0), p(1.1, 20.0, 1), p(9.0, 5.0, 2), p(9.2, 7.0, 3)];
+        let points = vec![
+            p(1.0, 10.0, 0),
+            p(1.1, 20.0, 1),
+            p(9.0, 5.0, 2),
+            p(9.2, 7.0, 3),
+        ];
         let buckets = bucketize_by_quality(&points, 2);
         assert_eq!(buckets.len(), 2);
         assert!((buckets[0].1 - 15.0).abs() < 1e-9);

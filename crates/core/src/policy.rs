@@ -35,7 +35,13 @@ pub struct Policy {
 impl Policy {
     /// A uniform policy over the space (all logits zero).
     pub fn uniform(space: &SearchSpace) -> Self {
-        Self { logits: space.decisions().iter().map(|d| vec![0.0; d.choices]).collect() }
+        Self {
+            logits: space
+                .decisions()
+                .iter()
+                .map(|d| vec![0.0; d.choices])
+                .collect(),
+        }
     }
 
     /// Number of decisions.
@@ -96,13 +102,23 @@ impl Policy {
     /// Panics if the sample shape mismatches the policy.
     pub fn log_prob(&self, sample: &ArchSample) -> f64 {
         assert_eq!(sample.len(), self.logits.len(), "sample length mismatch");
-        sample.iter().enumerate().map(|(d, &c)| self.probs(d)[c].max(1e-300).ln()).sum()
+        sample
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| self.probs(d)[c].max(1e-300).ln())
+            .sum()
     }
 
     /// Mean per-decision entropy in nats — a convergence diagnostic.
     pub fn mean_entropy(&self) -> f64 {
         let total: f64 = (0..self.logits.len())
-            .map(|d| -self.probs(d).iter().map(|p| p * p.max(1e-300).ln()).sum::<f64>())
+            .map(|d| {
+                -self
+                    .probs(d)
+                    .iter()
+                    .map(|p| p * p.max(1e-300).ln())
+                    .sum::<f64>()
+            })
             .sum();
         total / self.logits.len().max(1) as f64
     }
@@ -139,14 +155,12 @@ impl Policy {
             for (d, &chosen) in sample.iter().enumerate() {
                 let probs = self.probs(d);
                 // ∂H/∂logit_c = −p_c (log p_c + H)  for softmax policies.
-                let entropy: f64 =
-                    -probs.iter().map(|p| p * p.max(1e-300).ln()).sum::<f64>();
+                let entropy: f64 = -probs.iter().map(|p| p * p.max(1e-300).ln()).sum::<f64>();
                 let logits = &mut self.logits[d];
                 for (c, logit) in logits.iter_mut().enumerate() {
                     let indicator = if c == chosen { 1.0 } else { 0.0 };
                     let policy_grad = advantage * (indicator - probs[c]);
-                    let entropy_grad =
-                        -probs[c] * (probs[c].max(1e-300).ln() + entropy);
+                    let entropy_grad = -probs[c] * (probs[c].max(1e-300).ln() + entropy);
                     *logit += lr * (policy_grad + entropy_weight * entropy_grad);
                 }
             }
@@ -182,8 +196,10 @@ impl Policy {
             .map(|d| {
                 let logits = &self.logits[d];
                 let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let exps: Vec<f64> =
-                    logits.iter().map(|l| ((l - max) / temperature).exp()).collect();
+                let exps: Vec<f64> = logits
+                    .iter()
+                    .map(|l| ((l - max) / temperature).exp())
+                    .collect();
                 let sum: f64 = exps.iter().sum();
                 let u: f64 = rng.gen::<f64>() * sum;
                 let mut acc = 0.0;
@@ -215,7 +231,11 @@ impl RewardBaseline {
     /// Panics unless `0 ≤ momentum < 1`.
     pub fn new(momentum: f64) -> Self {
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Self { value: 0.0, momentum, initialized: false }
+        Self {
+            value: 0.0,
+            momentum,
+            initialized: false,
+        }
     }
 
     /// Current baseline value (0 until the first update).
@@ -226,7 +246,11 @@ impl RewardBaseline {
     /// Folds a new mean reward into the EMA and returns the *previous*
     /// baseline (the one advantages at this step should subtract).
     pub fn update(&mut self, mean_reward: f64) -> f64 {
-        let prev = if self.initialized { self.value } else { mean_reward };
+        let prev = if self.initialized {
+            self.value
+        } else {
+            mean_reward
+        };
         self.value = if self.initialized {
             self.momentum * self.value + (1.0 - self.momentum) * mean_reward
         } else {
@@ -279,12 +303,16 @@ mod tests {
         let mut baseline = RewardBaseline::new(0.9);
         for _ in 0..400 {
             let samples: Vec<ArchSample> = (0..8).map(|_| p.sample(&mut rng)).collect();
-            let rewards: Vec<f64> =
-                samples.iter().map(|s| if s[0] == 2 { 1.0 } else { 0.0 }).collect();
+            let rewards: Vec<f64> = samples
+                .iter()
+                .map(|s| if s[0] == 2 { 1.0 } else { 0.0 })
+                .collect();
             let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
             let b = baseline.update(mean);
-            let batch: Vec<(ArchSample, f64)> =
-                samples.into_iter().zip(rewards.iter().map(|r| r - b)).collect();
+            let batch: Vec<(ArchSample, f64)> = samples
+                .into_iter()
+                .zip(rewards.iter().map(|r| r - b))
+                .collect();
             p.reinforce_update(&batch, 0.1);
         }
         assert_eq!(p.argmax()[0], 2);
@@ -371,7 +399,12 @@ mod tests {
             let s = p.sample(&mut rng);
             p.reinforce_update_regularized(&[(s, 0.0)], 0.3, 1.0);
         }
-        assert!(p.mean_entropy() > before, "{} -> {}", before, p.mean_entropy());
+        assert!(
+            p.mean_entropy() > before,
+            "{} -> {}",
+            before,
+            p.mean_entropy()
+        );
     }
 
     #[test]
@@ -380,7 +413,9 @@ mod tests {
         p.logits[0][0] = 4.0; // strongly peaked
         let mut rng = StdRng::seed_from_u64(7);
         let count_zero = |temp: f64, rng: &mut StdRng| {
-            (0..500).filter(|_| p.sample_with_temperature(rng, temp)[0] == 0).count()
+            (0..500)
+                .filter(|_| p.sample_with_temperature(rng, temp)[0] == 0)
+                .count()
         };
         let sharp = count_zero(0.5, &mut rng);
         let flat = count_zero(8.0, &mut rng);

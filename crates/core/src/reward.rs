@@ -34,8 +34,15 @@ impl PerfObjective {
     /// Panics if `target <= 0` or `beta >= 0`.
     pub fn new(name: impl Into<String>, target: f64, beta: f64) -> Self {
         assert!(target > 0.0, "target must be positive");
-        assert!(beta < 0.0 && beta.is_finite(), "beta must be a finite negative scalar");
-        Self { name: name.into(), target, beta }
+        assert!(
+            beta < 0.0 && beta.is_finite(),
+            "beta must be a finite negative scalar"
+        );
+        Self {
+            name: name.into(),
+            target,
+            beta,
+        }
     }
 }
 
@@ -111,8 +118,15 @@ impl RewardFn {
 
     /// Whether a candidate meets every performance target.
     pub fn feasible(&self, perf_values: &[f64]) -> bool {
-        assert_eq!(perf_values.len(), self.objectives.len(), "value count mismatch");
-        self.objectives.iter().zip(perf_values).all(|(o, &v)| v <= o.target)
+        assert_eq!(
+            perf_values.len(),
+            self.objectives.len(),
+            "value count mismatch"
+        );
+        self.objectives
+            .iter()
+            .zip(perf_values)
+            .all(|(o, &v)| v <= o.target)
     }
 }
 
@@ -134,7 +148,11 @@ mod tests {
     fn relu_no_penalty_at_or_under_target() {
         let r = two_objective(RewardKind::Relu);
         assert_eq!(r.reward(80.0, &[1.0, 100.0]), 80.0);
-        assert_eq!(r.reward(80.0, &[0.2, 10.0]), 80.0, "overachievers unpenalised");
+        assert_eq!(
+            r.reward(80.0, &[0.2, 10.0]),
+            80.0,
+            "overachievers unpenalised"
+        );
     }
 
     #[test]
@@ -148,7 +166,10 @@ mod tests {
     fn absolute_penalises_overachievers() {
         let r = two_objective(RewardKind::Absolute);
         let over = r.reward(80.0, &[0.5, 100.0]); // 2x faster than target
-        assert!(over < 80.0, "absolute reward penalises being better than target");
+        assert!(
+            over < 80.0,
+            "absolute reward penalises being better than target"
+        );
         let relu = two_objective(RewardKind::Relu).reward(80.0, &[0.5, 100.0]);
         assert!(relu > over, "ReLU must dominate for overachievers");
     }

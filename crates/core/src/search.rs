@@ -59,7 +59,13 @@ pub struct SearchConfig {
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        Self { steps: 200, shards: 8, policy_lr: 0.05, baseline_momentum: 0.9, seed: 0 }
+        Self {
+            steps: 200,
+            shards: 8,
+            policy_lr: 0.05,
+            baseline_momentum: 0.9,
+            seed: 0,
+        }
     }
 }
 
@@ -74,6 +80,8 @@ pub struct StepRecord {
     pub best_reward: f64,
     /// Mean per-decision policy entropy (nats).
     pub entropy: f64,
+    /// Wall-clock duration of the step, milliseconds.
+    pub step_time_ms: f64,
 }
 
 /// One evaluated candidate with its reward.
@@ -136,8 +144,11 @@ where
     let mut history = Vec::with_capacity(config.steps);
     let mut evaluated = Vec::with_capacity(config.steps * config.shards);
     let mut evaluators: Vec<E> = (0..config.shards).map(&mut make_evaluator).collect();
+    let steps_total = h2o_obs::counter("h2o_core_search_steps_total");
+    let candidates_total = h2o_obs::counter("h2o_core_candidates_evaluated_total");
 
     for step in 0..config.steps {
+        let step_span = h2o_obs::span("search_step");
         // Stage 1: every shard samples and evaluates its own candidate, in
         // parallel (Fig. 2's per-core sample + forward pass).
         let policy_ref = &policy;
@@ -147,16 +158,23 @@ where
                 .enumerate()
                 .map(|(shard, evaluator)| {
                     scope.spawn(move |_| {
-                        let mut rng = StdRng::seed_from_u64(
-                            config.seed ^ (step as u64) << 20 ^ shard as u64,
-                        );
+                        // Per-shard counters: each crossbeam thread records
+                        // under its own label; exporters aggregate the set.
+                        let _eval_span = h2o_obs::span("shard_evaluate");
+                        h2o_obs::counter(&format!("h2o_core_shard_evals{{shard=\"{shard}\"}}"))
+                            .inc();
+                        let mut rng =
+                            StdRng::seed_from_u64(config.seed ^ (step as u64) << 20 ^ shard as u64);
                         let sample = policy_ref.sample(&mut rng);
                         let result = evaluator.evaluate(&sample);
                         (sample, result)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard panicked"))
+                .collect()
         })
         .expect("scope panicked");
 
@@ -173,15 +191,40 @@ where
             .zip(&rewards)
             .map(|((sample, _), &r)| (sample.clone(), r - b))
             .collect();
-        policy.reinforce_update(&batch, config.policy_lr);
+        h2o_obs::time("policy_update", || {
+            policy.reinforce_update(&batch, config.policy_lr)
+        });
 
-        history.push(StepRecord { step, mean_reward: mean, best_reward: best, entropy: policy.mean_entropy() });
+        let entropy = policy.mean_entropy();
+        steps_total.inc();
+        candidates_total.add(results.len() as u64);
+        h2o_obs::gauge("h2o_core_mean_reward").set(mean);
+        h2o_obs::gauge("h2o_core_best_reward").set(best);
+        h2o_obs::gauge("h2o_core_entropy").set(entropy);
+        h2o_obs::gauge("h2o_core_baseline").set(b);
+        let step_time_ms = step_span.finish() * 1e3;
+        history.push(StepRecord {
+            step,
+            mean_reward: mean,
+            best_reward: best,
+            entropy,
+            step_time_ms,
+        });
         for ((sample, result), reward) in results.into_iter().zip(rewards) {
-            evaluated.push(EvaluatedCandidate { sample, result, reward });
+            evaluated.push(EvaluatedCandidate {
+                sample,
+                result,
+                reward,
+            });
         }
     }
 
-    SearchOutcome { best: policy.argmax(), policy, history, evaluated }
+    SearchOutcome {
+        best: policy.argmax(),
+        policy,
+        history,
+        evaluated,
+    }
 }
 
 #[cfg(test)]
@@ -210,23 +253,39 @@ mod tests {
     }
 
     fn reward() -> RewardFn {
-        RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("time", 1.5, -8.0)])
+        RewardFn::new(
+            RewardKind::Relu,
+            vec![PerfObjective::new("time", 1.5, -8.0)],
+        )
     }
 
     #[test]
     fn search_finds_pareto_sweet_spot() {
-        let cfg = SearchConfig { steps: 300, shards: 8, policy_lr: 0.08, ..Default::default() };
+        let cfg = SearchConfig {
+            steps: 300,
+            shards: 8,
+            policy_lr: 0.08,
+            ..Default::default()
+        };
         let outcome = parallel_search(&space(), &reward(), toy_evaluator, &cfg);
         // Width 4 hits the time target exactly (0.5 + 0.25*4 = 1.5); higher
         // widths get penalised at β = −8 per unit deviation. Depth is free,
         // so it should max out.
-        assert!(outcome.best[0] >= 3 && outcome.best[0] <= 5, "width {:?}", outcome.best);
+        assert!(
+            outcome.best[0] >= 3 && outcome.best[0] <= 5,
+            "width {:?}",
+            outcome.best
+        );
         assert_eq!(outcome.best[1], 3, "free quality dimension must max out");
     }
 
     #[test]
     fn entropy_decreases_over_search() {
-        let cfg = SearchConfig { steps: 150, shards: 4, ..Default::default() };
+        let cfg = SearchConfig {
+            steps: 150,
+            shards: 4,
+            ..Default::default()
+        };
         let outcome = parallel_search(&space(), &reward(), toy_evaluator, &cfg);
         let first = outcome.history.first().unwrap().entropy;
         let last = outcome.history.last().unwrap().entropy;
@@ -235,7 +294,11 @@ mod tests {
 
     #[test]
     fn all_candidates_recorded() {
-        let cfg = SearchConfig { steps: 10, shards: 3, ..Default::default() };
+        let cfg = SearchConfig {
+            steps: 10,
+            shards: 3,
+            ..Default::default()
+        };
         let outcome = parallel_search(&space(), &reward(), toy_evaluator, &cfg);
         assert_eq!(outcome.evaluated.len(), 30);
         assert!(outcome.best_evaluated().is_some());
@@ -243,16 +306,29 @@ mod tests {
 
     #[test]
     fn search_is_deterministic_for_fixed_seed() {
-        let cfg = SearchConfig { steps: 20, shards: 4, seed: 42, ..Default::default() };
+        let cfg = SearchConfig {
+            steps: 20,
+            shards: 4,
+            seed: 42,
+            ..Default::default()
+        };
         let a = parallel_search(&space(), &reward(), toy_evaluator, &cfg);
         let b = parallel_search(&space(), &reward(), toy_evaluator, &cfg);
         assert_eq!(a.best, b.best);
-        assert_eq!(a.history.last().unwrap().mean_reward, b.history.last().unwrap().mean_reward);
+        assert_eq!(
+            a.history.last().unwrap().mean_reward,
+            b.history.last().unwrap().mean_reward
+        );
     }
 
     #[test]
     fn different_seeds_explore_differently() {
-        let cfg = SearchConfig { steps: 5, shards: 2, seed: 1, ..Default::default() };
+        let cfg = SearchConfig {
+            steps: 5,
+            shards: 2,
+            seed: 1,
+            ..Default::default()
+        };
         let a = parallel_search(&space(), &reward(), toy_evaluator, &cfg);
         let cfg2 = SearchConfig { seed: 2, ..cfg };
         let b = parallel_search(&space(), &reward(), toy_evaluator, &cfg2);
@@ -265,17 +341,35 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
-        let cfg = SearchConfig { shards: 0, ..Default::default() };
+        let cfg = SearchConfig {
+            shards: 0,
+            ..Default::default()
+        };
         parallel_search(&space(), &reward(), toy_evaluator, &cfg);
     }
 
     #[test]
     fn more_shards_same_steps_converges_at_least_as_well() {
-        let narrow = SearchConfig { steps: 120, shards: 2, seed: 7, ..Default::default() };
-        let wide = SearchConfig { steps: 120, shards: 16, seed: 7, ..Default::default() };
+        let narrow = SearchConfig {
+            steps: 120,
+            shards: 2,
+            seed: 7,
+            ..Default::default()
+        };
+        let wide = SearchConfig {
+            steps: 120,
+            shards: 16,
+            seed: 7,
+            ..Default::default()
+        };
         let a = parallel_search(&space(), &reward(), toy_evaluator, &narrow);
         let b = parallel_search(&space(), &reward(), toy_evaluator, &wide);
         let final_of = |o: &SearchOutcome| o.history.last().unwrap().mean_reward;
-        assert!(final_of(&b) >= final_of(&a) - 0.5, "{} vs {}", final_of(&a), final_of(&b));
+        assert!(
+            final_of(&b) >= final_of(&a) - 0.5,
+            "{} vs {}",
+            final_of(&a),
+            final_of(&b)
+        );
     }
 }

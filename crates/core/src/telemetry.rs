@@ -12,15 +12,20 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
-/// Renders per-step telemetry (`step, mean_reward, best_reward, entropy`)
-/// as CSV.
+/// Renders per-step telemetry
+/// (`step, mean_reward, best_reward, entropy, step_time_ms`) as CSV. The
+/// timing column is fed by the span timers around each search step.
 pub fn history_csv(outcome: &SearchOutcome) -> String {
-    let mut out = String::from("step,mean_reward,best_reward,entropy\n");
+    let mut out = String::from("step,mean_reward,best_reward,entropy,step_time_ms\n");
     for record in &outcome.history {
         let _ = writeln!(
             out,
-            "{},{},{},{}",
-            record.step, record.mean_reward, record.best_reward, record.entropy
+            "{},{},{},{},{}",
+            record.step,
+            record.mean_reward,
+            record.best_reward,
+            record.entropy,
+            record.step_time_ms
         );
     }
     out
@@ -30,8 +35,11 @@ pub fn history_csv(outcome: &SearchOutcome) -> String {
 /// (`reward, quality, perf_0..perf_{n-1}, sample`) as CSV. The sample is
 /// encoded as `/`-joined choice indices so it stays a single CSV field.
 pub fn candidates_csv(outcome: &SearchOutcome) -> String {
-    let n_perf =
-        outcome.evaluated.first().map(|c| c.result.perf_values.len()).unwrap_or(0);
+    let n_perf = outcome
+        .evaluated
+        .first()
+        .map(|c| c.result.perf_values.len())
+        .unwrap_or(0);
     let mut out = String::from("reward,quality");
     for i in 0..n_perf {
         let _ = write!(out, ",perf_{i}");
@@ -72,6 +80,16 @@ mod tests {
     use crate::Policy;
     use h2o_space::{Decision, SearchSpace};
 
+    /// A per-test temp dir: process id + test name, so parallel test
+    /// binaries and in-process test threads never collide.
+    fn unique_temp_dir(test_name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "h2o_telemetry_{}_{}",
+            std::process::id(),
+            test_name
+        ))
+    }
+
     fn outcome() -> SearchOutcome {
         let mut space = SearchSpace::new("t");
         space.push(Decision::new("a", 3));
@@ -79,12 +97,27 @@ mod tests {
             best: vec![1],
             policy: Policy::uniform(&space),
             history: vec![
-                StepRecord { step: 0, mean_reward: 1.0, best_reward: 2.0, entropy: 1.1 },
-                StepRecord { step: 1, mean_reward: 1.5, best_reward: 2.5, entropy: 0.9 },
+                StepRecord {
+                    step: 0,
+                    mean_reward: 1.0,
+                    best_reward: 2.0,
+                    entropy: 1.1,
+                    step_time_ms: 12.5,
+                },
+                StepRecord {
+                    step: 1,
+                    mean_reward: 1.5,
+                    best_reward: 2.5,
+                    entropy: 0.9,
+                    step_time_ms: 11.0,
+                },
             ],
             evaluated: vec![EvaluatedCandidate {
                 sample: vec![2],
-                result: EvalResult { quality: 9.0, perf_values: vec![0.5, 100.0] },
+                result: EvalResult {
+                    quality: 9.0,
+                    perf_values: vec![0.5, 100.0],
+                },
                 reward: 8.5,
             }],
         }
@@ -95,8 +128,12 @@ mod tests {
         let csv = history_csv(&outcome());
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0], "step,mean_reward,best_reward,entropy");
+        assert_eq!(
+            lines[0],
+            "step,mean_reward,best_reward,entropy,step_time_ms"
+        );
         assert!(lines[1].starts_with("0,1,2,"));
+        assert!(lines[1].ends_with(",12.5"));
     }
 
     #[test]
@@ -109,12 +146,24 @@ mod tests {
 
     #[test]
     fn write_csvs_creates_both_files() {
-        let dir = std::env::temp_dir().join("h2o_telemetry_test");
+        let dir = unique_temp_dir("write_csvs_creates_both_files");
         std::fs::create_dir_all(&dir).unwrap();
         let stem = dir.join("run1");
         write_csvs(&outcome(), &stem).unwrap();
         assert!(dir.join("run1_history.csv").exists());
         assert!(dir.join("run1_candidates.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn written_history_round_trips_the_timing_column() {
+        let dir = unique_temp_dir("written_history_round_trips_the_timing_column");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("run2");
+        write_csvs(&outcome(), &stem).unwrap();
+        let text = std::fs::read_to_string(dir.join("run2_history.csv")).unwrap();
+        assert!(text.starts_with("step,mean_reward,best_reward,entropy,step_time_ms\n"));
+        assert!(text.contains(",12.5\n"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -39,8 +39,6 @@ mod pipeline;
 mod stats;
 mod traffic;
 
-pub use stats::{RuntimeStats, TableAccessStats};
 pub use pipeline::{InMemoryPipeline, PipelineError, PipelineStats, StampedBatch};
-pub use traffic::{
-    CtrTraffic, CtrTrafficConfig, TrafficSource, VisionBatch, VisionTraffic, Zipf,
-};
+pub use stats::{RuntimeStats, TableAccessStats};
+pub use traffic::{CtrTraffic, CtrTrafficConfig, TrafficSource, VisionBatch, VisionTraffic, Zipf};

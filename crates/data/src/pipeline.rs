@@ -53,7 +53,10 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::UnknownBatch(s) => write!(f, "unknown or completed batch {s}"),
             PipelineError::WeightsBeforePolicy(s) => {
-                write!(f, "batch {s} offered to weight training before policy learning")
+                write!(
+                    f,
+                    "batch {s} offered to weight training before policy learning"
+                )
             }
             PipelineError::AlreadyUsed(s) => write!(f, "batch {s} already consumed in this role"),
         }
@@ -111,7 +114,9 @@ impl<S: TrafficSource> fmt::Debug for InMemoryPipeline<S> {
 
 impl<S: TrafficSource> Clone for InMemoryPipeline<S> {
     fn clone(&self) -> Self {
-        Self { inner: Arc::clone(&self.inner) }
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -137,6 +142,8 @@ impl<S: TrafficSource> InMemoryPipeline<S> {
         inner.states.insert(seq, BatchState::Produced);
         inner.stats.produced += 1;
         inner.stats.examples += n as u64;
+        h2o_obs::counter("h2o_data_batches_served_total").inc();
+        h2o_obs::counter("h2o_data_samples_consumed_total").add(n as u64);
         StampedBatch { seq, data }
     }
 
@@ -149,13 +156,19 @@ impl<S: TrafficSource> InMemoryPipeline<S> {
     pub fn mark_policy_use(&self, seq: u64) -> Result<(), PipelineError> {
         let mut inner = self.inner.lock();
         match inner.states.get(&seq).copied() {
-            None => Err(PipelineError::UnknownBatch(seq)),
+            None => {
+                h2o_obs::counter("h2o_data_audit_violations_total").inc();
+                Err(PipelineError::UnknownBatch(seq))
+            }
             Some(BatchState::Produced) => {
                 inner.states.insert(seq, BatchState::PolicyUsed);
                 inner.stats.policy_used += 1;
                 Ok(())
             }
-            Some(_) => Err(PipelineError::AlreadyUsed(seq)),
+            Some(_) => {
+                h2o_obs::counter("h2o_data_audit_violations_total").inc();
+                Err(PipelineError::AlreadyUsed(seq))
+            }
         }
     }
 
@@ -170,8 +183,14 @@ impl<S: TrafficSource> InMemoryPipeline<S> {
     pub fn mark_weights_use(&self, seq: u64) -> Result<(), PipelineError> {
         let mut inner = self.inner.lock();
         match inner.states.get(&seq).copied() {
-            None => Err(PipelineError::UnknownBatch(seq)),
-            Some(BatchState::Produced) => Err(PipelineError::WeightsBeforePolicy(seq)),
+            None => {
+                h2o_obs::counter("h2o_data_audit_violations_total").inc();
+                Err(PipelineError::UnknownBatch(seq))
+            }
+            Some(BatchState::Produced) => {
+                h2o_obs::counter("h2o_data_audit_violations_total").inc();
+                Err(PipelineError::WeightsBeforePolicy(seq))
+            }
             Some(BatchState::PolicyUsed) => {
                 // Lifecycle complete: drop the record — no trace of the
                 // batch remains (the privacy posture of §3).
@@ -220,7 +239,10 @@ mod tests {
     fn weights_before_policy_rejected() {
         let p = pipeline();
         let b = p.next_batch(8);
-        assert_eq!(p.mark_weights_use(b.seq), Err(PipelineError::WeightsBeforePolicy(b.seq)));
+        assert_eq!(
+            p.mark_weights_use(b.seq),
+            Err(PipelineError::WeightsBeforePolicy(b.seq))
+        );
     }
 
     #[test]
@@ -228,7 +250,10 @@ mod tests {
         let p = pipeline();
         let b = p.next_batch(8);
         p.mark_policy_use(b.seq).unwrap();
-        assert_eq!(p.mark_policy_use(b.seq), Err(PipelineError::AlreadyUsed(b.seq)));
+        assert_eq!(
+            p.mark_policy_use(b.seq),
+            Err(PipelineError::AlreadyUsed(b.seq))
+        );
     }
 
     #[test]
@@ -237,7 +262,10 @@ mod tests {
         let b = p.next_batch(8);
         p.mark_policy_use(b.seq).unwrap();
         p.mark_weights_use(b.seq).unwrap();
-        assert_eq!(p.mark_weights_use(b.seq), Err(PipelineError::UnknownBatch(b.seq)));
+        assert_eq!(
+            p.mark_weights_use(b.seq),
+            Err(PipelineError::UnknownBatch(b.seq))
+        );
     }
 
     #[test]
@@ -287,6 +315,8 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(PipelineError::WeightsBeforePolicy(5).to_string().contains("before policy"));
+        assert!(PipelineError::WeightsBeforePolicy(5)
+            .to_string()
+            .contains("before policy"));
     }
 }

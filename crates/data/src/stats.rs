@@ -42,7 +42,10 @@ impl RuntimeStats {
     where
         S: TrafficSource<Batch = DlrmBatch>,
     {
-        assert!(batches > 0 && batch_size > 0, "need a positive sample budget");
+        assert!(
+            batches > 0 && batch_size > 0,
+            "need a positive sample budget"
+        );
         let mut counters: Vec<std::collections::HashMap<usize, u64>> = Vec::new();
         let mut totals: Vec<u64> = Vec::new();
         let mut examples = 0usize;
@@ -72,7 +75,11 @@ impl RuntimeStats {
                 let hot: u64 = counts.iter().take(hot_n).sum();
                 TableAccessStats {
                     ids_per_example: total as f64 / examples.max(1) as f64,
-                    hot_fraction: if total > 0 { hot as f64 / total as f64 } else { 0.0 },
+                    hot_fraction: if total > 0 {
+                        hot as f64 / total as f64
+                    } else {
+                        0.0
+                    },
                     unique_ids: counter.len(),
                 }
             })
@@ -119,7 +126,11 @@ mod tests {
         // Zipf(1.1) traffic: the hottest ~1% of ids should carry a clearly
         // super-proportional share of lookups.
         for (i, t) in stats.tables.iter().enumerate() {
-            assert!(t.hot_fraction > 0.05, "table {i}: hot fraction {}", t.hot_fraction);
+            assert!(
+                t.hot_fraction > 0.05,
+                "table {i}: hot fraction {}",
+                t.hot_fraction
+            );
             assert!(t.unique_ids > 1);
         }
     }

@@ -62,7 +62,10 @@ impl Zipf {
     /// Samples an id in `0..vocab`.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let u: f64 = rng.gen();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         }
     }
@@ -136,8 +139,9 @@ impl CtrTraffic {
             .iter()
             .map(|&v| (0..v).map(|_| truth_rng.gen_range(-1.0..1.0f32)).collect())
             .collect();
-        let dense_weights =
-            (0..config.dense_features).map(|_| truth_rng.gen_range(-1.0..1.0f32)).collect();
+        let dense_weights = (0..config.dense_features)
+            .map(|_| truth_rng.gen_range(-1.0..1.0f32))
+            .collect();
         let zipfs = config
             .table_vocabs
             .iter()
@@ -168,8 +172,9 @@ impl TrafficSource for CtrTraffic {
     type Batch = DlrmBatch;
 
     fn next_batch(&mut self, n: usize) -> DlrmBatch {
-        let dense =
-            Matrix::from_fn(n, self.config.dense_features, |_, _| self.rng.gen_range(-1.0..1.0));
+        let dense = Matrix::from_fn(n, self.config.dense_features, |_, _| {
+            self.rng.gen_range(-1.0..1.0)
+        });
         let mut sparse: Vec<Vec<Vec<usize>>> =
             vec![Vec::with_capacity(n); self.config.table_vocabs.len()];
         let mut labels = Vec::with_capacity(n);
@@ -195,7 +200,11 @@ impl TrafficSource for CtrTraffic {
             labels.push(if self.rng.gen::<f32>() < p { 1.0 } else { 0.0 });
         }
         self.produced += n as u64;
-        DlrmBatch { dense, sparse, labels }
+        DlrmBatch {
+            dense,
+            sparse,
+            labels,
+        }
     }
 }
 
@@ -247,7 +256,11 @@ impl VisionTraffic {
         assert!(classes > 0 && features > 0, "need classes and features");
         let mut truth_rng = StdRng::seed_from_u64(truth_seed ^ 0xdead_beef);
         let prototypes = Matrix::from_fn(classes, features, |_, _| truth_rng.gen_range(-1.0..1.0));
-        Self { prototypes, noise, rng: StdRng::seed_from_u64(stream_seed) }
+        Self {
+            prototypes,
+            noise,
+            rng: StdRng::seed_from_u64(stream_seed),
+        }
     }
 
     /// Number of classes.
@@ -268,11 +281,14 @@ impl TrafficSource for VisionTraffic {
             let c = self.rng.gen_range(0..classes);
             labels.push(c);
             for f in 0..features {
-                let v = self.prototypes.get(c, f) + self.rng.gen_range(-1.0..1.0) * self.noise;
+                let v = self.prototypes.get(c, f) + self.rng.gen_range(-1.0f32..1.0) * self.noise;
                 x.set(i, f, v);
             }
         }
-        VisionBatch { features: x, labels }
+        VisionBatch {
+            features: x,
+            labels,
+        }
     }
 }
 
@@ -330,7 +346,10 @@ mod tests {
         let mut s = CtrTraffic::new(CtrTrafficConfig::tiny(), 5);
         let a = s.next_batch(8);
         let b = s.next_batch(8);
-        assert_ne!(a.dense, b.dense, "use-once property: fresh data every batch");
+        assert_ne!(
+            a.dense, b.dense,
+            "use-once property: fresh data every batch"
+        );
     }
 
     #[test]

@@ -22,15 +22,30 @@ pub struct ActDesc {
 
 impl ActDesc {
     /// `max(0, x)`.
-    pub const RELU: ActDesc = ActDesc { label: "relu", ops_per_elem: 1.0 };
+    pub const RELU: ActDesc = ActDesc {
+        label: "relu",
+        ops_per_elem: 1.0,
+    };
     /// `x · sigmoid(x)`.
-    pub const SWISH: ActDesc = ActDesc { label: "swish", ops_per_elem: 10.0 };
+    pub const SWISH: ActDesc = ActDesc {
+        label: "swish",
+        ops_per_elem: 10.0,
+    };
     /// Gaussian error linear unit.
-    pub const GELU: ActDesc = ActDesc { label: "gelu", ops_per_elem: 14.0 };
+    pub const GELU: ActDesc = ActDesc {
+        label: "gelu",
+        ops_per_elem: 14.0,
+    };
     /// `max(0, x)²` — the CoAtNet-H activation (Table 3).
-    pub const SQUARED_RELU: ActDesc = ActDesc { label: "squared_relu", ops_per_elem: 2.0 };
+    pub const SQUARED_RELU: ActDesc = ActDesc {
+        label: "squared_relu",
+        ops_per_elem: 2.0,
+    };
     /// Logistic sigmoid.
-    pub const SIGMOID: ActDesc = ActDesc { label: "sigmoid", ops_per_elem: 8.0 };
+    pub const SIGMOID: ActDesc = ActDesc {
+        label: "sigmoid",
+        ops_per_elem: 8.0,
+    };
 }
 
 /// Configuration of an (optionally fused) MBConv block — Fig. 4a.
@@ -83,7 +98,11 @@ impl MbConvConfig {
 
 fn elementwise(g: &mut Graph, elems: usize, act: ActDesc, input: NodeId) -> NodeId {
     g.add(
-        OpKind::Elementwise { elems, ops_per_elem: act.ops_per_elem, label: act.label.into() },
+        OpKind::Elementwise {
+            elems,
+            ops_per_elem: act.ops_per_elem,
+            label: act.label.into(),
+        },
         &[input],
     )
 }
@@ -92,12 +111,32 @@ fn squeeze_excite(g: &mut Graph, cfg: &MbConvConfig, c_mid: usize, input: NodeId
     let (ho, wo) = cfg.out_hw();
     let se_c = ((c_mid as f64 * cfg.se_ratio).round() as usize).max(1);
     let pooled = g.add(
-        OpKind::Pool { batch: cfg.batch, h: ho, w: wo, c: c_mid, window: ho.max(1) },
+        OpKind::Pool {
+            batch: cfg.batch,
+            h: ho,
+            w: wo,
+            c: c_mid,
+            window: ho.max(1),
+        },
         &[input],
     );
-    let squeeze = g.add(OpKind::MatMul { m: cfg.batch, k: c_mid, n: se_c }, &[pooled]);
+    let squeeze = g.add(
+        OpKind::MatMul {
+            m: cfg.batch,
+            k: c_mid,
+            n: se_c,
+        },
+        &[pooled],
+    );
     let act = elementwise(g, cfg.batch * se_c, cfg.act, squeeze);
-    let excite = g.add(OpKind::MatMul { m: cfg.batch, k: se_c, n: c_mid }, &[act]);
+    let excite = g.add(
+        OpKind::MatMul {
+            m: cfg.batch,
+            k: se_c,
+            n: c_mid,
+        },
+        &[act],
+    );
     let gate = elementwise(g, cfg.batch * c_mid, ActDesc::SIGMOID, excite);
     // Broadcast-multiply the gate over the feature map.
     g.add(
@@ -262,15 +301,40 @@ pub fn transformer_block(g: &mut Graph, cfg: &TransformerConfig, input: NodeId) 
     let proj_n = ((cfg.hidden as f64 * cfg.low_rank).round() as usize).max(1);
     // Pre-norm.
     let mut x = g.add(
-        OpKind::Elementwise { elems: tokens * cfg.hidden, ops_per_elem: 4.0, label: "layer_norm".into() },
+        OpKind::Elementwise {
+            elems: tokens * cfg.hidden,
+            ops_per_elem: 4.0,
+            label: "layer_norm".into(),
+        },
         &[input],
     );
     // QKV projections (possibly low-rank: hidden -> r -> hidden pairs).
     let qkv = if cfg.low_rank < 1.0 {
-        let down = g.add(OpKind::MatMul { m: tokens, k: cfg.hidden, n: 3 * proj_n }, &[x]);
-        g.add(OpKind::MatMul { m: tokens, k: 3 * proj_n, n: 3 * cfg.hidden }, &[down])
+        let down = g.add(
+            OpKind::MatMul {
+                m: tokens,
+                k: cfg.hidden,
+                n: 3 * proj_n,
+            },
+            &[x],
+        );
+        g.add(
+            OpKind::MatMul {
+                m: tokens,
+                k: 3 * proj_n,
+                n: 3 * cfg.hidden,
+            },
+            &[down],
+        )
     } else {
-        g.add(OpKind::MatMul { m: tokens, k: cfg.hidden, n: 3 * cfg.hidden }, &[x])
+        g.add(
+            OpKind::MatMul {
+                m: tokens,
+                k: cfg.hidden,
+                n: 3 * cfg.hidden,
+            },
+            &[x],
+        )
     };
     x = qkv;
     if cfg.primer_dconv {
@@ -290,7 +354,12 @@ pub fn transformer_block(g: &mut Graph, cfg: &TransformerConfig, input: NodeId) 
     }
     // Attention scores and weighted values.
     let scores = g.add(
-        OpKind::BatchedMatMul { batches: cfg.batch * cfg.heads, m: cfg.seq, k: head_dim, n: cfg.seq },
+        OpKind::BatchedMatMul {
+            batches: cfg.batch * cfg.heads,
+            m: cfg.seq,
+            k: head_dim,
+            n: cfg.seq,
+        },
         &[x],
     );
     let softmax = g.add(
@@ -302,24 +371,62 @@ pub fn transformer_block(g: &mut Graph, cfg: &TransformerConfig, input: NodeId) 
         &[scores],
     );
     let attend = g.add(
-        OpKind::BatchedMatMul { batches: cfg.batch * cfg.heads, m: cfg.seq, k: cfg.seq, n: head_dim },
+        OpKind::BatchedMatMul {
+            batches: cfg.batch * cfg.heads,
+            m: cfg.seq,
+            k: cfg.seq,
+            n: head_dim,
+        },
         &[softmax],
     );
-    let out_proj = g.add(OpKind::MatMul { m: tokens, k: cfg.hidden, n: cfg.hidden }, &[attend]);
+    let out_proj = g.add(
+        OpKind::MatMul {
+            m: tokens,
+            k: cfg.hidden,
+            n: cfg.hidden,
+        },
+        &[attend],
+    );
     let res1 = g.add(
-        OpKind::Elementwise { elems: tokens * cfg.hidden, ops_per_elem: 1.0, label: "residual_add".into() },
+        OpKind::Elementwise {
+            elems: tokens * cfg.hidden,
+            ops_per_elem: 1.0,
+            label: "residual_add".into(),
+        },
         &[out_proj, input],
     );
     // FFN.
     let norm2 = g.add(
-        OpKind::Elementwise { elems: tokens * cfg.hidden, ops_per_elem: 4.0, label: "layer_norm".into() },
+        OpKind::Elementwise {
+            elems: tokens * cfg.hidden,
+            ops_per_elem: 4.0,
+            label: "layer_norm".into(),
+        },
         &[res1],
     );
-    let ffn1 = g.add(OpKind::MatMul { m: tokens, k: cfg.hidden, n: cfg.ffn }, &[norm2]);
+    let ffn1 = g.add(
+        OpKind::MatMul {
+            m: tokens,
+            k: cfg.hidden,
+            n: cfg.ffn,
+        },
+        &[norm2],
+    );
     let act = elementwise(g, tokens * cfg.ffn, cfg.act, ffn1);
-    let ffn2 = g.add(OpKind::MatMul { m: tokens, k: cfg.ffn, n: cfg.hidden }, &[act]);
+    let ffn2 = g.add(
+        OpKind::MatMul {
+            m: tokens,
+            k: cfg.ffn,
+            n: cfg.hidden,
+        },
+        &[act],
+    );
     g.add(
-        OpKind::Elementwise { elems: tokens * cfg.hidden, ops_per_elem: 1.0, label: "residual_add".into() },
+        OpKind::Elementwise {
+            elems: tokens * cfg.hidden,
+            ops_per_elem: 1.0,
+            label: "residual_add".into(),
+        },
         &[ffn2, res1],
     )
 }
@@ -367,7 +474,10 @@ mod tests {
         let mut g2 = Graph::new("fmbc", DType::Bf16);
         let i2 = g2.add(OpKind::Reshape { elems: 1 }, &[]);
         fused_mbconv(&mut g2, &cfg, i2);
-        assert!(g1.total_flops() < g2.total_flops(), "MBConv must have less total compute");
+        assert!(
+            g1.total_flops() < g2.total_flops(),
+            "MBConv must have less total compute"
+        );
     }
 
     #[test]
@@ -415,7 +525,11 @@ mod tests {
         let mut g = Graph::new("t", DType::Bf16);
         let i = g.add(OpKind::Reshape { elems: 1 }, &[]);
         mbconv(&mut g, &cfg, i);
-        let convs = g.nodes().iter().filter(|n| n.kind.label() == "conv2d").count();
+        let convs = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.label() == "conv2d")
+            .count();
         assert_eq!(convs, 1, "only the projection conv remains");
     }
 
@@ -477,7 +591,10 @@ mod tests {
             let mut g = Graph::new("t", DType::Bf16);
             let i = g.add(OpKind::Reshape { elems: 1 }, &[]);
             transformer_block(&mut g, cfg, i);
-            g.nodes().iter().filter(|n| n.kind.label() == "depthwise_conv2d").count()
+            g.nodes()
+                .iter()
+                .filter(|n| n.kind.label() == "depthwise_conv2d")
+                .count()
         };
         assert_eq!(count(&cfg), 0);
         cfg.primer_dconv = true;
@@ -488,8 +605,20 @@ mod tests {
     fn mlp_stack_builds_one_matmul_per_layer_full_rank() {
         let mut g = Graph::new("t", DType::Bf16);
         let i = g.add(OpKind::Reshape { elems: 1 }, &[]);
-        mlp_stack(&mut g, 256, 128, &[512, 256, 1], &[1.0, 1.0, 1.0], ActDesc::RELU, i);
-        let matmuls = g.nodes().iter().filter(|n| n.kind.label() == "matmul").count();
+        mlp_stack(
+            &mut g,
+            256,
+            128,
+            &[512, 256, 1],
+            &[1.0, 1.0, 1.0],
+            ActDesc::RELU,
+            i,
+        );
+        let matmuls = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.label() == "matmul")
+            .count();
         assert_eq!(matmuls, 3);
     }
 
@@ -498,7 +627,11 @@ mod tests {
         let mut g = Graph::new("t", DType::Bf16);
         let i = g.add(OpKind::Reshape { elems: 1 }, &[]);
         mlp_stack(&mut g, 256, 128, &[512], &[0.25], ActDesc::RELU, i);
-        let matmuls = g.nodes().iter().filter(|n| n.kind.label() == "matmul").count();
+        let matmuls = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.label() == "matmul")
+            .count();
         assert_eq!(matmuls, 2);
     }
 

@@ -55,7 +55,11 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph.
     pub fn new(name: impl Into<String>, dtype: DType) -> Self {
-        Self { name: name.into(), dtype, nodes: Vec::new() }
+        Self {
+            name: name.into(),
+            dtype,
+            nodes: Vec::new(),
+        }
     }
 
     /// Graph name (model identifier in reports).
@@ -105,7 +109,12 @@ impl Graph {
         for &input in inputs {
             assert!(input.0 < self.nodes.len(), "input {input:?} not yet added");
         }
-        self.nodes.push(Node { id, kind, inputs: inputs.to_vec(), fused: false });
+        self.nodes.push(Node {
+            id,
+            kind,
+            inputs: inputs.to_vec(),
+            fused: false,
+        });
         id
     }
 
@@ -220,8 +229,11 @@ impl Graph {
         for node in &self.nodes {
             let t = node_time(node.id);
             assert!(t >= 0.0, "negative node time for {:?}", node.id);
-            let start =
-                node.inputs.iter().map(|i| finish[i.0]).fold(0.0f64, f64::max);
+            let start = node
+                .inputs
+                .iter()
+                .map(|i| finish[i.0])
+                .fold(0.0f64, f64::max);
             finish[node.id.0] = start + t;
             max_finish = max_finish.max(finish[node.id.0]);
         }
@@ -230,13 +242,19 @@ impl Graph {
 
     /// Per-branch finish times of the graph's sink nodes, labelled by op.
     /// Useful for Fig. 8-style embedding-vs-MLP breakdowns.
-    pub fn sink_finish_times(&self, mut node_time: impl FnMut(NodeId) -> f64) -> Vec<(NodeId, f64)> {
+    pub fn sink_finish_times(
+        &self,
+        mut node_time: impl FnMut(NodeId) -> f64,
+    ) -> Vec<(NodeId, f64)> {
         let mut finish = vec![0.0f64; self.nodes.len()];
         let mut has_consumer = vec![false; self.nodes.len()];
         for node in &self.nodes {
             let t = node_time(node.id);
-            let start =
-                node.inputs.iter().map(|i| finish[i.0]).fold(0.0f64, f64::max);
+            let start = node
+                .inputs
+                .iter()
+                .map(|i| finish[i.0])
+                .fold(0.0f64, f64::max);
             finish[node.id.0] = start + t;
             for input in &node.inputs {
                 has_consumer[input.0] = true;
@@ -255,7 +273,11 @@ mod tests {
     use super::*;
 
     fn ew(elems: usize) -> OpKind {
-        OpKind::Elementwise { elems, ops_per_elem: 1.0, label: "relu".into() }
+        OpKind::Elementwise {
+            elems,
+            ops_per_elem: 1.0,
+            label: "relu".into(),
+        }
     }
 
     #[test]

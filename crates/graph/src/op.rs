@@ -254,10 +254,24 @@ impl OpKind {
                     ..OpCost::default()
                 }
             }
-            OpKind::Conv2d { batch, h, w, c_in, c_out, kh, kw, stride } => {
+            OpKind::Conv2d {
+                batch,
+                h,
+                w,
+                c_in,
+                c_out,
+                kh,
+                kw,
+                stride,
+            } => {
                 let (ho, wo) = (h.div_ceil(stride) as f64, w.div_ceil(stride) as f64);
-                let (b, ci, co, kh_f, kw_f) =
-                    (batch as f64, c_in as f64, c_out as f64, kh as f64, kw as f64);
+                let (b, ci, co, kh_f, kw_f) = (
+                    batch as f64,
+                    c_in as f64,
+                    c_out as f64,
+                    kh as f64,
+                    kw as f64,
+                );
                 let weight = kh_f * kw_f * ci * co;
                 OpCost {
                     flops: 2.0 * b * ho * wo * co * ci * kh_f * kw_f,
@@ -268,7 +282,15 @@ impl OpKind {
                     ..OpCost::default()
                 }
             }
-            OpKind::DepthwiseConv2d { batch, h, w, c, kh, kw, stride } => {
+            OpKind::DepthwiseConv2d {
+                batch,
+                h,
+                w,
+                c,
+                kh,
+                kw,
+                stride,
+            } => {
                 let (ho, wo) = (h.div_ceil(stride) as f64, w.div_ceil(stride) as f64);
                 let (b, c_f, kh_f, kw_f) = (batch as f64, c as f64, kh as f64, kw as f64);
                 let weight = kh_f * kw_f * c_f;
@@ -284,7 +306,11 @@ impl OpKind {
                     ..OpCost::default()
                 }
             }
-            OpKind::EmbeddingLookup { lookups, width, vocab } => {
+            OpKind::EmbeddingLookup {
+                lookups,
+                width,
+                vocab,
+            } => {
                 let (l, w) = (lookups as f64, width as f64);
                 OpCost {
                     flops: 0.0,
@@ -295,7 +321,11 @@ impl OpKind {
                     ..OpCost::default()
                 }
             }
-            OpKind::Elementwise { elems, ops_per_elem, .. } => {
+            OpKind::Elementwise {
+                elems,
+                ops_per_elem,
+                ..
+            } => {
                 let e = elems as f64;
                 OpCost {
                     bytes_read: e * eb,
@@ -304,7 +334,13 @@ impl OpKind {
                     ..OpCost::default()
                 }
             }
-            OpKind::Pool { batch, h, w, c, window } => {
+            OpKind::Pool {
+                batch,
+                h,
+                w,
+                c,
+                window,
+            } => {
                 let e = (batch * h * w * c) as f64;
                 let out = e / (window * window) as f64;
                 OpCost {
@@ -316,11 +352,16 @@ impl OpKind {
             }
             OpKind::Concat { elems } => {
                 let e = elems as f64;
-                OpCost { bytes_read: e * eb, bytes_written: e * eb, ..OpCost::default() }
+                OpCost {
+                    bytes_read: e * eb,
+                    bytes_written: e * eb,
+                    ..OpCost::default()
+                }
             }
-            OpKind::AllToAll { bytes_per_chip } => {
-                OpCost { network_bytes: bytes_per_chip, ..OpCost::default() }
-            }
+            OpKind::AllToAll { bytes_per_chip } => OpCost {
+                network_bytes: bytes_per_chip,
+                ..OpCost::default()
+            },
             OpKind::AllReduce { bytes_per_chip } => OpCost {
                 // Ring all-reduce moves ~2× the payload over the links.
                 network_bytes: 2.0 * bytes_per_chip,
@@ -328,7 +369,11 @@ impl OpKind {
             },
             OpKind::Reshape { elems } => {
                 let e = elems as f64;
-                OpCost { bytes_read: e * eb, bytes_written: e * eb, ..OpCost::default() }
+                OpCost {
+                    bytes_read: e * eb,
+                    bytes_written: e * eb,
+                    ..OpCost::default()
+                }
             }
         }
     }
@@ -366,8 +411,17 @@ mod tests {
     #[test]
     fn conv_stride_reduces_output_and_flops() {
         let mk = |stride| {
-            OpKind::Conv2d { batch: 1, h: 32, w: 32, c_in: 8, c_out: 8, kh: 3, kw: 3, stride }
-                .cost(DType::Bf16)
+            OpKind::Conv2d {
+                batch: 1,
+                h: 32,
+                w: 32,
+                c_in: 8,
+                c_out: 8,
+                kh: 3,
+                kw: 3,
+                stride,
+            }
+            .cost(DType::Bf16)
         };
         assert!((mk(2).flops - mk(1).flops / 4.0).abs() < 1.0);
     }
@@ -385,8 +439,16 @@ mod tests {
             stride: 1,
         }
         .cost(DType::Bf16);
-        let dw = OpKind::DepthwiseConv2d { batch: 1, h: 16, w: 16, c: 64, kh: 3, kw: 3, stride: 1 }
-            .cost(DType::Bf16);
+        let dw = OpKind::DepthwiseConv2d {
+            batch: 1,
+            h: 16,
+            w: 16,
+            c: 64,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+        }
+        .cost(DType::Bf16);
         assert!(dw.flops * 32.0 < full.flops);
     }
 
@@ -404,14 +466,27 @@ mod tests {
             stride: 1,
         }
         .cost(DType::Bf16);
-        let dw = OpKind::DepthwiseConv2d { batch: 1, h: 16, w: 16, c: 64, kh: 3, kw: 3, stride: 1 }
-            .cost(DType::Bf16);
+        let dw = OpKind::DepthwiseConv2d {
+            batch: 1,
+            h: 16,
+            w: 16,
+            c: 64,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+        }
+        .cost(DType::Bf16);
         assert!(dw.operational_intensity() < full.operational_intensity());
     }
 
     #[test]
     fn embedding_is_pure_memory() {
-        let c = OpKind::EmbeddingLookup { lookups: 100, width: 64, vocab: 1000 }.cost(DType::F32);
+        let c = OpKind::EmbeddingLookup {
+            lookups: 100,
+            width: 64,
+            vocab: 1000,
+        }
+        .cost(DType::F32);
         assert_eq!(c.flops, 0.0);
         assert!(c.bytes_read > 0.0);
         assert_eq!(c.params, 64_000.0);
@@ -419,17 +494,28 @@ mod tests {
 
     #[test]
     fn elementwise_costs_scale_with_ops_per_elem() {
-        let relu = OpKind::Elementwise { elems: 100, ops_per_elem: 1.0, label: "relu".into() }
-            .cost(DType::Bf16);
-        let gelu = OpKind::Elementwise { elems: 100, ops_per_elem: 14.0, label: "gelu".into() }
-            .cost(DType::Bf16);
+        let relu = OpKind::Elementwise {
+            elems: 100,
+            ops_per_elem: 1.0,
+            label: "relu".into(),
+        }
+        .cost(DType::Bf16);
+        let gelu = OpKind::Elementwise {
+            elems: 100,
+            ops_per_elem: 14.0,
+            label: "gelu".into(),
+        }
+        .cost(DType::Bf16);
         assert_eq!(gelu.vpu_ops, 14.0 * relu.vpu_ops);
         assert_eq!(gelu.bytes_read, relu.bytes_read);
     }
 
     #[test]
     fn allreduce_doubles_payload() {
-        let c = OpKind::AllReduce { bytes_per_chip: 100.0 }.cost(DType::Bf16);
+        let c = OpKind::AllReduce {
+            bytes_per_chip: 100.0,
+        }
+        .cost(DType::Bf16);
         assert_eq!(c.network_bytes, 200.0);
     }
 
@@ -457,8 +543,21 @@ mod tests {
     #[test]
     fn matrix_unit_classification() {
         assert!(OpKind::MatMul { m: 1, k: 1, n: 1 }.uses_matrix_unit());
-        assert!(!OpKind::EmbeddingLookup { lookups: 1, width: 1, vocab: 1 }.uses_matrix_unit());
-        assert!(!OpKind::DepthwiseConv2d { batch: 1, h: 1, w: 1, c: 1, kh: 1, kw: 1, stride: 1 }
-            .uses_matrix_unit());
+        assert!(!OpKind::EmbeddingLookup {
+            lookups: 1,
+            width: 1,
+            vocab: 1
+        }
+        .uses_matrix_unit());
+        assert!(!OpKind::DepthwiseConv2d {
+            batch: 1,
+            h: 1,
+            w: 1,
+            c: 1,
+            kh: 1,
+            kw: 1,
+            stride: 1
+        }
+        .uses_matrix_unit());
     }
 }

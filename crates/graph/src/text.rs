@@ -37,31 +37,71 @@ pub fn to_text(graph: &Graph) -> String {
                 let _ = write!(out, "matmul(m={m}, k={k}, n={n})");
             }
             OpKind::BatchedMatMul { batches, m, k, n } => {
-                let _ = write!(out, "batched_matmul(batches={batches}, m={m}, k={k}, n={n})");
+                let _ = write!(
+                    out,
+                    "batched_matmul(batches={batches}, m={m}, k={k}, n={n})"
+                );
             }
-            OpKind::Conv2d { batch, h, w, c_in, c_out, kh, kw, stride } => {
+            OpKind::Conv2d {
+                batch,
+                h,
+                w,
+                c_in,
+                c_out,
+                kh,
+                kw,
+                stride,
+            } => {
                 let _ = write!(
                     out,
                     "conv2d(batch={batch}, h={h}, w={w}, c_in={c_in}, c_out={c_out}, kh={kh}, kw={kw}, stride={stride})"
                 );
             }
-            OpKind::DepthwiseConv2d { batch, h, w, c, kh, kw, stride } => {
+            OpKind::DepthwiseConv2d {
+                batch,
+                h,
+                w,
+                c,
+                kh,
+                kw,
+                stride,
+            } => {
                 let _ = write!(
                     out,
                     "depthwise_conv2d(batch={batch}, h={h}, w={w}, c={c}, kh={kh}, kw={kw}, stride={stride})"
                 );
             }
-            OpKind::EmbeddingLookup { lookups, width, vocab } => {
-                let _ = write!(out, "embedding_lookup(lookups={lookups}, width={width}, vocab={vocab})");
+            OpKind::EmbeddingLookup {
+                lookups,
+                width,
+                vocab,
+            } => {
+                let _ = write!(
+                    out,
+                    "embedding_lookup(lookups={lookups}, width={width}, vocab={vocab})"
+                );
             }
-            OpKind::Elementwise { elems, ops_per_elem, label } => {
+            OpKind::Elementwise {
+                elems,
+                ops_per_elem,
+                label,
+            } => {
                 let _ = write!(
                     out,
                     "elementwise(elems={elems}, ops_per_elem={ops_per_elem}, label={label:?})"
                 );
             }
-            OpKind::Pool { batch, h, w, c, window } => {
-                let _ = write!(out, "pool(batch={batch}, h={h}, w={w}, c={c}, window={window})");
+            OpKind::Pool {
+                batch,
+                h,
+                w,
+                c,
+                window,
+            } => {
+                let _ = write!(
+                    out,
+                    "pool(batch={batch}, h={h}, w={w}, c={c}, window={window})"
+                );
             }
             OpKind::Concat { elems } => {
                 let _ = write!(out, "concat(elems={elems})");
@@ -107,7 +147,10 @@ impl std::fmt::Display for ParseGraphError {
 impl std::error::Error for ParseGraphError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseGraphError {
-    ParseGraphError { line, message: message.into() }
+    ParseGraphError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Splits `key=value` argument lists, respecting quoted strings.
@@ -237,20 +280,32 @@ pub fn parse(text: &str) -> Result<Graph, ParseGraphError> {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| err(line_no, "node id must look like %N"))?;
         if expect_id != graph.len() {
-            return Err(err(line_no, format!("node ids must be dense; expected %{}", graph.len())));
+            return Err(err(
+                line_no,
+                format!("node ids must be dense; expected %{}", graph.len()),
+            ));
         }
         let rhs = rhs.trim();
-        let open = rhs.find('(').ok_or_else(|| err(line_no, "expected op(...)"))?;
-        let close = rhs.rfind(')').ok_or_else(|| err(line_no, "unterminated argument list"))?;
+        let open = rhs
+            .find('(')
+            .ok_or_else(|| err(line_no, "expected op(...)"))?;
+        let close = rhs
+            .rfind(')')
+            .ok_or_else(|| err(line_no, "unterminated argument list"))?;
         let op_name = rhs[..open].trim();
-        let args = ArgMap { args: parse_args(&rhs[open + 1..close], line_no)?, line: line_no };
+        let args = ArgMap {
+            args: parse_args(&rhs[open + 1..close], line_no)?,
+            line: line_no,
+        };
         let tail = rhs[close + 1..].trim();
         let (inputs, fused) = {
             let mut inputs = Vec::new();
             let mut fused = false;
             let mut tail = tail;
             if let Some(rest) = tail.strip_prefix("inputs=[") {
-                let end = rest.find(']').ok_or_else(|| err(line_no, "unterminated inputs"))?;
+                let end = rest
+                    .find(']')
+                    .ok_or_else(|| err(line_no, "unterminated inputs"))?;
                 for part in rest[..end].split(',') {
                     let part = part.trim();
                     if part.is_empty() {
@@ -322,10 +377,18 @@ pub fn parse(text: &str) -> Result<Graph, ParseGraphError> {
                 c: args.usize("c")?,
                 window: args.usize("window")?,
             },
-            "concat" => OpKind::Concat { elems: args.usize("elems")? },
-            "all_to_all" => OpKind::AllToAll { bytes_per_chip: args.f64("bytes_per_chip")? },
-            "all_reduce" => OpKind::AllReduce { bytes_per_chip: args.f64("bytes_per_chip")? },
-            "reshape" => OpKind::Reshape { elems: args.usize("elems")? },
+            "concat" => OpKind::Concat {
+                elems: args.usize("elems")?,
+            },
+            "all_to_all" => OpKind::AllToAll {
+                bytes_per_chip: args.f64("bytes_per_chip")?,
+            },
+            "all_reduce" => OpKind::AllReduce {
+                bytes_per_chip: args.f64("bytes_per_chip")?,
+            },
+            "reshape" => OpKind::Reshape {
+                elems: args.usize("elems")?,
+            },
             other => return Err(err(line_no, format!("unknown op '{other}'"))),
         };
         let id = graph.add(kind, &inputs);
@@ -345,7 +408,11 @@ mod tests {
         let a = g.add(OpKind::Reshape { elems: 128 }, &[]);
         let b = g.add(OpKind::MatMul { m: 8, k: 16, n: 4 }, &[a]);
         let c = g.add(
-            OpKind::Elementwise { elems: 32, ops_per_elem: 10.0, label: "swish".into() },
+            OpKind::Elementwise {
+                elems: 32,
+                ops_per_elem: 10.0,
+                label: "swish".into(),
+            },
             &[b],
         );
         g.add(OpKind::Concat { elems: 64 }, &[b, c]);
@@ -374,18 +441,69 @@ mod tests {
         let mut g = Graph::new("all", DType::F32);
         let a = g.add(OpKind::Reshape { elems: 1 }, &[]);
         let b = g.add(
-            OpKind::Conv2d { batch: 1, h: 8, w: 8, c_in: 3, c_out: 4, kh: 3, kw: 3, stride: 2 },
+            OpKind::Conv2d {
+                batch: 1,
+                h: 8,
+                w: 8,
+                c_in: 3,
+                c_out: 4,
+                kh: 3,
+                kw: 3,
+                stride: 2,
+            },
             &[a],
         );
         let c = g.add(
-            OpKind::DepthwiseConv2d { batch: 1, h: 4, w: 4, c: 4, kh: 3, kw: 3, stride: 1 },
+            OpKind::DepthwiseConv2d {
+                batch: 1,
+                h: 4,
+                w: 4,
+                c: 4,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+            },
             &[b],
         );
-        let d = g.add(OpKind::BatchedMatMul { batches: 2, m: 4, k: 4, n: 4 }, &[c]);
-        let e = g.add(OpKind::Pool { batch: 1, h: 4, w: 4, c: 4, window: 2 }, &[d]);
-        let f = g.add(OpKind::EmbeddingLookup { lookups: 10, width: 8, vocab: 100 }, &[]);
-        let h = g.add(OpKind::AllToAll { bytes_per_chip: 123.5 }, &[f]);
-        let i = g.add(OpKind::AllReduce { bytes_per_chip: 64.0 }, &[e]);
+        let d = g.add(
+            OpKind::BatchedMatMul {
+                batches: 2,
+                m: 4,
+                k: 4,
+                n: 4,
+            },
+            &[c],
+        );
+        let e = g.add(
+            OpKind::Pool {
+                batch: 1,
+                h: 4,
+                w: 4,
+                c: 4,
+                window: 2,
+            },
+            &[d],
+        );
+        let f = g.add(
+            OpKind::EmbeddingLookup {
+                lookups: 10,
+                width: 8,
+                vocab: 100,
+            },
+            &[],
+        );
+        let h = g.add(
+            OpKind::AllToAll {
+                bytes_per_chip: 123.5,
+            },
+            &[f],
+        );
+        let i = g.add(
+            OpKind::AllReduce {
+                bytes_per_chip: 64.0,
+            },
+            &[e],
+        );
         g.add(OpKind::Concat { elems: 10 }, &[h, i]);
         let parsed = parse(&to_text(&g)).expect("parse");
         assert_eq!(parsed.len(), g.len());
@@ -409,7 +527,10 @@ mod tests {
     #[test]
     fn parse_rejects_missing_argument() {
         let text = "graph \"x\" dtype=bf16 {\n  %0 = matmul(m=1, k=2)\n}\n";
-        assert!(parse(text).unwrap_err().message.contains("missing argument 'n'"));
+        assert!(parse(text)
+            .unwrap_err()
+            .message
+            .contains("missing argument 'n'"));
     }
 
     #[test]
@@ -428,7 +549,11 @@ mod tests {
     fn labels_with_commas_survive() {
         let mut g = Graph::new("q", DType::Bf16);
         g.add(
-            OpKind::Elementwise { elems: 4, ops_per_elem: 1.0, label: "a,b".into() },
+            OpKind::Elementwise {
+                elems: 4,
+                ops_per_elem: 1.0,
+                label: "a,b".into(),
+            },
             &[],
         );
         let parsed = parse(&to_text(&g)).expect("parse");
@@ -440,9 +565,21 @@ mod tests {
         // A realistically large model survives the format.
         let g = {
             let mut g = Graph::new("big", DType::Bf16);
-            let mut prev = g.add(OpKind::Reshape { elems: 3 * 224 * 224 }, &[]);
+            let mut prev = g.add(
+                OpKind::Reshape {
+                    elems: 3 * 224 * 224,
+                },
+                &[],
+            );
             for i in 0..50 {
-                prev = g.add(OpKind::MatMul { m: 64, k: 64 + i, n: 64 }, &[prev]);
+                prev = g.add(
+                    OpKind::MatMul {
+                        m: 64,
+                        k: 64 + i,
+                        n: 64,
+                    },
+                    &[prev],
+                );
             }
             g
         };

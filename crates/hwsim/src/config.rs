@@ -228,13 +228,19 @@ pub struct SystemConfig {
 impl SystemConfig {
     /// A single-chip system at the given batch size.
     pub fn single(batch: usize) -> Self {
-        Self { chips: 1, global_batch: batch }
+        Self {
+            chips: 1,
+            global_batch: batch,
+        }
     }
 
     /// The paper's standard 128-chip training pod (Table 2) at per-chip
     /// batch 64 (Table 3's throughput footnote), i.e. global batch 8192.
     pub fn training_pod() -> Self {
-        Self { chips: 128, global_batch: 128 * 64 }
+        Self {
+            chips: 128,
+            global_batch: 128 * 64,
+        }
     }
 
     /// Per-chip batch size.
@@ -271,8 +277,14 @@ mod tests {
         for hw in HardwareConfig::all_presets() {
             assert!(hw.peak_flops > 1e13, "{}", hw.name);
             assert!(hw.hbm_bw > 1e11);
-            assert!(hw.cmem_bw > hw.hbm_bw, "on-chip must beat off-chip bandwidth");
-            assert!(hw.pj_per_cmem_byte < hw.pj_per_hbm_byte, "on-chip must be cheaper energy");
+            assert!(
+                hw.cmem_bw > hw.hbm_bw,
+                "on-chip must beat off-chip bandwidth"
+            );
+            assert!(
+                hw.pj_per_cmem_byte < hw.pj_per_hbm_byte,
+                "on-chip must be cheaper energy"
+            );
             assert!(hw.ridge_intensity() > 50.0 && hw.ridge_intensity() < 1000.0);
         }
     }
@@ -313,7 +325,10 @@ mod tests {
 
     #[test]
     fn per_chip_batch_never_zero() {
-        let sys = SystemConfig { chips: 16, global_batch: 8 };
+        let sys = SystemConfig {
+            chips: 16,
+            global_batch: 8,
+        };
         assert_eq!(sys.per_chip_batch(), 1);
     }
 }

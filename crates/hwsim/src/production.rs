@@ -74,7 +74,11 @@ impl ProductionHardware {
 
     /// Creates a production stand-in with a custom distortion profile.
     pub fn with_profile(hw: HardwareConfig, profile: DistortionProfile, seed: u64) -> Self {
-        Self { sim: Simulator::new(hw), profile, seed }
+        Self {
+            sim: Simulator::new(hw),
+            profile,
+            seed,
+        }
     }
 
     /// The underlying idealised simulator.
@@ -161,7 +165,10 @@ mod tests {
         let prod = ProductionHardware::new(HardwareConfig::tpu_v4(), 7);
         let sys = SystemConfig::single(64);
         let g = graph(1024);
-        assert_eq!(prod.measure_step_time(&g, &sys), prod.measure_step_time(&g, &sys));
+        assert_eq!(
+            prod.measure_step_time(&g, &sys),
+            prod.measure_step_time(&g, &sys)
+        );
     }
 
     #[test]
@@ -182,8 +189,7 @@ mod tests {
         let prod = ProductionHardware::new(HardwareConfig::tpu_v4(), 3);
         let sys = SystemConfig::single(64);
         assert!(
-            prod.measure_step_time(&graph(2048), &sys)
-                > prod.measure_step_time(&graph(1024), &sys)
+            prod.measure_step_time(&graph(2048), &sys) > prod.measure_step_time(&graph(1024), &sys)
         );
     }
 

@@ -33,7 +33,16 @@ pub fn gemm_shape(kind: &OpKind) -> Option<(usize, usize, usize)> {
     match *kind {
         OpKind::MatMul { m, k, n } => Some((m, k, n)),
         OpKind::BatchedMatMul { batches, m, k, n } => Some((batches * m, k, n)),
-        OpKind::Conv2d { batch, h, w, c_in, c_out, kh, kw, stride } => {
+        OpKind::Conv2d {
+            batch,
+            h,
+            w,
+            c_in,
+            c_out,
+            kh,
+            kw,
+            stride,
+        } => {
             let (ho, wo) = (h.div_ceil(stride), w.div_ceil(stride));
             Some((batch * ho * wo, c_in * kh * kw, c_out))
         }
@@ -85,7 +94,11 @@ pub fn time_op(kind: &OpKind, cost: &OpCost, hw: &HardwareConfig) -> OpTiming {
     // --- Matrix rail ---
     let (mxu_time, eff) = if let Some((m, k, n)) = gemm_shape(kind) {
         let eff = mxu_efficiency(m, k, n, hw.mxu_dim);
-        let t = if cost.flops > 0.0 { cost.flops / (hw.peak_flops * eff.max(1e-6)) } else { 0.0 };
+        let t = if cost.flops > 0.0 {
+            cost.flops / (hw.peak_flops * eff.max(1e-6))
+        } else {
+            0.0
+        };
         (t, eff)
     } else {
         (0.0, 0.0)
@@ -114,8 +127,16 @@ pub fn time_op(kind: &OpKind, cost: &OpCost, hw: &HardwareConfig) -> OpTiming {
     // --- Network rail ---
     let ici_time = cost.network_bytes / hw.ici_bw;
 
-    let busy = mxu_time.max(vpu_time).max(hbm_time).max(cmem_time).max(ici_time);
-    let overhead = if busy > 0.0 || cost.network_bytes > 0.0 { hw.op_overhead } else { 0.0 };
+    let busy = mxu_time
+        .max(vpu_time)
+        .max(hbm_time)
+        .max(cmem_time)
+        .max(ici_time);
+    let overhead = if busy > 0.0 || cost.network_bytes > 0.0 {
+        hw.op_overhead
+    } else {
+        0.0
+    };
     OpTiming {
         time: busy + overhead,
         mxu_time,
@@ -186,13 +207,26 @@ mod tests {
 
     #[test]
     fn conv_gemm_shape_contracts_over_kernel_and_cin() {
-        let k = OpKind::Conv2d { batch: 2, h: 8, w: 8, c_in: 16, c_out: 32, kh: 3, kw: 3, stride: 1 };
+        let k = OpKind::Conv2d {
+            batch: 2,
+            h: 8,
+            w: 8,
+            c_in: 16,
+            c_out: 32,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+        };
         assert_eq!(gemm_shape(&k), Some((2 * 64, 144, 32)));
     }
 
     #[test]
     fn compute_bound_matmul_hits_mxu_rail() {
-        let k = OpKind::MatMul { m: 4096, k: 4096, n: 4096 };
+        let k = OpKind::MatMul {
+            m: 4096,
+            k: 4096,
+            n: 4096,
+        };
         let t = time_standalone(&k, DType::Bf16, &hw());
         assert!(t.mxu_time > t.hbm_time, "{t:?}");
         assert!(t.mxu_time > t.cmem_time);
@@ -200,7 +234,11 @@ mod tests {
 
     #[test]
     fn embedding_lookup_is_memory_bound_on_hbm() {
-        let k = OpKind::EmbeddingLookup { lookups: 1_000_000, width: 128, vocab: 10_000_000 };
+        let k = OpKind::EmbeddingLookup {
+            lookups: 1_000_000,
+            width: 128,
+            vocab: 10_000_000,
+        };
         let t = time_standalone(&k, DType::F32, &hw());
         assert!(t.hbm_time > t.mxu_time);
         assert_eq!(t.cmem_bytes, 0.0, "embedding gathers must not claim CMEM");
@@ -208,7 +246,11 @@ mod tests {
 
     #[test]
     fn small_activations_served_from_cmem() {
-        let k = OpKind::Elementwise { elems: 1000, ops_per_elem: 1.0, label: "relu".into() };
+        let k = OpKind::Elementwise {
+            elems: 1000,
+            ops_per_elem: 1.0,
+            label: "relu".into(),
+        };
         let t = time_standalone(&k, DType::Bf16, &hw());
         assert!(t.cmem_bytes > 0.0);
         assert_eq!(t.hbm_bytes, 0.0);
@@ -216,7 +258,11 @@ mod tests {
 
     #[test]
     fn huge_activations_spill_to_hbm() {
-        let k = OpKind::Elementwise { elems: 200_000_000, ops_per_elem: 1.0, label: "relu".into() };
+        let k = OpKind::Elementwise {
+            elems: 200_000_000,
+            ops_per_elem: 1.0,
+            label: "relu".into(),
+        };
         let t = time_standalone(&k, DType::Bf16, &hw());
         assert!(t.hbm_bytes > t.cmem_bytes, "most traffic spills off-chip");
         // The tiled slice stays on-chip at exactly the CMEM budget.
@@ -266,7 +312,9 @@ mod tests {
 
     #[test]
     fn network_op_rides_ici_rail() {
-        let k = OpKind::AllToAll { bytes_per_chip: 1e9 };
+        let k = OpKind::AllToAll {
+            bytes_per_chip: 1e9,
+        };
         let t = time_standalone(&k, DType::Bf16, &hw());
         assert!(t.ici_time > 0.0);
         assert!(t.time >= t.ici_time);
@@ -274,7 +322,11 @@ mod tests {
 
     #[test]
     fn more_bandwidth_never_slower() {
-        let k = OpKind::EmbeddingLookup { lookups: 100_000, width: 64, vocab: 1_000_000 };
+        let k = OpKind::EmbeddingLookup {
+            lookups: 100_000,
+            width: 64,
+            vocab: 1_000_000,
+        };
         let mut fast = hw();
         fast.hbm_bw *= 2.0;
         let slow_t = time_standalone(&k, DType::F32, &hw()).time;

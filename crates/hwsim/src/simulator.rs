@@ -128,11 +128,18 @@ impl Simulator {
             .map(|n| graph.node_cost(n.id).params)
             .sum();
         let grad_bytes = dense_params * graph.dtype().bytes() as f64;
-        let allreduce_bytes = if system.chips > 1 { 2.0 * grad_bytes } else { 0.0 };
+        let allreduce_bytes = if system.chips > 1 {
+            2.0 * grad_bytes
+        } else {
+            0.0
+        };
         self.simulate_scaled(graph, 3.0, allreduce_bytes)
     }
 
     fn simulate_scaled(&self, graph: &Graph, work_scale: f64, extra_ici_bytes: f64) -> SimReport {
+        let walk_span = h2o_obs::span("simulator_walk");
+        h2o_obs::counter("h2o_hwsim_graphs_walked_total").inc();
+        h2o_obs::counter("h2o_hwsim_ops_visited_total").add(graph.len() as u64);
         let mut report = SimReport::default();
         let mut timings = Vec::with_capacity(graph.len());
         for node in graph.nodes() {
@@ -150,20 +157,38 @@ impl Simulator {
                 + t.cmem_bytes * work_scale * self.hw.pj_per_cmem_byte
                 + t.ici_bytes * work_scale * self.hw.pj_per_ici_byte
                 + vpu_energy;
-            *report.breakdown.entry(node.kind.label().to_string()).or_insert(0.0) +=
-                t.time * work_scale;
+            *report
+                .breakdown
+                .entry(node.kind.label().to_string())
+                .or_insert(0.0) += t.time * work_scale;
             timings.push(t.time * work_scale);
+        }
+        // Per-op-kind visit counts, aggregated once per walk (one labelled
+        // counter add per distinct op label, not per node).
+        for (label, visits) in graph.nodes().iter().fold(
+            std::collections::BTreeMap::<&str, u64>::new(),
+            |mut acc, node| {
+                *acc.entry(node.kind.label()).or_insert(0) += 1;
+                acc
+            },
+        ) {
+            h2o_obs::counter(&format!("h2o_hwsim_op_visits{{op=\"{label}\"}}")).add(visits);
         }
         let mut time = graph.critical_path_time(|id| timings[id.0]);
         if extra_ici_bytes > 0.0 {
-            let allreduce = OpKind::AllReduce { bytes_per_chip: extra_ici_bytes / 2.0 };
+            let allreduce = OpKind::AllReduce {
+                bytes_per_chip: extra_ici_bytes / 2.0,
+            };
             let t = time_op(&allreduce, &allreduce.cost(graph.dtype()), &self.hw);
             // Gradient all-reduce partially overlaps the backward pass; model
             // half of it as exposed.
             time += 0.5 * t.time;
             report.ici_bytes += extra_ici_bytes;
             report.energy += extra_ici_bytes * self.hw.pj_per_ici_byte;
-            *report.breakdown.entry("all_reduce".to_string()).or_insert(0.0) += t.time;
+            *report
+                .breakdown
+                .entry("all_reduce".to_string())
+                .or_insert(0.0) += t.time;
         }
         report.time = time;
         report.energy += self.hw.idle_watts * time;
@@ -173,6 +198,7 @@ impl Simulator {
             report.cmem_bw_used = report.cmem_bytes / time;
             report.avg_power = report.energy / time;
         }
+        h2o_obs::histogram("h2o_hwsim_walk_seconds").record(walk_span.finish());
         report
     }
 
@@ -284,7 +310,14 @@ mod tests {
     fn idle_power_dominates_tiny_graphs() {
         let sim = Simulator::new(HardwareConfig::tpu_v4());
         let mut g = Graph::new("tiny", DType::Bf16);
-        g.add(OpKind::Elementwise { elems: 8, ops_per_elem: 1.0, label: "relu".into() }, &[]);
+        g.add(
+            OpKind::Elementwise {
+                elems: 8,
+                ops_per_elem: 1.0,
+                label: "relu".into(),
+            },
+            &[],
+        );
         let r = sim.simulate(&g);
         assert!((r.avg_power - sim.hardware().idle_watts).abs() < 5.0);
     }
@@ -293,7 +326,11 @@ mod tests {
     fn compute_bound_graph_draws_more_power_than_idle() {
         let sim = Simulator::new(HardwareConfig::tpu_v4());
         let r = sim.simulate(&gemm_graph(4096));
-        assert!(r.avg_power > sim.hardware().idle_watts * 1.5, "power {}", r.avg_power);
+        assert!(
+            r.avg_power > sim.hardware().idle_watts * 1.5,
+            "power {}",
+            r.avg_power
+        );
     }
 
     #[test]
@@ -308,7 +345,14 @@ mod tests {
     fn breakdown_accounts_labels() {
         let sim = Simulator::new(HardwareConfig::tpu_v4());
         let mut g = gemm_graph(512);
-        g.add(OpKind::Elementwise { elems: 512 * 512, ops_per_elem: 1.0, label: "relu".into() }, &[]);
+        g.add(
+            OpKind::Elementwise {
+                elems: 512 * 512,
+                ops_per_elem: 1.0,
+                label: "relu".into(),
+            },
+            &[],
+        );
         let r = sim.simulate(&g);
         assert!(r.breakdown.contains_key("matmul"));
         assert!(r.breakdown.contains_key("relu"));
@@ -326,7 +370,14 @@ mod tests {
         let sim = Simulator::new(HardwareConfig::tpu_v4i());
         let builder = |batch: usize| {
             let mut g = Graph::new("serve", DType::Bf16);
-            g.add(OpKind::MatMul { m: batch * 64, k: 1024, n: 1024 }, &[]);
+            g.add(
+                OpKind::MatMul {
+                    m: batch * 64,
+                    k: 1024,
+                    n: 1024,
+                },
+                &[],
+            );
             g
         };
         let (b_tight, q_tight) = sim.serving_throughput_under_p99(1e-3, builder);
@@ -341,7 +392,14 @@ mod tests {
         let sim = Simulator::new(HardwareConfig::tpu_v4i());
         let builder = |batch: usize| {
             let mut g = Graph::new("serve", DType::Bf16);
-            g.add(OpKind::MatMul { m: batch * 64, k: 8192, n: 8192 }, &[]);
+            g.add(
+                OpKind::MatMul {
+                    m: batch * 64,
+                    k: 8192,
+                    n: 8192,
+                },
+                &[],
+            );
             g
         };
         let (b, q) = sim.serving_throughput_under_p99(1e-9, builder);
@@ -362,12 +420,29 @@ mod tests {
         // ~8B params at bf16 = 16 GB of weights: over a TPUv4i's 8 GB HBM,
         // trainable once sharded across a 128-chip pod.
         let mut g = Graph::new("giant", DType::Bf16);
-        let mut prev = g.add(OpKind::MatMul { m: 64, k: 16384, n: 16384 }, &[]);
+        let mut prev = g.add(
+            OpKind::MatMul {
+                m: 64,
+                k: 16384,
+                n: 16384,
+            },
+            &[],
+        );
         for _ in 0..29 {
-            prev = g.add(OpKind::MatMul { m: 64, k: 16384, n: 16384 }, &[prev]);
+            prev = g.add(
+                OpKind::MatMul {
+                    m: 64,
+                    k: 16384,
+                    n: 16384,
+                },
+                &[prev],
+            );
         }
         let serve = Simulator::new(HardwareConfig::tpu_v4i());
-        assert!(!serve.fits_for_serving(&g), "giant model must not fit one TPUv4i");
+        assert!(
+            !serve.fits_for_serving(&g),
+            "giant model must not fit one TPUv4i"
+        );
         let train = Simulator::new(HardwareConfig::tpu_v4());
         assert!(!train.fits_for_training(&g, &SystemConfig::single(64)));
         assert!(train.fits_for_training(&g, &SystemConfig::training_pod()));
@@ -380,14 +455,42 @@ mod tests {
         let sim = Simulator::new(HardwareConfig::tpu_v4());
         let serial = {
             let mut g = Graph::new("serial", DType::Bf16);
-            let a = g.add(OpKind::MatMul { m: 1024, k: 1024, n: 1024 }, &[]);
-            g.add(OpKind::MatMul { m: 1024, k: 1024, n: 1024 }, &[a]);
+            let a = g.add(
+                OpKind::MatMul {
+                    m: 1024,
+                    k: 1024,
+                    n: 1024,
+                },
+                &[],
+            );
+            g.add(
+                OpKind::MatMul {
+                    m: 1024,
+                    k: 1024,
+                    n: 1024,
+                },
+                &[a],
+            );
             sim.simulate(&g).time
         };
         let parallel = {
             let mut g = Graph::new("parallel", DType::Bf16);
-            g.add(OpKind::MatMul { m: 1024, k: 1024, n: 1024 }, &[]);
-            g.add(OpKind::MatMul { m: 1024, k: 1024, n: 1024 }, &[]);
+            g.add(
+                OpKind::MatMul {
+                    m: 1024,
+                    k: 1024,
+                    n: 1024,
+                },
+                &[],
+            );
+            g.add(
+                OpKind::MatMul {
+                    m: 1024,
+                    k: 1024,
+                    n: 1024,
+                },
+                &[],
+            );
             sim.simulate(&g).time
         };
         assert!(parallel < 0.6 * serial);

@@ -96,11 +96,7 @@ impl ServingLoadModel {
     /// The highest utilisation at which the graph still meets a P99
     /// target — the headroom a capacity planner cares about. Returns 0 if
     /// even an unloaded server misses the target.
-    pub fn max_utilization_for_target(
-        sim: &Simulator,
-        graph: &Graph,
-        target_p99: f64,
-    ) -> f64 {
+    pub fn max_utilization_for_target(sim: &Simulator, graph: &Graph, target_p99: f64) -> f64 {
         let service = sim.simulate(graph).time;
         let unloaded_p99 = -(0.01f64).ln() * service;
         if unloaded_p99 >= target_p99 {
@@ -130,11 +126,14 @@ pub fn sweep_on(
     graph_at_batch: impl FnMut(usize) -> Graph,
     batches: &[usize],
 ) -> SweepReport {
-    let hw = HardwareConfig::by_name(hw_name)
-        .unwrap_or_else(|| panic!("unknown hardware '{hw_name}'"));
+    let hw =
+        HardwareConfig::by_name(hw_name).unwrap_or_else(|| panic!("unknown hardware '{hw_name}'"));
     let name = hw.name.clone();
     let sim = Simulator::new(hw);
-    SweepReport { hardware: name, points: batch_sweep(&sim, graph_at_batch, batches) }
+    SweepReport {
+        hardware: name,
+        points: batch_sweep(&sim, graph_at_batch, batches),
+    }
 }
 
 #[cfg(test)]
@@ -144,7 +143,14 @@ mod tests {
 
     fn graph_at(batch: usize) -> Graph {
         let mut g = Graph::new("serve", DType::Bf16);
-        g.add(OpKind::MatMul { m: batch * 16, k: 1024, n: 1024 }, &[]);
+        g.add(
+            OpKind::MatMul {
+                m: batch * 16,
+                k: 1024,
+                n: 1024,
+            },
+            &[],
+        );
         g
     }
 
@@ -152,7 +158,9 @@ mod tests {
     fn throughput_grows_then_saturates_with_batch() {
         let sim = Simulator::new(HardwareConfig::tpu_v4i());
         let points = batch_sweep(&sim, graph_at, &[1, 4, 16, 64, 256]);
-        assert!(points.windows(2).all(|w| w[1].throughput >= w[0].throughput * 0.99));
+        assert!(points
+            .windows(2)
+            .all(|w| w[1].throughput >= w[0].throughput * 0.99));
         // Large batches approach a plateau: the last doubling gains little.
         let gain = points[4].throughput / points[3].throughput;
         assert!(gain < 3.0, "gain {gain} should be sub-linear by batch 256");
@@ -206,7 +214,10 @@ mod tests {
     fn impossible_target_gives_zero_headroom() {
         let sim = Simulator::new(HardwareConfig::tpu_v4i());
         let g = graph_at(8);
-        assert_eq!(ServingLoadModel::max_utilization_for_target(&sim, &g, 1e-12), 0.0);
+        assert_eq!(
+            ServingLoadModel::max_utilization_for_target(&sim, &g, 1e-12),
+            0.0
+        );
     }
 
     #[test]

@@ -66,12 +66,60 @@ impl CoAtNet {
     /// ~1012 B FLOPs).
     pub fn family() -> Vec<CoAtNet> {
         vec![
-            Self::variant("CoAtNet-0", [96, 192], [2, 3], [384, 768], [5, 2], 224, FfnAct::Gelu),
-            Self::variant("CoAtNet-1", [96, 192], [2, 6], [384, 768], [14, 2], 224, FfnAct::Gelu),
-            Self::variant("CoAtNet-2", [128, 256], [2, 6], [512, 1024], [14, 2], 224, FfnAct::Gelu),
-            Self::variant("CoAtNet-3", [192, 384], [2, 6], [768, 1536], [14, 2], 224, FfnAct::Gelu),
-            Self::variant("CoAtNet-4", [192, 384], [2, 12], [768, 1536], [28, 2], 224, FfnAct::Gelu),
-            Self::variant("CoAtNet-5", [256, 512], [2, 12], [1280, 2048], [28, 2], 224, FfnAct::Gelu),
+            Self::variant(
+                "CoAtNet-0",
+                [96, 192],
+                [2, 3],
+                [384, 768],
+                [5, 2],
+                224,
+                FfnAct::Gelu,
+            ),
+            Self::variant(
+                "CoAtNet-1",
+                [96, 192],
+                [2, 6],
+                [384, 768],
+                [14, 2],
+                224,
+                FfnAct::Gelu,
+            ),
+            Self::variant(
+                "CoAtNet-2",
+                [128, 256],
+                [2, 6],
+                [512, 1024],
+                [14, 2],
+                224,
+                FfnAct::Gelu,
+            ),
+            Self::variant(
+                "CoAtNet-3",
+                [192, 384],
+                [2, 6],
+                [768, 1536],
+                [14, 2],
+                224,
+                FfnAct::Gelu,
+            ),
+            Self::variant(
+                "CoAtNet-4",
+                [192, 384],
+                [2, 12],
+                [768, 1536],
+                [28, 2],
+                224,
+                FfnAct::Gelu,
+            ),
+            Self::variant(
+                "CoAtNet-5",
+                [256, 512],
+                [2, 12],
+                [1280, 2048],
+                [28, 2],
+                224,
+                FfnAct::Gelu,
+            ),
         ]
     }
 
@@ -140,7 +188,12 @@ impl CoAtNet {
     pub fn build_graph(&self, batch: usize) -> Graph {
         let mut g = Graph::new(self.name.clone(), DType::Bf16);
         let res = self.resolution;
-        let input = g.add(OpKind::Reshape { elems: batch * res * res * 3 }, &[]);
+        let input = g.add(
+            OpKind::Reshape {
+                elems: batch * res * res * 3,
+            },
+            &[],
+        );
         // Stem: two 3×3 convs, the first stride-2.
         let mut hw = res.div_ceil(2);
         let mut x = g.add(
@@ -158,9 +211,7 @@ impl CoAtNet {
         );
         let mut c_in = self.stem_width;
         // Two MBConv stages.
-        for (s, (&width, &depth)) in
-            self.conv_widths.iter().zip(&self.conv_depths).enumerate()
-        {
+        for (s, (&width, &depth)) in self.conv_widths.iter().zip(&self.conv_depths).enumerate() {
             for layer in 0..depth {
                 let stride = if layer == 0 { 2 } else { 1 };
                 let cfg = MbConvConfig {
@@ -184,17 +235,37 @@ impl CoAtNet {
         // Tokenise: the remaining feature map becomes the sequence.
         let mut seq = hw * hw;
         let mut hidden = self.tfm_hidden[0];
-        x = g.add(OpKind::MatMul { m: batch * seq, k: c_in, n: hidden }, &[x]);
+        x = g.add(
+            OpKind::MatMul {
+                m: batch * seq,
+                k: c_in,
+                n: hidden,
+            },
+            &[x],
+        );
         for (s, (&h, &depth)) in self.tfm_hidden.iter().zip(&self.tfm_depths).enumerate() {
             if s > 0 {
                 // Downsample between transformer stages: pool /2 spatially
                 // (seq /4) and project to the new hidden size.
                 seq = (seq / 4).max(1);
                 x = g.add(
-                    OpKind::Pool { batch, h: seq * 4, w: 1, c: hidden, window: 2 },
+                    OpKind::Pool {
+                        batch,
+                        h: seq * 4,
+                        w: 1,
+                        c: hidden,
+                        window: 2,
+                    },
                     &[x],
                 );
-                x = g.add(OpKind::MatMul { m: batch * seq, k: hidden, n: h }, &[x]);
+                x = g.add(
+                    OpKind::MatMul {
+                        m: batch * seq,
+                        k: hidden,
+                        n: h,
+                    },
+                    &[x],
+                );
                 hidden = h;
             }
             let cfg = TransformerConfig {
@@ -212,10 +283,23 @@ impl CoAtNet {
             }
         }
         let pooled = g.add(
-            OpKind::Pool { batch, h: seq, w: 1, c: hidden, window: seq.max(1) },
+            OpKind::Pool {
+                batch,
+                h: seq,
+                w: 1,
+                c: hidden,
+                window: seq.max(1),
+            },
             &[x],
         );
-        g.add(OpKind::MatMul { m: batch, k: hidden, n: 1000 }, &[pooled]);
+        g.add(
+            OpKind::MatMul {
+                m: batch,
+                k: hidden,
+                n: 1000,
+            },
+            &[pooled],
+        );
         g.fuse_elementwise();
         g
     }
@@ -266,7 +350,10 @@ mod tests {
         // +ResShrink: same params, ~53% fewer FLOPs (paper 1060 -> 474).
         assert!((params[2] - params[1]).abs() < 1.0);
         let drop = flops[2] / flops[1];
-        assert!((0.35..0.65).contains(&drop), "FLOP drop ratio {drop} vs paper ~0.45");
+        assert!(
+            (0.35..0.65).contains(&drop),
+            "FLOP drop ratio {drop} vs paper ~0.45"
+        );
         // +SquaredReLU: ~no FLOP change.
         assert!((flops[3] / flops[2] - 1.0).abs() < 0.05);
     }

@@ -23,15 +23,54 @@ pub fn baseline() -> DlrmArch {
         })
         .collect();
     let mlp_groups = vec![
-        MlpGroupArch { depth: 2, width: 512, low_rank: 1.0, bottom: true },
-        MlpGroupArch { depth: 2, width: 256, low_rank: 1.0, bottom: true },
-        MlpGroupArch { depth: 3, width: 3072, low_rank: 1.0, bottom: false },
-        MlpGroupArch { depth: 3, width: 2048, low_rank: 1.0, bottom: false },
-        MlpGroupArch { depth: 2, width: 1024, low_rank: 1.0, bottom: false },
-        MlpGroupArch { depth: 2, width: 512, low_rank: 1.0, bottom: false },
-        MlpGroupArch { depth: 1, width: 128, low_rank: 1.0, bottom: false },
+        MlpGroupArch {
+            depth: 2,
+            width: 512,
+            low_rank: 1.0,
+            bottom: true,
+        },
+        MlpGroupArch {
+            depth: 2,
+            width: 256,
+            low_rank: 1.0,
+            bottom: true,
+        },
+        MlpGroupArch {
+            depth: 3,
+            width: 3072,
+            low_rank: 1.0,
+            bottom: false,
+        },
+        MlpGroupArch {
+            depth: 3,
+            width: 2048,
+            low_rank: 1.0,
+            bottom: false,
+        },
+        MlpGroupArch {
+            depth: 2,
+            width: 1024,
+            low_rank: 1.0,
+            bottom: false,
+        },
+        MlpGroupArch {
+            depth: 2,
+            width: 512,
+            low_rank: 1.0,
+            bottom: false,
+        },
+        MlpGroupArch {
+            depth: 1,
+            width: 128,
+            low_rank: 1.0,
+            bottom: false,
+        },
     ];
-    DlrmArch { tables, mlp_groups, dense_features: 256 }
+    DlrmArch {
+        tables,
+        mlp_groups,
+        dense_features: 256,
+    }
 }
 
 /// The H2O-NAS-designed DLRM-H: the widest top-tower groups are factorised

@@ -45,26 +45,75 @@ pub struct EfficientNet {
 /// datacenter accelerators, per the EfficientNet-X design).
 fn b0_stages() -> Vec<ENetStage> {
     vec![
-        ENetStage { depth: 1, width: 16, stride: 1, kernel: 3, expansion: 1, fused: true },
-        ENetStage { depth: 2, width: 24, stride: 2, kernel: 3, expansion: 6, fused: true },
-        ENetStage { depth: 2, width: 40, stride: 2, kernel: 5, expansion: 6, fused: true },
-        ENetStage { depth: 3, width: 80, stride: 2, kernel: 3, expansion: 6, fused: false },
-        ENetStage { depth: 3, width: 112, stride: 1, kernel: 5, expansion: 6, fused: false },
-        ENetStage { depth: 4, width: 192, stride: 2, kernel: 5, expansion: 6, fused: false },
-        ENetStage { depth: 1, width: 320, stride: 1, kernel: 3, expansion: 6, fused: false },
+        ENetStage {
+            depth: 1,
+            width: 16,
+            stride: 1,
+            kernel: 3,
+            expansion: 1,
+            fused: true,
+        },
+        ENetStage {
+            depth: 2,
+            width: 24,
+            stride: 2,
+            kernel: 3,
+            expansion: 6,
+            fused: true,
+        },
+        ENetStage {
+            depth: 2,
+            width: 40,
+            stride: 2,
+            kernel: 5,
+            expansion: 6,
+            fused: true,
+        },
+        ENetStage {
+            depth: 3,
+            width: 80,
+            stride: 2,
+            kernel: 3,
+            expansion: 6,
+            fused: false,
+        },
+        ENetStage {
+            depth: 3,
+            width: 112,
+            stride: 1,
+            kernel: 5,
+            expansion: 6,
+            fused: false,
+        },
+        ENetStage {
+            depth: 4,
+            width: 192,
+            stride: 2,
+            kernel: 5,
+            expansion: 6,
+            fused: false,
+        },
+        ENetStage {
+            depth: 1,
+            width: 320,
+            stride: 1,
+            kernel: 3,
+            expansion: 6,
+            fused: false,
+        },
     ]
 }
 
 /// Compound-scaling coefficients per variant: (width ×, depth ×, resolution).
 const SCALING: [(f64, f64, usize); 8] = [
-    (1.0, 1.0, 224),  // B0
-    (1.0, 1.1, 240),  // B1
-    (1.1, 1.2, 260),  // B2
-    (1.2, 1.4, 300),  // B3
-    (1.4, 1.8, 380),  // B4
-    (1.6, 2.2, 456),  // B5
-    (1.8, 2.6, 528),  // B6
-    (2.0, 3.1, 600),  // B7
+    (1.0, 1.0, 224), // B0
+    (1.0, 1.1, 240), // B1
+    (1.1, 1.2, 260), // B2
+    (1.2, 1.4, 300), // B3
+    (1.4, 1.8, 380), // B4
+    (1.6, 2.2, 456), // B5
+    (1.8, 2.6, 528), // B6
+    (2.0, 3.1, 600), // B7
 ];
 
 fn round_channels(c: f64) -> usize {
@@ -74,13 +123,17 @@ fn round_channels(c: f64) -> usize {
 impl EfficientNet {
     /// The baseline EfficientNet-X family, B0–B7.
     pub fn x_family() -> Vec<EfficientNet> {
-        (0..8).map(|i| Self::scaled(&format!("EfficientNet-X-B{i}"), i, false)).collect()
+        (0..8)
+            .map(|i| Self::scaled(&format!("EfficientNet-X-B{i}"), i, false))
+            .collect()
     }
 
     /// The H2O-NAS EfficientNet-H family: identical B0–B4; B5–B7 use the
     /// searched 4/6 expansion mixture (§7.1.3).
     pub fn h_family() -> Vec<EfficientNet> {
-        (0..8).map(|i| Self::scaled(&format!("EfficientNet-H-B{i}"), i, i >= 5)).collect()
+        (0..8)
+            .map(|i| Self::scaled(&format!("EfficientNet-H-B{i}"), i, i >= 5))
+            .collect()
     }
 
     fn scaled(name: &str, variant: usize, expansion_mix: bool) -> Self {
@@ -115,7 +168,12 @@ impl EfficientNet {
     pub fn build_graph(&self, batch: usize) -> Graph {
         let mut g = Graph::new(self.name.clone(), DType::Bf16);
         let res = self.resolution;
-        let input = g.add(OpKind::Reshape { elems: batch * res * res * 3 }, &[]);
+        let input = g.add(
+            OpKind::Reshape {
+                elems: batch * res * res * 3,
+            },
+            &[],
+        );
         let mut hw = res.div_ceil(2);
         let mut x = g.add(
             OpKind::Conv2d {
@@ -157,12 +215,36 @@ impl EfficientNet {
         }
         let head_width = round_channels(c_in as f64 * 4.0);
         x = g.add(
-            OpKind::Conv2d { batch, h: hw, w: hw, c_in, c_out: head_width, kh: 1, kw: 1, stride: 1 },
+            OpKind::Conv2d {
+                batch,
+                h: hw,
+                w: hw,
+                c_in,
+                c_out: head_width,
+                kh: 1,
+                kw: 1,
+                stride: 1,
+            },
             &[x],
         );
-        let pooled =
-            g.add(OpKind::Pool { batch, h: hw, w: hw, c: head_width, window: hw.max(1) }, &[x]);
-        g.add(OpKind::MatMul { m: batch, k: head_width, n: 1000 }, &[pooled]);
+        let pooled = g.add(
+            OpKind::Pool {
+                batch,
+                h: hw,
+                w: hw,
+                c: head_width,
+                window: hw.max(1),
+            },
+            &[x],
+        );
+        g.add(
+            OpKind::MatMul {
+                m: batch,
+                k: head_width,
+                n: 1000,
+            },
+            &[pooled],
+        );
         g.fuse_elementwise();
         g
     }
@@ -225,7 +307,10 @@ mod tests {
 
     #[test]
     fn params_grow_monotonically() {
-        let params: Vec<f64> = EfficientNet::x_family().iter().map(|m| m.params_m()).collect();
+        let params: Vec<f64> = EfficientNet::x_family()
+            .iter()
+            .map(|m| m.params_m())
+            .collect();
         assert!(params.windows(2).all(|w| w[0] < w[1]), "{params:?}");
     }
 

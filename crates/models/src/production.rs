@@ -124,8 +124,14 @@ mod tests {
     #[test]
     fn fleet_has_five_cv_and_three_dlrm() {
         let fleet = fleet();
-        let cv = fleet.iter().filter(|m| matches!(m.domain, ProductionDomain::Vision(_))).count();
-        let dlrm = fleet.iter().filter(|m| matches!(m.domain, ProductionDomain::Dlrm(_))).count();
+        let cv = fleet
+            .iter()
+            .filter(|m| matches!(m.domain, ProductionDomain::Vision(_)))
+            .count();
+        let dlrm = fleet
+            .iter()
+            .filter(|m| matches!(m.domain, ProductionDomain::Dlrm(_)))
+            .count();
         assert_eq!((cv, dlrm), (5, 3));
     }
 
@@ -143,7 +149,11 @@ mod tests {
     fn fleet_baselines_are_distinct() {
         let fleet = fleet();
         for pair in fleet.windows(2) {
-            assert_ne!(pair[0].domain, pair[1].domain, "{} vs {}", pair[0].name, pair[1].name);
+            assert_ne!(
+                pair[0].domain, pair[1].domain,
+                "{} vs {}",
+                pair[0].name, pair[1].name
+            );
         }
     }
 

@@ -36,8 +36,11 @@ pub enum DatasetScale {
 
 impl DatasetScale {
     /// All scales, Fig. 6 order.
-    pub const ALL: [DatasetScale; 3] =
-        [DatasetScale::Small, DatasetScale::Medium, DatasetScale::Large];
+    pub const ALL: [DatasetScale; 3] = [
+        DatasetScale::Small,
+        DatasetScale::Medium,
+        DatasetScale::Large,
+    ];
 
     fn cap(self) -> f64 {
         match self {
@@ -137,7 +140,8 @@ impl VisionQualityModel {
 
     /// Top-1 accuracy estimate in percent.
     pub fn accuracy(&self, desc: &VisionModelDesc) -> f64 {
-        let capacity = self.dataset.cap() - self.dataset.amp() * desc.params_m.max(0.1).powf(-GAMMA);
+        let capacity =
+            self.dataset.cap() - self.dataset.amp() * desc.params_m.max(0.1).powf(-GAMMA);
         let depth = DEPTH_COEF * (desc.conv_depth.max(1) as f64 / REF_CONV_DEPTH).ln();
         let res = RES_COEF * (desc.resolution.max(32) as f64 / REF_RESOLUTION).ln();
         let se = if desc.has_se { 0.25 } else { 0.0 };
@@ -163,12 +167,15 @@ impl VisionQualityModel {
                 h2o_space::vit::ActChoice::SquaredRelu => ActFamily::SquaredRelu,
             })
             .unwrap_or(ActFamily::Gelu);
-        let primer_bonus = if arch.tfm_blocks.iter().any(|b| b.primer) { 0.2 } else { 0.0 };
+        let primer_bonus = if arch.tfm_blocks.iter().any(|b| b.primer) {
+            0.2
+        } else {
+            0.0
+        };
         // Aggressive sequence pooling costs a little accuracy (tokens are
         // discarded); extreme low rank costs capacity beyond the params
         // already counted.
-        let pool_penalty =
-            0.15 * arch.tfm_blocks.iter().filter(|b| b.seq_pool).count() as f64;
+        let pool_penalty = 0.15 * arch.tfm_blocks.iter().filter(|b| b.seq_pool).count() as f64;
         let rank_penalty: f64 = arch
             .tfm_blocks
             .iter()
@@ -195,7 +202,11 @@ impl VisionQualityModel {
             params_m,
             resolution: arch.resolution,
             conv_depth,
-            act: if swish { ActFamily::Swish } else { ActFamily::Relu },
+            act: if swish {
+                ActFamily::Swish
+            } else {
+                ActFamily::Relu
+            },
             has_se,
             has_residuals,
         })
@@ -371,6 +382,9 @@ mod tests {
             t.width *= 64;
             t.vocab *= 64;
         }
-        assert!(model.quality(&huge) < 85.0 + 3.0, "bounded gains: coefficients cap at MEMO+GEN");
+        assert!(
+            model.quality(&huge) < 85.0 + 3.0,
+            "bounded gains: coefficients cap at MEMO+GEN"
+        );
     }
 }

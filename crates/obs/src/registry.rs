@@ -1,0 +1,228 @@
+//! Named metric registry with a process-global default instance.
+//!
+//! Instruments are created on first use and cached by name; lookups take a
+//! short `RwLock` read, while the returned handles record via atomics only.
+//! Hot paths should fetch a handle once (e.g. into a struct field) and
+//! reuse it.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// An immutable snapshot of one histogram's state.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// `(upper_bound, count)` for each non-empty bucket, ascending.
+    pub buckets: Vec<(f64, u64)>,
+    /// Estimated quantiles: (p50, p95, p99).
+    pub p50: f64,
+    /// 95th percentile estimate.
+    pub p95: f64,
+    /// 99th percentile estimate.
+    pub p99: f64,
+}
+
+/// An immutable snapshot of a whole registry, ready for export.
+///
+/// Maps are `BTreeMap` so exports are deterministically ordered.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[derive(Default)]
+struct Instruments {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A collection of named instruments.
+///
+/// Cloning is cheap and shares the underlying instruments.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<RwLock<Instruments>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.read();
+        f.debug_struct("Registry")
+            .field("counters", &g.counters.len())
+            .field("gauges", &g.gauges.len())
+            .field("histograms", &g.histograms.len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.inner.read().counters.get(name) {
+            return c.clone();
+        }
+        self.inner
+            .write()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.inner.read().gauges.get(name) {
+            return g.clone();
+        }
+        self.inner
+            .write()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.inner.read().histograms.get(name) {
+            return h.clone();
+        }
+        self.inner
+            .write()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Convenience: `counter(name).add(n)`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Convenience: `counter(name).inc()`.
+    pub fn inc(&self, name: &str) {
+        self.counter(name).inc();
+    }
+
+    /// Convenience: `gauge(name).set(v)`.
+    pub fn set(&self, name: &str, v: f64) {
+        self.gauge(name).set(v);
+    }
+
+    /// Convenience: `histogram(name).record(v)`.
+    pub fn record(&self, name: &str, v: f64) {
+        self.histogram(name).record(v);
+    }
+
+    /// A consistent-enough point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.inner.read();
+        Snapshot {
+            counters: g
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.value()))
+                .collect(),
+            gauges: g
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.value()))
+                .collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            count: h.count(),
+                            sum: h.sum(),
+                            buckets: h.nonzero_buckets(),
+                            p50: h.quantile(0.50),
+                            p95: h.quantile(0.95),
+                            p99: h.quantile(0.99),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Zeroes every instrument and forgets names.
+    ///
+    /// Handles fetched earlier keep working but are orphaned (their values
+    /// no longer appear in snapshots), so callers should re-fetch after a
+    /// reset. Used between `repro_all` experiments.
+    pub fn reset(&self) {
+        let mut g = self.inner.write();
+        g.counters.clear();
+        g.gauges.clear();
+        g.histograms.clear();
+    }
+}
+
+/// The process-global registry used by the instrumented H2O crates.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_cached_by_name() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").add(3);
+        assert_eq!(r.counter("a").value(), 5);
+    }
+
+    #[test]
+    fn snapshot_reflects_all_kinds() {
+        let r = Registry::new();
+        r.inc("c1");
+        r.set("g1", 2.5);
+        r.record("h1", 1.0);
+        let s = r.snapshot();
+        assert_eq!(s.counters["c1"], 1);
+        assert_eq!(s.gauges["g1"], 2.5);
+        assert_eq!(s.histograms["h1"].count, 1);
+    }
+
+    #[test]
+    fn reset_forgets_instruments() {
+        let r = Registry::new();
+        r.inc("c1");
+        r.reset();
+        assert!(r.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global();
+        let b = global();
+        a.counter("global_test_counter").inc();
+        assert!(b.snapshot().counters.contains_key("global_test_counter"));
+    }
+}

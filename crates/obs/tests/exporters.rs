@@ -1,0 +1,103 @@
+//! Exporter golden tests: exact output for a fixed registry state, plus
+//! shape checks for the Chrome trace (whose timings are nondeterministic).
+
+use h2o_obs::export::{to_chrome_trace, to_json, to_prometheus};
+use h2o_obs::{Registry, SpanEvent};
+
+/// A registry with one of each instrument and deterministic values.
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("requests_total").add(7);
+    r.gauge("queue_depth").set(3.5);
+    // 4.0 and 8.0 are exact powers of two: they land in the first
+    // sub-bucket of their octaves, so bucket bounds are deterministic.
+    r.histogram("latency_seconds").record(4.0);
+    r.histogram("latency_seconds").record(8.0);
+    r
+}
+
+#[test]
+fn prometheus_golden() {
+    let text = to_prometheus(&golden_registry().snapshot());
+    let expected = "\
+# TYPE requests_total counter
+requests_total 7
+# TYPE queue_depth gauge
+queue_depth 3.5
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le=\"4.125\"} 1
+latency_seconds_bucket{le=\"8.25\"} 2
+latency_seconds_bucket{le=\"+Inf\"} 2
+latency_seconds_sum 12
+latency_seconds_count 2
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn json_golden() {
+    let json = to_json(&golden_registry().snapshot());
+    let expected = "\
+{
+  \"counters\": {
+    \"requests_total\": 7
+  },
+  \"gauges\": {
+    \"queue_depth\": 3.5
+  },
+  \"histograms\": {
+    \"latency_seconds\": {\"count\": 2, \"sum\": 12, \"mean\": 6, \"p50\": 4.125, \"p95\": 8.25, \"p99\": 8.25}
+  }
+}
+";
+    assert_eq!(json, expected);
+}
+
+#[test]
+fn chrome_trace_golden_for_fixed_events() {
+    let events = vec![
+        SpanEvent {
+            path: "step".into(),
+            start_us: 10,
+            dur_us: 100,
+            tid: 1,
+        },
+        SpanEvent {
+            path: "step/sample".into(),
+            start_us: 20,
+            dur_us: 30,
+            tid: 1,
+        },
+    ];
+    let trace = to_chrome_trace(&events);
+    let expected = "\
+{\"traceEvents\":[
+{\"name\":\"step\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":10,\"dur\":100,\"pid\":1,\"tid\":1,\"args\":{\"path\":\"step\"}},
+{\"name\":\"sample\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":20,\"dur\":30,\"pid\":1,\"tid\":1,\"args\":{\"path\":\"step/sample\"}}
+],\"displayTimeUnit\":\"ms\"}
+";
+    assert_eq!(trace, expected);
+}
+
+#[test]
+fn empty_snapshot_exports_cleanly() {
+    let r = Registry::new();
+    assert_eq!(to_prometheus(&r.snapshot()), "");
+    let json = to_json(&r.snapshot());
+    assert!(json.contains("\"counters\": {"));
+    assert_eq!(
+        to_chrome_trace(&[]),
+        "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n"
+    );
+}
+
+#[test]
+fn labelled_names_survive_the_prometheus_round() {
+    let r = Registry::new();
+    r.counter("shard_steps{shard=\"3\"}").add(2);
+    let text = to_prometheus(&r.snapshot());
+    assert!(
+        text.contains("shard_steps_total{shard=\"3\"} 2"),
+        "got:\n{text}"
+    );
+}

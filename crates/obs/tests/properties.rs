@@ -1,0 +1,68 @@
+//! Property tests for the log-linear histogram: bucketing must be
+//! monotone and quantile estimates must be exact to within one bucket.
+
+use h2o_obs::Histogram;
+use proptest::prelude::*;
+
+/// True `q`-quantile of `values` by sorting (nearest-rank definition,
+/// matching `Histogram::quantile`).
+fn exact_quantile(values: &mut [f64], q: f64) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+    values[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn bucket_bounds_contain_the_value(v in 1e-6f64..1e9) {
+        let idx = Histogram::bucket_index(v);
+        let upper = Histogram::bucket_upper_bound(idx);
+        prop_assert!(v <= upper, "{} above its bucket upper bound {}", v, upper);
+        if idx > 0 {
+            let lower = Histogram::bucket_upper_bound(idx - 1);
+            prop_assert!(v >= lower, "{} below previous bound {}", v, lower);
+        }
+    }
+
+    fn bucket_index_is_monotone(a in 1e-6f64..1e9, b in 1e-6f64..1e9) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Histogram::bucket_index(lo) <= Histogram::bucket_index(hi));
+    }
+
+    fn quantile_within_one_bucket_of_truth(
+        values in prop::collection::vec(1e-3f64..1e6, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        let truth = exact_quantile(&mut sorted, q);
+        let est = h.quantile(q);
+        // The estimate is the upper bound of the bucket holding the true
+        // rank value, so it can only exceed truth by one bucket's width
+        // (a factor of 1 + 1/SUBS) and never undershoot below the bucket's
+        // lower edge.
+        let width_factor = 1.0 + 1.0 / Histogram::SUBS as f64;
+        prop_assert!(est >= truth, "estimate {} under truth {}", est, truth);
+        prop_assert!(
+            est <= truth * width_factor * (1.0 + 1e-9),
+            "estimate {} more than one bucket above truth {}",
+            est,
+            truth
+        );
+    }
+
+    fn count_and_sum_match_inputs(values in prop::collection::vec(0.0f64..1e6, 0..100)) {
+        let h = Histogram::new();
+        let mut sum = 0.0;
+        for &v in &values {
+            h.record(v);
+            sum += v;
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert!((h.sum() - sum).abs() <= 1e-6 * sum.abs() + 1e-12);
+    }
+}

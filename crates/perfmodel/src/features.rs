@@ -29,7 +29,9 @@ pub struct Featurizer {
 impl Featurizer {
     /// Builds a featurizer for a space's decision list.
     pub fn from_space(space: &SearchSpace) -> Self {
-        Self { arities: space.decisions().iter().map(|d| d.choices).collect() }
+        Self {
+            arities: space.decisions().iter().map(|d| d.choices).collect(),
+        }
     }
 
     /// Feature dimensionality (= number of decisions).

@@ -82,12 +82,20 @@ pub struct TrainConfig {
 impl TrainConfig {
     /// Defaults for the pre-training phase.
     pub fn pretrain() -> Self {
-        Self { epochs: 30, batch_size: 256, lr: 1e-3 }
+        Self {
+            epochs: 30,
+            batch_size: 256,
+            lr: 1e-3,
+        }
     }
 
     /// Defaults for the fine-tuning phase (few points, gentle steps).
     pub fn finetune() -> Self {
-        Self { epochs: 200, batch_size: 8, lr: 1e-4 }
+        Self {
+            epochs: 200,
+            batch_size: 8,
+            lr: 1e-4,
+        }
     }
 }
 
@@ -145,8 +153,8 @@ impl PerfModel {
     }
 
     fn to_z(&self, head: Head, seconds: f64) -> f32 {
-        ((seconds.max(1e-12).ln() - self.target_mean[head.index()])
-            / self.target_std[head.index()]) as f32
+        ((seconds.max(1e-12).ln() - self.target_mean[head.index()]) / self.target_std[head.index()])
+            as f32
     }
 
     fn raw_log_prediction(&self, features: &[f32], head: Head) -> f64 {
@@ -159,13 +167,19 @@ impl PerfModel {
     /// Predicts both heads for a feature vector, applying the fine-tune
     /// calibration if one has been fitted.
     pub fn predict(&self, features: &[f32]) -> PerfPrediction {
+        let infer_span = h2o_obs::span("perfmodel_infer");
+        h2o_obs::counter("h2o_perfmodel_inferences_total").inc();
         let mut out = [0.0f64; 2];
         for head in Head::ALL {
             let log_sim = self.raw_log_prediction(features, head);
             let (a, b) = self.calibration[head.index()];
             out[head.index()] = (a * log_sim + b).exp();
         }
-        PerfPrediction { training: out[0], serving: out[1] }
+        h2o_obs::histogram("h2o_perfmodel_infer_seconds").record(infer_span.finish());
+        PerfPrediction {
+            training: out[0],
+            serving: out[1],
+        }
     }
 
     /// Phase 1: regresses simulator targets. Returns the final epoch's mean
@@ -175,14 +189,14 @@ impl PerfModel {
     ///
     /// Panics if `xs` is empty or lengths mismatch.
     pub fn pretrain(&mut self, xs: &[Vec<f32>], ys: &[PerfTargets], cfg: TrainConfig) -> f32 {
+        let _span = h2o_obs::span("perfmodel_pretrain");
         assert!(!xs.is_empty(), "pretraining data must be non-empty");
         assert_eq!(xs.len(), ys.len(), "feature/target length mismatch");
         // Fit the log-space normaliser.
         for head in Head::ALL {
             let logs: Vec<f64> = ys.iter().map(|y| y.get(head).max(1e-12).ln()).collect();
             let mean = logs.iter().sum::<f64>() / logs.len() as f64;
-            let var =
-                logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / logs.len() as f64;
+            let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / logs.len() as f64;
             self.target_mean[head.index()] = mean;
             self.target_std[head.index()] = var.sqrt().max(1e-6);
         }
@@ -193,11 +207,14 @@ impl PerfModel {
         let dim = xs[0].len();
         let mut order: Vec<usize> = (0..xs.len()).collect();
         let mut last_epoch_loss = 0.0f32;
+        let epoch_seconds = h2o_obs::histogram("h2o_perfmodel_train_epoch_seconds");
+        let epochs_total = h2o_obs::counter("h2o_perfmodel_train_epochs_total");
         // The Mlp owns an Adam(1e-3) optimizer; per-phase learning rates are
         // honoured by scaling the loss gradient (equivalent for Adam up to
         // its second-moment normalisation, and gentle enough for finetune).
         let lr_scale = cfg.lr / 1e-3;
         for _ in 0..cfg.epochs {
+            let epoch_start = std::time::Instant::now();
             order.shuffle(&mut self.rng);
             let mut epoch_loss = 0.0f32;
             let mut batches = 0;
@@ -216,6 +233,8 @@ impl PerfModel {
                 batches += 1;
             }
             last_epoch_loss = epoch_loss / batches.max(1) as f32;
+            epochs_total.inc();
+            epoch_seconds.record(epoch_start.elapsed().as_secs_f64());
         }
         last_epoch_loss
     }
@@ -230,18 +249,24 @@ impl PerfModel {
     ///
     /// Panics if fewer than 2 measurements are provided.
     pub fn finetune(&mut self, xs: &[Vec<f32>], ys: &[PerfTargets], cfg: TrainConfig) {
+        let _span = h2o_obs::span("perfmodel_finetune");
         assert!(xs.len() >= 2, "fine-tuning needs at least two measurements");
         assert_eq!(xs.len(), ys.len(), "feature/target length mismatch");
         for head in Head::ALL {
             // Least squares of log(measured) on log(pretrained prediction).
-            let sims: Vec<f64> =
-                xs.iter().map(|x| self.raw_log_prediction(x, head)).collect();
+            let sims: Vec<f64> = xs
+                .iter()
+                .map(|x| self.raw_log_prediction(x, head))
+                .collect();
             let prods: Vec<f64> = ys.iter().map(|y| y.get(head).max(1e-12).ln()).collect();
             let n = sims.len() as f64;
             let mean_s = sims.iter().sum::<f64>() / n;
             let mean_p = prods.iter().sum::<f64>() / n;
-            let cov: f64 =
-                sims.iter().zip(&prods).map(|(s, p)| (s - mean_s) * (p - mean_p)).sum();
+            let cov: f64 = sims
+                .iter()
+                .zip(&prods)
+                .map(|(s, p)| (s - mean_s) * (p - mean_p))
+                .sum();
             let var: f64 = sims.iter().map(|s| (s - mean_s) * (s - mean_s)).sum();
             let a = if var > 1e-12 { cov / var } else { 1.0 };
             let b = mean_p - a * mean_s;
@@ -276,7 +301,10 @@ impl PerfModel {
         let t_true: Vec<f64> = ys.iter().map(|y| y.training).collect();
         let s_pred: Vec<f64> = preds.iter().map(|p| p.serving).collect();
         let s_true: Vec<f64> = ys.iter().map(|y| y.serving).collect();
-        PerfTargets { training: nrmse(&t_pred, &t_true), serving: nrmse(&s_pred, &s_true) }
+        PerfTargets {
+            training: nrmse(&t_pred, &t_true),
+            serving: nrmse(&s_pred, &s_true),
+        }
     }
 
     /// Samples `count` indices without replacement — utility for picking the
@@ -299,7 +327,9 @@ impl PerfModel {
 
     /// Uniform-random feature vectors (for smoke tests / synthetic pools).
     pub fn random_features(&mut self, dim: usize, count: usize) -> Vec<Vec<f32>> {
-        (0..count).map(|_| (0..dim).map(|_| self.rng.gen_range(0.0..1.0)).collect()).collect()
+        (0..count)
+            .map(|_| (0..dim).map(|_| self.rng.gen_range(0.0..1.0)).collect())
+            .collect()
     }
 }
 
@@ -316,7 +346,10 @@ mod tests {
             let x: Vec<f32> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
             let t = (2.0 * x[0] as f64 + x[1] as f64).exp() * 1e-3;
             xs.push(x);
-            ys.push(PerfTargets { training: t, serving: t * 0.5 });
+            ys.push(PerfTargets {
+                training: t,
+                serving: t * 0.5,
+            });
         }
         (xs, ys)
     }
@@ -325,7 +358,15 @@ mod tests {
     fn pretrain_fits_smooth_function() {
         let (xs, ys) = synth_data(500, 1);
         let mut model = PerfModel::new(4, &[64, 64], 0);
-        model.pretrain(&xs, &ys, TrainConfig { epochs: 60, batch_size: 64, lr: 1e-3 });
+        model.pretrain(
+            &xs,
+            &ys,
+            TrainConfig {
+                epochs: 60,
+                batch_size: 64,
+                lr: 1e-3,
+            },
+        );
         let (xt, yt) = synth_data(100, 2);
         let err = model.evaluate_nrmse(&xt, &yt);
         assert!(err.training < 0.05, "training NRMSE {}", err.training);
@@ -336,7 +377,15 @@ mod tests {
     fn finetune_absorbs_systematic_bias() {
         let (xs, ys) = synth_data(500, 3);
         let mut model = PerfModel::new(4, &[64, 64], 0);
-        model.pretrain(&xs, &ys, TrainConfig { epochs: 60, batch_size: 64, lr: 1e-3 });
+        model.pretrain(
+            &xs,
+            &ys,
+            TrainConfig {
+                epochs: 60,
+                batch_size: 64,
+                lr: 1e-3,
+            },
+        );
         // "Production" runs 1.4x slower with a +20% exponent skew.
         let biased = |y: &PerfTargets| PerfTargets {
             training: 1.4 * y.training.powf(1.05),
@@ -347,7 +396,15 @@ mod tests {
         let (tx, ty_raw) = synth_data(100, 5);
         let ty: Vec<PerfTargets> = ty_raw.iter().map(biased).collect();
         let before = model.evaluate_nrmse(&tx, &ty);
-        model.finetune(&fx, &fy, TrainConfig { epochs: 50, batch_size: 8, lr: 1e-4 });
+        model.finetune(
+            &fx,
+            &fy,
+            TrainConfig {
+                epochs: 50,
+                batch_size: 8,
+                lr: 1e-4,
+            },
+        );
         let after = model.evaluate_nrmse(&tx, &ty);
         assert!(
             after.training < before.training / 3.0,
@@ -392,8 +449,20 @@ mod tests {
             y.serving = (3.0 * x[2] as f64).exp() * 1e-4;
         }
         let mut model = PerfModel::new(4, &[64, 64], 0);
-        model.pretrain(&xs, &ys, TrainConfig { epochs: 80, batch_size: 64, lr: 1e-3 });
+        model.pretrain(
+            &xs,
+            &ys,
+            TrainConfig {
+                epochs: 80,
+                batch_size: 64,
+                lr: 1e-3,
+            },
+        );
         let err = model.evaluate_nrmse(&xs, &ys);
-        assert!(err.serving < 0.1, "serving head must fit its own target: {}", err.serving);
+        assert!(
+            err.serving < 0.1,
+            "serving head must fit its own target: {}",
+            err.serving
+        );
     }
 }

@@ -77,13 +77,41 @@ impl Default for CnnSpaceConfig {
     fn default() -> Self {
         Self {
             stages: vec![
-                StageBaseline { depth: 1, width: 16, stride: 1 },
-                StageBaseline { depth: 2, width: 24, stride: 2 },
-                StageBaseline { depth: 2, width: 40, stride: 2 },
-                StageBaseline { depth: 3, width: 80, stride: 2 },
-                StageBaseline { depth: 3, width: 112, stride: 1 },
-                StageBaseline { depth: 4, width: 192, stride: 2 },
-                StageBaseline { depth: 1, width: 320, stride: 1 },
+                StageBaseline {
+                    depth: 1,
+                    width: 16,
+                    stride: 1,
+                },
+                StageBaseline {
+                    depth: 2,
+                    width: 24,
+                    stride: 2,
+                },
+                StageBaseline {
+                    depth: 2,
+                    width: 40,
+                    stride: 2,
+                },
+                StageBaseline {
+                    depth: 3,
+                    width: 80,
+                    stride: 2,
+                },
+                StageBaseline {
+                    depth: 3,
+                    width: 112,
+                    stride: 1,
+                },
+                StageBaseline {
+                    depth: 4,
+                    width: 192,
+                    stride: 2,
+                },
+                StageBaseline {
+                    depth: 1,
+                    width: 320,
+                    stride: 1,
+                },
             ],
             width_increment: 8,
             stem_width: 32,
@@ -143,14 +171,32 @@ impl CnnSpace {
         let mut space = SearchSpace::new("cnn");
         for (i, _) in config.stages.iter().enumerate() {
             space.push(Decision::new(format!("block{i}/type"), 2));
-            space.push(Decision::new(format!("block{i}/kernel"), choices::KERNELS.len()));
-            space.push(Decision::new(format!("block{i}/stride"), choices::STRIDES.len()));
-            space.push(Decision::new(format!("block{i}/expansion"), choices::EXPANSIONS.len()));
+            space.push(Decision::new(
+                format!("block{i}/kernel"),
+                choices::KERNELS.len(),
+            ));
+            space.push(Decision::new(
+                format!("block{i}/stride"),
+                choices::STRIDES.len(),
+            ));
+            space.push(Decision::new(
+                format!("block{i}/expansion"),
+                choices::EXPANSIONS.len(),
+            ));
             space.push(Decision::new(format!("block{i}/activation"), 2));
-            space.push(Decision::new(format!("block{i}/se_ratio"), choices::SE_RATIOS.len()));
+            space.push(Decision::new(
+                format!("block{i}/se_ratio"),
+                choices::SE_RATIOS.len(),
+            ));
             space.push(Decision::new(format!("block{i}/skip"), 2));
-            space.push(Decision::new(format!("block{i}/depth"), choices::DEPTH_DELTAS.len()));
-            space.push(Decision::new(format!("block{i}/width"), choices::WIDTH_DELTAS.len()));
+            space.push(Decision::new(
+                format!("block{i}/depth"),
+                choices::DEPTH_DELTAS.len(),
+            ));
+            space.push(Decision::new(
+                format!("block{i}/width"),
+                choices::WIDTH_DELTAS.len(),
+            ));
             space.push(Decision::new(format!("block{i}/reshape"), 3));
         }
         space.push(Decision::new("resolution", choices::RESOLUTIONS.len()));
@@ -177,17 +223,24 @@ impl CnnSpace {
         let mut blocks = Vec::with_capacity(self.config.stages.len());
         for (i, stage) in self.config.stages.iter().enumerate() {
             let s = &sample[i * DECISIONS_PER_BLOCK..(i + 1) * DECISIONS_PER_BLOCK];
-            let depth =
-                (stage.depth as i32 + choices::DEPTH_DELTAS[s[7]]).max(1) as usize;
+            let depth = (stage.depth as i32 + choices::DEPTH_DELTAS[s[7]]).max(1) as usize;
             let width = (stage.width as i32
                 + choices::WIDTH_DELTAS[s[8]] * self.config.width_increment as i32)
                 .max(8) as usize;
             // Stride choices 2/4 are only allowed in a stage's first layer,
             // which is how the decoder applies them; a baseline stride-1
             // stage keeps stride 1 to preserve the downsampling schedule.
-            let stride = if stage.stride == 1 { 1 } else { choices::STRIDES[s[2]].max(2) };
+            let stride = if stage.stride == 1 {
+                1
+            } else {
+                choices::STRIDES[s[2]].max(2)
+            };
             blocks.push(CnnBlockArch {
-                block_type: if s[0] == 0 { BlockType::MbConv } else { BlockType::FusedMbConv },
+                block_type: if s[0] == 0 {
+                    BlockType::MbConv
+                } else {
+                    BlockType::FusedMbConv
+                },
                 kernel: choices::KERNELS[s[1]],
                 stride,
                 expansion: choices::EXPANSIONS[s[3]],
@@ -204,7 +257,11 @@ impl CnnSpace {
             });
         }
         let resolution = choices::RESOLUTIONS[sample[sample.len() - 1]];
-        CnnArch { resolution, stem_width: self.config.stem_width, blocks }
+        CnnArch {
+            resolution,
+            stem_width: self.config.stem_width,
+            blocks,
+        }
     }
 }
 
@@ -213,7 +270,9 @@ impl CnnArch {
     pub fn build_graph(&self, batch: usize) -> Graph {
         let mut g = Graph::new("cnn", DType::Bf16);
         let input = g.add(
-            OpKind::Reshape { elems: batch * self.resolution * self.resolution * 3 },
+            OpKind::Reshape {
+                elems: batch * self.resolution * self.resolution * 3,
+            },
             &[],
         );
         // Stem: 3×3 stride-2 convolution.
@@ -234,7 +293,12 @@ impl CnnArch {
         let mut c_in = self.stem_width;
         for block in &self.blocks {
             if block.reshape != Reshape::None {
-                x = g.add(OpKind::Reshape { elems: batch * hw * hw * c_in }, &[x]);
+                x = g.add(
+                    OpKind::Reshape {
+                        elems: batch * hw * hw * c_in,
+                    },
+                    &[x],
+                );
             }
             for layer in 0..block.depth {
                 let stride = if layer == 0 { block.stride } else { 1 };
@@ -250,7 +314,11 @@ impl CnnArch {
                     // `skip` gates identity residuals, which cost ~nothing on
                     // hardware; it matters to the quality surrogate instead.
                     se_ratio: block.se_ratio,
-                    act: if block.swish { ActDesc::SWISH } else { ActDesc::RELU },
+                    act: if block.swish {
+                        ActDesc::SWISH
+                    } else {
+                        ActDesc::RELU
+                    },
                 };
                 x = match block.block_type {
                     BlockType::MbConv => mbconv(&mut g, &cfg, x),
@@ -261,8 +329,24 @@ impl CnnArch {
             }
         }
         // Head: global pool + classifier.
-        let pooled = g.add(OpKind::Pool { batch, h: hw, w: hw, c: c_in, window: hw.max(1) }, &[x]);
-        g.add(OpKind::MatMul { m: batch, k: c_in, n: 1000 }, &[pooled]);
+        let pooled = g.add(
+            OpKind::Pool {
+                batch,
+                h: hw,
+                w: hw,
+                c: c_in,
+                window: hw.max(1),
+            },
+            &[x],
+        );
+        g.add(
+            OpKind::MatMul {
+                m: batch,
+                k: c_in,
+                n: 1000,
+            },
+            &[pooled],
+        );
         g.fuse_elementwise();
         g
     }
@@ -374,6 +458,9 @@ mod tests {
         let mut sample = s.space().baseline_sample();
         sample[9] = 1; // space-to-depth on block 0
         let g = s.decode(&sample).build_graph(1);
-        assert!(g.nodes().iter().any(|n| n.kind.label() == "reshape" && n.id.0 > 0));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| n.kind.label() == "reshape" && n.id.0 > 0));
     }
 }

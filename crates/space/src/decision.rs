@@ -28,7 +28,10 @@ impl Decision {
     /// Panics if `choices == 0`.
     pub fn new(name: impl Into<String>, choices: usize) -> Self {
         assert!(choices >= 1, "a decision needs at least one choice");
-        Self { name: name.into(), choices }
+        Self {
+            name: name.into(),
+            choices,
+        }
     }
 }
 
@@ -57,7 +60,10 @@ pub struct SearchSpace {
 impl SearchSpace {
     /// Creates an empty space.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), decisions: Vec::new() }
+        Self {
+            name: name.into(),
+            decisions: Vec::new(),
+        }
     }
 
     /// Space name.
@@ -85,7 +91,10 @@ impl SearchSpace {
     /// choice counts). Computed in log space — the DLRM space overflows
     /// `f64` otherwise.
     pub fn log10_size(&self) -> f64 {
-        self.decisions.iter().map(|d| (d.choices as f64).log10()).sum()
+        self.decisions
+            .iter()
+            .map(|d| (d.choices as f64).log10())
+            .sum()
     }
 
     /// Checks that a sample indexes every decision within range.
@@ -110,7 +119,10 @@ impl SearchSpace {
 
     /// Samples uniformly at random.
     pub fn sample_uniform(&self, rng: &mut impl Rng) -> ArchSample {
-        self.decisions.iter().map(|d| rng.gen_range(0..d.choices)).collect()
+        self.decisions
+            .iter()
+            .map(|d| rng.gen_range(0..d.choices))
+            .collect()
     }
 
     /// The all-zeros sample (by convention, the baseline architecture).
@@ -144,10 +156,20 @@ impl std::fmt::Display for SampleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SampleError::WrongLength { expected, got } => {
-                write!(f, "sample has {got} entries, space has {expected} decisions")
+                write!(
+                    f,
+                    "sample has {got} entries, space has {expected} decisions"
+                )
             }
-            SampleError::ChoiceOutOfRange { decision, choice, choices } => {
-                write!(f, "choice {choice} out of range for decision {decision} ({choices} choices)")
+            SampleError::ChoiceOutOfRange {
+                decision,
+                choice,
+                choices,
+            } => {
+                write!(
+                    f,
+                    "choice {choice} out of range for decision {decision} ({choices} choices)"
+                )
             }
         }
     }
@@ -182,7 +204,10 @@ mod tests {
     fn validate_rejects_wrong_length() {
         assert_eq!(
             space().validate(&vec![0]),
-            Err(SampleError::WrongLength { expected: 2, got: 1 })
+            Err(SampleError::WrongLength {
+                expected: 2,
+                got: 1
+            })
         );
     }
 
@@ -190,7 +215,11 @@ mod tests {
     fn validate_rejects_out_of_range() {
         assert_eq!(
             space().validate(&vec![0, 5]),
-            Err(SampleError::ChoiceOutOfRange { decision: 1, choice: 5, choices: 5 })
+            Err(SampleError::ChoiceOutOfRange {
+                decision: 1,
+                choice: 5,
+                choices: 5
+            })
         );
     }
 
@@ -216,7 +245,11 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = SampleError::ChoiceOutOfRange { decision: 3, choice: 9, choices: 4 };
+        let e = SampleError::ChoiceOutOfRange {
+            decision: 3,
+            choice: 9,
+            choices: 4,
+        };
         assert!(e.to_string().contains("decision 3"));
     }
 }

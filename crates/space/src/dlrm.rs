@@ -84,16 +84,56 @@ impl DlrmSpaceConfig {
             })
             .collect();
         let mlp_groups = vec![
-            MlpGroupBaseline { depth: 2, width: 512, bottom: true },
-            MlpGroupBaseline { depth: 2, width: 256, bottom: true },
-            MlpGroupBaseline { depth: 2, width: 2048, bottom: false },
-            MlpGroupBaseline { depth: 2, width: 2048, bottom: false },
-            MlpGroupBaseline { depth: 2, width: 1024, bottom: false },
-            MlpGroupBaseline { depth: 2, width: 1024, bottom: false },
-            MlpGroupBaseline { depth: 2, width: 512, bottom: false },
-            MlpGroupBaseline { depth: 2, width: 512, bottom: false },
-            MlpGroupBaseline { depth: 2, width: 256, bottom: false },
-            MlpGroupBaseline { depth: 1, width: 128, bottom: false },
+            MlpGroupBaseline {
+                depth: 2,
+                width: 512,
+                bottom: true,
+            },
+            MlpGroupBaseline {
+                depth: 2,
+                width: 256,
+                bottom: true,
+            },
+            MlpGroupBaseline {
+                depth: 2,
+                width: 2048,
+                bottom: false,
+            },
+            MlpGroupBaseline {
+                depth: 2,
+                width: 2048,
+                bottom: false,
+            },
+            MlpGroupBaseline {
+                depth: 2,
+                width: 1024,
+                bottom: false,
+            },
+            MlpGroupBaseline {
+                depth: 2,
+                width: 1024,
+                bottom: false,
+            },
+            MlpGroupBaseline {
+                depth: 2,
+                width: 512,
+                bottom: false,
+            },
+            MlpGroupBaseline {
+                depth: 2,
+                width: 512,
+                bottom: false,
+            },
+            MlpGroupBaseline {
+                depth: 2,
+                width: 256,
+                bottom: false,
+            },
+            MlpGroupBaseline {
+                depth: 1,
+                width: 128,
+                bottom: false,
+            },
         ];
         Self {
             tables,
@@ -109,12 +149,28 @@ impl DlrmSpaceConfig {
     pub fn tiny() -> Self {
         Self {
             tables: (0..4)
-                .map(|i| TableBaseline { vocab: 64 << i, width: 8, ids_per_example: 1.0 })
+                .map(|i| TableBaseline {
+                    vocab: 64 << i,
+                    width: 8,
+                    ids_per_example: 1.0,
+                })
                 .collect(),
             mlp_groups: vec![
-                MlpGroupBaseline { depth: 1, width: 16, bottom: true },
-                MlpGroupBaseline { depth: 2, width: 32, bottom: false },
-                MlpGroupBaseline { depth: 1, width: 16, bottom: false },
+                MlpGroupBaseline {
+                    depth: 1,
+                    width: 16,
+                    bottom: true,
+                },
+                MlpGroupBaseline {
+                    depth: 2,
+                    width: 32,
+                    bottom: false,
+                },
+                MlpGroupBaseline {
+                    depth: 1,
+                    width: 16,
+                    bottom: false,
+                },
             ],
             dense_features: 8,
             emb_width_increment: 2,
@@ -161,7 +217,10 @@ pub struct DlrmArch {
 impl DlrmArch {
     /// Total embedding parameters (the model-size driver, §5.1.1).
     pub fn embedding_params(&self) -> f64 {
-        self.tables.iter().map(|t| t.vocab as f64 * t.width as f64).sum()
+        self.tables
+            .iter()
+            .map(|t| t.vocab as f64 * t.width as f64)
+            .sum()
     }
 
     /// Total MLP parameters.
@@ -206,8 +265,12 @@ impl DlrmArch {
     /// the paper's `MAX(embedding time, MLP time)` structure (Fig. 8).
     pub fn build_graph(&self, batch: usize, chips: usize) -> Graph {
         let mut g = Graph::new("dlrm", DType::F32);
-        let dense_in =
-            g.add(OpKind::Reshape { elems: batch * self.dense_features }, &[]);
+        let dense_in = g.add(
+            OpKind::Reshape {
+                elems: batch * self.dense_features,
+            },
+            &[],
+        );
         // Bottom tower.
         let bottom_groups: Vec<&MlpGroupArch> =
             self.mlp_groups.iter().filter(|m| m.bottom).collect();
@@ -216,8 +279,15 @@ impl DlrmArch {
         for group in &bottom_groups {
             let widths = vec![group.width; group.depth];
             let ranks = vec![group.low_rank; group.depth];
-            bottom_out =
-                mlp_stack(&mut g, batch, prev, &widths, &ranks, ActDesc::RELU, bottom_out);
+            bottom_out = mlp_stack(
+                &mut g,
+                batch,
+                prev,
+                &widths,
+                &ranks,
+                ActDesc::RELU,
+                bottom_out,
+            );
             prev = group.width;
         }
         // Embedding branch (parallel to the bottom tower). Each chip owns
@@ -227,7 +297,11 @@ impl DlrmArch {
         for table in &self.tables {
             let lookups = (batch as f64 * table.ids_per_example).ceil() as usize;
             let node = g.add(
-                OpKind::EmbeddingLookup { lookups, width: table.width, vocab: table.vocab },
+                OpKind::EmbeddingLookup {
+                    lookups,
+                    width: table.width,
+                    vocab: table.vocab,
+                },
                 &[],
             );
             emb_nodes.push(node);
@@ -235,14 +309,28 @@ impl DlrmArch {
         }
         let emb_out = if chips > 1 {
             let bytes = batch as f64 * emb_width_total as f64 * 4.0;
-            g.add(OpKind::AllToAll { bytes_per_chip: bytes }, &emb_nodes)
+            g.add(
+                OpKind::AllToAll {
+                    bytes_per_chip: bytes,
+                },
+                &emb_nodes,
+            )
         } else {
-            g.add(OpKind::Concat { elems: batch * emb_width_total }, &emb_nodes)
+            g.add(
+                OpKind::Concat {
+                    elems: batch * emb_width_total,
+                },
+                &emb_nodes,
+            )
         };
         // Feature interaction: concat(dense tower, embeddings) -> top tower.
         let concat_width = prev + emb_width_total;
-        let concat =
-            g.add(OpKind::Concat { elems: batch * concat_width }, &[bottom_out, emb_out]);
+        let concat = g.add(
+            OpKind::Concat {
+                elems: batch * concat_width,
+            },
+            &[bottom_out, emb_out],
+        );
         let mut top_out = concat;
         let mut prev = concat_width;
         for group in self.mlp_groups.iter().filter(|m| !m.bottom) {
@@ -251,9 +339,20 @@ impl DlrmArch {
             top_out = mlp_stack(&mut g, batch, prev, &widths, &ranks, ActDesc::RELU, top_out);
             prev = group.width;
         }
-        let logits = g.add(OpKind::MatMul { m: batch, k: prev, n: 1 }, &[top_out]);
+        let logits = g.add(
+            OpKind::MatMul {
+                m: batch,
+                k: prev,
+                n: 1,
+            },
+            &[top_out],
+        );
         g.add(
-            OpKind::Elementwise { elems: batch, ops_per_elem: 8.0, label: "sigmoid".into() },
+            OpKind::Elementwise {
+                elems: batch,
+                ops_per_elem: 8.0,
+                label: "sigmoid".into(),
+            },
             &[logits],
         );
         g.fuse_elementwise();
@@ -283,15 +382,24 @@ impl DlrmSpace {
                 format!("table{i}/width"),
                 choices::EMB_WIDTH_DELTAS.len(),
             ));
-            space.push(Decision::new(format!("table{i}/vocab"), choices::VOCAB_SCALES.len()));
+            space.push(Decision::new(
+                format!("table{i}/vocab"),
+                choices::VOCAB_SCALES.len(),
+            ));
         }
         for (i, _) in config.mlp_groups.iter().enumerate() {
-            space.push(Decision::new(format!("mlp{i}/depth"), choices::DEPTH_DELTAS.len()));
+            space.push(Decision::new(
+                format!("mlp{i}/depth"),
+                choices::DEPTH_DELTAS.len(),
+            ));
             space.push(Decision::new(
                 format!("mlp{i}/width"),
                 choices::MLP_WIDTH_DELTAS.len(),
             ));
-            space.push(Decision::new(format!("mlp{i}/low_rank"), choices::LOW_RANK_CHOICES));
+            space.push(Decision::new(
+                format!("mlp{i}/low_rank"),
+                choices::LOW_RANK_CHOICES,
+            ));
         }
         Self { config, space }
     }
@@ -345,7 +453,11 @@ impl DlrmSpace {
             sample.push(nearest(
                 table.width as f64,
                 &mut choices::EMB_WIDTH_DELTAS.iter().enumerate().map(|(i, &d)| {
-                    (i, (base.width as i32 + d * self.config.emb_width_increment as i32).max(8) as f64)
+                    (
+                        i,
+                        (base.width as i32 + d * self.config.emb_width_increment as i32).max(8)
+                            as f64,
+                    )
                 }),
             ));
             sample.push(nearest(
@@ -367,7 +479,11 @@ impl DlrmSpace {
             sample.push(nearest(
                 group.width as f64,
                 &mut choices::MLP_WIDTH_DELTAS.iter().enumerate().map(|(i, &d)| {
-                    (i, (base.width as i32 + d * self.config.mlp_width_increment as i32).max(8) as f64)
+                    (
+                        i,
+                        (base.width as i32 + d * self.config.mlp_width_increment as i32).max(8)
+                            as f64,
+                    )
                 }),
             ));
             sample.push(nearest(
@@ -392,12 +508,17 @@ impl DlrmSpace {
                 + choices::EMB_WIDTH_DELTAS[s[0]] * self.config.emb_width_increment as i32)
                 .max(8) as usize;
             let vocab = ((base.vocab as f64 * choices::VOCAB_SCALES[s[1]]).round() as usize).max(1);
-            tables.push(TableArch { vocab, width, ids_per_example: base.ids_per_example });
+            tables.push(TableArch {
+                vocab,
+                width,
+                ids_per_example: base.ids_per_example,
+            });
         }
         let offset = self.config.tables.len() * DECISIONS_PER_TABLE;
         let mut mlp_groups = Vec::with_capacity(self.config.mlp_groups.len());
         for (i, base) in self.config.mlp_groups.iter().enumerate() {
-            let s = &sample[offset + i * DECISIONS_PER_GROUP..offset + (i + 1) * DECISIONS_PER_GROUP];
+            let s =
+                &sample[offset + i * DECISIONS_PER_GROUP..offset + (i + 1) * DECISIONS_PER_GROUP];
             let depth = (base.depth as i32 + choices::DEPTH_DELTAS[s[0]]).max(1) as usize;
             let width = (base.width as i32
                 + choices::MLP_WIDTH_DELTAS[s[1]] * self.config.mlp_width_increment as i32)
@@ -409,7 +530,11 @@ impl DlrmSpace {
                 bottom: base.bottom,
             });
         }
-        DlrmArch { tables, mlp_groups, dense_features: self.config.dense_features }
+        DlrmArch {
+            tables,
+            mlp_groups,
+            dense_features: self.config.dense_features,
+        }
     }
 }
 
@@ -431,7 +556,8 @@ mod tests {
     fn per_group_choice_product_is_700() {
         // Table 5's (7 × 10 × 10) per MLP group.
         assert_eq!(
-            choices::DEPTH_DELTAS.len() * choices::MLP_WIDTH_DELTAS.len()
+            choices::DEPTH_DELTAS.len()
+                * choices::MLP_WIDTH_DELTAS.len()
                 * choices::LOW_RANK_CHOICES,
             700
         );

@@ -170,8 +170,7 @@ impl DlrmSupernet {
             .tables
             .iter()
             .map(|t| {
-                let max_width = (t.width as i32
-                    + max_emb_delta * config.emb_width_increment as i32)
+                let max_width = (t.width as i32 + max_emb_delta * config.emb_width_increment as i32)
                     .max(8) as usize;
                 let vocabs: Vec<usize> = choices::VOCAB_SCALES
                     .iter()
@@ -180,8 +179,7 @@ impl DlrmSupernet {
                 SharedEmbeddingBank::new(&vocabs, max_width, rng)
             })
             .collect();
-        let emb_slot_widths: Vec<usize> =
-            banks.iter().map(|b| b.active().max_width()).collect();
+        let emb_slot_widths: Vec<usize> = banks.iter().map(|b| b.active().max_width()).collect();
         let max_depth_delta = *choices::DEPTH_DELTAS.last().unwrap();
         let max_mlp_delta = *choices::MLP_WIDTH_DELTAS.last().unwrap();
         let max_width_of = |base: usize| {
@@ -331,7 +329,11 @@ impl DlrmSupernet {
     /// Panics if no sample was applied or the batch shape is inconsistent.
     fn forward(&mut self, batch: &DlrmBatch) -> Matrix {
         assert!(self.sample_applied, "apply_sample before forward");
-        assert_eq!(batch.sparse.len(), self.banks.len(), "one id list per table");
+        assert_eq!(
+            batch.sparse.len(),
+            self.banks.len(),
+            "one id list per table"
+        );
         let n = batch.len();
         // Bottom tower.
         let mut bottom = batch.dense.clone();
@@ -385,14 +387,18 @@ impl DlrmSupernet {
         let bottom_cols = self.cached_bottom_cols;
         let mut bottom_grad = Matrix::zeros(n, bottom_cols.max(1));
         for r in 0..n {
-            bottom_grad.row_mut(r).copy_from_slice(&g.row(r)[..bottom_cols]);
+            bottom_grad
+                .row_mut(r)
+                .copy_from_slice(&g.row(r)[..bottom_cols]);
         }
         let mut offset = self.bottom_max_width;
         for (t, bank) in self.banks.iter_mut().enumerate() {
             let w = self.emb_active_widths[t];
             let mut emb_grad = Matrix::zeros(n, w.max(1));
             for r in 0..n {
-                emb_grad.row_mut(r).copy_from_slice(&g.row(r)[offset..offset + w]);
+                emb_grad
+                    .row_mut(r)
+                    .copy_from_slice(&g.row(r)[offset..offset + w]);
             }
             bank.backward(&emb_grad);
             offset += self.emb_slot_widths[t];
@@ -434,8 +440,7 @@ impl DlrmSupernet {
     pub fn evaluate(&mut self, batch: &DlrmBatch) -> (f32, f64) {
         let logits = self.forward(batch);
         let (logloss, _) = loss::bce_with_logits(&logits, &batch.labels);
-        let scores: Vec<f32> =
-            (0..logits.rows()).map(|r| logits.get(r, 0)).collect();
+        let scores: Vec<f32> = (0..logits.rows()).map(|r| logits.get(r, 0)).collect();
         let auc = loss::auc(&scores, &batch.labels);
         (logloss, auc)
     }
@@ -472,7 +477,11 @@ mod tests {
                 }
             })
             .collect();
-        DlrmBatch { dense, sparse, labels }
+        DlrmBatch {
+            dense,
+            sparse,
+            labels,
+        }
     }
 
     #[test]
@@ -571,6 +580,9 @@ mod tests {
         }
         net.apply_sample(&narrow);
         let (after, _) = net.evaluate(&eval);
-        assert!(after < before, "shared training must help: {before} -> {after}");
+        assert!(
+            after < before,
+            "shared training must help: {before} -> {after}"
+        );
     }
 }

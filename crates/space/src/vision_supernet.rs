@@ -42,8 +42,14 @@ impl VisionSupernetConfig {
             input_features: 16,
             classes: 4,
             groups: vec![
-                VisionGroupBaseline { depth: 1, width: 32 },
-                VisionGroupBaseline { depth: 1, width: 16 },
+                VisionGroupBaseline {
+                    depth: 1,
+                    width: 32,
+                },
+                VisionGroupBaseline {
+                    depth: 1,
+                    width: 16,
+                },
             ],
             width_increment: 8,
         }
@@ -59,8 +65,12 @@ pub mod choices {
     /// Width deltas (× increment), zero excluded as in Table 5.
     pub const WIDTH_DELTAS: [i32; 6] = [-3, -2, -1, 1, 2, 3];
     /// Activations (the ViT set of Table 5).
-    pub const ACTIVATIONS: [Activation; 4] =
-        [Activation::Relu, Activation::Swish, Activation::Gelu, Activation::SquaredRelu];
+    pub const ACTIVATIONS: [Activation; 4] = [
+        Activation::Relu,
+        Activation::Swish,
+        Activation::Gelu,
+        Activation::SquaredRelu,
+    ];
 }
 
 /// Decisions per group (depth, width, activation).
@@ -94,13 +104,21 @@ impl VisionSupernet {
     pub fn new(config: VisionSupernetConfig, rng: &mut impl Rng) -> Self {
         let mut space = SearchSpace::new("vision_mlp");
         for (i, _) in config.groups.iter().enumerate() {
-            space.push(Decision::new(format!("g{i}/depth"), choices::DEPTH_DELTAS.len()));
-            space.push(Decision::new(format!("g{i}/width"), choices::WIDTH_DELTAS.len()));
-            space.push(Decision::new(format!("g{i}/act"), choices::ACTIVATIONS.len()));
+            space.push(Decision::new(
+                format!("g{i}/depth"),
+                choices::DEPTH_DELTAS.len(),
+            ));
+            space.push(Decision::new(
+                format!("g{i}/width"),
+                choices::WIDTH_DELTAS.len(),
+            ));
+            space.push(Decision::new(
+                format!("g{i}/act"),
+                choices::ACTIVATIONS.len(),
+            ));
         }
         let max_delta = *choices::WIDTH_DELTAS.last().expect("non-empty") as usize;
-        let max_width =
-            |base: usize| base + max_delta * config.width_increment;
+        let max_width = |base: usize| base + max_delta * config.width_increment;
         let max_depth_delta = *choices::DEPTH_DELTAS.last().expect("non-empty");
         let mut groups = Vec::with_capacity(config.groups.len());
         let mut prev_max = config.input_features;
@@ -163,8 +181,12 @@ impl VisionSupernet {
     pub fn apply_sample(&mut self, sample: &ArchSample) {
         self.space.validate(sample).expect("invalid sample");
         let mut prev_active = self.config.input_features;
-        for (i, (base, layers)) in
-            self.config.groups.iter().zip(self.groups.iter_mut()).enumerate()
+        for (i, (base, layers)) in self
+            .config
+            .groups
+            .iter()
+            .zip(self.groups.iter_mut())
+            .enumerate()
         {
             let s = &sample[i * DECISIONS_PER_VISION_GROUP..];
             let depth = ((base.depth as i32 + choices::DEPTH_DELTAS[s[0]]).max(1) as usize)

@@ -6,7 +6,7 @@
 //! searchable convolutional stem (patch size × initial resolution × two
 //! conv blocks), reaching ≈ O(10²¹) — the space CoAtNet-H was found in.
 
-use crate::cnn::{CnnSpace, CnnSpaceConfig, DECISIONS_PER_BLOCK, StageBaseline};
+use crate::cnn::{CnnSpace, CnnSpaceConfig, StageBaseline, DECISIONS_PER_BLOCK};
 use crate::decision::{ArchSample, Decision, SearchSpace};
 use h2o_graph::blocks::{transformer_block, ActDesc, TransformerConfig};
 use h2o_graph::{DType, Graph, OpKind};
@@ -109,7 +109,10 @@ impl VitSpaceConfig {
     /// The paper's pure transformer space: 2 TFM blocks, no conv stem.
     pub fn pure() -> Self {
         Self {
-            tfm_blocks: vec![TfmBlockBaseline { layers: 6 }, TfmBlockBaseline { layers: 6 }],
+            tfm_blocks: vec![
+                TfmBlockBaseline { layers: 6 },
+                TfmBlockBaseline { layers: 6 },
+            ],
             conv_blocks: vec![],
             head_dim: 64,
         }
@@ -118,10 +121,21 @@ impl VitSpaceConfig {
     /// The paper's hybrid ViT space: 2 conv blocks + 2 TFM blocks.
     pub fn hybrid() -> Self {
         Self {
-            tfm_blocks: vec![TfmBlockBaseline { layers: 6 }, TfmBlockBaseline { layers: 6 }],
+            tfm_blocks: vec![
+                TfmBlockBaseline { layers: 6 },
+                TfmBlockBaseline { layers: 6 },
+            ],
             conv_blocks: vec![
-                StageBaseline { depth: 2, width: 96, stride: 2 },
-                StageBaseline { depth: 4, width: 192, stride: 2 },
+                StageBaseline {
+                    depth: 2,
+                    width: 96,
+                    stride: 2,
+                },
+                StageBaseline {
+                    depth: 4,
+                    width: 192,
+                    stride: 2,
+                },
             ],
             head_dim: 64,
         }
@@ -165,12 +179,24 @@ impl VitSpace {
             "hybrid_vit"
         });
         for (i, _) in config.tfm_blocks.iter().enumerate() {
-            space.push(Decision::new(format!("tfm{i}/hidden"), choices::HIDDEN_CHOICES));
-            space.push(Decision::new(format!("tfm{i}/low_rank"), choices::LOW_RANK_CHOICES));
-            space.push(Decision::new(format!("tfm{i}/activation"), choices::ACTIVATIONS.len()));
+            space.push(Decision::new(
+                format!("tfm{i}/hidden"),
+                choices::HIDDEN_CHOICES,
+            ));
+            space.push(Decision::new(
+                format!("tfm{i}/low_rank"),
+                choices::LOW_RANK_CHOICES,
+            ));
+            space.push(Decision::new(
+                format!("tfm{i}/activation"),
+                choices::ACTIVATIONS.len(),
+            ));
             space.push(Decision::new(format!("tfm{i}/seq_pool"), 2));
             space.push(Decision::new(format!("tfm{i}/primer"), 2));
-            space.push(Decision::new(format!("tfm{i}/layers"), choices::DEPTH_DELTAS.len()));
+            space.push(Decision::new(
+                format!("tfm{i}/layers"),
+                choices::DEPTH_DELTAS.len(),
+            ));
         }
         let conv_space = if config.conv_blocks.is_empty() {
             None
@@ -192,7 +218,11 @@ impl VitSpace {
             space.push(Decision::new("resolution", choices::HYBRID_RESOLUTIONS));
             Some(cnn)
         };
-        Self { config, space, conv_space }
+        Self {
+            config,
+            space,
+            conv_space,
+        }
     }
 
     /// The underlying categorical space.
@@ -227,8 +257,7 @@ impl VitSpace {
         let (conv_blocks, patch, resolution) = if let Some(cnn) = &self.conv_space {
             let offset = self.config.tfm_blocks.len() * DECISIONS_PER_TFM_BLOCK;
             let n_conv_dec = self.config.conv_blocks.len() * DECISIONS_PER_BLOCK;
-            let mut cnn_sample: ArchSample =
-                sample[offset..offset + n_conv_dec].to_vec();
+            let mut cnn_sample: ArchSample = sample[offset..offset + n_conv_dec].to_vec();
             cnn_sample.push(0); // dummy resolution for the inner CNN decoder
             let conv_arch = cnn.decode(&cnn_sample);
             let patch = choices::PATCH_SIZES[sample[offset + n_conv_dec]];
@@ -256,7 +285,12 @@ impl VitArch {
         let mut seq;
         let mut x;
         if let (Some(res), Some(patch)) = (self.resolution, self.patch) {
-            let input = g.add(OpKind::Reshape { elems: batch * res * res * 3 }, &[]);
+            let input = g.add(
+                OpKind::Reshape {
+                    elems: batch * res * res * 3,
+                },
+                &[],
+            );
             let mut hw = res;
             let mut c_in = 3;
             x = input;
@@ -273,12 +307,14 @@ impl VitArch {
                         kernel: block.kernel,
                         stride,
                         se_ratio: block.se_ratio,
-                        act: if block.swish { ActDesc::SWISH } else { ActDesc::RELU },
+                        act: if block.swish {
+                            ActDesc::SWISH
+                        } else {
+                            ActDesc::RELU
+                        },
                     };
                     x = match block.block_type {
-                        crate::cnn::BlockType::MbConv => {
-                            h2o_graph::blocks::mbconv(&mut g, &cfg, x)
-                        }
+                        crate::cnn::BlockType::MbConv => h2o_graph::blocks::mbconv(&mut g, &cfg, x),
                         crate::cnn::BlockType::FusedMbConv => {
                             h2o_graph::blocks::fused_mbconv(&mut g, &cfg, x)
                         }
@@ -302,14 +338,23 @@ impl VitArch {
         } else {
             seq = default_seq;
             let first_hidden = self.tfm_blocks.first().map(|b| b.hidden).unwrap_or(256);
-            x = g.add(OpKind::Reshape { elems: batch * seq * first_hidden }, &[]);
+            x = g.add(
+                OpKind::Reshape {
+                    elems: batch * seq * first_hidden,
+                },
+                &[],
+            );
         }
         let mut prev_hidden = self.tfm_blocks.first().map(|b| b.hidden).unwrap_or(256);
         for block in &self.tfm_blocks {
             if block.hidden != prev_hidden {
                 // Projection between blocks of different hidden size.
                 x = g.add(
-                    OpKind::MatMul { m: batch * seq, k: prev_hidden, n: block.hidden },
+                    OpKind::MatMul {
+                        m: batch * seq,
+                        k: prev_hidden,
+                        n: block.hidden,
+                    },
                     &[x],
                 );
             }
@@ -329,7 +374,13 @@ impl VitArch {
             if block.seq_pool {
                 seq = (seq / 2).max(1);
                 x = g.add(
-                    OpKind::Pool { batch, h: seq * 2, w: 1, c: block.hidden, window: 2 },
+                    OpKind::Pool {
+                        batch,
+                        h: seq * 2,
+                        w: 1,
+                        c: block.hidden,
+                        window: 2,
+                    },
                     &[x],
                 );
             }
@@ -337,10 +388,23 @@ impl VitArch {
         }
         // Classification head.
         let pooled = g.add(
-            OpKind::Pool { batch, h: seq, w: 1, c: prev_hidden, window: seq.max(1) },
+            OpKind::Pool {
+                batch,
+                h: seq,
+                w: 1,
+                c: prev_hidden,
+                window: seq.max(1),
+            },
             &[x],
         );
-        g.add(OpKind::MatMul { m: batch, k: prev_hidden, n: 1000 }, &[pooled]);
+        g.add(
+            OpKind::MatMul {
+                m: batch,
+                k: prev_hidden,
+                n: 1000,
+            },
+            &[pooled],
+        );
         g.fuse_elementwise();
         g
     }
@@ -438,15 +502,17 @@ mod tests {
         for b in 0..2 {
             sq[b * DECISIONS_PER_TFM_BLOCK + 2] = 3; // squared relu
         }
-        let vpu_of = |sample: &Vec<usize>| {
-            s.decode(sample).build_graph(1, 196).total_cost().vpu_ops
-        };
+        let vpu_of =
+            |sample: &Vec<usize>| s.decode(sample).build_graph(1, 196).total_cost().vpu_ops;
         assert!(vpu_of(&sq) < vpu_of(&gelu));
     }
 
     #[test]
     fn hybrid_resolution_choices_span_112_to_448() {
         assert_eq!(choices::hybrid_resolution(0), 112);
-        assert_eq!(choices::hybrid_resolution(choices::HYBRID_RESOLUTIONS - 1), 432);
+        assert_eq!(
+            choices::hybrid_resolution(choices::HYBRID_RESOLUTIONS - 1),
+            432
+        );
     }
 }

@@ -59,8 +59,12 @@ fn sigmoid(x: f32) -> f32 {
 
 impl Activation {
     /// All activations searchable in the ViT space, in Table 5 order.
-    pub const VIT_CHOICES: [Activation; 4] =
-        [Activation::Relu, Activation::Swish, Activation::Gelu, Activation::SquaredRelu];
+    pub const VIT_CHOICES: [Activation; 4] = [
+        Activation::Relu,
+        Activation::Swish,
+        Activation::Gelu,
+        Activation::SquaredRelu,
+    ];
 
     /// Applies the activation to a scalar.
     pub fn apply(self, x: f32) -> f32 {
@@ -215,12 +219,10 @@ mod tests {
     #[test]
     fn vpu_cost_ordering_squared_relu_cheaper_than_gelu() {
         assert!(
-            Activation::SquaredRelu.vpu_ops_per_element()
-                < Activation::Gelu.vpu_ops_per_element()
+            Activation::SquaredRelu.vpu_ops_per_element() < Activation::Gelu.vpu_ops_per_element()
         );
         assert!(
-            Activation::SquaredRelu.vpu_ops_per_element()
-                < Activation::Swish.vpu_ops_per_element()
+            Activation::SquaredRelu.vpu_ops_per_element() < Activation::Swish.vpu_ops_per_element()
         );
     }
 

@@ -41,10 +41,18 @@ impl EmbeddingTable {
     ///
     /// Panics if `vocab == 0` or `max_width == 0`.
     pub fn new(vocab: usize, max_width: usize, rng: &mut impl Rng) -> Self {
-        assert!(vocab > 0 && max_width > 0, "embedding dimensions must be non-zero");
+        assert!(
+            vocab > 0 && max_width > 0,
+            "embedding dimensions must be non-zero"
+        );
         let scale = 1.0 / (max_width as f32).sqrt();
         let weights = Matrix::from_fn(vocab, max_width, |_, _| rng.gen_range(-scale..scale));
-        Self { weights, active_width: max_width, grad_rows: HashMap::new(), cached_batch: None }
+        Self {
+            weights,
+            active_width: max_width,
+            grad_rows: HashMap::new(),
+            cached_batch: None,
+        }
     }
 
     /// Vocabulary size (number of rows).
@@ -69,7 +77,10 @@ impl EmbeddingTable {
     ///
     /// Panics if `width` is zero or exceeds the allocated width.
     pub fn set_active_width(&mut self, width: usize) {
-        assert!(width >= 1 && width <= self.weights.cols(), "width {width} out of range");
+        assert!(
+            width >= 1 && width <= self.weights.cols(),
+            "width {width} out of range"
+        );
         self.active_width = width;
     }
 
@@ -102,7 +113,10 @@ impl EmbeddingTable {
     /// Panics if called before [`EmbeddingTable::lookup_bag`] or if
     /// `grad_out` has the wrong shape.
     pub fn backward(&mut self, grad_out: &Matrix) {
-        let batch = self.cached_batch.as_ref().expect("backward before lookup_bag");
+        let batch = self
+            .cached_batch
+            .as_ref()
+            .expect("backward before lookup_bag");
         assert_eq!(grad_out.rows(), batch.len().max(1), "grad rows mismatch");
         assert_eq!(grad_out.cols(), self.active_width, "grad cols mismatch");
         for (i, indices) in batch.iter().enumerate() {
@@ -166,7 +180,10 @@ impl SharedEmbeddingBank {
     ///
     /// Panics if `vocab_sizes` is empty or contains zero.
     pub fn new(vocab_sizes: &[usize], max_width: usize, rng: &mut impl Rng) -> Self {
-        assert!(!vocab_sizes.is_empty(), "at least one vocabulary size required");
+        assert!(
+            !vocab_sizes.is_empty(),
+            "at least one vocabulary size required"
+        );
         let tables = vocab_sizes
             .iter()
             .map(|&v| {
@@ -174,7 +191,11 @@ impl SharedEmbeddingBank {
                 EmbeddingTable::new(v, max_width, rng)
             })
             .collect();
-        Self { tables, vocab_sizes: vocab_sizes.to_vec(), active_table: 0 }
+        Self {
+            tables,
+            vocab_sizes: vocab_sizes.to_vec(),
+            active_table: 0,
+        }
     }
 
     /// The vocabulary-size candidates.
@@ -188,7 +209,10 @@ impl SharedEmbeddingBank {
     ///
     /// Panics if `vocab_choice` is out of range or `width` invalid.
     pub fn set_active(&mut self, vocab_choice: usize, width: usize) {
-        assert!(vocab_choice < self.tables.len(), "vocab choice out of range");
+        assert!(
+            vocab_choice < self.tables.len(),
+            "vocab choice out of range"
+        );
         self.active_table = vocab_choice;
         self.tables[vocab_choice].set_active_width(width);
     }

@@ -213,7 +213,8 @@ impl MaskedDense {
         let mut d = Dense::new(self.active_in, self.active_out, self.activation, rng);
         let mut w = Matrix::zeros(self.active_in, self.active_out);
         for r in 0..self.active_in {
-            w.row_mut(r).copy_from_slice(&self.w.row(r)[..self.active_out]);
+            w.row_mut(r)
+                .copy_from_slice(&self.w.row(r)[..self.active_out]);
         }
         // Overwrite the randomly initialised weights with the shared ones.
         d.w = w;
@@ -277,7 +278,10 @@ impl MaskedDense {
                 }
             }
         }
-        for (g, s) in self.grad_b[..self.active_out].iter_mut().zip(d_pre.col_sums()) {
+        for (g, s) in self.grad_b[..self.active_out]
+            .iter_mut()
+            .zip(d_pre.col_sums())
+        {
             *g += s;
         }
         // grad_x[i, k] = sum_j d_pre[i, j] * w[k, j]
@@ -384,7 +388,10 @@ impl LowRankDense {
     ///
     /// Panics if `rank` is zero or exceeds the allocated maximum.
     pub fn set_active_rank(&mut self, rank: usize) {
-        assert!(rank >= 1 && rank <= self.u.cols(), "rank {rank} out of range");
+        assert!(
+            rank >= 1 && rank <= self.u.cols(),
+            "rank {rank} out of range"
+        );
         self.active_rank = rank;
     }
 
@@ -468,18 +475,27 @@ impl LowRankDense {
     /// Panics if called before [`LowRankDense::forward`].
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let x = self.cached_input.as_ref().expect("backward before forward");
-        let hidden = self.cached_hidden.as_ref().expect("backward before forward");
+        let hidden = self
+            .cached_hidden
+            .as_ref()
+            .expect("backward before forward");
         let pre = self.cached_pre.as_ref().expect("backward before forward");
         let r = self.active_rank;
         let d_pre = grad_out.hadamard(&self.activation.derivative_matrix(pre));
         // grad_v[:r, :active_out] += hiddenᵀ · d_pre
         let gv = hidden.matmul_tn(&d_pre);
         for k in 0..r {
-            for (g, &d) in self.grad_v.row_mut(k)[..self.active_out].iter_mut().zip(gv.row(k)) {
+            for (g, &d) in self.grad_v.row_mut(k)[..self.active_out]
+                .iter_mut()
+                .zip(gv.row(k))
+            {
                 *g += d;
             }
         }
-        for (g, s) in self.grad_b[..self.active_out].iter_mut().zip(d_pre.col_sums()) {
+        for (g, s) in self.grad_b[..self.active_out]
+            .iter_mut()
+            .zip(d_pre.col_sums())
+        {
             *g += s;
         }
         // d_hidden = d_pre · V[:r, :active_out]ᵀ

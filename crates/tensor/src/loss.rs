@@ -71,7 +71,10 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix)
     let mut grad = Matrix::zeros(logits.rows(), classes);
     let mut total = 0.0f32;
     for (i, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         let row = logits.row(i);
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&z| (z - max).exp()).collect();
@@ -96,8 +99,7 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix)
 /// Panics if the score/label lengths mismatch.
 pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "auc length mismatch");
-    let mut paired: Vec<(f32, f32)> =
-        scores.iter().cloned().zip(labels.iter().cloned()).collect();
+    let mut paired: Vec<(f32, f32)> = scores.iter().cloned().zip(labels.iter().cloned()).collect();
     paired.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     let positives = labels.iter().filter(|&&l| l > 0.5).count() as f64;
     let negatives = labels.len() as f64 - positives;

@@ -46,7 +46,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with a constant value.
@@ -262,7 +266,12 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn add(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -273,7 +282,12 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn sub(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "sub shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -284,7 +298,12 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "hadamard shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a * b)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -294,7 +313,11 @@ impl Matrix {
     ///
     /// Panics on shape mismatch.
     pub fn add_scaled_assign(&mut self, rhs: &Matrix, scale: f32) {
-        assert_eq!(self.shape(), rhs.shape(), "add_scaled_assign shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_scaled_assign shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b * scale;
         }
@@ -381,14 +404,19 @@ impl Matrix {
     ///
     /// Panics if the widths do not sum to `self.cols`.
     pub fn hsplit(&self, widths: &[usize]) -> Vec<Matrix> {
-        assert_eq!(widths.iter().sum::<usize>(), self.cols, "hsplit width mismatch");
+        assert_eq!(
+            widths.iter().sum::<usize>(),
+            self.cols,
+            "hsplit width mismatch"
+        );
         let mut parts = Vec::with_capacity(widths.len());
         let mut offset = 0;
         for &w in widths {
             let mut part = Matrix::zeros(self.rows, w.max(1));
             if w > 0 {
                 for r in 0..self.rows {
-                    part.row_mut(r).copy_from_slice(&self.row(r)[offset..offset + w]);
+                    part.row_mut(r)
+                        .copy_from_slice(&self.row(r)[offset..offset + w]);
                 }
             }
             parts.push(part);

@@ -43,10 +43,17 @@ impl Mlp {
         assert!(widths.len() >= 2, "need at least input and output widths");
         let mut layers = Vec::with_capacity(widths.len() - 1);
         for i in 0..widths.len() - 1 {
-            let act = if i + 2 == widths.len() { Activation::Identity } else { hidden_activation };
+            let act = if i + 2 == widths.len() {
+                Activation::Identity
+            } else {
+                hidden_activation
+            };
             layers.push(Dense::new(widths[i], widths[i + 1], act, rng));
         }
-        Self { layers, optimizer: Optimizer::new(optim) }
+        Self {
+            layers,
+            optimizer: Optimizer::new(optim),
+        }
     }
 
     /// Number of layers.
@@ -138,7 +145,12 @@ mod tests {
     #[test]
     fn learns_linear_function() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut net = Mlp::new(&[2, 16, 1], Activation::Relu, OptimConfig::adam(0.01), &mut rng);
+        let mut net = Mlp::new(
+            &[2, 16, 1],
+            Activation::Relu,
+            OptimConfig::adam(0.01),
+            &mut rng,
+        );
         // y = 2a - b
         let x = Matrix::from_fn(64, 2, |_, _| rng.gen_range(-1.0..1.0));
         let y = Matrix::from_fn(64, 1, |r, _| 2.0 * x.get(r, 0) - x.get(r, 1));
@@ -152,7 +164,12 @@ mod tests {
     #[test]
     fn learns_xor_with_bce() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, OptimConfig::adam(0.05), &mut rng);
+        let mut net = Mlp::new(
+            &[2, 8, 1],
+            Activation::Tanh,
+            OptimConfig::adam(0.05),
+            &mut rng,
+        );
         let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
         let labels = [0.0, 1.0, 1.0, 0.0];
         let mut last = f32::MAX;
@@ -165,14 +182,24 @@ mod tests {
     #[test]
     fn param_count_matches_architecture() {
         let mut rng = StdRng::seed_from_u64(2);
-        let net = Mlp::new(&[3, 5, 2], Activation::Relu, OptimConfig::sgd(0.1), &mut rng);
+        let net = Mlp::new(
+            &[3, 5, 2],
+            Activation::Relu,
+            OptimConfig::sgd(0.1),
+            &mut rng,
+        );
         assert_eq!(net.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
     }
 
     #[test]
     fn infer_matches_forward() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut net = Mlp::new(&[4, 8, 2], Activation::Swish, OptimConfig::sgd(0.1), &mut rng);
+        let mut net = Mlp::new(
+            &[4, 8, 2],
+            Activation::Swish,
+            OptimConfig::sgd(0.1),
+            &mut rng,
+        );
         let x = Matrix::xavier(3, 4, &mut rng);
         assert_eq!(net.forward(&x), net.infer(&x));
     }
@@ -180,7 +207,15 @@ mod tests {
     #[test]
     fn output_layer_is_linear() {
         let mut rng = StdRng::seed_from_u64(4);
-        let net = Mlp::new(&[2, 4, 1], Activation::Relu, OptimConfig::sgd(0.1), &mut rng);
-        assert_eq!(net.layers.last().unwrap().activation(), Activation::Identity);
+        let net = Mlp::new(
+            &[2, 4, 1],
+            Activation::Relu,
+            OptimConfig::sgd(0.1),
+            &mut rng,
+        );
+        assert_eq!(
+            net.layers.last().unwrap().activation(),
+            Activation::Identity
+        );
     }
 }

@@ -33,7 +33,12 @@ pub enum OptimConfig {
 impl OptimConfig {
     /// Adam with the conventional defaults at the given learning rate.
     pub fn adam(lr: f32) -> Self {
-        OptimConfig::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        OptimConfig::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// Plain SGD (no momentum) at the given learning rate.
@@ -74,7 +79,12 @@ pub struct Optimizer {
 impl Optimizer {
     /// Creates an optimizer with no allocated state; slots grow on demand.
     pub fn new(config: OptimConfig) -> Self {
-        Self { config, slots: Vec::new(), t: 0, grad_clip: None }
+        Self {
+            config,
+            slots: Vec::new(),
+            t: 0,
+            grad_clip: None,
+        }
     }
 
     /// Enables element-wise gradient clipping to `[-clip, clip]` — the
@@ -141,7 +151,12 @@ impl Optimizer {
                     }
                 }
             }
-            OptimConfig::Adam { lr, beta1, beta2, eps } => {
+            OptimConfig::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
                 if state.m.is_empty() {
                     state.m = vec![0.0; params.len()];
                     state.v = vec![0.0; params.len()];
@@ -178,7 +193,10 @@ mod tests {
 
     #[test]
     fn sgd_momentum_accumulates() {
-        let mut opt = Optimizer::new(OptimConfig::Sgd { lr: 1.0, momentum: 0.5 });
+        let mut opt = Optimizer::new(OptimConfig::Sgd {
+            lr: 1.0,
+            momentum: 0.5,
+        });
         let mut p = vec![0.0];
         opt.begin_step();
         opt.step(0, &mut p, &[1.0]); // m=1, p=-1
@@ -202,7 +220,10 @@ mod tests {
 
     #[test]
     fn slots_are_independent() {
-        let mut opt = Optimizer::new(OptimConfig::Sgd { lr: 1.0, momentum: 0.9 });
+        let mut opt = Optimizer::new(OptimConfig::Sgd {
+            lr: 1.0,
+            momentum: 0.9,
+        });
         let mut a = vec![0.0];
         let mut b = vec![0.0];
         opt.begin_step();

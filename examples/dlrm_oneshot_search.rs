@@ -41,7 +41,12 @@ fn main() {
     let size_space = space.clone();
     let perf = move |sample: &ArchSample| vec![size_space.decode(sample).model_size_bytes()];
 
-    let config = OneShotConfig { steps: 120, shards: 4, batch_size: 64, ..Default::default() };
+    let config = OneShotConfig {
+        steps: 120,
+        shards: 4,
+        batch_size: 64,
+        ..Default::default()
+    };
     let outcome = unified_search(&mut supernet, &pipeline, &reward, perf, &config);
 
     let stats = pipeline.stats();
@@ -51,7 +56,11 @@ fn main() {
     );
     println!(
         "reward trace: {:.3} (early) -> {:.3} (late)",
-        outcome.history[..10].iter().map(|h| h.mean_reward).sum::<f64>() / 10.0,
+        outcome.history[..10]
+            .iter()
+            .map(|h| h.mean_reward)
+            .sum::<f64>()
+            / 10.0,
         outcome.history[outcome.history.len() - 10..]
             .iter()
             .map(|h| h.mean_reward)

@@ -28,8 +28,11 @@ fn block(fused: bool, depth: usize) -> Graph {
 }
 
 fn main() {
-    let platforms =
-        [HardwareConfig::tpu_v4(), HardwareConfig::tpu_v4i(), HardwareConfig::gpu_v100()];
+    let platforms = [
+        HardwareConfig::tpu_v4(),
+        HardwareConfig::tpu_v4i(),
+        HardwareConfig::gpu_v100(),
+    ];
 
     println!("platform rooflines:");
     for hw in &platforms {
@@ -63,15 +66,17 @@ fn main() {
     let c0 = &CoAtNet::family()[0];
     let sim = Simulator::new(HardwareConfig::tpu_v4i());
     for target_ms in [5.0f64, 20.0, 100.0] {
-        let (batch, qps) =
-            sim.serving_throughput_under_p99(target_ms / 1e3, |b| c0.build_graph(b));
+        let (batch, qps) = sim.serving_throughput_under_p99(target_ms / 1e3, |b| c0.build_graph(b));
         println!("  target {target_ms:>5.1} ms -> batch {batch:>3}, {qps:>8.0} qps");
     }
 
     // Power/energy: the Fig. 9 counter-intuition in miniature.
     println!("\ntraining power draw (TPUv4), CoAtNet-5 vs CoAtNet-H5:");
     let sim = Simulator::new(HardwareConfig::tpu_v4());
-    for model in [CoAtNet::family().pop().unwrap(), CoAtNet::h_family().pop().unwrap()] {
+    for model in [
+        CoAtNet::family().pop().unwrap(),
+        CoAtNet::h_family().pop().unwrap(),
+    ] {
         let report = sim.simulate_training(
             &model.build_graph(64),
             &h2o_nas::hwsim::SystemConfig::training_pod(),

@@ -47,8 +47,14 @@ fn main() {
         xs.push(featurize(&sample));
         let t_sim = sim.simulate_training(&graph, &pod).time;
         let t_prod = production.measure_step_time(&graph, &pod);
-        sim_y.push(PerfTargets { training: t_sim, serving: t_sim * 0.4 });
-        prod_y.push(PerfTargets { training: t_prod, serving: t_prod * 0.4 });
+        sim_y.push(PerfTargets {
+            training: t_sim,
+            serving: t_sim * 0.4,
+        });
+        prod_y.push(PerfTargets {
+            training: t_prod,
+            serving: t_prod * 0.4,
+        });
     }
     let split = n - 400;
 
@@ -57,20 +63,41 @@ fn main() {
     model.pretrain(
         &xs[..split],
         &sim_y[..split],
-        TrainConfig { epochs: 80, batch_size: 64, lr: 1e-3 },
+        TrainConfig {
+            epochs: 80,
+            batch_size: 64,
+            lr: 1e-3,
+        },
     );
     let on_sim = model.evaluate_nrmse(&xs[split..], &sim_y[split..]);
     let before = model.evaluate_nrmse(&xs[split..], &prod_y[split..]);
-    println!("  NRMSE vs held-out simulator data : {:.2}%", on_sim.training * 100.0);
-    println!("  NRMSE vs production (no finetune): {:.1}%", before.training * 100.0);
+    println!(
+        "  NRMSE vs held-out simulator data : {:.2}%",
+        on_sim.training * 100.0
+    );
+    println!(
+        "  NRMSE vs production (no finetune): {:.1}%",
+        before.training * 100.0
+    );
 
     println!("\nphase 2: fine-tuning on 20 production measurements...");
     let ft: Vec<usize> = PerfModel::choose_finetune_indices_seeded(split, 20, 9);
     let ft_x: Vec<Vec<f32>> = ft.iter().map(|&i| xs[i].clone()).collect();
     let ft_y: Vec<PerfTargets> = ft.iter().map(|&i| prod_y[i]).collect();
-    model.finetune(&ft_x, &ft_y, TrainConfig { epochs: 100, batch_size: 8, lr: 5e-5 });
+    model.finetune(
+        &ft_x,
+        &ft_y,
+        TrainConfig {
+            epochs: 100,
+            batch_size: 8,
+            lr: 5e-5,
+        },
+    );
     let after = model.evaluate_nrmse(&xs[split..], &prod_y[split..]);
-    println!("  NRMSE vs production (finetuned)  : {:.2}%", after.training * 100.0);
+    println!(
+        "  NRMSE vs production (finetuned)  : {:.2}%",
+        after.training * 100.0
+    );
     println!(
         "\nfine-tuning reduced the sim-to-real error {:.1}x with only 20 measurements\n(paper Table 1: 14.7-42.9% -> 1.05-3.08%, ~10x).",
         before.training / after.training.max(1e-12)

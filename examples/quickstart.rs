@@ -56,7 +56,12 @@ fn main() {
     };
 
     // 4. Run the massively parallel single-step search.
-    let config = SearchConfig { steps: 150, shards: 8, policy_lr: 0.06, ..Default::default() };
+    let config = SearchConfig {
+        steps: 150,
+        shards: 8,
+        policy_lr: 0.06,
+        ..Default::default()
+    };
     let outcome = parallel_search(space.space(), &reward, make_evaluator, &config);
 
     // 5. Inspect the winner (the per-decision argmax of the policy).
@@ -82,7 +87,11 @@ fn main() {
         quality.accuracy_of_cnn(&best, graph.param_count() / 1e6)
     );
     println!("  params             : {:.1} M", graph.param_count() / 1e6);
-    println!("  train step time    : {:.1} ms (budget {:.0} ms)", report.time * 1e3, step_budget * 1e3);
+    println!(
+        "  train step time    : {:.1} ms (budget {:.0} ms)",
+        report.time * 1e3,
+        step_budget * 1e3
+    );
     println!("  step within budget : {}", report.time <= step_budget);
     println!(
         "  policy entropy     : {:.3} -> {:.3} nats",

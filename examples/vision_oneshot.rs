@@ -8,9 +8,7 @@
 //! cargo run --example vision_oneshot --release
 //! ```
 
-use h2o_nas::core::{
-    unified_search_over, OneShotConfig, PerfObjective, RewardFn, RewardKind,
-};
+use h2o_nas::core::{unified_search_over, OneShotConfig, PerfObjective, RewardFn, RewardKind};
 use h2o_nas::data::{InMemoryPipeline, TrafficSource, VisionTraffic};
 use h2o_nas::space::{ArchSample, VisionSupernet, VisionSupernetConfig};
 use rand::rngs::StdRng;
@@ -26,8 +24,10 @@ fn main() {
 
     let pipeline = InMemoryPipeline::new(VisionTraffic::new(4, 16, 0.2, 1));
     let budget = 1200.0;
-    let reward =
-        RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("params", budget, -3.0)]);
+    let reward = RewardFn::new(
+        RewardKind::Relu,
+        vec![PerfObjective::new("params", budget, -3.0)],
+    );
     let mut probe = VisionSupernet::new(VisionSupernetConfig::tiny(), &mut rng);
     let perf = move |sample: &ArchSample| {
         probe.apply_sample(sample);
@@ -53,8 +53,14 @@ fn main() {
     let batch = eval.next_batch(1024);
     let (ce, acc) = net.evaluate(&batch.features, &batch.labels);
     println!("\nfinal candidate (policy argmax): {:?}", outcome.best);
-    println!("  active params : {} (budget {budget})", net.active_param_count());
-    println!("  eval accuracy : {:.1}% (cross-entropy {ce:.3})", acc * 100.0);
+    println!(
+        "  active params : {} (budget {budget})",
+        net.active_param_count()
+    );
+    println!(
+        "  eval accuracy : {:.1}% (cross-entropy {ce:.3})",
+        acc * 100.0
+    );
     println!(
         "  policy entropy: {:.3} -> {:.3} nats",
         outcome.history.first().map(|h| h.entropy).unwrap_or(0.0),

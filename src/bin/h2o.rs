@@ -34,7 +34,8 @@ USAGE:
   h2o dump --model <NAME> [--batch N]                     print a model as textual HLO
   h2o roofline [--hw <tpuv3|tpuv4|tpuv4i|v100|a100|h100>]
   h2o sweep --model <NAME> [--hw ...] [--batches 1,8,64,256] [--load 0.7]
-  h2o search --domain <cnn|dlrm|vit> [--budget-ms X] [--steps N] [--shards N] [--csv STEM]
+  h2o search --domain <cnn|dlrm|vit|dlrm-oneshot> [--budget-ms X] [--steps N] [--shards N]
+             [--csv STEM] [--metrics-out FILE] [--trace-out FILE]
 
 MODELS:
   coatnet-0..coatnet-5, coatnet-h0..coatnet-h5,
@@ -71,7 +72,10 @@ fn find_model(name: &str, batch: usize) -> Option<Graph> {
             return Some(m.build_graph(batch));
         }
     }
-    for m in EfficientNet::x_family().into_iter().chain(EfficientNet::h_family()) {
+    for m in EfficientNet::x_family()
+        .into_iter()
+        .chain(EfficientNet::h_family())
+    {
         if m.name.to_ascii_lowercase() == lname {
             return Some(m.build_graph(batch));
         }
@@ -86,10 +90,24 @@ fn find_model(name: &str, batch: usize) -> Option<Graph> {
 fn cmd_spaces() {
     println!("search spaces (Table 5):");
     let rows = [
-        ("cnn", CnnSpace::new(CnnSpaceConfig::default()).space().clone()),
-        ("dlrm", DlrmSpace::new(DlrmSpaceConfig::production()).space().clone()),
-        ("transformer", VitSpace::new(VitSpaceConfig::pure()).space().clone()),
-        ("hybrid-vit", VitSpace::new(VitSpaceConfig::hybrid()).space().clone()),
+        (
+            "cnn",
+            CnnSpace::new(CnnSpaceConfig::default()).space().clone(),
+        ),
+        (
+            "dlrm",
+            DlrmSpace::new(DlrmSpaceConfig::production())
+                .space()
+                .clone(),
+        ),
+        (
+            "transformer",
+            VitSpace::new(VitSpaceConfig::pure()).space().clone(),
+        ),
+        (
+            "hybrid-vit",
+            VitSpace::new(VitSpaceConfig::hybrid()).space().clone(),
+        ),
     ];
     for (name, space) in rows {
         println!(
@@ -110,16 +128,22 @@ fn load_graph(flags: &HashMap<String, String>, batch: usize) -> Result<Graph, St
 }
 
 fn cmd_dump(flags: &HashMap<String, String>) -> Result<(), String> {
-    let batch: usize =
-        flags.get("batch").map(|b| b.parse().map_err(|_| "bad --batch")).transpose()?.unwrap_or(64);
+    let batch: usize = flags
+        .get("batch")
+        .map(|b| b.parse().map_err(|_| "bad --batch"))
+        .transpose()?
+        .unwrap_or(64);
     let graph = load_graph(flags, batch)?;
     print!("{}", h2o_nas::graph::text::to_text(&graph));
     Ok(())
 }
 
 fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
-    let batch: usize =
-        flags.get("batch").map(|b| b.parse().map_err(|_| "bad --batch")).transpose()?.unwrap_or(64);
+    let batch: usize = flags
+        .get("batch")
+        .map(|b| b.parse().map_err(|_| "bad --batch"))
+        .transpose()?
+        .unwrap_or(64);
     let graph = load_graph(flags, batch)?;
     let hw = hardware(flags)?;
     let sim = Simulator::new(hw.clone());
@@ -133,16 +157,41 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
         "{} on {} (batch {batch}, {}):",
         graph.name(),
         hw.name,
-        if serving { "serving" } else { "training step, 128-chip pod" }
+        if serving {
+            "serving"
+        } else {
+            "training step, 128-chip pod"
+        }
     );
     println!("  time            : {:.3} ms", report.time * 1e3);
-    println!("  throughput      : {:.0} examples/s/chip", batch as f64 / report.time);
-    println!("  compute         : {:.1} TFLOPs at {:.1} TFLOPS achieved", report.flops / 1e12, report.achieved_flops_rate / 1e12);
-    println!("  MXU utilization : {:.0}%", report.mxu_utilization() * 100.0);
-    println!("  HBM traffic     : {:.2} GB ({:.0} GB/s)", report.hbm_bytes / 1e9, report.hbm_bw_used / 1e9);
-    println!("  CMEM traffic    : {:.2} GB ({:.0} GB/s)", report.cmem_bytes / 1e9, report.cmem_bw_used / 1e9);
+    println!(
+        "  throughput      : {:.0} examples/s/chip",
+        batch as f64 / report.time
+    );
+    println!(
+        "  compute         : {:.1} TFLOPs at {:.1} TFLOPS achieved",
+        report.flops / 1e12,
+        report.achieved_flops_rate / 1e12
+    );
+    println!(
+        "  MXU utilization : {:.0}%",
+        report.mxu_utilization() * 100.0
+    );
+    println!(
+        "  HBM traffic     : {:.2} GB ({:.0} GB/s)",
+        report.hbm_bytes / 1e9,
+        report.hbm_bw_used / 1e9
+    );
+    println!(
+        "  CMEM traffic    : {:.2} GB ({:.0} GB/s)",
+        report.cmem_bytes / 1e9,
+        report.cmem_bw_used / 1e9
+    );
     println!("  ICI traffic     : {:.2} GB", report.ici_bytes / 1e9);
-    println!("  power           : {:.0} W  energy {:.2} J", report.avg_power, report.energy);
+    println!(
+        "  power           : {:.0} W  energy {:.2} J",
+        report.avg_power, report.energy
+    );
     println!("  params          : {:.1} M", report.params / 1e6);
     let mut slowest: Vec<(&String, &f64)> = report.breakdown.iter().collect();
     slowest.sort_by(|a, b| b.1.partial_cmp(a.1).expect("no NaN"));
@@ -229,7 +278,31 @@ fn cmd_roofline(flags: &HashMap<String, String>) -> Result<(), String> {
             "  depth {depth:>3}: MBC {:>8.1} us  F-MBC {:>8.1} us  -> {}",
             t_mbc * 1e6,
             t_fused * 1e6,
-            if t_fused < t_mbc { "fuse" } else { "don't fuse" }
+            if t_fused < t_mbc {
+                "fuse"
+            } else {
+                "don't fuse"
+            }
+        );
+    }
+    Ok(())
+}
+
+/// Writes the global metrics snapshot (Prometheus text) and the buffered
+/// span trace (Chrome trace-event JSON) if the flags ask for them.
+fn export_observability(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = flags.get("metrics-out") {
+        let text = h2o_nas::obs::export::to_prometheus(&h2o_nas::obs::snapshot());
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    if let Some(path) = flags.get("trace-out") {
+        let events = h2o_nas::obs::drain_spans();
+        let json = h2o_nas::obs::export::to_chrome_trace(&events);
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "trace written to {path} ({} spans; open in Perfetto)",
+            events.len()
         );
     }
     Ok(())
@@ -237,20 +310,36 @@ fn cmd_roofline(flags: &HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
     let domain = flags.get("domain").ok_or("missing --domain")?.as_str();
-    let steps: usize =
-        flags.get("steps").map(|s| s.parse().map_err(|_| "bad --steps")).transpose()?.unwrap_or(120);
-    let shards: usize =
-        flags.get("shards").map(|s| s.parse().map_err(|_| "bad --shards")).transpose()?.unwrap_or(8);
+    let steps: usize = flags
+        .get("steps")
+        .map(|s| s.parse().map_err(|_| "bad --steps"))
+        .transpose()?
+        .unwrap_or(120);
+    let shards: usize = flags
+        .get("shards")
+        .map(|s| s.parse().map_err(|_| "bad --shards"))
+        .transpose()?
+        .unwrap_or(8);
     let budget_ms: f64 = flags
         .get("budget-ms")
         .map(|s| s.parse().map_err(|_| "bad --budget-ms"))
         .transpose()?
         .unwrap_or(100.0);
     let budget = budget_ms / 1e3;
-    let cfg = SearchConfig { steps, shards, policy_lr: 0.06, baseline_momentum: 0.9, seed: 0 };
-    let reward =
-        RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("step_time", budget, -8.0)]);
-    println!("searching {domain} space: {steps} steps x {shards} shards, step budget {budget_ms} ms");
+    let cfg = SearchConfig {
+        steps,
+        shards,
+        policy_lr: 0.06,
+        baseline_momentum: 0.9,
+        seed: 0,
+    };
+    let reward = RewardFn::new(
+        RewardKind::Relu,
+        vec![PerfObjective::new("step_time", budget, -8.0)],
+    );
+    println!(
+        "searching {domain} space: {steps} steps x {shards} shards, step budget {budget_ms} ms"
+    );
     let csv_stem = flags.get("csv").cloned();
     let maybe_export = |outcome: &h2o_nas::core::SearchOutcome| -> Result<(), String> {
         if let Some(stem) = &csv_stem {
@@ -277,7 +366,8 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                         EvalResult {
                             quality: quality.accuracy_of_cnn(&arch, graph.param_count() / 1e6),
                             perf_values: vec![
-                                sim.simulate_training(&graph, &SystemConfig::training_pod()).time,
+                                sim.simulate_training(&graph, &SystemConfig::training_pod())
+                                    .time,
                             ],
                         }
                     }
@@ -311,12 +401,13 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                         let arch = space.decode(sample);
                         EvalResult {
                             quality: quality.quality(&arch),
-                            perf_values: vec![sim
-                                .simulate_training(
+                            perf_values: vec![
+                                sim.simulate_training(
                                     &arch.build_graph(64, 128),
                                     &SystemConfig::training_pod(),
                                 )
-                                .time],
+                                .time,
+                            ],
                         }
                     }
                 },
@@ -347,7 +438,8 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                         EvalResult {
                             quality: quality.accuracy_of_vit(&arch, graph.param_count() / 1e6),
                             perf_values: vec![
-                                sim.simulate_training(&graph, &SystemConfig::training_pod()).time,
+                                sim.simulate_training(&graph, &SystemConfig::training_pod())
+                                    .time,
                             ],
                         }
                     }
@@ -363,8 +455,105 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                 );
             }
         }
-        other => return Err(format!("unknown domain '{other}' (cnn|dlrm|vit)")),
+        "dlrm-oneshot" => {
+            // The full §4 loop on a small scale: DLRM super-network +
+            // use-once pipeline + simulator-pretrained performance model,
+            // exercising core, data, hwsim and perfmodel in one run.
+            use h2o_nas::core::{unified_search, OneShotConfig};
+            use h2o_nas::data::{CtrTraffic, CtrTrafficConfig, InMemoryPipeline};
+            use h2o_nas::perfmodel::{Featurizer, PerfModel, PerfTargets, TrainConfig};
+            use h2o_nas::space::{DlrmSpaceConfig, DlrmSupernet};
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+
+            let mut rng = StdRng::seed_from_u64(0);
+            let mut supernet = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut rng);
+            let space = supernet.space().clone();
+            let featurizer = Featurizer::from_space(space.space());
+
+            // Pretrain the performance model on simulator-labelled samples
+            // (§6.2: the paper uses ~1M; a few hundred suffice here).
+            let sim = Simulator::new(HardwareConfig::tpu_v4());
+            let pool = 256;
+            let mut xs = Vec::with_capacity(pool);
+            let mut ys = Vec::with_capacity(pool);
+            for _ in 0..pool {
+                let sample = space.space().sample_uniform(&mut rng);
+                let graph = space.decode(&sample).build_graph(64, 128);
+                let training = sim
+                    .simulate_training(&graph, &SystemConfig::training_pod())
+                    .time;
+                let serving = sim.simulate(&graph).time;
+                xs.push(featurizer.featurize(&sample));
+                ys.push(PerfTargets { training, serving });
+            }
+            let mut model = PerfModel::new(featurizer.dim(), &[32, 32], 0);
+            model.pretrain(
+                &xs,
+                &ys,
+                TrainConfig {
+                    epochs: 20,
+                    batch_size: 32,
+                    lr: 1e-3,
+                },
+            );
+            println!("perf model pretrained on {pool} simulator-labelled candidates");
+
+            // Search with model predictions as the performance signal. The
+            // CTR budget is the median simulated step time (keeps the
+            // objective meaningful for any --budget-ms).
+            let mut times: Vec<f64> = ys.iter().map(|y| y.training).collect();
+            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            let target = if budget_ms != 100.0 {
+                budget
+            } else {
+                times[pool / 2]
+            };
+            let oneshot_reward = RewardFn::new(
+                RewardKind::Relu,
+                vec![PerfObjective::new("train_step_time", target, -8.0)],
+            );
+            let pipeline = InMemoryPipeline::new(CtrTraffic::new(CtrTrafficConfig::tiny(), 1));
+            let oneshot_cfg = OneShotConfig {
+                steps,
+                shards,
+                batch_size: 32,
+                ..Default::default()
+            };
+            let perf =
+                |sample: &ArchSample| vec![model.predict(&featurizer.featurize(sample)).training];
+            let outcome = unified_search(
+                &mut supernet,
+                &pipeline,
+                &oneshot_reward,
+                perf,
+                &oneshot_cfg,
+            );
+            maybe_export(&outcome)?;
+            let stats = pipeline.stats();
+            let best = space.decode(&outcome.best);
+            println!(
+                "pipeline: {} batches served, {} policy-used, {} weights-used, {} in flight",
+                stats.produced,
+                stats.policy_used,
+                stats.weights_used,
+                pipeline.in_flight()
+            );
+            println!(
+                "best: {} tables totalling {:.2}M embedding params, size {:.2} MB, predicted step {:.3} ms",
+                best.tables.len(),
+                best.embedding_params() / 1e6,
+                best.model_size_bytes() / 1e6,
+                model.predict(&featurizer.featurize(&outcome.best)).training * 1e3,
+            );
+        }
+        other => {
+            return Err(format!(
+                "unknown domain '{other}' (cnn|dlrm|vit|dlrm-oneshot)"
+            ))
+        }
     }
+    export_observability(flags)?;
     Ok(())
 }
 

@@ -16,6 +16,8 @@
 //!   MLP performance model.
 //! * [`data`] (`h2o-data`) — the in-memory use-once data pipeline and
 //!   synthetic production traffic.
+//! * [`obs`] (`h2o-obs`) — the observability layer: metrics registry, span
+//!   timers and Prometheus / JSON / Chrome-trace exporters.
 //! * [`graph`] (`h2o-graph`) — the HLO-like operator IR.
 //! * [`tensor`] (`h2o-tensor`) — the minimal dense NN training substrate.
 //! * [`models`] (`h2o-models`) — CoAtNet(-H), EfficientNet-X/H, DLRM(-H)
@@ -54,6 +56,7 @@ pub use h2o_data as data;
 pub use h2o_graph as graph;
 pub use h2o_hwsim as hwsim;
 pub use h2o_models as models;
+pub use h2o_obs as obs;
 pub use h2o_perfmodel as perfmodel;
 pub use h2o_space as space;
 pub use h2o_tensor as tensor;

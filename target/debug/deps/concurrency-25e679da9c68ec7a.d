@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-25e679da9c68ec7a.d: crates/obs/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-25e679da9c68ec7a: crates/obs/tests/concurrency.rs
+
+crates/obs/tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-820310c8e8eae14f.d: tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-820310c8e8eae14f: tests/consistency.rs
+
+tests/consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-c0899e2b561889a8.d: tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-c0899e2b561889a8: tests/consistency.rs
+
+tests/consistency.rs:

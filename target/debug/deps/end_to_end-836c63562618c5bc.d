@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-836c63562618c5bc.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-836c63562618c5bc: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f75fc43dd2945d19.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f75fc43dd2945d19: tests/end_to_end.rs
+
+tests/end_to_end.rs:

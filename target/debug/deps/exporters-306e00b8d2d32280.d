@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exporters-306e00b8d2d32280.d: crates/obs/tests/exporters.rs
+
+/root/repo/target/debug/deps/exporters-306e00b8d2d32280: crates/obs/tests/exporters.rs
+
+crates/obs/tests/exporters.rs:

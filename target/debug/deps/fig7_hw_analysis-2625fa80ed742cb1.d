@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_hw_analysis-2625fa80ed742cb1.d: crates/bench/src/bin/fig7_hw_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_hw_analysis-2625fa80ed742cb1.rmeta: crates/bench/src/bin/fig7_hw_analysis.rs Cargo.toml
+
+crates/bench/src/bin/fig7_hw_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

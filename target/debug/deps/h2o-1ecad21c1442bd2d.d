@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o-1ecad21c1442bd2d.d: src/bin/h2o.rs
+
+/root/repo/target/debug/deps/h2o-1ecad21c1442bd2d: src/bin/h2o.rs
+
+src/bin/h2o.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o-831b392e5642bd90.d: src/bin/h2o.rs
+
+/root/repo/target/debug/deps/h2o-831b392e5642bd90: src/bin/h2o.rs
+
+src/bin/h2o.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o-8fca8990e3f2ab90.d: src/bin/h2o.rs
+
+/root/repo/target/debug/deps/h2o-8fca8990e3f2ab90: src/bin/h2o.rs
+
+src/bin/h2o.rs:

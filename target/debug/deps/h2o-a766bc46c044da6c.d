@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o-a766bc46c044da6c.d: src/bin/h2o.rs
+
+/root/repo/target/debug/deps/h2o-a766bc46c044da6c: src/bin/h2o.rs
+
+src/bin/h2o.rs:

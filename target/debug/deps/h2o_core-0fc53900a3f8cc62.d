@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/h2o_core-0fc53900a3f8cc62.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_core-0fc53900a3f8cc62.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/oneshot.rs:
+crates/core/src/oneshot_generic.rs:
+crates/core/src/pareto.rs:
+crates/core/src/policy.rs:
+crates/core/src/reward.rs:
+crates/core/src/search.rs:
+crates/core/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

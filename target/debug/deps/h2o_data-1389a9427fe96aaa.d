@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/h2o_data-1389a9427fe96aaa.d: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+/root/repo/target/debug/deps/libh2o_data-1389a9427fe96aaa.rlib: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+/root/repo/target/debug/deps/libh2o_data-1389a9427fe96aaa.rmeta: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/pipeline.rs:
+crates/data/src/stats.rs:
+crates/data/src/traffic.rs:

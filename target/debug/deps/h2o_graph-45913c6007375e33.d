@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h2o_graph-45913c6007375e33.d: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+/root/repo/target/debug/deps/libh2o_graph-45913c6007375e33.rlib: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+/root/repo/target/debug/deps/libh2o_graph-45913c6007375e33.rmeta: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/blocks.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/op.rs:
+crates/graph/src/text.rs:

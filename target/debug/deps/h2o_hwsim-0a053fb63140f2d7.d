@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/h2o_hwsim-0a053fb63140f2d7.d: crates/hwsim/src/lib.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+/root/repo/target/debug/deps/h2o_hwsim-0a053fb63140f2d7: crates/hwsim/src/lib.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/config.rs:
+crates/hwsim/src/production.rs:
+crates/hwsim/src/roofline.rs:
+crates/hwsim/src/simulator.rs:
+crates/hwsim/src/sweep.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/h2o_hwsim-66f5f032146015a3.d: crates/hwsim/src/lib.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_hwsim-66f5f032146015a3.rmeta: crates/hwsim/src/lib.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs Cargo.toml
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/config.rs:
+crates/hwsim/src/production.rs:
+crates/hwsim/src/roofline.rs:
+crates/hwsim/src/simulator.rs:
+crates/hwsim/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h2o_nas-452b11dd7f522e3a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_nas-452b11dd7f522e3a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_nas-452b11dd7f522e3a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o_nas-6a49a433172790a8.d: src/lib.rs
+
+/root/repo/target/debug/deps/h2o_nas-6a49a433172790a8: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h2o_nas-7108672f71736b01.d: src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_nas-7108672f71736b01.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_nas-7108672f71736b01.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o_nas-8843172f7b719e71.d: src/lib.rs
+
+/root/repo/target/debug/deps/h2o_nas-8843172f7b719e71: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h2o_obs-415a39299d647fe8.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libh2o_obs-415a39299d647fe8.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libh2o_obs-415a39299d647fe8.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h2o_perfmodel-46265425d90d6781.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/debug/deps/libh2o_perfmodel-46265425d90d6781.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/debug/deps/libh2o_perfmodel-46265425d90d6781.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/features.rs:
+crates/perfmodel/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h2o_perfmodel-50f11669c0b50557.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_perfmodel-50f11669c0b50557.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs Cargo.toml
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/features.rs:
+crates/perfmodel/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

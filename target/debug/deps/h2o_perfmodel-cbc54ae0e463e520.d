@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h2o_perfmodel-cbc54ae0e463e520.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/debug/deps/libh2o_perfmodel-cbc54ae0e463e520.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/debug/deps/libh2o_perfmodel-cbc54ae0e463e520.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/features.rs:
+crates/perfmodel/src/model.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h2o_perfmodel-fe5fd62d33564c1a.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/debug/deps/h2o_perfmodel-fe5fd62d33564c1a: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/features.rs:
+crates/perfmodel/src/model.rs:

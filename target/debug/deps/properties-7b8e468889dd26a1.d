@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7b8e468889dd26a1.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7b8e468889dd26a1: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b4389fc7ae13499b.d: crates/obs/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b4389fc7ae13499b: crates/obs/tests/properties.rs
+
+crates/obs/tests/properties.rs:

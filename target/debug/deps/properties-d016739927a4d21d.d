@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d016739927a4d21d.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d016739927a4d21d: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-b60e83249947ed81.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b60e83249947ed81.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b60e83249947ed81.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

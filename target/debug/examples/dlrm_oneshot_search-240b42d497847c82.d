@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dlrm_oneshot_search-240b42d497847c82.d: examples/dlrm_oneshot_search.rs
+
+/root/repo/target/debug/examples/dlrm_oneshot_search-240b42d497847c82: examples/dlrm_oneshot_search.rs
+
+examples/dlrm_oneshot_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dlrm_oneshot_search-b5433cc40cbdc646.d: examples/dlrm_oneshot_search.rs
+
+/root/repo/target/debug/examples/dlrm_oneshot_search-b5433cc40cbdc646: examples/dlrm_oneshot_search.rs
+
+examples/dlrm_oneshot_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_explorer-1e38dd37d1e8eff5.d: examples/hardware_explorer.rs
+
+/root/repo/target/debug/examples/hardware_explorer-1e38dd37d1e8eff5: examples/hardware_explorer.rs
+
+examples/hardware_explorer.rs:

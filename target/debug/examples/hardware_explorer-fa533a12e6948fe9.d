@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_explorer-fa533a12e6948fe9.d: examples/hardware_explorer.rs
+
+/root/repo/target/debug/examples/hardware_explorer-fa533a12e6948fe9: examples/hardware_explorer.rs
+
+examples/hardware_explorer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_model_two_phase-068650f9f82f918d.d: examples/perf_model_two_phase.rs
+
+/root/repo/target/debug/examples/perf_model_two_phase-068650f9f82f918d: examples/perf_model_two_phase.rs
+
+examples/perf_model_two_phase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_model_two_phase-45e7cf2ab171fb5c.d: examples/perf_model_two_phase.rs
+
+/root/repo/target/debug/examples/perf_model_two_phase-45e7cf2ab171fb5c: examples/perf_model_two_phase.rs
+
+examples/perf_model_two_phase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4f5f05aa153e5474.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4f5f05aa153e5474: examples/quickstart.rs
+
+examples/quickstart.rs:

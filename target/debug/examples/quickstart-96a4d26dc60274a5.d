@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-96a4d26dc60274a5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-96a4d26dc60274a5: examples/quickstart.rs
+
+examples/quickstart.rs:

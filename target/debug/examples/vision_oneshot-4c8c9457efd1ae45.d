@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vision_oneshot-4c8c9457efd1ae45.d: examples/vision_oneshot.rs
+
+/root/repo/target/debug/examples/vision_oneshot-4c8c9457efd1ae45: examples/vision_oneshot.rs
+
+examples/vision_oneshot.rs:

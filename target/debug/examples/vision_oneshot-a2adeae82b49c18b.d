@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vision_oneshot-a2adeae82b49c18b.d: examples/vision_oneshot.rs
+
+/root/repo/target/debug/examples/vision_oneshot-a2adeae82b49c18b: examples/vision_oneshot.rs
+
+examples/vision_oneshot.rs:

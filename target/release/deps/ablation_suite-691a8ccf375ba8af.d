@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_suite-691a8ccf375ba8af.d: crates/bench/src/bin/ablation_suite.rs
+
+/root/repo/target/release/deps/ablation_suite-691a8ccf375ba8af: crates/bench/src/bin/ablation_suite.rs
+
+crates/bench/src/bin/ablation_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_suite-924808ffc25e60dc.d: crates/bench/src/bin/ablation_suite.rs
+
+/root/repo/target/release/deps/ablation_suite-924808ffc25e60dc: crates/bench/src/bin/ablation_suite.rs
+
+crates/bench/src/bin/ablation_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-d81db978e97caa7a.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-d81db978e97caa7a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

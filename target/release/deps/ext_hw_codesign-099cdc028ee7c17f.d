@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_hw_codesign-099cdc028ee7c17f.d: crates/bench/src/bin/ext_hw_codesign.rs
+
+/root/repo/target/release/deps/ext_hw_codesign-099cdc028ee7c17f: crates/bench/src/bin/ext_hw_codesign.rs
+
+crates/bench/src/bin/ext_hw_codesign.rs:

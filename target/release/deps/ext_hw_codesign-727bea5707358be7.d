@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_hw_codesign-727bea5707358be7.d: crates/bench/src/bin/ext_hw_codesign.rs
+
+/root/repo/target/release/deps/ext_hw_codesign-727bea5707358be7: crates/bench/src/bin/ext_hw_codesign.rs
+
+crates/bench/src/bin/ext_hw_codesign.rs:

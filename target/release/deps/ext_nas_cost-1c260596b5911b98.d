@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_nas_cost-1c260596b5911b98.d: crates/bench/src/bin/ext_nas_cost.rs
+
+/root/repo/target/release/deps/ext_nas_cost-1c260596b5911b98: crates/bench/src/bin/ext_nas_cost.rs
+
+crates/bench/src/bin/ext_nas_cost.rs:

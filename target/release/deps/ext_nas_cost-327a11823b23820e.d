@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_nas_cost-327a11823b23820e.d: crates/bench/src/bin/ext_nas_cost.rs
+
+/root/repo/target/release/deps/ext_nas_cost-327a11823b23820e: crates/bench/src/bin/ext_nas_cost.rs
+
+crates/bench/src/bin/ext_nas_cost.rs:

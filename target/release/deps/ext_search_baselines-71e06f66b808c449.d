@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_search_baselines-71e06f66b808c449.d: crates/bench/src/bin/ext_search_baselines.rs
+
+/root/repo/target/release/deps/ext_search_baselines-71e06f66b808c449: crates/bench/src/bin/ext_search_baselines.rs
+
+crates/bench/src/bin/ext_search_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_search_baselines-e1e4ce8db45954c1.d: crates/bench/src/bin/ext_search_baselines.rs
+
+/root/repo/target/release/deps/ext_search_baselines-e1e4ce8db45954c1: crates/bench/src/bin/ext_search_baselines.rs
+
+crates/bench/src/bin/ext_search_baselines.rs:

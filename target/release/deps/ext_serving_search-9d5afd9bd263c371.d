@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_serving_search-9d5afd9bd263c371.d: crates/bench/src/bin/ext_serving_search.rs
+
+/root/repo/target/release/deps/ext_serving_search-9d5afd9bd263c371: crates/bench/src/bin/ext_serving_search.rs
+
+crates/bench/src/bin/ext_serving_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_serving_search-d14d48b66fb9f24d.d: crates/bench/src/bin/ext_serving_search.rs
+
+/root/repo/target/release/deps/ext_serving_search-d14d48b66fb9f24d: crates/bench/src/bin/ext_serving_search.rs
+
+crates/bench/src/bin/ext_serving_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_shard_scaling-363e7fe8ea1b387c.d: crates/bench/src/bin/ext_shard_scaling.rs
+
+/root/repo/target/release/deps/ext_shard_scaling-363e7fe8ea1b387c: crates/bench/src/bin/ext_shard_scaling.rs
+
+crates/bench/src/bin/ext_shard_scaling.rs:

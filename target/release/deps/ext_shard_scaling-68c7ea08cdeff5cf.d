@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_shard_scaling-68c7ea08cdeff5cf.d: crates/bench/src/bin/ext_shard_scaling.rs
+
+/root/repo/target/release/deps/ext_shard_scaling-68c7ea08cdeff5cf: crates/bench/src/bin/ext_shard_scaling.rs
+
+crates/bench/src/bin/ext_shard_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_transformer_search-82d624749f4ce26f.d: crates/bench/src/bin/ext_transformer_search.rs
+
+/root/repo/target/release/deps/ext_transformer_search-82d624749f4ce26f: crates/bench/src/bin/ext_transformer_search.rs
+
+crates/bench/src/bin/ext_transformer_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_transformer_search-b79536a5036881a6.d: crates/bench/src/bin/ext_transformer_search.rs
+
+/root/repo/target/release/deps/ext_transformer_search-b79536a5036881a6: crates/bench/src/bin/ext_transformer_search.rs
+
+crates/bench/src/bin/ext_transformer_search.rs:

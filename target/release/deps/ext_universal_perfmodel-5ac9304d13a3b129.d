@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_universal_perfmodel-5ac9304d13a3b129.d: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+/root/repo/target/release/deps/ext_universal_perfmodel-5ac9304d13a3b129: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:

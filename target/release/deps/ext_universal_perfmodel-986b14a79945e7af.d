@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_universal_perfmodel-986b14a79945e7af.d: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+/root/repo/target/release/deps/ext_universal_perfmodel-986b14a79945e7af: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_production-28e398c22c836d80.d: crates/bench/src/bin/fig10_production.rs
+
+/root/repo/target/release/deps/fig10_production-28e398c22c836d80: crates/bench/src/bin/fig10_production.rs
+
+crates/bench/src/bin/fig10_production.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_production-41cf435627134280.d: crates/bench/src/bin/fig10_production.rs
+
+/root/repo/target/release/deps/fig10_production-41cf435627134280: crates/bench/src/bin/fig10_production.rs
+
+crates/bench/src/bin/fig10_production.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_roofline-67db301f95f325b6.d: crates/bench/src/bin/fig4_roofline.rs
+
+/root/repo/target/release/deps/fig4_roofline-67db301f95f325b6: crates/bench/src/bin/fig4_roofline.rs
+
+crates/bench/src/bin/fig4_roofline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_roofline-828a2f0704b686bd.d: crates/bench/src/bin/fig4_roofline.rs
+
+/root/repo/target/release/deps/fig4_roofline-828a2f0704b686bd: crates/bench/src/bin/fig4_roofline.rs
+
+crates/bench/src/bin/fig4_roofline.rs:

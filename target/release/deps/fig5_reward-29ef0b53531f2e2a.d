@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_reward-29ef0b53531f2e2a.d: crates/bench/src/bin/fig5_reward.rs
+
+/root/repo/target/release/deps/fig5_reward-29ef0b53531f2e2a: crates/bench/src/bin/fig5_reward.rs
+
+crates/bench/src/bin/fig5_reward.rs:

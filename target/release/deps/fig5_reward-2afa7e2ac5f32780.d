@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_reward-2afa7e2ac5f32780.d: crates/bench/src/bin/fig5_reward.rs
+
+/root/repo/target/release/deps/fig5_reward-2afa7e2ac5f32780: crates/bench/src/bin/fig5_reward.rs
+
+crates/bench/src/bin/fig5_reward.rs:

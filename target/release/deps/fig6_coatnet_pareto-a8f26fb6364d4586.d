@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_coatnet_pareto-a8f26fb6364d4586.d: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+/root/repo/target/release/deps/fig6_coatnet_pareto-a8f26fb6364d4586: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+crates/bench/src/bin/fig6_coatnet_pareto.rs:

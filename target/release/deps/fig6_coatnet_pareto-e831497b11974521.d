@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_coatnet_pareto-e831497b11974521.d: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+/root/repo/target/release/deps/fig6_coatnet_pareto-e831497b11974521: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+crates/bench/src/bin/fig6_coatnet_pareto.rs:

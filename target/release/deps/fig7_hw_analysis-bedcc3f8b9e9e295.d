@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_hw_analysis-bedcc3f8b9e9e295.d: crates/bench/src/bin/fig7_hw_analysis.rs
+
+/root/repo/target/release/deps/fig7_hw_analysis-bedcc3f8b9e9e295: crates/bench/src/bin/fig7_hw_analysis.rs
+
+crates/bench/src/bin/fig7_hw_analysis.rs:

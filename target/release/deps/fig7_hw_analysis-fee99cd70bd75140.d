@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_hw_analysis-fee99cd70bd75140.d: crates/bench/src/bin/fig7_hw_analysis.rs
+
+/root/repo/target/release/deps/fig7_hw_analysis-fee99cd70bd75140: crates/bench/src/bin/fig7_hw_analysis.rs
+
+crates/bench/src/bin/fig7_hw_analysis.rs:

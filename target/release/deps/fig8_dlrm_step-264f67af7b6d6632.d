@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_dlrm_step-264f67af7b6d6632.d: crates/bench/src/bin/fig8_dlrm_step.rs
+
+/root/repo/target/release/deps/fig8_dlrm_step-264f67af7b6d6632: crates/bench/src/bin/fig8_dlrm_step.rs
+
+crates/bench/src/bin/fig8_dlrm_step.rs:

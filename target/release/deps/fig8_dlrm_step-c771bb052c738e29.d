@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_dlrm_step-c771bb052c738e29.d: crates/bench/src/bin/fig8_dlrm_step.rs
+
+/root/repo/target/release/deps/fig8_dlrm_step-c771bb052c738e29: crates/bench/src/bin/fig8_dlrm_step.rs
+
+crates/bench/src/bin/fig8_dlrm_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_energy-39b769047c32de08.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/release/deps/fig9_energy-39b769047c32de08: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

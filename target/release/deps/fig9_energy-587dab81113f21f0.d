@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_energy-587dab81113f21f0.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/release/deps/fig9_energy-587dab81113f21f0: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_pipeline-4c6c2cfdd5fa5aeb.d: crates/bench/src/bin/full_pipeline.rs
+
+/root/repo/target/release/deps/full_pipeline-4c6c2cfdd5fa5aeb: crates/bench/src/bin/full_pipeline.rs
+
+crates/bench/src/bin/full_pipeline.rs:

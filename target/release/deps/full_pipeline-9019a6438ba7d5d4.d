@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_pipeline-9019a6438ba7d5d4.d: crates/bench/src/bin/full_pipeline.rs
+
+/root/repo/target/release/deps/full_pipeline-9019a6438ba7d5d4: crates/bench/src/bin/full_pipeline.rs
+
+crates/bench/src/bin/full_pipeline.rs:

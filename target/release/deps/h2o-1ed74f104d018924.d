@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/h2o-1ed74f104d018924.d: src/bin/h2o.rs
+
+/root/repo/target/release/deps/h2o-1ed74f104d018924: src/bin/h2o.rs
+
+src/bin/h2o.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/h2o-35ebc1d7bbca14c9.d: src/bin/h2o.rs
+
+/root/repo/target/release/deps/h2o-35ebc1d7bbca14c9: src/bin/h2o.rs
+
+src/bin/h2o.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/h2o-998d92f98d53b0ff.d: src/bin/h2o.rs
+
+/root/repo/target/release/deps/h2o-998d92f98d53b0ff: src/bin/h2o.rs
+
+src/bin/h2o.rs:

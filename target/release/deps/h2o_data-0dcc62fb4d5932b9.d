@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/h2o_data-0dcc62fb4d5932b9.d: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+/root/repo/target/release/deps/libh2o_data-0dcc62fb4d5932b9.rlib: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+/root/repo/target/release/deps/libh2o_data-0dcc62fb4d5932b9.rmeta: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/pipeline.rs:
+crates/data/src/stats.rs:
+crates/data/src/traffic.rs:

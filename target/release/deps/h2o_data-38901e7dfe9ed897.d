@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/h2o_data-38901e7dfe9ed897.d: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+/root/repo/target/release/deps/libh2o_data-38901e7dfe9ed897.rlib: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+/root/repo/target/release/deps/libh2o_data-38901e7dfe9ed897.rmeta: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/pipeline.rs:
+crates/data/src/stats.rs:
+crates/data/src/traffic.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/h2o_graph-d522a667de250408.d: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+/root/repo/target/release/deps/libh2o_graph-d522a667de250408.rlib: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+/root/repo/target/release/deps/libh2o_graph-d522a667de250408.rmeta: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/blocks.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/op.rs:
+crates/graph/src/text.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/h2o_hwsim-35dff4f3704e70ed.d: crates/hwsim/src/lib.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+/root/repo/target/release/deps/libh2o_hwsim-35dff4f3704e70ed.rlib: crates/hwsim/src/lib.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+/root/repo/target/release/deps/libh2o_hwsim-35dff4f3704e70ed.rmeta: crates/hwsim/src/lib.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/config.rs:
+crates/hwsim/src/production.rs:
+crates/hwsim/src/roofline.rs:
+crates/hwsim/src/simulator.rs:
+crates/hwsim/src/sweep.rs:

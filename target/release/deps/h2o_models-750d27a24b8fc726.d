@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/h2o_models-750d27a24b8fc726.d: crates/models/src/lib.rs crates/models/src/coatnet.rs crates/models/src/dlrm.rs crates/models/src/efficientnet.rs crates/models/src/production.rs crates/models/src/quality.rs
+
+/root/repo/target/release/deps/libh2o_models-750d27a24b8fc726.rlib: crates/models/src/lib.rs crates/models/src/coatnet.rs crates/models/src/dlrm.rs crates/models/src/efficientnet.rs crates/models/src/production.rs crates/models/src/quality.rs
+
+/root/repo/target/release/deps/libh2o_models-750d27a24b8fc726.rmeta: crates/models/src/lib.rs crates/models/src/coatnet.rs crates/models/src/dlrm.rs crates/models/src/efficientnet.rs crates/models/src/production.rs crates/models/src/quality.rs
+
+crates/models/src/lib.rs:
+crates/models/src/coatnet.rs:
+crates/models/src/dlrm.rs:
+crates/models/src/efficientnet.rs:
+crates/models/src/production.rs:
+crates/models/src/quality.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/h2o_nas-376acd1b9d33dbcd.d: src/lib.rs
+
+/root/repo/target/release/deps/libh2o_nas-376acd1b9d33dbcd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libh2o_nas-376acd1b9d33dbcd.rmeta: src/lib.rs
+
+src/lib.rs:

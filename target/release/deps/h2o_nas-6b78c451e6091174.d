@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/h2o_nas-6b78c451e6091174.d: src/lib.rs
+
+/root/repo/target/release/deps/libh2o_nas-6b78c451e6091174.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libh2o_nas-6b78c451e6091174.rmeta: src/lib.rs
+
+src/lib.rs:

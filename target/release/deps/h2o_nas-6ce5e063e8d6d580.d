@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/h2o_nas-6ce5e063e8d6d580.d: src/lib.rs
+
+/root/repo/target/release/deps/libh2o_nas-6ce5e063e8d6d580.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libh2o_nas-6ce5e063e8d6d580.rmeta: src/lib.rs
+
+src/lib.rs:

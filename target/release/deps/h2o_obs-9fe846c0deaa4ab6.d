@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/h2o_obs-9fe846c0deaa4ab6.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libh2o_obs-9fe846c0deaa4ab6.rlib: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libh2o_obs-9fe846c0deaa4ab6.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

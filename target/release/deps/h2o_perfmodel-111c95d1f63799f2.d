@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/h2o_perfmodel-111c95d1f63799f2.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/release/deps/libh2o_perfmodel-111c95d1f63799f2.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/release/deps/libh2o_perfmodel-111c95d1f63799f2.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/features.rs:
+crates/perfmodel/src/model.rs:

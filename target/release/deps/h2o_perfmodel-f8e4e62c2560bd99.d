@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/h2o_perfmodel-f8e4e62c2560bd99.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/release/deps/libh2o_perfmodel-f8e4e62c2560bd99.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/release/deps/libh2o_perfmodel-f8e4e62c2560bd99.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/features.rs:
+crates/perfmodel/src/model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/machinery-e73774a790e1906a.d: crates/bench/benches/machinery.rs
+
+/root/repo/target/release/deps/machinery-e73774a790e1906a: crates/bench/benches/machinery.rs
+
+crates/bench/benches/machinery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-f1fab231a0831156.d: third_party/rand/src/lib.rs third_party/rand/src/rngs.rs third_party/rand/src/seq.rs
+
+/root/repo/target/release/deps/librand-f1fab231a0831156.rlib: third_party/rand/src/lib.rs third_party/rand/src/rngs.rs third_party/rand/src/seq.rs
+
+/root/repo/target/release/deps/librand-f1fab231a0831156.rmeta: third_party/rand/src/lib.rs third_party/rand/src/rngs.rs third_party/rand/src/seq.rs
+
+third_party/rand/src/lib.rs:
+third_party/rand/src/rngs.rs:
+third_party/rand/src/seq.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-b7de98c46a6109b2.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-b7de98c46a6109b2: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-e5cc86c99a4e1c8a.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-e5cc86c99a4e1c8a: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

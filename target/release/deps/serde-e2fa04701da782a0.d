@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-e2fa04701da782a0.d: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e2fa04701da782a0.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-e2fa04701da782a0.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_perfmodel-86a3dc7ef56e020a.d: crates/bench/src/bin/table1_perfmodel.rs
+
+/root/repo/target/release/deps/table1_perfmodel-86a3dc7ef56e020a: crates/bench/src/bin/table1_perfmodel.rs
+
+crates/bench/src/bin/table1_perfmodel.rs:

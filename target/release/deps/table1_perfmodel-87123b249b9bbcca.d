@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_perfmodel-87123b249b9bbcca.d: crates/bench/src/bin/table1_perfmodel.rs
+
+/root/repo/target/release/deps/table1_perfmodel-87123b249b9bbcca: crates/bench/src/bin/table1_perfmodel.rs
+
+crates/bench/src/bin/table1_perfmodel.rs:

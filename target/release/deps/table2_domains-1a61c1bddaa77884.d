@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_domains-1a61c1bddaa77884.d: crates/bench/src/bin/table2_domains.rs
+
+/root/repo/target/release/deps/table2_domains-1a61c1bddaa77884: crates/bench/src/bin/table2_domains.rs
+
+crates/bench/src/bin/table2_domains.rs:

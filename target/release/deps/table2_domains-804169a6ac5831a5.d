@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_domains-804169a6ac5831a5.d: crates/bench/src/bin/table2_domains.rs
+
+/root/repo/target/release/deps/table2_domains-804169a6ac5831a5: crates/bench/src/bin/table2_domains.rs
+
+crates/bench/src/bin/table2_domains.rs:

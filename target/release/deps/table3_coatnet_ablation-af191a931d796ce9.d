@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_coatnet_ablation-af191a931d796ce9.d: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+/root/repo/target/release/deps/table3_coatnet_ablation-af191a931d796ce9: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_efficientnet-b1e4dcbcf353e5ff.d: crates/bench/src/bin/table4_efficientnet.rs
+
+/root/repo/target/release/deps/table4_efficientnet-b1e4dcbcf353e5ff: crates/bench/src/bin/table4_efficientnet.rs
+
+crates/bench/src/bin/table4_efficientnet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_efficientnet-b30fc3eecb5a8914.d: crates/bench/src/bin/table4_efficientnet.rs
+
+/root/repo/target/release/deps/table4_efficientnet-b30fc3eecb5a8914: crates/bench/src/bin/table4_efficientnet.rs
+
+crates/bench/src/bin/table4_efficientnet.rs:

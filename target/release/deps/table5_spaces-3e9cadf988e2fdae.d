@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_spaces-3e9cadf988e2fdae.d: crates/bench/src/bin/table5_spaces.rs
+
+/root/repo/target/release/deps/table5_spaces-3e9cadf988e2fdae: crates/bench/src/bin/table5_spaces.rs
+
+crates/bench/src/bin/table5_spaces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_spaces-d330625854865598.d: crates/bench/src/bin/table5_spaces.rs
+
+/root/repo/target/release/deps/table5_spaces-d330625854865598: crates/bench/src/bin/table5_spaces.rs
+
+crates/bench/src/bin/table5_spaces.rs:

@@ -19,7 +19,10 @@ fn dlrm_analytic_params_match_graph_params() {
         let graph = arch.build_graph(16, 1);
         let from_graph = graph.param_count();
         let rel = (analytic - from_graph).abs() / analytic.max(1.0);
-        assert!(rel < 0.05, "analytic {analytic} vs graph {from_graph} ({rel:.3})");
+        assert!(
+            rel < 0.05,
+            "analytic {analytic} vs graph {from_graph} ({rel:.3})"
+        );
     }
 }
 
@@ -72,18 +75,30 @@ fn perf_model_preserves_simulator_ranking() {
     let mut ys = Vec::new();
     for _ in 0..800 {
         let sample = space.space().sample_uniform(&mut rng);
-        let t = sim.simulate_training(&space.decode(&sample).build_graph(64, 128), &pod).time;
+        let t = sim
+            .simulate_training(&space.decode(&sample).build_graph(64, 128), &pod)
+            .time;
         xs.push(featurizer.featurize(&sample));
-        ys.push(PerfTargets { training: t, serving: t * 0.3 });
+        ys.push(PerfTargets {
+            training: t,
+            serving: t * 0.3,
+        });
     }
     let mut model = PerfModel::new(featurizer.dim(), &[128, 128], 1);
-    model.pretrain(&xs[..600], &ys[..600], TrainConfig {
-        epochs: 60,
-        batch_size: 64,
-        lr: 1e-3,
-    });
+    model.pretrain(
+        &xs[..600],
+        &ys[..600],
+        TrainConfig {
+            epochs: 60,
+            batch_size: 64,
+            lr: 1e-3,
+        },
+    );
     // Kendall-style pairwise rank agreement on held-out candidates.
-    let preds: Vec<f64> = xs[600..].iter().map(|x| model.predict(x).training).collect();
+    let preds: Vec<f64> = xs[600..]
+        .iter()
+        .map(|x| model.predict(x).training)
+        .collect();
     let truth: Vec<f64> = ys[600..].iter().map(|y| y.training).collect();
     let mut agree = 0usize;
     let mut total = 0usize;
@@ -116,7 +131,10 @@ fn production_hardware_is_rank_consistent_with_simulator() {
     for _ in 0..30 {
         let arch = space.decode(&space.space().sample_uniform(&mut rng));
         let g = arch.build_graph(64, 128);
-        pairs.push((sim.simulate_training(&g, &pod).time, prod.measure_step_time(&g, &pod)));
+        pairs.push((
+            sim.simulate_training(&g, &pod).time,
+            prod.measure_step_time(&g, &pod),
+        ));
     }
     let mut agree = 0;
     let mut total = 0;
@@ -188,5 +206,8 @@ fn runtime_stats_flow_into_simulated_costs() {
     let sim = Simulator::new(HardwareConfig::tpu_v4());
     let t_base = sim.simulate(&baseline.build_graph(64, 1)).time;
     let t_measured = sim.simulate(&measured.build_graph(64, 1)).time;
-    assert!(t_measured >= t_base, "4x hotter tables cannot be cheaper: {t_measured} vs {t_base}");
+    assert!(
+        t_measured >= t_base,
+        "4x hotter tables cannot be cheaper: {t_measured} vs {t_base}"
+    );
 }

@@ -33,18 +33,29 @@ fn cnn_search_meets_hardware_budget() {
             EvalResult {
                 quality: quality.accuracy_of_cnn(&arch, graph.param_count() / 1e6),
                 perf_values: vec![
-                    sim.simulate_training(&graph, &SystemConfig::training_pod()).time,
+                    sim.simulate_training(&graph, &SystemConfig::training_pod())
+                        .time,
                 ],
             }
         }
     };
-    let cfg = SearchConfig { steps: 80, shards: 8, policy_lr: 0.08, ..Default::default() };
+    let cfg = SearchConfig {
+        steps: 80,
+        shards: 8,
+        policy_lr: 0.08,
+        ..Default::default()
+    };
     let outcome = parallel_search(space.space(), &reward, make, &cfg);
     let best = space.decode(&outcome.best);
     let graph = best.build_graph(64);
     let sim = Simulator::new(HardwareConfig::tpu_v4());
-    let time = sim.simulate_training(&graph, &SystemConfig::training_pod()).time;
-    assert!(time <= budget * 1.3, "searched arch near budget: {time} vs {budget}");
+    let time = sim
+        .simulate_training(&graph, &SystemConfig::training_pod())
+        .time;
+    assert!(
+        time <= budget * 1.3,
+        "searched arch near budget: {time} vs {budget}"
+    );
     // The search concentrated: the last recorded entropy is below uniform.
     let last = outcome.history.last().unwrap();
     assert!(last.entropy < 1.3, "entropy {}", last.entropy);
@@ -66,7 +77,12 @@ fn dlrm_oneshot_search_learns_and_respects_size() {
     );
     let perf_space = space.clone();
     let perf = move |s: &ArchSample| vec![perf_space.decode(s).model_size_bytes()];
-    let cfg = OneShotConfig { steps: 100, shards: 4, batch_size: 64, ..Default::default() };
+    let cfg = OneShotConfig {
+        steps: 200,
+        shards: 4,
+        batch_size: 64,
+        ..Default::default()
+    };
     let outcome = unified_search(&mut supernet, &pipeline, &reward, perf, &cfg);
 
     // Pipeline invariants held for every batch.
@@ -89,7 +105,12 @@ fn dlrm_oneshot_search_learns_and_respects_size() {
 #[test]
 fn unified_and_tunas_agree_on_output_contract() {
     let mut rng = StdRng::seed_from_u64(12);
-    let cfg = OneShotConfig { steps: 15, shards: 2, batch_size: 32, ..Default::default() };
+    let cfg = OneShotConfig {
+        steps: 15,
+        shards: 2,
+        batch_size: 32,
+        ..Default::default()
+    };
 
     let mut s1 = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut rng);
     let space = s1.space().clone();
@@ -138,9 +159,17 @@ fn relu_reward_tolerates_overachieving_candidates_in_search() {
     let mut space = h2o_nas::space::SearchSpace::new("t");
     space.push(h2o_nas::space::Decision::new("speed", 8));
     let eval = |_shard: usize| {
-        |s: &ArchSample| EvalResult { quality: 1.0, perf_values: vec![8.0 - s[0] as f64] }
+        |s: &ArchSample| EvalResult {
+            quality: 1.0,
+            perf_values: vec![8.0 - s[0] as f64],
+        }
     };
-    let cfg = SearchConfig { steps: 150, shards: 8, policy_lr: 0.1, ..Default::default() };
+    let cfg = SearchConfig {
+        steps: 150,
+        shards: 8,
+        policy_lr: 0.1,
+        ..Default::default()
+    };
     let abs_reward = RewardFn::new(
         RewardKind::Absolute,
         vec![PerfObjective::new("t", 4.0, -5.0)],
@@ -149,8 +178,7 @@ fn relu_reward_tolerates_overachieving_candidates_in_search() {
     // Absolute: optimum is exactly at target (choice 4 -> value 4.0).
     assert_eq!(outcome_abs.best[0], 4, "absolute reward pins to the target");
 
-    let relu_reward =
-        RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("t", 4.0, -5.0)]);
+    let relu_reward = RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("t", 4.0, -5.0)]);
     let outcome_relu = parallel_search(&space, &relu_reward, eval, &cfg);
     // ReLU: anything at-or-under target is optimal; must NOT be above it.
     let value = 8.0 - outcome_relu.best[0] as f64;
@@ -165,13 +193,19 @@ fn parallel_shards_do_not_corrupt_policy() {
     for i in 0..6 {
         space.push(h2o_nas::space::Decision::new(format!("d{i}"), 5));
     }
-    let eval =
-        |_s: usize| |sample: &ArchSample| EvalResult {
+    let eval = |_s: usize| {
+        |sample: &ArchSample| EvalResult {
             quality: sample.iter().sum::<usize>() as f64,
             perf_values: vec![],
-        };
+        }
+    };
     let reward = RewardFn::new(RewardKind::Relu, vec![]);
-    let cfg = SearchConfig { steps: 60, shards: 16, policy_lr: 0.08, ..Default::default() };
+    let cfg = SearchConfig {
+        steps: 120,
+        shards: 16,
+        policy_lr: 0.08,
+        ..Default::default()
+    };
     let outcome = parallel_search(&space, &reward, eval, &cfg);
     // Quality is maximised by choosing 4 everywhere.
     assert_eq!(outcome.best, vec![4; 6]);

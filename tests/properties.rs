@@ -5,7 +5,7 @@ use h2o_nas::core::{PerfObjective, Policy, RewardFn, RewardKind};
 use h2o_nas::graph::{DType, Graph, OpKind};
 use h2o_nas::hwsim::{roofline::time_op, HardwareConfig};
 use h2o_nas::space::{CnnSpace, CnnSpaceConfig, Decision, DlrmSpace, DlrmSpaceConfig, SearchSpace};
-use h2o_nas::tensor::{loss, Activation, Matrix, MaskedDense};
+use h2o_nas::tensor::{loss, Activation, MaskedDense, Matrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -1,0 +1,86 @@
+//! Sampling strategies: numeric ranges, tuples, and vectors.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_float_strategy {
+    ($t:ty) => {
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    };
+}
+
+impl_float_strategy!(f32);
+impl_float_strategy!(f64);
+
+macro_rules! impl_int_strategy {
+    ($t:ty) => {
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.index(span) as $t
+            }
+        }
+    };
+}
+
+impl_int_strategy!(usize);
+impl_int_strategy!(u64);
+impl_int_strategy!(u32);
+impl_int_strategy!(i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+
+/// Strategy for vectors with a sampled length.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.len.clone().sample(rng);
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(elem, len_range)`.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}

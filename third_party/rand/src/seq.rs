@@ -1,0 +1,41 @@
+//! Sequence helpers: the [`SliceRandom`] extension trait.
+
+use crate::RngCore;
+
+/// Unbiased index in `[0, bound)` straight from the core generator
+/// (avoids the `Self: Sized` bounds on the `Rng` convenience methods,
+/// which don't resolve through `?Sized` generic receivers).
+fn random_index<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as usize
+}
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = random_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[random_index(rng, self.len())])
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace serialises through serde at runtime (there is
+//! no `serde_json`); the dependency exists so public types carry the
+//! standard derives. This stub keeps those derives compiling: the traits
+//! are empty markers, blanket-implemented for every type, and the derive
+//! macros expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serialisable types. Blanket-implemented: every type
+/// qualifies, because no code path in this workspace ever serialises.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserialisable types; see [`Serialize`].
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros.
+//!
+//! The sibling `serde` stub blanket-implements its marker traits for every
+//! type, so the derives have nothing to emit — they exist purely so that
+//! `#[derive(Serialize, Deserialize)]` attributes across the workspace
+//! keep compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -7,8 +7,22 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# The evaluation executor promises bit-identical search output for any
+# worker count, so the suite runs under both a serial and a wide pool —
+# any schedule leak shows up as a determinism-test failure in one matrix
+# leg but not the other.
+echo "==> cargo test -q (H2O_WORKERS=1)"
+H2O_WORKERS=1 cargo test -q
+
+echo "==> cargo test -q (H2O_WORKERS=4)"
+H2O_WORKERS=4 cargo test -q
+
+# Loom-style smoke: force every executor batch through the serialized
+# in-order schedule and re-check the executor, cache and determinism
+# suites against it.
+echo "==> serialized-schedule smoke (H2O_EXEC_SERIAL=1)"
+H2O_EXEC_SERIAL=1 cargo test -q -p h2o-exec -p h2o-hwsim
+H2O_EXEC_SERIAL=1 cargo test -q --test determinism
 
 echo "==> cargo fmt --check"
 cargo fmt --check

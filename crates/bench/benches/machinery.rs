@@ -5,7 +5,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use h2o_core::{PerfObjective, Policy, RewardFn, RewardKind};
 use h2o_data::{CtrTraffic, CtrTrafficConfig, TrafficSource};
-use h2o_hwsim::{HardwareConfig, Simulator, SystemConfig};
+use h2o_exec::Executor;
+use h2o_hwsim::{arch_key, CachedSimulator, EvalCache, HardwareConfig, Simulator, SystemConfig};
 use h2o_models::coatnet::CoAtNet;
 use h2o_perfmodel::{PerfModel, PerfTargets, TrainConfig};
 use h2o_space::{DlrmSpace, DlrmSpaceConfig, DlrmSupernet};
@@ -109,6 +110,65 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
+/// The executor must buy real eval throughput: on a multi-core host a
+/// batch of simulator walks sharded over 4 workers should finish well
+/// under half the 1-worker time (the speedup DESIGN.md's determinism
+/// contract promises for free). On a single-CPU host the two rows instead
+/// bound the executor's scheduling overhead: 4 workers may not beat 1, but
+/// must stay within ~15% of it.
+fn bench_executor(c: &mut Criterion) {
+    let graph = CoAtNet::family().swap_remove(2).build_graph(64);
+    let system = SystemConfig::training_pod();
+    const BATCH: usize = 32;
+    for workers in [1usize, 4] {
+        let executor = Executor::new(workers);
+        let sim = Simulator::new(HardwareConfig::tpu_v4());
+        c.bench_function(
+            &format!("executor: {BATCH} simulator evals, {workers} worker(s)"),
+            |b| {
+                b.iter(|| {
+                    let jobs: Vec<_> = (0..BATCH)
+                        .map(|_| || black_box(sim.simulate_training(&graph, &system).time))
+                        .collect();
+                    black_box(executor.execute(jobs))
+                })
+            },
+        );
+    }
+}
+
+/// A memoized re-evaluation must be orders of magnitude cheaper than a
+/// simulator walk — that gap is the cache's whole value in a search whose
+/// policy keeps resampling the same region.
+fn bench_eval_cache(c: &mut Criterion) {
+    let space = DlrmSpace::new(DlrmSpaceConfig::production());
+    let sample = space.baseline();
+    let arch = space.decode(&sample);
+    let system = SystemConfig::training_pod();
+    let sim = Simulator::new(HardwareConfig::tpu_v4());
+    c.bench_function("eval uncached (build + simulate DLRM)", |b| {
+        b.iter(|| {
+            black_box(
+                sim.simulate_training(&arch.build_graph(64, 128), &system)
+                    .time,
+            )
+        })
+    });
+    let cache = EvalCache::new(1024);
+    let cached = CachedSimulator::new(Simulator::new(HardwareConfig::tpu_v4()), cache.clone());
+    let key = arch_key("dlrm", &sample);
+    c.bench_function("eval memoized (EvalCache hit)", |b| {
+        b.iter(|| black_box(cached.training_cost(key, &system, || arch.build_graph(64, 128))))
+    });
+    let stats = cache.stats();
+    println!(
+        "eval cache after bench: {} hits / {} misses ({:.1}% hit rate)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+}
+
 /// Hot-path metric recording must stay nanosecond-scale so instrumenting
 /// the search loop is free relative to a simulator walk or train step
 /// (< 1 µs per record is the budget).
@@ -142,6 +202,6 @@ criterion_group! {
         .measurement_time(std::time::Duration::from_secs(3))
         .warm_up_time(std::time::Duration::from_millis(500));
     targets = bench_simulator, bench_policy, bench_reward, bench_supernet, bench_perfmodel,
-        bench_pipeline, bench_obs
+        bench_pipeline, bench_executor, bench_eval_cache, bench_obs
 }
 criterion_main!(benches);

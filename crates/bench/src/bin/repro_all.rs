@@ -68,6 +68,18 @@ fn main() {
         ("Extension: shard scaling", ex::ext_scaling::run),
         ("Fig. 1 end-to-end pipeline", ex::full_pipeline::run),
     ];
+    // Every search in the experiments below requests `workers: 0` (auto),
+    // so the whole report runs under whatever `H2O_WORKERS` resolves to —
+    // make that visible up front since it shapes the eval-throughput rows.
+    println!(
+        "evaluation executor: {} worker(s){}",
+        h2o_exec::resolve_workers(0, usize::MAX),
+        if std::env::var_os("H2O_EXEC_SERIAL").is_some() {
+            " [serialized schedule]"
+        } else {
+            ""
+        }
+    );
     for (name, run) in experiments {
         println!("\n{}\n>>> {name}\n{}", "=".repeat(72), "=".repeat(72));
         // Fresh instruments per experiment, so the summary below reflects

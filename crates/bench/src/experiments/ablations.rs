@@ -16,7 +16,7 @@ use h2o_space::{ArchSample, DlrmSpaceConfig, DlrmSupernet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn reward_and_perf(supernet: &DlrmSupernet) -> (RewardFn, impl FnMut(&ArchSample) -> Vec<f64>) {
+fn reward_and_perf(supernet: &DlrmSupernet) -> (RewardFn, impl Fn(&ArchSample) -> Vec<f64> + Sync) {
     let space = supernet.space().clone();
     let base_size = space.decode(&space.baseline()).model_size_bytes();
     let reward = RewardFn::new(

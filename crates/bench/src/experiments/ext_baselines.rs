@@ -51,6 +51,7 @@ pub fn compare(budget: usize) -> (f64, f64, f64) {
         policy_lr: 0.08,
         baseline_momentum: 0.9,
         seed: 5,
+        workers: 0,
     };
     let rl = parallel_search(space.space(), &reward, |_| evaluator(), &cfg);
     let rl_best = rl

@@ -89,6 +89,7 @@ pub fn search_on(hw: &HardwareConfig, steps: usize) -> CodesignResult {
         policy_lr: 0.07,
         baseline_momentum: 0.9,
         seed: 23,
+        workers: 0,
     };
     let outcome = parallel_search(space.space(), &reward, make, &cfg);
     let arch = space.decode(&outcome.best);

@@ -44,6 +44,7 @@ pub fn scaling_point(shards: usize, steps: usize, threshold: f64) -> (Option<usi
         policy_lr: 0.06,
         baseline_momentum: 0.9,
         seed: 55,
+        workers: 0,
     };
     let outcome = parallel_search(space.space(), &reward, |_| evaluator(), &cfg);
     let hit = outcome

@@ -57,6 +57,7 @@ pub fn search(kind: RewardKind, steps: usize) -> (f64, f64, (f64, f64, f64)) {
         policy_lr: 0.06,
         baseline_momentum: 0.9,
         seed: 77,
+        workers: 0,
     };
     let make = |_shard: usize| {
         let space = self::space();

@@ -61,6 +61,7 @@ pub fn run() -> String {
         policy_lr: 0.07,
         baseline_momentum: 0.9,
         seed: 17,
+        workers: 0,
     };
     let make = |_shard: usize| {
         let space = VitSpace::new(VitSpaceConfig::pure());

@@ -78,6 +78,7 @@ pub fn optimize(model: &ProductionModel, steps: usize) -> FleetResult {
                 policy_lr: 0.06,
                 baseline_momentum: 0.9,
                 seed: 31,
+                workers: 0,
             };
             let outcome = parallel_search(space.space(), &reward, make, &cfg_search);
             let final_arch = space.decode(&outcome.best);
@@ -129,6 +130,7 @@ pub fn optimize(model: &ProductionModel, steps: usize) -> FleetResult {
                 policy_lr: 0.06,
                 baseline_momentum: 0.9,
                 seed: 32,
+                workers: 0,
             };
             let outcome = parallel_search(space.space(), &reward, make, &cfg_search);
             let final_arch = space.decode(&outcome.best);

@@ -61,6 +61,7 @@ pub fn sweep(kind: RewardKind, steps: usize) -> Vec<SweepPoint> {
             policy_lr: 0.06,
             baseline_momentum: 0.9,
             seed: 100 + t_idx as u64,
+            workers: 0,
         };
         let make_evaluator = |_shard: usize| {
             let space = sweep_space();

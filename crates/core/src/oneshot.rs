@@ -41,6 +41,11 @@ pub struct OneShotConfig {
     pub quality_scale: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for the performance-evaluation stage. `0` means
+    /// auto: `H2O_WORKERS` if set, else available parallelism. The search
+    /// outcome is bit-identical for every worker count.
+    #[serde(default)]
+    pub workers: usize,
 }
 
 impl Default for OneShotConfig {
@@ -53,6 +58,7 @@ impl Default for OneShotConfig {
             baseline_momentum: 0.9,
             quality_scale: 10.0,
             seed: 0,
+            workers: 0,
         }
     }
 }
@@ -70,7 +76,7 @@ pub fn unified_search(
     supernet: &mut DlrmSupernet,
     pipeline: &InMemoryPipeline<CtrTraffic>,
     reward_fn: &RewardFn,
-    perf_of: impl FnMut(&ArchSample) -> Vec<f64>,
+    perf_of: impl Fn(&ArchSample) -> Vec<f64> + Sync,
     config: &OneShotConfig,
 ) -> SearchOutcome {
     // Delegates to the domain-generic implementation (the DLRM supernet's
@@ -180,7 +186,7 @@ mod tests {
         (supernet, pipeline)
     }
 
-    fn size_reward(supernet: &DlrmSupernet) -> (RewardFn, impl FnMut(&ArchSample) -> Vec<f64>) {
+    fn size_reward(supernet: &DlrmSupernet) -> (RewardFn, impl Fn(&ArchSample) -> Vec<f64> + Sync) {
         let space = supernet.space().clone();
         let baseline_size = space.decode(&space.baseline()).model_size_bytes();
         let reward = RewardFn::new(

@@ -89,7 +89,7 @@ pub fn unified_search_over<S, Src>(
     supernet: &mut S,
     pipeline: &InMemoryPipeline<Src>,
     reward_fn: &RewardFn,
-    mut perf_of: impl FnMut(&ArchSample) -> Vec<f64>,
+    perf_of: impl Fn(&ArchSample) -> Vec<f64> + Sync,
     config: &OneShotConfig,
 ) -> SearchOutcome
 where
@@ -102,13 +102,16 @@ where
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut history = Vec::with_capacity(config.steps);
     let mut evaluated = Vec::with_capacity(config.steps * config.shards);
+    let executor = h2o_exec::Executor::from_env(config.workers, config.shards);
 
     let steps_total = h2o_obs::counter("h2o_core_oneshot_steps_total");
     let candidates_total = h2o_obs::counter("h2o_core_candidates_evaluated_total");
 
     for step in 0..config.steps {
         let step_span = h2o_obs::span("search_step");
-        let mut shard_data = Vec::with_capacity(config.shards);
+        // Quality stage stays serial: it trains/masks the single shared
+        // supernet and consumes pipeline batches in order.
+        let mut quality_data = Vec::with_capacity(config.shards);
         for _ in 0..config.shards {
             let batch = h2o_obs::time("pipeline_next_batch", || {
                 pipeline.next_batch(config.batch_size)
@@ -124,9 +127,20 @@ where
                 -10.0 * config.quality_scale.abs().max(1.0)
             };
             pipeline.mark_policy_use(batch.seq).expect("fresh batch");
-            let perf_values = h2o_obs::time("reward_eval", || perf_of(&sample));
-            shard_data.push((batch, sample, quality, perf_values));
+            quality_data.push((batch, sample, quality));
         }
+        // Performance stage fans out over the executor: `perf_of` is pure
+        // per sample, and results come back in submission order, so the
+        // worker count never changes the outcome.
+        let samples: Vec<&ArchSample> = quality_data.iter().map(|(_, s, _)| s).collect();
+        let perf_values = executor.map(samples, |_, sample| {
+            h2o_obs::time("reward_eval", || perf_of(sample))
+        });
+        let shard_data: Vec<_> = quality_data
+            .into_iter()
+            .zip(perf_values)
+            .map(|((batch, sample, quality), perf)| (batch, sample, quality, perf))
+            .collect();
         let rewards: Vec<f64> = shard_data
             .iter()
             .map(|(_, _, q, p)| reward_fn.reward(*q, p))
@@ -205,9 +219,13 @@ mod tests {
             RewardKind::Relu,
             vec![PerfObjective::new("params", budget, -2.0)],
         );
-        // Decode param counts analytically via a probe network.
-        let mut probe = VisionSupernet::new(VisionSupernetConfig::tiny(), &mut rng);
+        // Decode param counts analytically via a probe network. The probe
+        // mutates on each call, so it lives behind a Mutex to satisfy the
+        // executor's `Fn + Sync` bound.
+        let probe =
+            std::sync::Mutex::new(VisionSupernet::new(VisionSupernetConfig::tiny(), &mut rng));
         let perf = move |sample: &ArchSample| {
+            let mut probe = probe.lock().expect("probe poisoned");
             probe.apply_sample(sample);
             vec![probe.active_param_count() as f64]
         };

@@ -221,4 +221,58 @@ mod tests {
         let r = two_objective(RewardKind::Relu);
         assert!(r.reward(90.0, &[1.2, 100.0]) > r.reward(89.0, &[1.2, 100.0]));
     }
+
+    // Golden values at the ReLU boundary. These pin the exact f64 results
+    // the determinism suite depends on: a cached (memoized) perf value must
+    // reproduce the reward bit-for-bit, so the reward itself must be exact
+    // at and around the kink.
+
+    #[test]
+    fn golden_exactly_at_target_is_pure_quality() {
+        // deviation = target/target - 1 = 0 exactly; ReLU(0) = 0.
+        let r = RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("t", 2.0, -4.0)]);
+        assert_eq!(r.reward(3.25, &[2.0]), 3.25);
+    }
+
+    #[test]
+    fn golden_one_ulp_side_of_the_kink() {
+        // With target 1.0 the division is exact, so value 1 + 2^-20 gives
+        // deviation exactly 2^-20 and the whole reward stays exact binary
+        // arithmetic — assert with `==`, not a tolerance.
+        let r = RewardFn::new(RewardKind::Relu, vec![PerfObjective::new("t", 1.0, -8.0)]);
+        let eps = 2.0_f64.powi(-20);
+        assert_eq!(r.reward(5.0, &[1.0 + eps]), 5.0 - 8.0 * eps);
+        // Just *under* the kink clamps to zero penalty.
+        assert_eq!(r.reward(5.0, &[1.0 - eps]), 5.0);
+    }
+
+    #[test]
+    fn golden_multi_objective_all_over() {
+        // Power-of-two targets keep every deviation exact:
+        //   2/1−1 = 1, 3/2−1 = 0.5, 6/4−1 = 0.5
+        //   R = 10 + (−1·1) + (−2·0.5) + (−4·0.5) = 6 exactly.
+        let r = RewardFn::new(
+            RewardKind::Relu,
+            vec![
+                PerfObjective::new("a", 1.0, -1.0),
+                PerfObjective::new("b", 2.0, -2.0),
+                PerfObjective::new("c", 4.0, -4.0),
+            ],
+        );
+        assert_eq!(r.reward(10.0, &[2.0, 3.0, 6.0]), 6.0);
+    }
+
+    #[test]
+    fn golden_mixed_over_and_under() {
+        // Only the violated objective contributes: first is at 0.5× target
+        // (clamped), second is at 1.5× target (penalty −2·0.5 = −1).
+        let r = RewardFn::new(
+            RewardKind::Relu,
+            vec![
+                PerfObjective::new("a", 2.0, -8.0),
+                PerfObjective::new("b", 2.0, -2.0),
+            ],
+        );
+        assert_eq!(r.reward(7.0, &[1.0, 3.0]), 6.0);
+    }
 }

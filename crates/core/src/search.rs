@@ -5,8 +5,10 @@
 //! and performance, (2) all shards' rewards drive one **cross-shard
 //! REINFORCE update** of `π`, and (3) shared weights `W` are updated on the
 //! same batches (for evaluators that train — see `crate::oneshot`).
-//! Shards run on real threads (crossbeam scoped), standing in for the
-//! paper's hundreds of TPU cores.
+//! Shards run on a work-stealing [`h2o_exec::Executor`] pool standing in
+//! for the paper's hundreds of TPU cores. Each shard's job owns its RNG
+//! (seeded from `seed`, `step`, `shard`) and results reduce in submission
+//! order, so the outcome is bit-identical for any worker count.
 
 use crate::policy::{Policy, RewardBaseline};
 use crate::reward::RewardFn;
@@ -55,6 +57,11 @@ pub struct SearchConfig {
     pub baseline_momentum: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Evaluation worker threads. `0` means auto: the `H2O_WORKERS`
+    /// environment variable if set, else available parallelism. The
+    /// search outcome is bit-identical for every worker count.
+    #[serde(default)]
+    pub workers: usize,
 }
 
 impl Default for SearchConfig {
@@ -65,6 +72,7 @@ impl Default for SearchConfig {
             policy_lr: 0.05,
             baseline_momentum: 0.9,
             seed: 0,
+            workers: 0,
         }
     }
 }
@@ -144,39 +152,36 @@ where
     let mut history = Vec::with_capacity(config.steps);
     let mut evaluated = Vec::with_capacity(config.steps * config.shards);
     let mut evaluators: Vec<E> = (0..config.shards).map(&mut make_evaluator).collect();
+    let executor = h2o_exec::Executor::from_env(config.workers, config.shards);
     let steps_total = h2o_obs::counter("h2o_core_search_steps_total");
     let candidates_total = h2o_obs::counter("h2o_core_candidates_evaluated_total");
 
     for step in 0..config.steps {
         let step_span = h2o_obs::span("search_step");
-        // Stage 1: every shard samples and evaluates its own candidate, in
-        // parallel (Fig. 2's per-core sample + forward pass).
+        // Stage 1: every shard samples and evaluates its own candidate on
+        // the work-stealing pool (Fig. 2's per-core sample + forward pass).
+        // Shard `i` always runs job `i` with its own seeded RNG and the
+        // executor reduces in submission order, so the stealing schedule
+        // cannot leak into the outcome.
         let policy_ref = &policy;
-        let results: Vec<(ArchSample, EvalResult)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = evaluators
-                .iter_mut()
-                .enumerate()
-                .map(|(shard, evaluator)| {
-                    scope.spawn(move |_| {
-                        // Per-shard counters: each crossbeam thread records
-                        // under its own label; exporters aggregate the set.
-                        let _eval_span = h2o_obs::span("shard_evaluate");
-                        h2o_obs::counter(&format!("h2o_core_shard_evals{{shard=\"{shard}\"}}"))
-                            .inc();
-                        let mut rng =
-                            StdRng::seed_from_u64(config.seed ^ (step as u64) << 20 ^ shard as u64);
-                        let sample = policy_ref.sample(&mut rng);
-                        let result = evaluator.evaluate(&sample);
-                        (sample, result)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard panicked"))
-                .collect()
-        })
-        .expect("scope panicked");
+        let jobs: Vec<_> = evaluators
+            .iter_mut()
+            .enumerate()
+            .map(|(shard, evaluator)| {
+                move || {
+                    // Per-shard counters: each worker records under the
+                    // shard's label; exporters aggregate the set.
+                    let _eval_span = h2o_obs::span("shard_evaluate");
+                    h2o_obs::counter(&format!("h2o_core_shard_evals{{shard=\"{shard}\"}}")).inc();
+                    let mut rng =
+                        StdRng::seed_from_u64(config.seed ^ (step as u64) << 20 ^ shard as u64);
+                    let sample = policy_ref.sample(&mut rng);
+                    let result = evaluator.evaluate(&sample);
+                    (sample, result)
+                }
+            })
+            .collect();
+        let results: Vec<(ArchSample, EvalResult)> = executor.execute(jobs);
 
         // Stage 2: cross-shard reward + policy update (REINFORCE).
         let rewards: Vec<f64> = results
@@ -336,6 +341,28 @@ mod tests {
             a.evaluated.iter().map(|e| &e.sample).collect::<Vec<_>>(),
             b.evaluated.iter().map(|e| &e.sample).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_outcome() {
+        let base = SearchConfig {
+            steps: 25,
+            shards: 6,
+            seed: 9,
+            ..Default::default()
+        };
+        let serial = SearchConfig { workers: 1, ..base };
+        let wide = SearchConfig { workers: 4, ..base };
+        let a = parallel_search(&space(), &reward(), toy_evaluator, &serial);
+        let b = parallel_search(&space(), &reward(), toy_evaluator, &wide);
+        assert_eq!(a.best, b.best);
+        // Everything except wall-clock timing must be bit-identical.
+        assert_eq!(a.evaluated, b.evaluated);
+        for (ha, hb) in a.history.iter().zip(&b.history) {
+            assert_eq!(ha.mean_reward, hb.mean_reward);
+            assert_eq!(ha.best_reward, hb.best_reward);
+            assert_eq!(ha.entropy, hb.entropy);
+        }
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! # h2o-exec — the parallel candidate-evaluation executor
+//!
+//! The paper's first pillar is a *massively parallel* one-shot search:
+//! candidate evaluation throughput, not policy arithmetic, is the binding
+//! constraint at scale. This crate provides the machinery the search loops
+//! use to fan per-step candidate batches out across a worker pool:
+//!
+//! * [`Executor`] — a scoped **work-stealing** executor for borrowing
+//!   jobs (evaluators live on the caller's stack). Jobs are pre-sharded
+//!   round-robin across per-worker deques; an idle worker steals from the
+//!   back of its neighbours' deques.
+//! * [`WorkerPool`] — a persistent channel-fed pool for `'static` jobs,
+//!   supporting concurrent batch submission from many producer threads
+//!   ([`WorkerPool::submit`] / [`BatchHandle::collect`]) and clean
+//!   drain-then-join shutdown on drop.
+//!
+//! ## Determinism contract
+//!
+//! Both layers reduce results in **submission order**: `execute(jobs)[i]`
+//! is always the result of `jobs[i]`, no matter which worker ran it or
+//! when it finished. A job must therefore own everything its result
+//! depends on (its RNG seed, its evaluator state) — under that discipline,
+//! single-worker and N-worker runs produce bit-identical output, which the
+//! determinism suite (`tests/determinism.rs` at the workspace root)
+//! asserts on whole search-history CSVs.
+//!
+//! Scheduling *placement* is intentionally nondeterministic (that is what
+//! makes stealing fast); only the reduction order is pinned. For
+//! schedule-sensitive debugging, [`Executor::serialized`] (or
+//! `H2O_EXEC_SERIAL=1` with [`Executor::from_env`]) degrades the executor
+//! to running every job on the calling thread in submission order — a
+//! loom-style single-schedule mode the CI smoke target runs the suite
+//! under.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod pool;
+
+pub use pool::{BatchHandle, WorkerPool};
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Environment variable overriding the worker count when a config asks for
+/// auto selection (`workers == 0`).
+pub const WORKERS_ENV: &str = "H2O_WORKERS";
+
+/// Environment variable forcing the serialized (single-schedule) mode in
+/// [`Executor::from_env`]. Any non-empty value other than `0` enables it.
+pub const SERIAL_ENV: &str = "H2O_EXEC_SERIAL";
+
+/// Resolves a requested worker count to a concrete one.
+///
+/// * `requested > 0` wins outright.
+/// * `requested == 0` means auto: the [`WORKERS_ENV`] variable if set,
+///   otherwise the machine's available parallelism.
+///
+/// The result is clamped to `[1, max_useful]` — there is never a reason to
+/// run more workers than jobs per batch.
+pub fn resolve_workers(requested: usize, max_useful: usize) -> usize {
+    let chosen = if requested > 0 {
+        requested
+    } else {
+        std::env::var(WORKERS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&w| w > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    };
+    chosen.clamp(1, max_useful.max(1))
+}
+
+/// A scoped work-stealing executor over borrowing jobs.
+///
+/// # Examples
+///
+/// ```
+/// use h2o_exec::Executor;
+///
+/// let exec = Executor::new(4);
+/// let squares = exec.map((0..100).collect(), |_, x: u64| x * x);
+/// assert_eq!(squares[7], 49); // submission-order reduction
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor {
+    workers: usize,
+    serialized: bool,
+}
+
+impl Executor {
+    /// Creates an executor with a fixed worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Self {
+            workers,
+            serialized: false,
+        }
+    }
+
+    /// Creates an executor that runs every job on the calling thread in
+    /// strict submission order, regardless of `workers` — the serialized
+    /// schedule used by the CI ordering-smoke target. `workers` is kept so
+    /// worker-count-dependent *logic* (sharding arithmetic) still sees the
+    /// configured pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn serialized(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Self {
+            workers,
+            serialized: true,
+        }
+    }
+
+    /// Builds an executor from a config-requested worker count plus the
+    /// environment: [`WORKERS_ENV`] fills in auto counts and
+    /// [`SERIAL_ENV`] switches to the serialized schedule.
+    pub fn from_env(requested: usize, max_useful: usize) -> Self {
+        let workers = resolve_workers(requested, max_useful);
+        let serial = std::env::var(SERIAL_ENV)
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false);
+        if serial {
+            Self::serialized(workers)
+        } else {
+            Self::new(workers)
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether this executor runs the serialized schedule.
+    pub fn is_serialized(&self) -> bool {
+        self.serialized
+    }
+
+    /// Runs every job and returns results in **submission order**:
+    /// `execute(jobs)[i]` is the result of `jobs[i]`.
+    ///
+    /// Jobs are pre-sharded round-robin over per-worker deques (job `i`
+    /// starts on worker `i % workers`); an idle worker steals from the
+    /// back of the other deques. Each job runs exactly once.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first job panic after all workers stop.
+    pub fn execute<J, R>(&self, jobs: Vec<J>) -> Vec<R>
+    where
+        J: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let n = jobs.len();
+        h2o_obs::counter("h2o_exec_batches_total").inc();
+        h2o_obs::counter("h2o_exec_jobs_total").add(n as u64);
+        let workers = self.workers.min(n.max(1));
+        if self.serialized || workers == 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+
+        // Each job lives in its own slot so taking one never contends with
+        // taking another; the queues only carry indices.
+        let slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let mut queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|_| Mutex::new(VecDeque::with_capacity(n / workers + 1)))
+            .collect();
+        for i in 0..n {
+            queues[i % workers].get_mut().push_back(i);
+        }
+        let queues = &queues;
+        let slots = &slots;
+        let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let results_ref = &results;
+        let steals = AtomicU64::new(0);
+        let steals_ref = &steals;
+
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|me| {
+                    scope.spawn(move |_| loop {
+                        // Own deque first (front), then steal (back). The
+                        // own-queue guard MUST drop before stealing: chained
+                        // `lock().pop_front().or_else(..)` keeps the guard
+                        // alive across the closure (temporaries live to the
+                        // end of the statement), and N workers each holding
+                        // their own queue while locking a victim's is a
+                        // hold-and-wait cycle that deadlocks the pool.
+                        let own = queues[me].lock().pop_front();
+                        let idx = own.or_else(|| {
+                            (1..workers).find_map(|offset| {
+                                let victim = (me + offset) % workers;
+                                let stolen = queues[victim].lock().pop_back();
+                                if stolen.is_some() {
+                                    steals_ref.fetch_add(1, Ordering::Relaxed);
+                                }
+                                stolen
+                            })
+                        });
+                        let Some(i) = idx else { break };
+                        let job = slots[i].lock().take().expect("job taken exactly once");
+                        let result = job();
+                        *results_ref[i].lock() = Some(result);
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("executor worker panicked");
+            }
+        })
+        .expect("executor scope panicked");
+
+        h2o_obs::counter("h2o_exec_steals_total").add(steals.into_inner());
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every job produced a result"))
+            .collect()
+    }
+
+    /// Applies `f` to every item in parallel, returning results in item
+    /// order. `f` receives the item's submission index, so jobs can derive
+    /// per-item seeds without sharing state.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let f = &f;
+        let jobs: Vec<_> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| move || f(i, item))
+            .collect();
+        self.execute(jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let exec = Executor::new(4);
+        // Reverse sleep-free compute order pressure: later jobs are cheaper.
+        let out = exec.map((0..64u64).collect(), |i, x| {
+            let mut acc = x;
+            for _ in 0..(64 - i) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        for (i, (idx, _)) in out.iter().enumerate() {
+            assert_eq!(i, *idx);
+        }
+    }
+
+    #[test]
+    fn one_worker_equals_many_workers() {
+        let work = |_: usize, x: u64| x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(17);
+        let a = Executor::new(1).map((0..257).collect(), work);
+        let b = Executor::new(7).map((0..257).collect(), work);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serialized_schedule_matches_parallel() {
+        let work = |i: usize, x: u64| x ^ (i as u64) << 3;
+        let parallel = Executor::new(4).map((0..100).collect(), work);
+        let serial = Executor::serialized(4).map((0..100).collect(), work);
+        assert_eq!(parallel, serial);
+        assert!(Executor::serialized(4).is_serialized());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out: Vec<u64> = Executor::new(3).map(Vec::<u64>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn stateful_jobs_each_run_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let counters: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        let exec = Executor::new(8);
+        exec.map((0..500).collect::<Vec<usize>>(), |_, i| {
+            counters[i].fetch_add(1, Ordering::SeqCst)
+        });
+        assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        Executor::new(0);
+    }
+
+    #[test]
+    fn resolve_workers_clamps_and_prefers_explicit() {
+        assert_eq!(resolve_workers(4, 16), 4);
+        assert_eq!(resolve_workers(32, 8), 8, "clamped to max_useful");
+        assert_eq!(resolve_workers(3, 0), 1, "max_useful floor of 1");
+        assert!(resolve_workers(0, 64) >= 1);
+    }
+}

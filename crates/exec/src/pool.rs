@@ -1,0 +1,202 @@
+//! A persistent worker pool for `'static` jobs.
+//!
+//! Where [`crate::Executor`] spins scoped workers per batch (so jobs may
+//! borrow evaluator state from the caller's stack), [`WorkerPool`] keeps
+//! its threads alive across batches and accepts submissions from many
+//! producer threads concurrently — the shape long-running services need.
+//! Results are re-assembled in submission order per batch, so concurrent
+//! producers never observe each other's results and each batch keeps the
+//! executor determinism contract.
+
+use crossbeam::channel::{self, Receiver, Sender};
+use std::fmt;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of worker threads fed by an MPMC injector channel.
+///
+/// Dropping the pool is a **clean shutdown**: the injector closes, workers
+/// drain every job already submitted, then exit and are joined. No
+/// submitted job is ever lost.
+///
+/// # Examples
+///
+/// ```
+/// use h2o_exec::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let handle = pool.submit((0..10u64).map(|x| move || x * 2).collect());
+/// assert_eq!(handle.collect(), (0..10u64).map(|x| x * 2).collect::<Vec<_>>());
+/// ```
+pub struct WorkerPool {
+    injector: Option<Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads waiting on the injector channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let (tx, rx) = channel::unbounded::<Job>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx: Receiver<Job> = rx.clone();
+                std::thread::spawn(move || {
+                    // Err means: injector dropped AND queue drained.
+                    while let Ok(job) = rx.recv() {
+                        job();
+                        h2o_obs::counter("h2o_exec_pool_jobs_total").inc();
+                    }
+                })
+            })
+            .collect();
+        Self {
+            injector: Some(tx),
+            handles,
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Submits a batch of jobs; any number of threads may submit
+    /// concurrently. The returned handle yields this batch's results in
+    /// submission order, independent of interleaving with other batches.
+    pub fn submit<R, F>(&self, batch: Vec<F>) -> BatchHandle<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let expected = batch.len();
+        let (tx, rx) = channel::unbounded::<(usize, R)>();
+        let injector = self
+            .injector
+            .as_ref()
+            .expect("injector lives until the pool is dropped");
+        for (index, job) in batch.into_iter().enumerate() {
+            let tx = tx.clone();
+            injector
+                .send(Box::new(move || {
+                    let result = job();
+                    // A dropped BatchHandle just discards the result.
+                    let _ = tx.send((index, result));
+                }))
+                .expect("pool workers alive");
+        }
+        BatchHandle { rx, expected }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the injector lets workers drain the queue and exit.
+        self.injector.take();
+        for handle in self.handles.drain(..) {
+            handle.join().expect("pool worker panicked");
+        }
+    }
+}
+
+/// Pending results of one submitted batch.
+#[must_use = "collect() the handle to retrieve the batch's results"]
+#[derive(Debug)]
+pub struct BatchHandle<R> {
+    rx: Receiver<(usize, R)>,
+    expected: usize,
+}
+
+impl<R> BatchHandle<R> {
+    /// The number of jobs in the batch.
+    pub fn len(&self) -> usize {
+        self.expected
+    }
+
+    /// Whether the batch held no jobs at all.
+    pub fn is_empty(&self) -> bool {
+        self.expected == 0
+    }
+
+    /// Blocks until every job in the batch finished and returns the
+    /// results in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a result arrives twice for the same index (an executor
+    /// bug) or the pool shuts down before the batch completes.
+    pub fn collect(self) -> Vec<R> {
+        let mut out: Vec<Option<R>> = (0..self.expected).map(|_| None).collect();
+        for _ in 0..self.expected {
+            let (index, result) = self
+                .rx
+                .recv()
+                .expect("pool shut down before the batch completed");
+            assert!(
+                out[index].is_none(),
+                "duplicate result for batch index {index}"
+            );
+            out[index] = Some(result);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("no batch index skipped"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_results_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        let handle = pool.submit((0..50u64).map(|x| move || x * x).collect());
+        assert_eq!(handle.len(), 50);
+        let got = handle.collect();
+        assert_eq!(got, (0..50u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch_collects_immediately() {
+        let pool = WorkerPool::new(2);
+        let handle = pool.submit(Vec::<fn() -> u8>::new());
+        assert!(handle.is_empty());
+        assert!(handle.collect().is_empty());
+    }
+
+    #[test]
+    fn drop_drains_outstanding_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let done = done.clone();
+                    pool.submit(vec![move || {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }])
+                })
+                .collect();
+            // Handles dropped without collecting: results discarded, jobs
+            // must still run to completion before the pool drop returns.
+            drop(handles);
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+    }
+}

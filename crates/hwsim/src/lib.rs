@@ -40,12 +40,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 mod config;
 mod production;
 pub mod roofline;
 mod simulator;
 pub mod sweep;
 
+pub use cache::{arch_key, context_key, CacheStats, CachedSimulator, EvalCache, EvalCost};
 pub use config::{HardwareConfig, SystemConfig};
 pub use production::{DistortionProfile, ProductionHardware};
 pub use roofline::{mxu_efficiency, roofline_envelope, OpTiming, RooflinePoint};

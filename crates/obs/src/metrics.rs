@@ -376,7 +376,7 @@ mod tests {
             "p50 {p50}"
         );
         let p99 = h.quantile(0.99);
-        assert!(p99 >= 0.98 && p99 <= 1.05, "p99 {p99}");
+        assert!((0.98..=1.05).contains(&p99), "p99 {p99}");
     }
 
     #[test]

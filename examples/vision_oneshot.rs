@@ -28,8 +28,11 @@ fn main() {
         RewardKind::Relu,
         vec![PerfObjective::new("params", budget, -3.0)],
     );
-    let mut probe = VisionSupernet::new(VisionSupernetConfig::tiny(), &mut rng);
+    // The probe mutates on every call, so it lives behind a Mutex: the
+    // perf stage fans out over the evaluation executor (`Fn + Sync`).
+    let probe = std::sync::Mutex::new(VisionSupernet::new(VisionSupernetConfig::tiny(), &mut rng));
     let perf = move |sample: &ArchSample| {
+        let mut probe = probe.lock().expect("probe poisoned");
         probe.apply_sample(sample);
         vec![probe.active_param_count() as f64]
     };

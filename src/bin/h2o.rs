@@ -14,7 +14,9 @@ use h2o_nas::core::{
     parallel_search, EvalResult, PerfObjective, RewardFn, RewardKind, SearchConfig,
 };
 use h2o_nas::graph::Graph;
-use h2o_nas::hwsim::{HardwareConfig, Simulator, SystemConfig};
+use h2o_nas::hwsim::{
+    arch_key, CachedSimulator, EvalCache, EvalCost, HardwareConfig, Simulator, SystemConfig,
+};
 use h2o_nas::models::coatnet::CoAtNet;
 use h2o_nas::models::efficientnet::EfficientNet;
 use h2o_nas::models::quality::{DatasetScale, DlrmQualityModel, VisionQualityModel};
@@ -35,6 +37,7 @@ USAGE:
   h2o roofline [--hw <tpuv3|tpuv4|tpuv4i|v100|a100|h100>]
   h2o sweep --model <NAME> [--hw ...] [--batches 1,8,64,256] [--load 0.7]
   h2o search --domain <cnn|dlrm|vit|dlrm-oneshot> [--budget-ms X] [--steps N] [--shards N]
+             [--workers N] [--eval-cache on|off] [--eval-cache-capacity N]
              [--csv STEM] [--metrics-out FILE] [--trace-out FILE]
 
 MODELS:
@@ -308,6 +311,27 @@ fn export_observability(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-shard simulator front-end: plain, or memoizing through a shared
+/// [`EvalCache`] when `--eval-cache on`.
+enum ShardSim {
+    Plain(Simulator),
+    Cached(CachedSimulator),
+}
+
+impl ShardSim {
+    fn training_cost(
+        &self,
+        key: u64,
+        system: &SystemConfig,
+        build: impl FnOnce() -> Graph,
+    ) -> EvalCost {
+        match self {
+            ShardSim::Plain(sim) => EvalCost::from_report(&sim.simulate_training(&build(), system)),
+            ShardSim::Cached(cached) => cached.training_cost(key, system, build),
+        }
+    }
+}
+
 fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
     let domain = flags.get("domain").ok_or("missing --domain")?.as_str();
     let steps: usize = flags
@@ -326,12 +350,37 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
         .transpose()?
         .unwrap_or(100.0);
     let budget = budget_ms / 1e3;
+    let workers: usize = flags
+        .get("workers")
+        .map(|s| s.parse().map_err(|_| "bad --workers"))
+        .transpose()?
+        .unwrap_or(0);
+    let cache_on = match flags.get("eval-cache").map(String::as_str) {
+        None | Some("on") | Some("true") => true,
+        Some("off") | Some("false") => false,
+        Some(other) => return Err(format!("bad --eval-cache '{other}' (on|off)")),
+    };
+    let cache_capacity: usize = flags
+        .get("eval-cache-capacity")
+        .map(|s| s.parse().map_err(|_| "bad --eval-cache-capacity"))
+        .transpose()?
+        .unwrap_or(4096);
+    let cache = cache_on.then(|| EvalCache::new(cache_capacity));
+    // Every shard shares the same cache storage; a clone is a handle.
+    let shard_sim = |cache: &Option<EvalCache>| {
+        let sim = Simulator::new(HardwareConfig::tpu_v4());
+        match cache {
+            Some(c) => ShardSim::Cached(CachedSimulator::new(sim, c.clone())),
+            None => ShardSim::Plain(sim),
+        }
+    };
     let cfg = SearchConfig {
         steps,
         shards,
         policy_lr: 0.06,
         baseline_momentum: 0.9,
         seed: 0,
+        workers,
     };
     let reward = RewardFn::new(
         RewardKind::Relu,
@@ -359,16 +408,17 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                 &reward,
                 |_| {
                     let space = CnnSpace::new(CnnSpaceConfig::default());
-                    let sim = Simulator::new(HardwareConfig::tpu_v4());
+                    let sim = shard_sim(&cache);
                     move |sample: &ArchSample| {
                         let arch = space.decode(sample);
-                        let graph = arch.build_graph(64);
+                        let cost = sim.training_cost(
+                            arch_key("cnn", sample),
+                            &SystemConfig::training_pod(),
+                            || arch.build_graph(64),
+                        );
                         EvalResult {
-                            quality: quality.accuracy_of_cnn(&arch, graph.param_count() / 1e6),
-                            perf_values: vec![
-                                sim.simulate_training(&graph, &SystemConfig::training_pod())
-                                    .time,
-                            ],
+                            quality: quality.accuracy_of_cnn(&arch, cost.params / 1e6),
+                            perf_values: vec![cost.latency],
                         }
                     }
                 },
@@ -395,19 +445,18 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                 &reward,
                 |_| {
                     let space = DlrmSpace::new(config.clone());
-                    let sim = Simulator::new(HardwareConfig::tpu_v4());
+                    let sim = shard_sim(&cache);
                     let quality = quality.clone();
                     move |sample: &ArchSample| {
                         let arch = space.decode(sample);
+                        let cost = sim.training_cost(
+                            arch_key("dlrm", sample),
+                            &SystemConfig::training_pod(),
+                            || arch.build_graph(64, 128),
+                        );
                         EvalResult {
                             quality: quality.quality(&arch),
-                            perf_values: vec![
-                                sim.simulate_training(
-                                    &arch.build_graph(64, 128),
-                                    &SystemConfig::training_pod(),
-                                )
-                                .time,
-                            ],
+                            perf_values: vec![cost.latency],
                         }
                     }
                 },
@@ -431,16 +480,17 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                 &reward,
                 |_| {
                     let space = VitSpace::new(VitSpaceConfig::pure());
-                    let sim = Simulator::new(HardwareConfig::tpu_v4());
+                    let sim = shard_sim(&cache);
                     move |sample: &ArchSample| {
                         let arch = space.decode(sample);
-                        let graph = arch.build_graph(32, 512);
+                        let cost = sim.training_cost(
+                            arch_key("vit", sample),
+                            &SystemConfig::training_pod(),
+                            || arch.build_graph(32, 512),
+                        );
                         EvalResult {
-                            quality: quality.accuracy_of_vit(&arch, graph.param_count() / 1e6),
-                            perf_values: vec![
-                                sim.simulate_training(&graph, &SystemConfig::training_pod())
-                                    .time,
-                            ],
+                            quality: quality.accuracy_of_vit(&arch, cost.params / 1e6),
+                            perf_values: vec![cost.latency],
                         }
                     }
                 },
@@ -518,6 +568,7 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                 steps,
                 shards,
                 batch_size: 32,
+                workers,
                 ..Default::default()
             };
             let perf =
@@ -552,6 +603,17 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                 "unknown domain '{other}' (cnn|dlrm|vit|dlrm-oneshot)"
             ))
         }
+    }
+    if let Some(cache) = &cache {
+        let s = cache.stats();
+        println!(
+            "eval cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} entries resident",
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.evictions,
+            s.entries
+        );
     }
     export_observability(flags)?;
     Ok(())

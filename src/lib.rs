@@ -16,6 +16,8 @@
 //!   MLP performance model.
 //! * [`data`] (`h2o-data`) — the in-memory use-once data pipeline and
 //!   synthetic production traffic.
+//! * [`exec`] (`h2o-exec`) — the work-stealing parallel evaluation
+//!   executor with deterministic submission-order reduction.
 //! * [`obs`] (`h2o-obs`) — the observability layer: metrics registry, span
 //!   timers and Prometheus / JSON / Chrome-trace exporters.
 //! * [`graph`] (`h2o-graph`) — the HLO-like operator IR.
@@ -53,6 +55,7 @@
 
 pub use h2o_core as core;
 pub use h2o_data as data;
+pub use h2o_exec as exec;
 pub use h2o_graph as graph;
 pub use h2o_hwsim as hwsim;
 pub use h2o_models as models;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_suite-4194ee26572d2e01.d: crates/bench/src/bin/ablation_suite.rs
+
+/root/repo/target/debug/deps/ablation_suite-4194ee26572d2e01: crates/bench/src/bin/ablation_suite.rs
+
+crates/bench/src/bin/ablation_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_suite-6033de7a83176c0a.d: crates/bench/src/bin/ablation_suite.rs
+
+/root/repo/target/debug/deps/ablation_suite-6033de7a83176c0a: crates/bench/src/bin/ablation_suite.rs
+
+crates/bench/src/bin/ablation_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_suite-8ddb92bef500f0d5.d: crates/bench/src/bin/ablation_suite.rs
+
+/root/repo/target/debug/deps/ablation_suite-8ddb92bef500f0d5: crates/bench/src/bin/ablation_suite.rs
+
+crates/bench/src/bin/ablation_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_suite-9092c289813115cb.d: crates/bench/src/bin/ablation_suite.rs
+
+/root/repo/target/debug/deps/ablation_suite-9092c289813115cb: crates/bench/src/bin/ablation_suite.rs
+
+crates/bench/src/bin/ablation_suite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_suite-b1ee9c4db8547065.d: crates/bench/src/bin/ablation_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_suite-b1ee9c4db8547065.rmeta: crates/bench/src/bin/ablation_suite.rs Cargo.toml
+
+crates/bench/src/bin/ablation_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

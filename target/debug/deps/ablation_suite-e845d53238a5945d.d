@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_suite-e845d53238a5945d.d: crates/bench/src/bin/ablation_suite.rs
+
+/root/repo/target/debug/deps/ablation_suite-e845d53238a5945d: crates/bench/src/bin/ablation_suite.rs
+
+crates/bench/src/bin/ablation_suite.rs:

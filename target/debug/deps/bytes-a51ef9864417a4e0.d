@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-a51ef9864417a4e0.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-a51ef9864417a4e0: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

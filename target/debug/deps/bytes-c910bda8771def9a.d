@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-c910bda8771def9a.d: third_party/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-c910bda8771def9a.rmeta: third_party/bytes/src/lib.rs Cargo.toml
+
+third_party/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_props-0bbb3566ada9f923.d: crates/hwsim/tests/cache_props.rs
+
+/root/repo/target/debug/deps/cache_props-0bbb3566ada9f923: crates/hwsim/tests/cache_props.rs
+
+crates/hwsim/tests/cache_props.rs:

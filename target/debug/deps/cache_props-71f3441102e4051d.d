@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_props-71f3441102e4051d.d: crates/hwsim/tests/cache_props.rs
+
+/root/repo/target/debug/deps/cache_props-71f3441102e4051d: crates/hwsim/tests/cache_props.rs
+
+crates/hwsim/tests/cache_props.rs:

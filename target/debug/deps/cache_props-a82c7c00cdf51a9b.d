@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_props-a82c7c00cdf51a9b.d: crates/hwsim/tests/cache_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_props-a82c7c00cdf51a9b.rmeta: crates/hwsim/tests/cache_props.rs Cargo.toml
+
+crates/hwsim/tests/cache_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

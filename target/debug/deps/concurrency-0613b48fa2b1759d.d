@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-0613b48fa2b1759d.d: crates/obs/tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-0613b48fa2b1759d.rmeta: crates/obs/tests/concurrency.rs Cargo.toml
+
+crates/obs/tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

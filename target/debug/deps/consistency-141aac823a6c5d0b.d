@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-141aac823a6c5d0b.d: tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-141aac823a6c5d0b: tests/consistency.rs
+
+tests/consistency.rs:

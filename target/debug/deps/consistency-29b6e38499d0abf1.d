@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consistency-29b6e38499d0abf1.d: tests/consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsistency-29b6e38499d0abf1.rmeta: tests/consistency.rs Cargo.toml
+
+tests/consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-489e9edeb9960489.d: tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-489e9edeb9960489: tests/consistency.rs
+
+tests/consistency.rs:

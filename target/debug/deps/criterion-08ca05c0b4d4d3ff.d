@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-08ca05c0b4d4d3ff.d: third_party/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-08ca05c0b4d4d3ff.rmeta: third_party/criterion/src/lib.rs Cargo.toml
+
+third_party/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-50338a04a60b20c8.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-50338a04a60b20c8.rlib: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-50338a04a60b20c8.rmeta: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-6ae8d82fee67cf89.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-6ae8d82fee67cf89: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-f9c22d3d3633a254.d: third_party/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-f9c22d3d3633a254.rmeta: third_party/crossbeam/src/lib.rs Cargo.toml
+
+third_party/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-ffc26eb4d9a058e5.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-ffc26eb4d9a058e5: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/determinism-2529bf0fddb4c3e9.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-2529bf0fddb4c3e9: tests/determinism.rs
+
+tests/determinism.rs:
+
+# env-dep:CARGO_BIN_EXE_h2o=/root/repo/target/debug/h2o

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/determinism-c9a0ce7c7eef3f7e.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-c9a0ce7c7eef3f7e.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_h2o=placeholder:h2o
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-cc18e7b08dbfbaa1.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-cc18e7b08dbfbaa1: tests/end_to_end.rs
+
+tests/end_to_end.rs:

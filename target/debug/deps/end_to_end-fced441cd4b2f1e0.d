@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fced441cd4b2f1e0.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fced441cd4b2f1e0: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exporters-cfc1a6d895658831.d: crates/obs/tests/exporters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexporters-cfc1a6d895658831.rmeta: crates/obs/tests/exporters.rs Cargo.toml
+
+crates/obs/tests/exporters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

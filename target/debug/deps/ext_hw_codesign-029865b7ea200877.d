@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hw_codesign-029865b7ea200877.d: crates/bench/src/bin/ext_hw_codesign.rs
+
+/root/repo/target/debug/deps/ext_hw_codesign-029865b7ea200877: crates/bench/src/bin/ext_hw_codesign.rs
+
+crates/bench/src/bin/ext_hw_codesign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_hw_codesign-27427dc6d25fc2af.d: crates/bench/src/bin/ext_hw_codesign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_hw_codesign-27427dc6d25fc2af.rmeta: crates/bench/src/bin/ext_hw_codesign.rs Cargo.toml
+
+crates/bench/src/bin/ext_hw_codesign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

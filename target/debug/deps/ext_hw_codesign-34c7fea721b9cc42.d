@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hw_codesign-34c7fea721b9cc42.d: crates/bench/src/bin/ext_hw_codesign.rs
+
+/root/repo/target/debug/deps/ext_hw_codesign-34c7fea721b9cc42: crates/bench/src/bin/ext_hw_codesign.rs
+
+crates/bench/src/bin/ext_hw_codesign.rs:

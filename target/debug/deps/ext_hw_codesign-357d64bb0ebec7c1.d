@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hw_codesign-357d64bb0ebec7c1.d: crates/bench/src/bin/ext_hw_codesign.rs
+
+/root/repo/target/debug/deps/ext_hw_codesign-357d64bb0ebec7c1: crates/bench/src/bin/ext_hw_codesign.rs
+
+crates/bench/src/bin/ext_hw_codesign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hw_codesign-3fa02ff997f634bc.d: crates/bench/src/bin/ext_hw_codesign.rs
+
+/root/repo/target/debug/deps/ext_hw_codesign-3fa02ff997f634bc: crates/bench/src/bin/ext_hw_codesign.rs
+
+crates/bench/src/bin/ext_hw_codesign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hw_codesign-d28ebcd17761009b.d: crates/bench/src/bin/ext_hw_codesign.rs
+
+/root/repo/target/debug/deps/ext_hw_codesign-d28ebcd17761009b: crates/bench/src/bin/ext_hw_codesign.rs
+
+crates/bench/src/bin/ext_hw_codesign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_nas_cost-001af7e1315bdc98.d: crates/bench/src/bin/ext_nas_cost.rs
+
+/root/repo/target/debug/deps/ext_nas_cost-001af7e1315bdc98: crates/bench/src/bin/ext_nas_cost.rs
+
+crates/bench/src/bin/ext_nas_cost.rs:

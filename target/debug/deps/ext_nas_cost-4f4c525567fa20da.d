@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_nas_cost-4f4c525567fa20da.d: crates/bench/src/bin/ext_nas_cost.rs
+
+/root/repo/target/debug/deps/ext_nas_cost-4f4c525567fa20da: crates/bench/src/bin/ext_nas_cost.rs
+
+crates/bench/src/bin/ext_nas_cost.rs:

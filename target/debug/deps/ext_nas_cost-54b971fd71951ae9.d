@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_nas_cost-54b971fd71951ae9.d: crates/bench/src/bin/ext_nas_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_nas_cost-54b971fd71951ae9.rmeta: crates/bench/src/bin/ext_nas_cost.rs Cargo.toml
+
+crates/bench/src/bin/ext_nas_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_nas_cost-6fef9cf6ffd4be9e.d: crates/bench/src/bin/ext_nas_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_nas_cost-6fef9cf6ffd4be9e.rmeta: crates/bench/src/bin/ext_nas_cost.rs Cargo.toml
+
+crates/bench/src/bin/ext_nas_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

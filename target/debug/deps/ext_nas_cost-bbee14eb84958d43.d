@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_nas_cost-bbee14eb84958d43.d: crates/bench/src/bin/ext_nas_cost.rs
+
+/root/repo/target/debug/deps/ext_nas_cost-bbee14eb84958d43: crates/bench/src/bin/ext_nas_cost.rs
+
+crates/bench/src/bin/ext_nas_cost.rs:

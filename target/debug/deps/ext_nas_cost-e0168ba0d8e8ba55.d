@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_nas_cost-e0168ba0d8e8ba55.d: crates/bench/src/bin/ext_nas_cost.rs
+
+/root/repo/target/debug/deps/ext_nas_cost-e0168ba0d8e8ba55: crates/bench/src/bin/ext_nas_cost.rs
+
+crates/bench/src/bin/ext_nas_cost.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_nas_cost-ee97db8e6d6274bd.d: crates/bench/src/bin/ext_nas_cost.rs
+
+/root/repo/target/debug/deps/ext_nas_cost-ee97db8e6d6274bd: crates/bench/src/bin/ext_nas_cost.rs
+
+crates/bench/src/bin/ext_nas_cost.rs:

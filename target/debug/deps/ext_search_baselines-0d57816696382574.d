@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_search_baselines-0d57816696382574.d: crates/bench/src/bin/ext_search_baselines.rs
+
+/root/repo/target/debug/deps/ext_search_baselines-0d57816696382574: crates/bench/src/bin/ext_search_baselines.rs
+
+crates/bench/src/bin/ext_search_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_search_baselines-25a55549f340e4ae.d: crates/bench/src/bin/ext_search_baselines.rs
+
+/root/repo/target/debug/deps/ext_search_baselines-25a55549f340e4ae: crates/bench/src/bin/ext_search_baselines.rs
+
+crates/bench/src/bin/ext_search_baselines.rs:

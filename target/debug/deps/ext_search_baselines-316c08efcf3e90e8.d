@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_search_baselines-316c08efcf3e90e8.d: crates/bench/src/bin/ext_search_baselines.rs
+
+/root/repo/target/debug/deps/ext_search_baselines-316c08efcf3e90e8: crates/bench/src/bin/ext_search_baselines.rs
+
+crates/bench/src/bin/ext_search_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_search_baselines-4f95da664d017df5.d: crates/bench/src/bin/ext_search_baselines.rs
+
+/root/repo/target/debug/deps/ext_search_baselines-4f95da664d017df5: crates/bench/src/bin/ext_search_baselines.rs
+
+crates/bench/src/bin/ext_search_baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_search_baselines-77950745f412fadb.d: crates/bench/src/bin/ext_search_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_search_baselines-77950745f412fadb.rmeta: crates/bench/src/bin/ext_search_baselines.rs Cargo.toml
+
+crates/bench/src/bin/ext_search_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

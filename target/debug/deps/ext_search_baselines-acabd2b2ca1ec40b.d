@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_search_baselines-acabd2b2ca1ec40b.d: crates/bench/src/bin/ext_search_baselines.rs
+
+/root/repo/target/debug/deps/ext_search_baselines-acabd2b2ca1ec40b: crates/bench/src/bin/ext_search_baselines.rs
+
+crates/bench/src/bin/ext_search_baselines.rs:

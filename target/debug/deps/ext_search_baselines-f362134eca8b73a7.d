@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_search_baselines-f362134eca8b73a7.d: crates/bench/src/bin/ext_search_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_search_baselines-f362134eca8b73a7.rmeta: crates/bench/src/bin/ext_search_baselines.rs Cargo.toml
+
+crates/bench/src/bin/ext_search_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_serving_search-26d974204dde6ac5.d: crates/bench/src/bin/ext_serving_search.rs
+
+/root/repo/target/debug/deps/ext_serving_search-26d974204dde6ac5: crates/bench/src/bin/ext_serving_search.rs
+
+crates/bench/src/bin/ext_serving_search.rs:

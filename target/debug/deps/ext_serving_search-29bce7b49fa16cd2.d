@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_serving_search-29bce7b49fa16cd2.d: crates/bench/src/bin/ext_serving_search.rs
+
+/root/repo/target/debug/deps/ext_serving_search-29bce7b49fa16cd2: crates/bench/src/bin/ext_serving_search.rs
+
+crates/bench/src/bin/ext_serving_search.rs:

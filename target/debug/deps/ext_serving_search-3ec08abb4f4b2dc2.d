@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_serving_search-3ec08abb4f4b2dc2.d: crates/bench/src/bin/ext_serving_search.rs
+
+/root/repo/target/debug/deps/ext_serving_search-3ec08abb4f4b2dc2: crates/bench/src/bin/ext_serving_search.rs
+
+crates/bench/src/bin/ext_serving_search.rs:

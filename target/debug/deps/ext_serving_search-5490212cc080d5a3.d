@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_serving_search-5490212cc080d5a3.d: crates/bench/src/bin/ext_serving_search.rs
+
+/root/repo/target/debug/deps/ext_serving_search-5490212cc080d5a3: crates/bench/src/bin/ext_serving_search.rs
+
+crates/bench/src/bin/ext_serving_search.rs:

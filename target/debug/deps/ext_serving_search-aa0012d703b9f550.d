@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_serving_search-aa0012d703b9f550.d: crates/bench/src/bin/ext_serving_search.rs
+
+/root/repo/target/debug/deps/ext_serving_search-aa0012d703b9f550: crates/bench/src/bin/ext_serving_search.rs
+
+crates/bench/src/bin/ext_serving_search.rs:

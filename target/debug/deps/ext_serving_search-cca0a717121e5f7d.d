@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_serving_search-cca0a717121e5f7d.d: crates/bench/src/bin/ext_serving_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_serving_search-cca0a717121e5f7d.rmeta: crates/bench/src/bin/ext_serving_search.rs Cargo.toml
+
+crates/bench/src/bin/ext_serving_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_shard_scaling-0a6f91c4d166f4f3.d: crates/bench/src/bin/ext_shard_scaling.rs
+
+/root/repo/target/debug/deps/ext_shard_scaling-0a6f91c4d166f4f3: crates/bench/src/bin/ext_shard_scaling.rs
+
+crates/bench/src/bin/ext_shard_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_shard_scaling-355a7a8148df926e.d: crates/bench/src/bin/ext_shard_scaling.rs
+
+/root/repo/target/debug/deps/ext_shard_scaling-355a7a8148df926e: crates/bench/src/bin/ext_shard_scaling.rs
+
+crates/bench/src/bin/ext_shard_scaling.rs:

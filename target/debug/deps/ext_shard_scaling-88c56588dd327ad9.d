@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_shard_scaling-88c56588dd327ad9.d: crates/bench/src/bin/ext_shard_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_shard_scaling-88c56588dd327ad9.rmeta: crates/bench/src/bin/ext_shard_scaling.rs Cargo.toml
+
+crates/bench/src/bin/ext_shard_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

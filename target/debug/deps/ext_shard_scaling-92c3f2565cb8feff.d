@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_shard_scaling-92c3f2565cb8feff.d: crates/bench/src/bin/ext_shard_scaling.rs
+
+/root/repo/target/debug/deps/ext_shard_scaling-92c3f2565cb8feff: crates/bench/src/bin/ext_shard_scaling.rs
+
+crates/bench/src/bin/ext_shard_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_shard_scaling-c391dfce769f221b.d: crates/bench/src/bin/ext_shard_scaling.rs
+
+/root/repo/target/debug/deps/ext_shard_scaling-c391dfce769f221b: crates/bench/src/bin/ext_shard_scaling.rs
+
+crates/bench/src/bin/ext_shard_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_shard_scaling-d52d01936062cf00.d: crates/bench/src/bin/ext_shard_scaling.rs
+
+/root/repo/target/debug/deps/ext_shard_scaling-d52d01936062cf00: crates/bench/src/bin/ext_shard_scaling.rs
+
+crates/bench/src/bin/ext_shard_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_transformer_search-1f48fe2796762684.d: crates/bench/src/bin/ext_transformer_search.rs
+
+/root/repo/target/debug/deps/ext_transformer_search-1f48fe2796762684: crates/bench/src/bin/ext_transformer_search.rs
+
+crates/bench/src/bin/ext_transformer_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_transformer_search-35e164a45c7ecb31.d: crates/bench/src/bin/ext_transformer_search.rs
+
+/root/repo/target/debug/deps/ext_transformer_search-35e164a45c7ecb31: crates/bench/src/bin/ext_transformer_search.rs
+
+crates/bench/src/bin/ext_transformer_search.rs:

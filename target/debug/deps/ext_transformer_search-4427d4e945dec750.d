@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_transformer_search-4427d4e945dec750.d: crates/bench/src/bin/ext_transformer_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_transformer_search-4427d4e945dec750.rmeta: crates/bench/src/bin/ext_transformer_search.rs Cargo.toml
+
+crates/bench/src/bin/ext_transformer_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_transformer_search-4fa445b787c43151.d: crates/bench/src/bin/ext_transformer_search.rs
+
+/root/repo/target/debug/deps/ext_transformer_search-4fa445b787c43151: crates/bench/src/bin/ext_transformer_search.rs
+
+crates/bench/src/bin/ext_transformer_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_transformer_search-cfc04aa3fc742618.d: crates/bench/src/bin/ext_transformer_search.rs
+
+/root/repo/target/debug/deps/ext_transformer_search-cfc04aa3fc742618: crates/bench/src/bin/ext_transformer_search.rs
+
+crates/bench/src/bin/ext_transformer_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_transformer_search-f09d299e9873f17b.d: crates/bench/src/bin/ext_transformer_search.rs
+
+/root/repo/target/debug/deps/ext_transformer_search-f09d299e9873f17b: crates/bench/src/bin/ext_transformer_search.rs
+
+crates/bench/src/bin/ext_transformer_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_universal_perfmodel-1431ade94f7b3e8d.d: crates/bench/src/bin/ext_universal_perfmodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_universal_perfmodel-1431ade94f7b3e8d.rmeta: crates/bench/src/bin/ext_universal_perfmodel.rs Cargo.toml
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

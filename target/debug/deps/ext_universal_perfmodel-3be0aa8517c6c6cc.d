@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_universal_perfmodel-3be0aa8517c6c6cc.d: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+/root/repo/target/debug/deps/ext_universal_perfmodel-3be0aa8517c6c6cc: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:

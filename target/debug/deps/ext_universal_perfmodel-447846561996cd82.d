@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_universal_perfmodel-447846561996cd82.d: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+/root/repo/target/debug/deps/ext_universal_perfmodel-447846561996cd82: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_universal_perfmodel-9244310ed23a001c.d: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+/root/repo/target/debug/deps/ext_universal_perfmodel-9244310ed23a001c: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:

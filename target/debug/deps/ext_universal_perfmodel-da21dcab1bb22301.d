@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_universal_perfmodel-da21dcab1bb22301.d: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+/root/repo/target/debug/deps/ext_universal_perfmodel-da21dcab1bb22301: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:

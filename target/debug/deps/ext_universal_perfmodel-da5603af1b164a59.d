@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_universal_perfmodel-da5603af1b164a59.d: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+/root/repo/target/debug/deps/ext_universal_perfmodel-da5603af1b164a59: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:

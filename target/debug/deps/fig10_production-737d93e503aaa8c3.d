@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_production-737d93e503aaa8c3.d: crates/bench/src/bin/fig10_production.rs
+
+/root/repo/target/debug/deps/fig10_production-737d93e503aaa8c3: crates/bench/src/bin/fig10_production.rs
+
+crates/bench/src/bin/fig10_production.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_production-86f7410bbcf279dd.d: crates/bench/src/bin/fig10_production.rs
+
+/root/repo/target/debug/deps/fig10_production-86f7410bbcf279dd: crates/bench/src/bin/fig10_production.rs
+
+crates/bench/src/bin/fig10_production.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_production-9cfbdce5fea3c942.d: crates/bench/src/bin/fig10_production.rs
+
+/root/repo/target/debug/deps/fig10_production-9cfbdce5fea3c942: crates/bench/src/bin/fig10_production.rs
+
+crates/bench/src/bin/fig10_production.rs:

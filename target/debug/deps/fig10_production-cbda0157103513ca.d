@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_production-cbda0157103513ca.d: crates/bench/src/bin/fig10_production.rs
+
+/root/repo/target/debug/deps/fig10_production-cbda0157103513ca: crates/bench/src/bin/fig10_production.rs
+
+crates/bench/src/bin/fig10_production.rs:

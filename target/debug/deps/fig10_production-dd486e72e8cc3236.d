@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_production-dd486e72e8cc3236.d: crates/bench/src/bin/fig10_production.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_production-dd486e72e8cc3236.rmeta: crates/bench/src/bin/fig10_production.rs Cargo.toml
+
+crates/bench/src/bin/fig10_production.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_production-f34ea657ec2159fe.d: crates/bench/src/bin/fig10_production.rs
+
+/root/repo/target/debug/deps/fig10_production-f34ea657ec2159fe: crates/bench/src/bin/fig10_production.rs
+
+crates/bench/src/bin/fig10_production.rs:

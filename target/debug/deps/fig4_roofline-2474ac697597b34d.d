@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_roofline-2474ac697597b34d.d: crates/bench/src/bin/fig4_roofline.rs
+
+/root/repo/target/debug/deps/fig4_roofline-2474ac697597b34d: crates/bench/src/bin/fig4_roofline.rs
+
+crates/bench/src/bin/fig4_roofline.rs:

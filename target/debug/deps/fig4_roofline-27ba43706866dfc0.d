@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_roofline-27ba43706866dfc0.d: crates/bench/src/bin/fig4_roofline.rs
+
+/root/repo/target/debug/deps/fig4_roofline-27ba43706866dfc0: crates/bench/src/bin/fig4_roofline.rs
+
+crates/bench/src/bin/fig4_roofline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_roofline-2863590c3c8ac0b5.d: crates/bench/src/bin/fig4_roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_roofline-2863590c3c8ac0b5.rmeta: crates/bench/src/bin/fig4_roofline.rs Cargo.toml
+
+crates/bench/src/bin/fig4_roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_roofline-568a122d187867f4.d: crates/bench/src/bin/fig4_roofline.rs
+
+/root/repo/target/debug/deps/fig4_roofline-568a122d187867f4: crates/bench/src/bin/fig4_roofline.rs
+
+crates/bench/src/bin/fig4_roofline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_roofline-5b0738e1f06d0a9f.d: crates/bench/src/bin/fig4_roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_roofline-5b0738e1f06d0a9f.rmeta: crates/bench/src/bin/fig4_roofline.rs Cargo.toml
+
+crates/bench/src/bin/fig4_roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_roofline-666cdb29e15697fd.d: crates/bench/src/bin/fig4_roofline.rs
+
+/root/repo/target/debug/deps/fig4_roofline-666cdb29e15697fd: crates/bench/src/bin/fig4_roofline.rs
+
+crates/bench/src/bin/fig4_roofline.rs:

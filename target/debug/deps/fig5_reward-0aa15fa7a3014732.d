@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_reward-0aa15fa7a3014732.d: crates/bench/src/bin/fig5_reward.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_reward-0aa15fa7a3014732.rmeta: crates/bench/src/bin/fig5_reward.rs Cargo.toml
+
+crates/bench/src/bin/fig5_reward.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

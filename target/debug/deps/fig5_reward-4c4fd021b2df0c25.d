@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_reward-4c4fd021b2df0c25.d: crates/bench/src/bin/fig5_reward.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_reward-4c4fd021b2df0c25.rmeta: crates/bench/src/bin/fig5_reward.rs Cargo.toml
+
+crates/bench/src/bin/fig5_reward.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

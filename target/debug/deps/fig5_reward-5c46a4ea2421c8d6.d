@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_reward-5c46a4ea2421c8d6.d: crates/bench/src/bin/fig5_reward.rs
+
+/root/repo/target/debug/deps/fig5_reward-5c46a4ea2421c8d6: crates/bench/src/bin/fig5_reward.rs
+
+crates/bench/src/bin/fig5_reward.rs:

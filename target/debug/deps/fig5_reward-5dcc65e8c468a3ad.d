@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_reward-5dcc65e8c468a3ad.d: crates/bench/src/bin/fig5_reward.rs
+
+/root/repo/target/debug/deps/fig5_reward-5dcc65e8c468a3ad: crates/bench/src/bin/fig5_reward.rs
+
+crates/bench/src/bin/fig5_reward.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_reward-a05a1309b3c1c152.d: crates/bench/src/bin/fig5_reward.rs
+
+/root/repo/target/debug/deps/fig5_reward-a05a1309b3c1c152: crates/bench/src/bin/fig5_reward.rs
+
+crates/bench/src/bin/fig5_reward.rs:

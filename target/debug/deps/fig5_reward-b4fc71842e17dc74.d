@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_reward-b4fc71842e17dc74.d: crates/bench/src/bin/fig5_reward.rs
+
+/root/repo/target/debug/deps/fig5_reward-b4fc71842e17dc74: crates/bench/src/bin/fig5_reward.rs
+
+crates/bench/src/bin/fig5_reward.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_reward-ec76f1f3bcf27d77.d: crates/bench/src/bin/fig5_reward.rs
+
+/root/repo/target/debug/deps/fig5_reward-ec76f1f3bcf27d77: crates/bench/src/bin/fig5_reward.rs
+
+crates/bench/src/bin/fig5_reward.rs:

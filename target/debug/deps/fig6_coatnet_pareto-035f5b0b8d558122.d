@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_coatnet_pareto-035f5b0b8d558122.d: crates/bench/src/bin/fig6_coatnet_pareto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_coatnet_pareto-035f5b0b8d558122.rmeta: crates/bench/src/bin/fig6_coatnet_pareto.rs Cargo.toml
+
+crates/bench/src/bin/fig6_coatnet_pareto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_coatnet_pareto-21614691510f4bb4.d: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+/root/repo/target/debug/deps/fig6_coatnet_pareto-21614691510f4bb4: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+crates/bench/src/bin/fig6_coatnet_pareto.rs:

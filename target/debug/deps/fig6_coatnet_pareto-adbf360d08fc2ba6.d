@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_coatnet_pareto-adbf360d08fc2ba6.d: crates/bench/src/bin/fig6_coatnet_pareto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_coatnet_pareto-adbf360d08fc2ba6.rmeta: crates/bench/src/bin/fig6_coatnet_pareto.rs Cargo.toml
+
+crates/bench/src/bin/fig6_coatnet_pareto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

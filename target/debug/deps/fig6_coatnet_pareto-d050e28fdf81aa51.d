@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_coatnet_pareto-d050e28fdf81aa51.d: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+/root/repo/target/debug/deps/fig6_coatnet_pareto-d050e28fdf81aa51: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+crates/bench/src/bin/fig6_coatnet_pareto.rs:

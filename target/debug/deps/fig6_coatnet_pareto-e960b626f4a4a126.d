@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_coatnet_pareto-e960b626f4a4a126.d: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+/root/repo/target/debug/deps/fig6_coatnet_pareto-e960b626f4a4a126: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+crates/bench/src/bin/fig6_coatnet_pareto.rs:

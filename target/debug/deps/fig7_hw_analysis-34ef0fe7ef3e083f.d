@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_hw_analysis-34ef0fe7ef3e083f.d: crates/bench/src/bin/fig7_hw_analysis.rs
+
+/root/repo/target/debug/deps/fig7_hw_analysis-34ef0fe7ef3e083f: crates/bench/src/bin/fig7_hw_analysis.rs
+
+crates/bench/src/bin/fig7_hw_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_hw_analysis-55c4f981987fca6d.d: crates/bench/src/bin/fig7_hw_analysis.rs
+
+/root/repo/target/debug/deps/fig7_hw_analysis-55c4f981987fca6d: crates/bench/src/bin/fig7_hw_analysis.rs
+
+crates/bench/src/bin/fig7_hw_analysis.rs:

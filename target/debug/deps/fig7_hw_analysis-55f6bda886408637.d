@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_hw_analysis-55f6bda886408637.d: crates/bench/src/bin/fig7_hw_analysis.rs
+
+/root/repo/target/debug/deps/fig7_hw_analysis-55f6bda886408637: crates/bench/src/bin/fig7_hw_analysis.rs
+
+crates/bench/src/bin/fig7_hw_analysis.rs:

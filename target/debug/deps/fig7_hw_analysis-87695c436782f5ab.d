@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_hw_analysis-87695c436782f5ab.d: crates/bench/src/bin/fig7_hw_analysis.rs
+
+/root/repo/target/debug/deps/fig7_hw_analysis-87695c436782f5ab: crates/bench/src/bin/fig7_hw_analysis.rs
+
+crates/bench/src/bin/fig7_hw_analysis.rs:

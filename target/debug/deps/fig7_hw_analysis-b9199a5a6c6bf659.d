@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_hw_analysis-b9199a5a6c6bf659.d: crates/bench/src/bin/fig7_hw_analysis.rs
+
+/root/repo/target/debug/deps/fig7_hw_analysis-b9199a5a6c6bf659: crates/bench/src/bin/fig7_hw_analysis.rs
+
+crates/bench/src/bin/fig7_hw_analysis.rs:

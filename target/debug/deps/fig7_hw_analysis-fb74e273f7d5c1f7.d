@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_hw_analysis-fb74e273f7d5c1f7.d: crates/bench/src/bin/fig7_hw_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_hw_analysis-fb74e273f7d5c1f7.rmeta: crates/bench/src/bin/fig7_hw_analysis.rs Cargo.toml
+
+crates/bench/src/bin/fig7_hw_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

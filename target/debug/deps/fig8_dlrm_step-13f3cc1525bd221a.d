@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_dlrm_step-13f3cc1525bd221a.d: crates/bench/src/bin/fig8_dlrm_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_dlrm_step-13f3cc1525bd221a.rmeta: crates/bench/src/bin/fig8_dlrm_step.rs Cargo.toml
+
+crates/bench/src/bin/fig8_dlrm_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

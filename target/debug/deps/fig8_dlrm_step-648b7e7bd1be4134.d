@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_dlrm_step-648b7e7bd1be4134.d: crates/bench/src/bin/fig8_dlrm_step.rs
+
+/root/repo/target/debug/deps/fig8_dlrm_step-648b7e7bd1be4134: crates/bench/src/bin/fig8_dlrm_step.rs
+
+crates/bench/src/bin/fig8_dlrm_step.rs:

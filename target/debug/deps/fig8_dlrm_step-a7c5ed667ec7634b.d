@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_dlrm_step-a7c5ed667ec7634b.d: crates/bench/src/bin/fig8_dlrm_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_dlrm_step-a7c5ed667ec7634b.rmeta: crates/bench/src/bin/fig8_dlrm_step.rs Cargo.toml
+
+crates/bench/src/bin/fig8_dlrm_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_dlrm_step-b17e854d61a4c99a.d: crates/bench/src/bin/fig8_dlrm_step.rs
+
+/root/repo/target/debug/deps/fig8_dlrm_step-b17e854d61a4c99a: crates/bench/src/bin/fig8_dlrm_step.rs
+
+crates/bench/src/bin/fig8_dlrm_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_dlrm_step-bb332ff163859b3c.d: crates/bench/src/bin/fig8_dlrm_step.rs
+
+/root/repo/target/debug/deps/fig8_dlrm_step-bb332ff163859b3c: crates/bench/src/bin/fig8_dlrm_step.rs
+
+crates/bench/src/bin/fig8_dlrm_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_dlrm_step-ecc28042c5f89daa.d: crates/bench/src/bin/fig8_dlrm_step.rs
+
+/root/repo/target/debug/deps/fig8_dlrm_step-ecc28042c5f89daa: crates/bench/src/bin/fig8_dlrm_step.rs
+
+crates/bench/src/bin/fig8_dlrm_step.rs:

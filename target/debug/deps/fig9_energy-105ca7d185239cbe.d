@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_energy-105ca7d185239cbe.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/debug/deps/fig9_energy-105ca7d185239cbe: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_energy-166fa1fa928e2ad9.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/debug/deps/fig9_energy-166fa1fa928e2ad9: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_energy-1a3fd83e80494f48.d: crates/bench/src/bin/fig9_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_energy-1a3fd83e80494f48.rmeta: crates/bench/src/bin/fig9_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig9_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_energy-1c8fc502469b5c83.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/debug/deps/fig9_energy-1c8fc502469b5c83: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

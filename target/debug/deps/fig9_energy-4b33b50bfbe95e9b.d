@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_energy-4b33b50bfbe95e9b.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/debug/deps/fig9_energy-4b33b50bfbe95e9b: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_energy-8ebf9de0c66e092c.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/debug/deps/fig9_energy-8ebf9de0c66e092c: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-598c9308706488dd.d: crates/bench/src/bin/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-598c9308706488dd: crates/bench/src/bin/full_pipeline.rs
+
+crates/bench/src/bin/full_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-ad83522f29276f42.d: crates/bench/src/bin/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-ad83522f29276f42: crates/bench/src/bin/full_pipeline.rs
+
+crates/bench/src/bin/full_pipeline.rs:

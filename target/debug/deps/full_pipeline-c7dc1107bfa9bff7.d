@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-c7dc1107bfa9bff7.d: crates/bench/src/bin/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-c7dc1107bfa9bff7: crates/bench/src/bin/full_pipeline.rs
+
+crates/bench/src/bin/full_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_pipeline-c88cffb418f26172.d: crates/bench/src/bin/full_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_pipeline-c88cffb418f26172.rmeta: crates/bench/src/bin/full_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-d2cb9feb6d21b067.d: crates/bench/src/bin/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-d2cb9feb6d21b067: crates/bench/src/bin/full_pipeline.rs
+
+crates/bench/src/bin/full_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-e14489a2764b1b02.d: crates/bench/src/bin/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-e14489a2764b1b02: crates/bench/src/bin/full_pipeline.rs
+
+crates/bench/src/bin/full_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_pipeline-fdbca3455199f467.d: crates/bench/src/bin/full_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_pipeline-fdbca3455199f467.rmeta: crates/bench/src/bin/full_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h2o-70ab5ba601387f89.d: src/bin/h2o.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o-70ab5ba601387f89.rmeta: src/bin/h2o.rs Cargo.toml
+
+src/bin/h2o.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

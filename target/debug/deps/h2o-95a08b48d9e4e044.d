@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o-95a08b48d9e4e044.d: src/bin/h2o.rs
+
+/root/repo/target/debug/deps/h2o-95a08b48d9e4e044: src/bin/h2o.rs
+
+src/bin/h2o.rs:

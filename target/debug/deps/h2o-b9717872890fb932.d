@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o-b9717872890fb932.d: src/bin/h2o.rs
+
+/root/repo/target/debug/deps/h2o-b9717872890fb932: src/bin/h2o.rs
+
+src/bin/h2o.rs:

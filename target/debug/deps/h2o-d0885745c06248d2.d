@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o-d0885745c06248d2.d: src/bin/h2o.rs
+
+/root/repo/target/debug/deps/h2o-d0885745c06248d2: src/bin/h2o.rs
+
+src/bin/h2o.rs:

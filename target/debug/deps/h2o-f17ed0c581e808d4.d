@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o-f17ed0c581e808d4.d: src/bin/h2o.rs
+
+/root/repo/target/debug/deps/h2o-f17ed0c581e808d4: src/bin/h2o.rs
+
+src/bin/h2o.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/h2o_core-25970382f989a5a5.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+
+/root/repo/target/debug/deps/libh2o_core-25970382f989a5a5.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+
+/root/repo/target/debug/deps/libh2o_core-25970382f989a5a5.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/oneshot.rs:
+crates/core/src/oneshot_generic.rs:
+crates/core/src/pareto.rs:
+crates/core/src/policy.rs:
+crates/core/src/reward.rs:
+crates/core/src/search.rs:
+crates/core/src/telemetry.rs:

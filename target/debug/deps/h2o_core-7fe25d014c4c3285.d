@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/h2o_core-7fe25d014c4c3285.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+
+/root/repo/target/debug/deps/h2o_core-7fe25d014c4c3285: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/oneshot.rs:
+crates/core/src/oneshot_generic.rs:
+crates/core/src/pareto.rs:
+crates/core/src/policy.rs:
+crates/core/src/reward.rs:
+crates/core/src/search.rs:
+crates/core/src/telemetry.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/h2o_data-ad88e35a3c8b5296.d: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+/root/repo/target/debug/deps/h2o_data-ad88e35a3c8b5296: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/pipeline.rs:
+crates/data/src/stats.rs:
+crates/data/src/traffic.rs:

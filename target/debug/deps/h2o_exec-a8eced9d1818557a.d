@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/h2o_exec-a8eced9d1818557a.d: crates/exec/src/lib.rs crates/exec/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_exec-a8eced9d1818557a.rmeta: crates/exec/src/lib.rs crates/exec/src/pool.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+crates/exec/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

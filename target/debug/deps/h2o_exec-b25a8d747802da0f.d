@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/h2o_exec-b25a8d747802da0f.d: crates/exec/src/lib.rs crates/exec/src/pool.rs
+
+/root/repo/target/debug/deps/libh2o_exec-b25a8d747802da0f.rlib: crates/exec/src/lib.rs crates/exec/src/pool.rs
+
+/root/repo/target/debug/deps/libh2o_exec-b25a8d747802da0f.rmeta: crates/exec/src/lib.rs crates/exec/src/pool.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/pool.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/h2o_exec-c1a0542d95ef74c5.d: crates/exec/src/lib.rs crates/exec/src/pool.rs
+
+/root/repo/target/debug/deps/h2o_exec-c1a0542d95ef74c5: crates/exec/src/lib.rs crates/exec/src/pool.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/pool.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/h2o_graph-08531bc444321136.d: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_graph-08531bc444321136.rmeta: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/blocks.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/op.rs:
+crates/graph/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h2o_graph-3b5ad0877a59727c.d: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+/root/repo/target/debug/deps/libh2o_graph-3b5ad0877a59727c.rlib: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+/root/repo/target/debug/deps/libh2o_graph-3b5ad0877a59727c.rmeta: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/blocks.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/op.rs:
+crates/graph/src/text.rs:

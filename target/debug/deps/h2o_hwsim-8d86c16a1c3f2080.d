@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/h2o_hwsim-8d86c16a1c3f2080.d: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+/root/repo/target/debug/deps/libh2o_hwsim-8d86c16a1c3f2080.rlib: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+/root/repo/target/debug/deps/libh2o_hwsim-8d86c16a1c3f2080.rmeta: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/cache.rs:
+crates/hwsim/src/config.rs:
+crates/hwsim/src/production.rs:
+crates/hwsim/src/roofline.rs:
+crates/hwsim/src/simulator.rs:
+crates/hwsim/src/sweep.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/h2o_hwsim-b1655b2e7777e6e6.d: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+/root/repo/target/debug/deps/libh2o_hwsim-b1655b2e7777e6e6.rlib: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+/root/repo/target/debug/deps/libh2o_hwsim-b1655b2e7777e6e6.rmeta: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/cache.rs:
+crates/hwsim/src/config.rs:
+crates/hwsim/src/production.rs:
+crates/hwsim/src/roofline.rs:
+crates/hwsim/src/simulator.rs:
+crates/hwsim/src/sweep.rs:

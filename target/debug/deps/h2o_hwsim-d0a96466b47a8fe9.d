@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/h2o_hwsim-d0a96466b47a8fe9.d: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_hwsim-d0a96466b47a8fe9.rmeta: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs Cargo.toml
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/cache.rs:
+crates/hwsim/src/config.rs:
+crates/hwsim/src/production.rs:
+crates/hwsim/src/roofline.rs:
+crates/hwsim/src/simulator.rs:
+crates/hwsim/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

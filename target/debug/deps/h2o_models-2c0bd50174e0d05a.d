@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/h2o_models-2c0bd50174e0d05a.d: crates/models/src/lib.rs crates/models/src/coatnet.rs crates/models/src/dlrm.rs crates/models/src/efficientnet.rs crates/models/src/production.rs crates/models/src/quality.rs
+
+/root/repo/target/debug/deps/h2o_models-2c0bd50174e0d05a: crates/models/src/lib.rs crates/models/src/coatnet.rs crates/models/src/dlrm.rs crates/models/src/efficientnet.rs crates/models/src/production.rs crates/models/src/quality.rs
+
+crates/models/src/lib.rs:
+crates/models/src/coatnet.rs:
+crates/models/src/dlrm.rs:
+crates/models/src/efficientnet.rs:
+crates/models/src/production.rs:
+crates/models/src/quality.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/h2o_models-c4e8c9b0176de6e2.d: crates/models/src/lib.rs crates/models/src/coatnet.rs crates/models/src/dlrm.rs crates/models/src/efficientnet.rs crates/models/src/production.rs crates/models/src/quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_models-c4e8c9b0176de6e2.rmeta: crates/models/src/lib.rs crates/models/src/coatnet.rs crates/models/src/dlrm.rs crates/models/src/efficientnet.rs crates/models/src/production.rs crates/models/src/quality.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/coatnet.rs:
+crates/models/src/dlrm.rs:
+crates/models/src/efficientnet.rs:
+crates/models/src/production.rs:
+crates/models/src/quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

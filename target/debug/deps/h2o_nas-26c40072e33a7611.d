@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h2o_nas-26c40072e33a7611.d: src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_nas-26c40072e33a7611.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_nas-26c40072e33a7611.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h2o_nas-4fde96e7ed00c977.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_nas-4fde96e7ed00c977.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

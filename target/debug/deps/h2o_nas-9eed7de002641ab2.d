@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o_nas-9eed7de002641ab2.d: src/lib.rs
+
+/root/repo/target/debug/deps/h2o_nas-9eed7de002641ab2: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h2o_nas-c6c3613666926889.d: src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_nas-c6c3613666926889.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_nas-c6c3613666926889.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o_nas-f92e60b23318865c.d: src/lib.rs
+
+/root/repo/target/debug/deps/h2o_nas-f92e60b23318865c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h2o_perfmodel-2ec8a2fae298256e.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/debug/deps/h2o_perfmodel-2ec8a2fae298256e: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/features.rs:
+crates/perfmodel/src/model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h2o_perfmodel-82540865a550c023.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_perfmodel-82540865a550c023.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs Cargo.toml
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/features.rs:
+crates/perfmodel/src/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h2o_perfmodel-c41d7289a04fa65d.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/debug/deps/libh2o_perfmodel-c41d7289a04fa65d.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/debug/deps/libh2o_perfmodel-c41d7289a04fa65d.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/features.rs:
+crates/perfmodel/src/model.rs:

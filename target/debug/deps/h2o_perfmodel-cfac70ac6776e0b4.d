@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h2o_perfmodel-cfac70ac6776e0b4.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/debug/deps/h2o_perfmodel-cfac70ac6776e0b4: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/features.rs:
+crates/perfmodel/src/model.rs:

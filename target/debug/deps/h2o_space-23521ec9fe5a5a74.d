@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h2o_space-23521ec9fe5a5a74.d: crates/space/src/lib.rs crates/space/src/cnn.rs crates/space/src/decision.rs crates/space/src/dlrm.rs crates/space/src/supernet.rs crates/space/src/vision_supernet.rs crates/space/src/vit.rs
+
+/root/repo/target/debug/deps/h2o_space-23521ec9fe5a5a74: crates/space/src/lib.rs crates/space/src/cnn.rs crates/space/src/decision.rs crates/space/src/dlrm.rs crates/space/src/supernet.rs crates/space/src/vision_supernet.rs crates/space/src/vit.rs
+
+crates/space/src/lib.rs:
+crates/space/src/cnn.rs:
+crates/space/src/decision.rs:
+crates/space/src/dlrm.rs:
+crates/space/src/supernet.rs:
+crates/space/src/vision_supernet.rs:
+crates/space/src/vit.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/h2o_space-d79d61d3a52cb2d1.d: crates/space/src/lib.rs crates/space/src/cnn.rs crates/space/src/decision.rs crates/space/src/dlrm.rs crates/space/src/supernet.rs crates/space/src/vision_supernet.rs crates/space/src/vit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_space-d79d61d3a52cb2d1.rmeta: crates/space/src/lib.rs crates/space/src/cnn.rs crates/space/src/decision.rs crates/space/src/dlrm.rs crates/space/src/supernet.rs crates/space/src/vision_supernet.rs crates/space/src/vit.rs Cargo.toml
+
+crates/space/src/lib.rs:
+crates/space/src/cnn.rs:
+crates/space/src/decision.rs:
+crates/space/src/dlrm.rs:
+crates/space/src/supernet.rs:
+crates/space/src/vision_supernet.rs:
+crates/space/src/vit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/h2o_space-e4c658590764f569.d: crates/space/src/lib.rs crates/space/src/cnn.rs crates/space/src/decision.rs crates/space/src/dlrm.rs crates/space/src/supernet.rs crates/space/src/vision_supernet.rs crates/space/src/vit.rs
+
+/root/repo/target/debug/deps/libh2o_space-e4c658590764f569.rlib: crates/space/src/lib.rs crates/space/src/cnn.rs crates/space/src/decision.rs crates/space/src/dlrm.rs crates/space/src/supernet.rs crates/space/src/vision_supernet.rs crates/space/src/vit.rs
+
+/root/repo/target/debug/deps/libh2o_space-e4c658590764f569.rmeta: crates/space/src/lib.rs crates/space/src/cnn.rs crates/space/src/decision.rs crates/space/src/dlrm.rs crates/space/src/supernet.rs crates/space/src/vision_supernet.rs crates/space/src/vit.rs
+
+crates/space/src/lib.rs:
+crates/space/src/cnn.rs:
+crates/space/src/decision.rs:
+crates/space/src/dlrm.rs:
+crates/space/src/supernet.rs:
+crates/space/src/vision_supernet.rs:
+crates/space/src/vit.rs:

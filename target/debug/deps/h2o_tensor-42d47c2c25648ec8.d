@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/h2o_tensor-42d47c2c25648ec8.d: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_tensor-42d47c2c25648ec8.rmeta: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/activation.rs:
+crates/tensor/src/embedding.rs:
+crates/tensor/src/layers.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/mlp.rs:
+crates/tensor/src/optim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/h2o_tensor-4cbcde6734680c6c.d: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs
+
+/root/repo/target/debug/deps/libh2o_tensor-4cbcde6734680c6c.rlib: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs
+
+/root/repo/target/debug/deps/libh2o_tensor-4cbcde6734680c6c.rmeta: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/activation.rs:
+crates/tensor/src/embedding.rs:
+crates/tensor/src/layers.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/mlp.rs:
+crates/tensor/src/optim.rs:

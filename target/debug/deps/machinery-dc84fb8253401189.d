@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/machinery-dc84fb8253401189.d: crates/bench/benches/machinery.rs
+
+/root/repo/target/debug/deps/machinery-dc84fb8253401189: crates/bench/benches/machinery.rs
+
+crates/bench/benches/machinery.rs:

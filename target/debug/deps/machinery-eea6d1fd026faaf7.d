@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machinery-eea6d1fd026faaf7.d: crates/bench/benches/machinery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachinery-eea6d1fd026faaf7.rmeta: crates/bench/benches/machinery.rs Cargo.toml
+
+crates/bench/benches/machinery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

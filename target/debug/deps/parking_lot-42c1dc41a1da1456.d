@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-42c1dc41a1da1456.d: third_party/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-42c1dc41a1da1456.rmeta: third_party/parking_lot/src/lib.rs Cargo.toml
+
+third_party/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

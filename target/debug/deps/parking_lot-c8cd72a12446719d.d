@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-c8cd72a12446719d.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-c8cd72a12446719d: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-04d2fffb940cb21e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-04d2fffb940cb21e: tests/properties.rs
+
+tests/properties.rs:

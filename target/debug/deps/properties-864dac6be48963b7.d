@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-864dac6be48963b7.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-864dac6be48963b7: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-abdaced563ed4bb7.d: tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-abdaced563ed4bb7.rmeta: tests/properties.rs Cargo.toml
+
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f8b12d9aa5801ca5.d: crates/obs/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f8b12d9aa5801ca5.rmeta: crates/obs/tests/properties.rs Cargo.toml
+
+crates/obs/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/proptest-45c2113b5635b654.d: third_party/proptest/src/lib.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-45c2113b5635b654.rmeta: third_party/proptest/src/lib.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs Cargo.toml
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-8a8add05b17ef94e.d: third_party/proptest/src/lib.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-8a8add05b17ef94e: third_party/proptest/src/lib.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/test_runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rand-9d450984290e8774.d: third_party/rand/src/lib.rs third_party/rand/src/rngs.rs third_party/rand/src/seq.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-9d450984290e8774.rmeta: third_party/rand/src/lib.rs third_party/rand/src/rngs.rs third_party/rand/src/seq.rs Cargo.toml
+
+third_party/rand/src/lib.rs:
+third_party/rand/src/rngs.rs:
+third_party/rand/src/seq.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

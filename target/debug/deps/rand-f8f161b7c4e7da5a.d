@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-f8f161b7c4e7da5a.d: third_party/rand/src/lib.rs third_party/rand/src/rngs.rs third_party/rand/src/seq.rs
+
+/root/repo/target/debug/deps/rand-f8f161b7c4e7da5a: third_party/rand/src/lib.rs third_party/rand/src/rngs.rs third_party/rand/src/seq.rs
+
+third_party/rand/src/lib.rs:
+third_party/rand/src/rngs.rs:
+third_party/rand/src/seq.rs:

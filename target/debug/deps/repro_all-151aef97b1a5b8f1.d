@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-151aef97b1a5b8f1.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-151aef97b1a5b8f1: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

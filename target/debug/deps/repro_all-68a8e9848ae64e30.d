@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_all-68a8e9848ae64e30.d: crates/bench/src/bin/repro_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_all-68a8e9848ae64e30.rmeta: crates/bench/src/bin/repro_all.rs Cargo.toml
+
+crates/bench/src/bin/repro_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-6a0f7bddd972861c.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-6a0f7bddd972861c: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

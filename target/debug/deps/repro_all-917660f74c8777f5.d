@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-917660f74c8777f5.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-917660f74c8777f5: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-b583463d68e0dcf7.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-b583463d68e0dcf7: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

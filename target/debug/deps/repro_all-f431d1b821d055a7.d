@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro_all-f431d1b821d055a7.d: crates/bench/src/bin/repro_all.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro_all-f431d1b821d055a7.rmeta: crates/bench/src/bin/repro_all.rs Cargo.toml
+
+crates/bench/src/bin/repro_all.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-fcac95c911e417a4.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-fcac95c911e417a4: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-0842d7e35264455f.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-0842d7e35264455f: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

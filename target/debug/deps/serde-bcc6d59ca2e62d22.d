@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-bcc6d59ca2e62d22.d: third_party/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-bcc6d59ca2e62d22.rmeta: third_party/serde/src/lib.rs Cargo.toml
+
+third_party/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

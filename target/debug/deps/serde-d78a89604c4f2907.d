@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-d78a89604c4f2907.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d78a89604c4f2907.rlib: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d78a89604c4f2907.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

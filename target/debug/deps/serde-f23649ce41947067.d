@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-f23649ce41947067.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-f23649ce41947067: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-c23e8be6c3b5bf45.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-c23e8be6c3b5bf45.so: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

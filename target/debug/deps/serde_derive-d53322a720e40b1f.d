@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-d53322a720e40b1f.d: third_party/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-d53322a720e40b1f.rmeta: third_party/serde_derive/src/lib.rs Cargo.toml
+
+third_party/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

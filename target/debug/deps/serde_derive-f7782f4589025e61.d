@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-f7782f4589025e61.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-f7782f4589025e61: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stress-08eaa273e1cb46eb.d: crates/exec/tests/stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstress-08eaa273e1cb46eb.rmeta: crates/exec/tests/stress.rs Cargo.toml
+
+crates/exec/tests/stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress-7f50a0823f43cf94.d: crates/exec/tests/stress.rs
+
+/root/repo/target/debug/deps/stress-7f50a0823f43cf94: crates/exec/tests/stress.rs
+
+crates/exec/tests/stress.rs:

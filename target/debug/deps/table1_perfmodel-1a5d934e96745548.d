@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_perfmodel-1a5d934e96745548.d: crates/bench/src/bin/table1_perfmodel.rs
+
+/root/repo/target/debug/deps/table1_perfmodel-1a5d934e96745548: crates/bench/src/bin/table1_perfmodel.rs
+
+crates/bench/src/bin/table1_perfmodel.rs:

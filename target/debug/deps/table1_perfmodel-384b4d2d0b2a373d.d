@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_perfmodel-384b4d2d0b2a373d.d: crates/bench/src/bin/table1_perfmodel.rs
+
+/root/repo/target/debug/deps/table1_perfmodel-384b4d2d0b2a373d: crates/bench/src/bin/table1_perfmodel.rs
+
+crates/bench/src/bin/table1_perfmodel.rs:

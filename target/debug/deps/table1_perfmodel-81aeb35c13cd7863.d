@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_perfmodel-81aeb35c13cd7863.d: crates/bench/src/bin/table1_perfmodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_perfmodel-81aeb35c13cd7863.rmeta: crates/bench/src/bin/table1_perfmodel.rs Cargo.toml
+
+crates/bench/src/bin/table1_perfmodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_perfmodel-8b31232990d5f49a.d: crates/bench/src/bin/table1_perfmodel.rs
+
+/root/repo/target/debug/deps/table1_perfmodel-8b31232990d5f49a: crates/bench/src/bin/table1_perfmodel.rs
+
+crates/bench/src/bin/table1_perfmodel.rs:

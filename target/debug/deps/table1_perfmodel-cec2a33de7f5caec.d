@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_perfmodel-cec2a33de7f5caec.d: crates/bench/src/bin/table1_perfmodel.rs
+
+/root/repo/target/debug/deps/table1_perfmodel-cec2a33de7f5caec: crates/bench/src/bin/table1_perfmodel.rs
+
+crates/bench/src/bin/table1_perfmodel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_perfmodel-d00a04b66bf6f2c2.d: crates/bench/src/bin/table1_perfmodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_perfmodel-d00a04b66bf6f2c2.rmeta: crates/bench/src/bin/table1_perfmodel.rs Cargo.toml
+
+crates/bench/src/bin/table1_perfmodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_perfmodel-d2ab592bf5ad9767.d: crates/bench/src/bin/table1_perfmodel.rs
+
+/root/repo/target/debug/deps/table1_perfmodel-d2ab592bf5ad9767: crates/bench/src/bin/table1_perfmodel.rs
+
+crates/bench/src/bin/table1_perfmodel.rs:

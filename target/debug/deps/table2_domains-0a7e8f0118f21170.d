@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_domains-0a7e8f0118f21170.d: crates/bench/src/bin/table2_domains.rs
+
+/root/repo/target/debug/deps/table2_domains-0a7e8f0118f21170: crates/bench/src/bin/table2_domains.rs
+
+crates/bench/src/bin/table2_domains.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_domains-307d0165954043d5.d: crates/bench/src/bin/table2_domains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_domains-307d0165954043d5.rmeta: crates/bench/src/bin/table2_domains.rs Cargo.toml
+
+crates/bench/src/bin/table2_domains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

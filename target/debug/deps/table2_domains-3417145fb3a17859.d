@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_domains-3417145fb3a17859.d: crates/bench/src/bin/table2_domains.rs
+
+/root/repo/target/debug/deps/table2_domains-3417145fb3a17859: crates/bench/src/bin/table2_domains.rs
+
+crates/bench/src/bin/table2_domains.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_domains-5fa0e579fbed5133.d: crates/bench/src/bin/table2_domains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_domains-5fa0e579fbed5133.rmeta: crates/bench/src/bin/table2_domains.rs Cargo.toml
+
+crates/bench/src/bin/table2_domains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_domains-8a1645c1963845ab.d: crates/bench/src/bin/table2_domains.rs
+
+/root/repo/target/debug/deps/table2_domains-8a1645c1963845ab: crates/bench/src/bin/table2_domains.rs
+
+crates/bench/src/bin/table2_domains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_domains-d1ee50ec5586a47f.d: crates/bench/src/bin/table2_domains.rs
+
+/root/repo/target/debug/deps/table2_domains-d1ee50ec5586a47f: crates/bench/src/bin/table2_domains.rs
+
+crates/bench/src/bin/table2_domains.rs:

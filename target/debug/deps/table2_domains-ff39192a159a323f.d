@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_domains-ff39192a159a323f.d: crates/bench/src/bin/table2_domains.rs
+
+/root/repo/target/debug/deps/table2_domains-ff39192a159a323f: crates/bench/src/bin/table2_domains.rs
+
+crates/bench/src/bin/table2_domains.rs:

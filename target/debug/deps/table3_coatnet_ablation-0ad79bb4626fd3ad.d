@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_coatnet_ablation-0ad79bb4626fd3ad.d: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+/root/repo/target/debug/deps/table3_coatnet_ablation-0ad79bb4626fd3ad: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:

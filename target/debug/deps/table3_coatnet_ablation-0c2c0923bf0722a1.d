@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_coatnet_ablation-0c2c0923bf0722a1.d: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+/root/repo/target/debug/deps/table3_coatnet_ablation-0c2c0923bf0722a1: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_coatnet_ablation-5635db26a7aade94.d: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+/root/repo/target/debug/deps/table3_coatnet_ablation-5635db26a7aade94: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:

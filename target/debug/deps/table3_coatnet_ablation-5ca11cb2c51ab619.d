@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_coatnet_ablation-5ca11cb2c51ab619.d: crates/bench/src/bin/table3_coatnet_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_coatnet_ablation-5ca11cb2c51ab619.rmeta: crates/bench/src/bin/table3_coatnet_ablation.rs Cargo.toml
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_coatnet_ablation-9dc36f2daa9bf309.d: crates/bench/src/bin/table3_coatnet_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_coatnet_ablation-9dc36f2daa9bf309.rmeta: crates/bench/src/bin/table3_coatnet_ablation.rs Cargo.toml
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

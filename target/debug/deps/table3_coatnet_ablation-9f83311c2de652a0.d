@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_coatnet_ablation-9f83311c2de652a0.d: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+/root/repo/target/debug/deps/table3_coatnet_ablation-9f83311c2de652a0: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:

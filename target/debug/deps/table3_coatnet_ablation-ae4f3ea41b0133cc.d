@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_coatnet_ablation-ae4f3ea41b0133cc.d: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+/root/repo/target/debug/deps/table3_coatnet_ablation-ae4f3ea41b0133cc: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:

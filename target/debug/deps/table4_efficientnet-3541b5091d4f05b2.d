@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_efficientnet-3541b5091d4f05b2.d: crates/bench/src/bin/table4_efficientnet.rs
+
+/root/repo/target/debug/deps/table4_efficientnet-3541b5091d4f05b2: crates/bench/src/bin/table4_efficientnet.rs
+
+crates/bench/src/bin/table4_efficientnet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_efficientnet-8aa4a07f4b36a407.d: crates/bench/src/bin/table4_efficientnet.rs
+
+/root/repo/target/debug/deps/table4_efficientnet-8aa4a07f4b36a407: crates/bench/src/bin/table4_efficientnet.rs
+
+crates/bench/src/bin/table4_efficientnet.rs:

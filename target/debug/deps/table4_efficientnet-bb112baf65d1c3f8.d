@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_efficientnet-bb112baf65d1c3f8.d: crates/bench/src/bin/table4_efficientnet.rs
+
+/root/repo/target/debug/deps/table4_efficientnet-bb112baf65d1c3f8: crates/bench/src/bin/table4_efficientnet.rs
+
+crates/bench/src/bin/table4_efficientnet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_efficientnet-cc47b6bee0d1a19c.d: crates/bench/src/bin/table4_efficientnet.rs
+
+/root/repo/target/debug/deps/table4_efficientnet-cc47b6bee0d1a19c: crates/bench/src/bin/table4_efficientnet.rs
+
+crates/bench/src/bin/table4_efficientnet.rs:

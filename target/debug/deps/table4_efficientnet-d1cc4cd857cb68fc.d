@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_efficientnet-d1cc4cd857cb68fc.d: crates/bench/src/bin/table4_efficientnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_efficientnet-d1cc4cd857cb68fc.rmeta: crates/bench/src/bin/table4_efficientnet.rs Cargo.toml
+
+crates/bench/src/bin/table4_efficientnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

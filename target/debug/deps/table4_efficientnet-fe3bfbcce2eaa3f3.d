@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_efficientnet-fe3bfbcce2eaa3f3.d: crates/bench/src/bin/table4_efficientnet.rs
+
+/root/repo/target/debug/deps/table4_efficientnet-fe3bfbcce2eaa3f3: crates/bench/src/bin/table4_efficientnet.rs
+
+crates/bench/src/bin/table4_efficientnet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_spaces-22ff11d92c4cde01.d: crates/bench/src/bin/table5_spaces.rs
+
+/root/repo/target/debug/deps/table5_spaces-22ff11d92c4cde01: crates/bench/src/bin/table5_spaces.rs
+
+crates/bench/src/bin/table5_spaces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_spaces-368f55eb78e188b5.d: crates/bench/src/bin/table5_spaces.rs
+
+/root/repo/target/debug/deps/table5_spaces-368f55eb78e188b5: crates/bench/src/bin/table5_spaces.rs
+
+crates/bench/src/bin/table5_spaces.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_spaces-5d6dd044f63ed231.d: crates/bench/src/bin/table5_spaces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_spaces-5d6dd044f63ed231.rmeta: crates/bench/src/bin/table5_spaces.rs Cargo.toml
+
+crates/bench/src/bin/table5_spaces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_spaces-7c65aed4a6e1bf6b.d: crates/bench/src/bin/table5_spaces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_spaces-7c65aed4a6e1bf6b.rmeta: crates/bench/src/bin/table5_spaces.rs Cargo.toml
+
+crates/bench/src/bin/table5_spaces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

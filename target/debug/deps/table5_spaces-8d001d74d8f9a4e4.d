@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_spaces-8d001d74d8f9a4e4.d: crates/bench/src/bin/table5_spaces.rs
+
+/root/repo/target/debug/deps/table5_spaces-8d001d74d8f9a4e4: crates/bench/src/bin/table5_spaces.rs
+
+crates/bench/src/bin/table5_spaces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_spaces-a31fe86858145436.d: crates/bench/src/bin/table5_spaces.rs
+
+/root/repo/target/debug/deps/table5_spaces-a31fe86858145436: crates/bench/src/bin/table5_spaces.rs
+
+crates/bench/src/bin/table5_spaces.rs:

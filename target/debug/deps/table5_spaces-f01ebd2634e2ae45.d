@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_spaces-f01ebd2634e2ae45.d: crates/bench/src/bin/table5_spaces.rs
+
+/root/repo/target/debug/deps/table5_spaces-f01ebd2634e2ae45: crates/bench/src/bin/table5_spaces.rs
+
+crates/bench/src/bin/table5_spaces.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dlrm_oneshot_search-4f6763265c08497e.d: examples/dlrm_oneshot_search.rs
+
+/root/repo/target/debug/examples/dlrm_oneshot_search-4f6763265c08497e: examples/dlrm_oneshot_search.rs
+
+examples/dlrm_oneshot_search.rs:

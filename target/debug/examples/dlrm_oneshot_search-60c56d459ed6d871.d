@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dlrm_oneshot_search-60c56d459ed6d871.d: examples/dlrm_oneshot_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdlrm_oneshot_search-60c56d459ed6d871.rmeta: examples/dlrm_oneshot_search.rs Cargo.toml
+
+examples/dlrm_oneshot_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

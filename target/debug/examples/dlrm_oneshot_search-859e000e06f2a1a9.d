@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dlrm_oneshot_search-859e000e06f2a1a9.d: examples/dlrm_oneshot_search.rs
+
+/root/repo/target/debug/examples/dlrm_oneshot_search-859e000e06f2a1a9: examples/dlrm_oneshot_search.rs
+
+examples/dlrm_oneshot_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_explorer-3eb8931e944d2b8b.d: examples/hardware_explorer.rs
+
+/root/repo/target/debug/examples/hardware_explorer-3eb8931e944d2b8b: examples/hardware_explorer.rs
+
+examples/hardware_explorer.rs:

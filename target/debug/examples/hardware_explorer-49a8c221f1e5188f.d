@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hardware_explorer-49a8c221f1e5188f.d: examples/hardware_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhardware_explorer-49a8c221f1e5188f.rmeta: examples/hardware_explorer.rs Cargo.toml
+
+examples/hardware_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

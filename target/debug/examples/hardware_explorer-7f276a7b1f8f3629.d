@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_explorer-7f276a7b1f8f3629.d: examples/hardware_explorer.rs
+
+/root/repo/target/debug/examples/hardware_explorer-7f276a7b1f8f3629: examples/hardware_explorer.rs
+
+examples/hardware_explorer.rs:

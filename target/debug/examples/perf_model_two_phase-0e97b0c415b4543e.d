@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_model_two_phase-0e97b0c415b4543e.d: examples/perf_model_two_phase.rs
+
+/root/repo/target/debug/examples/perf_model_two_phase-0e97b0c415b4543e: examples/perf_model_two_phase.rs
+
+examples/perf_model_two_phase.rs:

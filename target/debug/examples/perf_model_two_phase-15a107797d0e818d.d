@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/perf_model_two_phase-15a107797d0e818d.d: examples/perf_model_two_phase.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperf_model_two_phase-15a107797d0e818d.rmeta: examples/perf_model_two_phase.rs Cargo.toml
+
+examples/perf_model_two_phase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_model_two_phase-6bfa44443e2fd4b7.d: examples/perf_model_two_phase.rs
+
+/root/repo/target/debug/examples/perf_model_two_phase-6bfa44443e2fd4b7: examples/perf_model_two_phase.rs
+
+examples/perf_model_two_phase.rs:

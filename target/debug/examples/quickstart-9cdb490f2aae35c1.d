@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9cdb490f2aae35c1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9cdb490f2aae35c1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fbf869bdeaa91989.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fbf869bdeaa91989: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vision_oneshot-6724f1e7fa23b855.d: examples/vision_oneshot.rs
+
+/root/repo/target/debug/examples/vision_oneshot-6724f1e7fa23b855: examples/vision_oneshot.rs
+
+examples/vision_oneshot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vision_oneshot-7791d8319038c8ce.d: examples/vision_oneshot.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvision_oneshot-7791d8319038c8ce.rmeta: examples/vision_oneshot.rs Cargo.toml
+
+examples/vision_oneshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vision_oneshot-d279cae0fc6cb9f8.d: examples/vision_oneshot.rs
+
+/root/repo/target/debug/examples/vision_oneshot-d279cae0fc6cb9f8: examples/vision_oneshot.rs
+
+examples/vision_oneshot.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libbytes.rlib: /root/repo/third_party/bytes/src/lib.rs

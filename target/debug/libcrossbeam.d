@@ -1,0 +1,1 @@
+/root/repo/target/debug/libcrossbeam.rlib: /root/repo/third_party/crossbeam/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_suite-be808f7db2f39967.d: crates/bench/src/bin/ablation_suite.rs
+
+/root/repo/target/release/deps/ablation_suite-be808f7db2f39967: crates/bench/src/bin/ablation_suite.rs
+
+crates/bench/src/bin/ablation_suite.rs:

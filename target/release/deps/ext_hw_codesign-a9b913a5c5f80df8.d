@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_hw_codesign-a9b913a5c5f80df8.d: crates/bench/src/bin/ext_hw_codesign.rs
+
+/root/repo/target/release/deps/ext_hw_codesign-a9b913a5c5f80df8: crates/bench/src/bin/ext_hw_codesign.rs
+
+crates/bench/src/bin/ext_hw_codesign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_nas_cost-ebf12b65d61249dd.d: crates/bench/src/bin/ext_nas_cost.rs
+
+/root/repo/target/release/deps/ext_nas_cost-ebf12b65d61249dd: crates/bench/src/bin/ext_nas_cost.rs
+
+crates/bench/src/bin/ext_nas_cost.rs:

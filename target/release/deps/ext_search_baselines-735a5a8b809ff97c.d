@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_search_baselines-735a5a8b809ff97c.d: crates/bench/src/bin/ext_search_baselines.rs
+
+/root/repo/target/release/deps/ext_search_baselines-735a5a8b809ff97c: crates/bench/src/bin/ext_search_baselines.rs
+
+crates/bench/src/bin/ext_search_baselines.rs:

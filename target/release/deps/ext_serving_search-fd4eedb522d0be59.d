@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_serving_search-fd4eedb522d0be59.d: crates/bench/src/bin/ext_serving_search.rs
+
+/root/repo/target/release/deps/ext_serving_search-fd4eedb522d0be59: crates/bench/src/bin/ext_serving_search.rs
+
+crates/bench/src/bin/ext_serving_search.rs:

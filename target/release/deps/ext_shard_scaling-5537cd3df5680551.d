@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_shard_scaling-5537cd3df5680551.d: crates/bench/src/bin/ext_shard_scaling.rs
+
+/root/repo/target/release/deps/ext_shard_scaling-5537cd3df5680551: crates/bench/src/bin/ext_shard_scaling.rs
+
+crates/bench/src/bin/ext_shard_scaling.rs:

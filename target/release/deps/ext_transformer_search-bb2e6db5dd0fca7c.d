@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_transformer_search-bb2e6db5dd0fca7c.d: crates/bench/src/bin/ext_transformer_search.rs
+
+/root/repo/target/release/deps/ext_transformer_search-bb2e6db5dd0fca7c: crates/bench/src/bin/ext_transformer_search.rs
+
+crates/bench/src/bin/ext_transformer_search.rs:

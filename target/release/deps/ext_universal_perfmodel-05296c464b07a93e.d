@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_universal_perfmodel-05296c464b07a93e.d: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+/root/repo/target/release/deps/ext_universal_perfmodel-05296c464b07a93e: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_production-6d1b3f3fde95617b.d: crates/bench/src/bin/fig10_production.rs
+
+/root/repo/target/release/deps/fig10_production-6d1b3f3fde95617b: crates/bench/src/bin/fig10_production.rs
+
+crates/bench/src/bin/fig10_production.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_roofline-f93ffbfb95403bd9.d: crates/bench/src/bin/fig4_roofline.rs
+
+/root/repo/target/release/deps/fig4_roofline-f93ffbfb95403bd9: crates/bench/src/bin/fig4_roofline.rs
+
+crates/bench/src/bin/fig4_roofline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_reward-25beaa476ba6251e.d: crates/bench/src/bin/fig5_reward.rs
+
+/root/repo/target/release/deps/fig5_reward-25beaa476ba6251e: crates/bench/src/bin/fig5_reward.rs
+
+crates/bench/src/bin/fig5_reward.rs:

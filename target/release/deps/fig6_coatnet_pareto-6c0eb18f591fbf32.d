@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_coatnet_pareto-6c0eb18f591fbf32.d: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+/root/repo/target/release/deps/fig6_coatnet_pareto-6c0eb18f591fbf32: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+crates/bench/src/bin/fig6_coatnet_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_hw_analysis-ee13b7963d22a2e2.d: crates/bench/src/bin/fig7_hw_analysis.rs
+
+/root/repo/target/release/deps/fig7_hw_analysis-ee13b7963d22a2e2: crates/bench/src/bin/fig7_hw_analysis.rs
+
+crates/bench/src/bin/fig7_hw_analysis.rs:

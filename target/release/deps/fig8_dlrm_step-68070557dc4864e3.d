@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_dlrm_step-68070557dc4864e3.d: crates/bench/src/bin/fig8_dlrm_step.rs
+
+/root/repo/target/release/deps/fig8_dlrm_step-68070557dc4864e3: crates/bench/src/bin/fig8_dlrm_step.rs
+
+crates/bench/src/bin/fig8_dlrm_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_energy-171d97bdb4f5eb1f.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/release/deps/fig9_energy-171d97bdb4f5eb1f: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_pipeline-4d4fdb51d5281f7b.d: crates/bench/src/bin/full_pipeline.rs
+
+/root/repo/target/release/deps/full_pipeline-4d4fdb51d5281f7b: crates/bench/src/bin/full_pipeline.rs
+
+crates/bench/src/bin/full_pipeline.rs:

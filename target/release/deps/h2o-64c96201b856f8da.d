@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/h2o-64c96201b856f8da.d: src/bin/h2o.rs
+
+/root/repo/target/release/deps/h2o-64c96201b856f8da: src/bin/h2o.rs
+
+src/bin/h2o.rs:

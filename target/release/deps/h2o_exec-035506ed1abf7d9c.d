@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/h2o_exec-035506ed1abf7d9c.d: crates/exec/src/lib.rs crates/exec/src/pool.rs
+
+/root/repo/target/release/deps/libh2o_exec-035506ed1abf7d9c.rlib: crates/exec/src/lib.rs crates/exec/src/pool.rs
+
+/root/repo/target/release/deps/libh2o_exec-035506ed1abf7d9c.rmeta: crates/exec/src/lib.rs crates/exec/src/pool.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/pool.rs:

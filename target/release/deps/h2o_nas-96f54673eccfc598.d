@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/h2o_nas-96f54673eccfc598.d: src/lib.rs
+
+/root/repo/target/release/deps/libh2o_nas-96f54673eccfc598.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libh2o_nas-96f54673eccfc598.rmeta: src/lib.rs
+
+src/lib.rs:

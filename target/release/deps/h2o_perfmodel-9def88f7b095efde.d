@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/h2o_perfmodel-9def88f7b095efde.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/release/deps/libh2o_perfmodel-9def88f7b095efde.rlib: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/release/deps/libh2o_perfmodel-9def88f7b095efde.rmeta: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/features.rs:
+crates/perfmodel/src/model.rs:

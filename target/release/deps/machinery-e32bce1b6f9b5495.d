@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/machinery-e32bce1b6f9b5495.d: crates/bench/benches/machinery.rs
+
+/root/repo/target/release/deps/machinery-e32bce1b6f9b5495: crates/bench/benches/machinery.rs
+
+crates/bench/benches/machinery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-86d8cd23c1f8238c.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-86d8cd23c1f8238c: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

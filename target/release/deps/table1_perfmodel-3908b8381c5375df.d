@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_perfmodel-3908b8381c5375df.d: crates/bench/src/bin/table1_perfmodel.rs
+
+/root/repo/target/release/deps/table1_perfmodel-3908b8381c5375df: crates/bench/src/bin/table1_perfmodel.rs
+
+crates/bench/src/bin/table1_perfmodel.rs:

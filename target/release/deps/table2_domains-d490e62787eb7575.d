@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_domains-d490e62787eb7575.d: crates/bench/src/bin/table2_domains.rs
+
+/root/repo/target/release/deps/table2_domains-d490e62787eb7575: crates/bench/src/bin/table2_domains.rs
+
+crates/bench/src/bin/table2_domains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_coatnet_ablation-c0ca8150484354a6.d: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+/root/repo/target/release/deps/table3_coatnet_ablation-c0ca8150484354a6: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:

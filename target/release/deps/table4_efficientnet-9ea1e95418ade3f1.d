@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_efficientnet-9ea1e95418ade3f1.d: crates/bench/src/bin/table4_efficientnet.rs
+
+/root/repo/target/release/deps/table4_efficientnet-9ea1e95418ade3f1: crates/bench/src/bin/table4_efficientnet.rs
+
+crates/bench/src/bin/table4_efficientnet.rs:

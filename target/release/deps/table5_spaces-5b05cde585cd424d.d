@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_spaces-5b05cde585cd424d.d: crates/bench/src/bin/table5_spaces.rs
+
+/root/repo/target/release/deps/table5_spaces-5b05cde585cd424d: crates/bench/src/bin/table5_spaces.rs
+
+crates/bench/src/bin/table5_spaces.rs:

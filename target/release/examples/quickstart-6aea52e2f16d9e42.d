@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-6aea52e2f16d9e42.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-6aea52e2f16d9e42: examples/quickstart.rs
+
+examples/quickstart.rs:

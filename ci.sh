@@ -17,6 +17,26 @@ H2O_WORKERS=1 cargo test -q
 echo "==> cargo test -q (H2O_WORKERS=4)"
 H2O_WORKERS=4 cargo test -q
 
+# Checkpoint/resume smoke through the release binary, once per executor
+# width: a run truncated at step 4 and resumed must write the same
+# telemetry as an uninterrupted run (history compared modulo the
+# wall-clock column).
+echo "==> checkpoint-resume smoke (H2O_WORKERS=1 and 4)"
+for w in 1 4; do
+  ckdir=$(mktemp -d)
+  ./target/release/h2o search --domain dlrm --steps 6 --shards 4 --workers "$w" \
+      --csv "$ckdir/full" >/dev/null
+  ./target/release/h2o search --domain dlrm --steps 4 --shards 4 --workers "$w" \
+      --checkpoint-dir "$ckdir/ckpt" --checkpoint-every 2 >/dev/null
+  ./target/release/h2o search --domain dlrm --steps 6 --shards 4 --workers "$w" \
+      --checkpoint-dir "$ckdir/ckpt" --checkpoint-every 2 --resume \
+      --csv "$ckdir/resumed" >/dev/null
+  cmp "$ckdir/full_candidates.csv" "$ckdir/resumed_candidates.csv"
+  cmp <(cut -d, -f1-4 "$ckdir/full_history.csv") \
+      <(cut -d, -f1-4 "$ckdir/resumed_history.csv")
+  rm -rf "$ckdir"
+done
+
 # Loom-style smoke: force every executor batch through the serialized
 # in-order schedule and re-check the executor, cache and determinism
 # suites against it.

@@ -80,6 +80,13 @@ fn main() {
             ""
         }
     );
+    // The report always runs end to end; crash-safe runs go through
+    // `h2o search --checkpoint-dir ... --resume` (see DESIGN.md,
+    // "Crash-safe checkpoint/resume").
+    println!(
+        "checkpointing: off for repro_all (checkpoint format v{} available via `h2o search`)",
+        h2o_ckpt::FORMAT_VERSION
+    );
     for (name, run) in experiments {
         println!("\n{}\n>>> {name}\n{}", "=".repeat(72), "=".repeat(72));
         // Fresh instruments per experiment, so the summary below reflects

@@ -50,6 +50,7 @@ pub fn single_step_ablation(steps: usize) -> (f64, f64, u64, u64) {
         steps,
         shards: 4,
         batch_size: 64,
+        seed: 1,
         ..Default::default()
     };
 

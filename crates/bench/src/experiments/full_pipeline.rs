@@ -140,6 +140,7 @@ pub fn evaluate() -> PipelineResult {
         steps: env_usize("H2O_PIPE_STEPS", 120),
         shards: 4,
         batch_size: 64,
+        seed: 2,
         ..Default::default()
     };
     let outcome = unified_search(&mut supernet, &pipeline, &reward, perf_of, &cfg);

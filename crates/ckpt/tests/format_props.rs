@@ -1,0 +1,109 @@
+//! Property tests for the checkpoint file format: arbitrary snapshots
+//! round-trip bit-exactly through encode/decode, and arbitrary corruption
+//! never slips past validation.
+
+use h2o_ckpt::{decode_file, encode_file, CkptError};
+use h2o_core::{EvalResult, EvaluatedCandidate, Policy, ResumeState, RewardBaseline, StepRecord};
+use proptest::prelude::*;
+
+/// Builds a `ResumeState` from plain generated parts (logits per decision,
+/// float payloads via bit patterns so NaNs and infinities are covered too).
+#[allow(clippy::type_complexity)]
+fn state_from(
+    steps_done: usize,
+    logits: Vec<Vec<u64>>,
+    baseline_bits: u64,
+    initialized: bool,
+    history_bits: Vec<(u64, u64, u64)>,
+    candidates: Vec<(Vec<u64>, u64, Vec<u64>)>,
+    supernet: Option<Vec<u8>>,
+) -> ResumeState {
+    ResumeState {
+        steps_done,
+        policy: Policy::from_logits(
+            logits
+                .into_iter()
+                .map(|row| row.into_iter().map(f64::from_bits).collect())
+                .collect(),
+        ),
+        baseline: RewardBaseline::from_parts(f64::from_bits(baseline_bits), 0.9, initialized),
+        history: history_bits
+            .into_iter()
+            .enumerate()
+            .map(|(i, (mean, best, entropy))| StepRecord {
+                step: i,
+                mean_reward: f64::from_bits(mean),
+                best_reward: f64::from_bits(best),
+                entropy: f64::from_bits(entropy),
+                step_time_ms: i as f64,
+            })
+            .collect(),
+        evaluated: candidates
+            .into_iter()
+            .map(|(sample, quality, perf)| EvaluatedCandidate {
+                sample: sample.into_iter().map(|c| c as usize).collect(),
+                result: EvalResult {
+                    quality: f64::from_bits(quality),
+                    perf_values: perf.into_iter().map(f64::from_bits).collect(),
+                },
+                reward: f64::from_bits(quality ^ 1),
+            })
+            .collect(),
+        supernet_state: supernet,
+    }
+}
+
+// The vendored proptest only samples numeric ranges, tuples, and vectors,
+// so richer shapes are built from those: bools from `0..2`, `Option` from a
+// (discriminant, payload) pair, and raw bytes from `0u64..256`.
+const BITS: std::ops::Range<u64> = 0u64..u64::MAX;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn arbitrary_snapshots_round_trip_bit_exactly(
+        steps_done in 0usize..10_000,
+        logits in prop::collection::vec(prop::collection::vec(BITS, 1..6), 1..5),
+        baseline_bits in BITS,
+        initialized in 0usize..2,
+        history in prop::collection::vec((BITS, BITS, BITS), 0..8),
+        candidates in prop::collection::vec(
+            (prop::collection::vec(0u64..64, 0..5), BITS,
+             prop::collection::vec(BITS, 0..3)),
+            0..6,
+        ),
+        supernet in (0usize..2, prop::collection::vec(0u64..256, 0..64)),
+        fingerprint in BITS,
+    ) {
+        let (has_supernet, supernet_bytes) = supernet;
+        let supernet = (has_supernet == 1)
+            .then(|| supernet_bytes.into_iter().map(|b| b as u8).collect());
+        let state = state_from(
+            steps_done, logits, baseline_bits, initialized == 1, history, candidates, supernet,
+        );
+        let bytes = encode_file(&state.as_snapshot(), fingerprint);
+        let back = decode_file(&bytes, fingerprint).expect("well-formed file decodes");
+        // Bit-level equality: compare a re-encoding, which is sensitive to
+        // every stored bit (including NaN payloads PartialEq would miss).
+        prop_assert_eq!(encode_file(&back.as_snapshot(), fingerprint), bytes);
+    }
+
+    fn corruption_never_slips_past_validation(
+        steps_done in 0usize..100,
+        logits in prop::collection::vec(prop::collection::vec(BITS, 1..4), 1..3),
+        offset in 0usize..1_000_000,
+        flip in 1u64..256,
+    ) {
+        let state = state_from(steps_done, logits, 0, false, vec![], vec![], None);
+        let mut bytes = encode_file(&state.as_snapshot(), 42);
+        let i = offset % bytes.len();
+        bytes[i] ^= flip as u8;
+        // Any single-byte corruption must be caught by the magic or the
+        // whole-file checksum — never decoded into a different state.
+        let err = decode_file(&bytes, 42).expect_err("corruption detected");
+        prop_assert!(
+            matches!(err, CkptError::ChecksumMismatch | CkptError::BadMagic),
+            "unexpected error {:?}", err
+        );
+    }
+}

@@ -19,6 +19,9 @@
 //!   α-before-W ordering enforced per batch; the TuNAS variant is the
 //!   alternating two-stream baseline the paper improves upon.
 //! * [`pareto`] — Pareto fronts and the bucketised comparisons of Fig. 5.
+//! * [`parallel_search_with`] / [`unified_search_with`] — the same loops
+//!   with crash-safe checkpoint/resume hooks ([`CheckpointSink`]); the
+//!   `h2o-ckpt` crate provides the durable on-disk sink.
 //!
 //! # Examples
 //!
@@ -51,16 +54,18 @@ mod oneshot;
 mod oneshot_generic;
 pub mod pareto;
 mod policy;
+mod resume;
 mod reward;
 mod search;
 pub mod telemetry;
 
 pub use baselines::{evolution_search, random_search, BaselineOutcome, EvolutionConfig};
-pub use oneshot::{tunas_search, unified_search, OneShotConfig};
-pub use oneshot_generic::{unified_search_over, OneShotSupernet};
+pub use oneshot::{tunas_search, unified_search, unified_search_with, OneShotConfig};
+pub use oneshot_generic::{unified_search_over, unified_search_over_with, OneShotSupernet};
 pub use policy::{Policy, RewardBaseline};
+pub use resume::{CheckpointSink, ResumeState, SearchSnapshot};
 pub use reward::{PerfObjective, RewardFn, RewardKind};
 pub use search::{
-    parallel_search, ArchEvaluator, EvalResult, EvaluatedCandidate, SearchConfig, SearchOutcome,
-    StepRecord,
+    parallel_search, parallel_search_with, shard_seed, ArchEvaluator, EvalResult,
+    EvaluatedCandidate, SearchConfig, SearchOutcome, StepRecord,
 };

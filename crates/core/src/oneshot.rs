@@ -84,6 +84,24 @@ pub fn unified_search(
     crate::oneshot_generic::unified_search_over(supernet, pipeline, reward_fn, perf_of, config)
 }
 
+/// [`unified_search`] with checkpoint/resume hooks — see
+/// [`crate::unified_search_over_with`] for the resume contract (the caller
+/// passes a freshly constructed supernet and pipeline; shared weights are
+/// restored and the pipeline fast-forwarded from the snapshot).
+pub fn unified_search_with(
+    supernet: &mut DlrmSupernet,
+    pipeline: &InMemoryPipeline<CtrTraffic>,
+    reward_fn: &RewardFn,
+    perf_of: impl Fn(&ArchSample) -> Vec<f64> + Sync,
+    config: &OneShotConfig,
+    resume: Option<crate::resume::ResumeState>,
+    sink: Option<&mut dyn crate::resume::CheckpointSink>,
+) -> SearchOutcome {
+    crate::oneshot_generic::unified_search_over_with(
+        supernet, pipeline, reward_fn, perf_of, config, resume, sink,
+    )
+}
+
 /// The TuNAS-style alternating baseline (Fig. 2 left): weight training on a
 /// training stream, policy learning on a **separate validation stream**.
 ///

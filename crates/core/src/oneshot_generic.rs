@@ -11,8 +11,9 @@
 //! domain-independent.
 
 use crate::policy::{Policy, RewardBaseline};
+use crate::resume::{CheckpointSink, ResumeState, SearchSnapshot};
 use crate::reward::RewardFn;
-use crate::search::{EvalResult, EvaluatedCandidate, SearchOutcome, StepRecord};
+use crate::search::{shard_seed, EvalResult, EvaluatedCandidate, SearchOutcome, StepRecord};
 use crate::OneShotConfig;
 use h2o_data::{InMemoryPipeline, TrafficSource};
 use h2o_space::{ArchSample, DlrmSupernet, SearchSpace, VisionSupernet};
@@ -37,6 +38,18 @@ pub trait OneShotSupernet {
 
     /// One shared-weight training step of the active candidate.
     fn train_step_on(&mut self, batch: &Self::Batch);
+
+    /// Serialises the shared trainable state (weights + optimizer moments)
+    /// as an opaque, bit-exact blob for checkpointing.
+    fn save_state(&self) -> Vec<u8>;
+
+    /// Restores a blob produced by [`OneShotSupernet::save_state`] on a
+    /// super-network of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the blob does not match this super-network's shape.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String>;
 }
 
 impl OneShotSupernet for DlrmSupernet {
@@ -57,6 +70,14 @@ impl OneShotSupernet for DlrmSupernet {
 
     fn train_step_on(&mut self, batch: &Self::Batch) {
         self.train_step(batch);
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        DlrmSupernet::save_state(self)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        DlrmSupernet::load_state(self, bytes).map_err(|e| e.to_string())
     }
 }
 
@@ -79,6 +100,14 @@ impl OneShotSupernet for VisionSupernet {
     fn train_step_on(&mut self, batch: &Self::Batch) {
         self.train_step(&batch.features, &batch.labels);
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        VisionSupernet::save_state(self)
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        VisionSupernet::load_state(self, bytes).map_err(|e| e.to_string())
+    }
 }
 
 /// The unified single-step search (Fig. 2 right) over any
@@ -96,19 +125,85 @@ where
     S: OneShotSupernet,
     Src: TrafficSource<Batch = S::Batch>,
 {
+    unified_search_over_with(supernet, pipeline, reward_fn, perf_of, config, None, None)
+}
+
+/// [`unified_search_over`] with checkpoint/resume hooks.
+///
+/// `resume` restores a snapshot captured at a completed step `k` by a
+/// [`CheckpointSink`]: controller state is handed back to the loop, the
+/// supernet's shared weights are restored via
+/// [`OneShotSupernet::load_state`], and the pipeline is fast-forwarded past
+/// the `k × shards` batches the original run consumed — so the caller must
+/// pass a **freshly constructed** supernet and pipeline built with the same
+/// seeds/configs as the original run. Policy sampling draws from a
+/// per-step RNG seeded by [`shard_seed`]`(seed, step, u64::MAX)` (the
+/// `u64::MAX` tag keeps the stream disjoint from per-shard eval streams),
+/// so the resumed run is byte-identical to an uninterrupted one.
+///
+/// # Panics
+///
+/// Panics if the resume state was captured past `config.steps`, lacks
+/// supernet state, does not match the supernet's shape, or if the sink
+/// returns an error.
+pub fn unified_search_over_with<S, Src>(
+    supernet: &mut S,
+    pipeline: &InMemoryPipeline<Src>,
+    reward_fn: &RewardFn,
+    perf_of: impl Fn(&ArchSample) -> Vec<f64> + Sync,
+    config: &OneShotConfig,
+    resume: Option<ResumeState>,
+    mut sink: Option<&mut dyn CheckpointSink>,
+) -> SearchOutcome
+where
+    S: OneShotSupernet,
+    Src: TrafficSource<Batch = S::Batch>,
+{
     let space = supernet.search_space().clone();
-    let mut policy = Policy::uniform(&space);
-    let mut baseline = RewardBaseline::new(config.baseline_momentum);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut history = Vec::with_capacity(config.steps);
-    let mut evaluated = Vec::with_capacity(config.steps * config.shards);
+    let (start_step, mut policy, mut baseline, mut history, mut evaluated) = match resume {
+        Some(state) => {
+            assert!(
+                state.steps_done <= config.steps,
+                "resume state is from step {} but the search only runs {} steps",
+                state.steps_done,
+                config.steps
+            );
+            let weights = state
+                .supernet_state
+                .as_deref()
+                .expect("one-shot resume requires snapshotted supernet state");
+            supernet
+                .load_state(weights)
+                .expect("supernet state does not match this super-network");
+            pipeline.fast_forward(state.steps_done * config.shards, config.batch_size);
+            (
+                state.steps_done,
+                state.policy,
+                state.baseline,
+                state.history,
+                state.evaluated,
+            )
+        }
+        None => (
+            0,
+            Policy::uniform(&space),
+            RewardBaseline::new(config.baseline_momentum),
+            Vec::with_capacity(config.steps),
+            Vec::with_capacity(config.steps * config.shards),
+        ),
+    };
     let executor = h2o_exec::Executor::from_env(config.workers, config.shards);
 
     let steps_total = h2o_obs::counter("h2o_core_oneshot_steps_total");
     let candidates_total = h2o_obs::counter("h2o_core_candidates_evaluated_total");
 
-    for step in 0..config.steps {
+    for step in start_step..config.steps {
         let step_span = h2o_obs::span("search_step");
+        // Per-step policy-sampling RNG: derived from (seed, step) so a
+        // resumed run rejoins the exact sample stream without any run-long
+        // RNG state to save. The u64::MAX shard tag keeps this stream
+        // disjoint from parallel_search's per-shard eval streams.
+        let mut rng = StdRng::seed_from_u64(shard_seed(config.seed, step as u64, u64::MAX));
         // Quality stage stays serial: it trains/masks the single shared
         // supernet and consumes pipeline batches in order.
         let mut quality_data = Vec::with_capacity(config.shards);
@@ -191,6 +286,25 @@ where
             entropy,
             step_time_ms,
         });
+
+        let steps_done = step + 1;
+        if let Some(sink) = sink.as_deref_mut() {
+            if sink.should_checkpoint(steps_done) {
+                // Supernet serialisation is the expensive part, so it only
+                // happens once the sink has said yes.
+                let weights = h2o_obs::time("supernet_save_state", || supernet.save_state());
+                let snapshot = SearchSnapshot {
+                    steps_done,
+                    policy: &policy,
+                    baseline: &baseline,
+                    history: &history,
+                    evaluated: &evaluated,
+                    supernet_state: Some(&weights),
+                };
+                sink.on_checkpoint(&snapshot)
+                    .expect("checkpoint sink failed");
+            }
+        }
     }
     SearchOutcome {
         best: policy.argmax(),

@@ -49,6 +49,25 @@ impl Policy {
         self.logits.len()
     }
 
+    /// The raw per-decision logits (checkpoint serialisation).
+    pub fn logits(&self) -> &[Vec<f64>] {
+        &self.logits
+    }
+
+    /// Rebuilds a policy from raw logits (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is empty or any decision has no choices.
+    pub fn from_logits(logits: Vec<Vec<f64>>) -> Self {
+        assert!(!logits.is_empty(), "policy needs at least one decision");
+        assert!(
+            logits.iter().all(|l| !l.is_empty()),
+            "every decision needs at least one choice"
+        );
+        Self { logits }
+    }
+
     /// Softmax probabilities of one decision.
     ///
     /// # Panics
@@ -241,6 +260,30 @@ impl RewardBaseline {
     /// Current baseline value (0 until the first update).
     pub fn value(&self) -> f64 {
         self.value
+    }
+
+    /// The EMA momentum.
+    pub fn momentum(&self) -> f64 {
+        self.momentum
+    }
+
+    /// Whether the first update has happened.
+    pub fn initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Rebuilds a baseline from its parts (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ momentum < 1`.
+    pub fn from_parts(value: f64, momentum: f64, initialized: bool) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self {
+            value,
+            momentum,
+            initialized,
+        }
     }
 
     /// Folds a new mean reward into the EMA and returns the *previous*

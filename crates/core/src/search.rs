@@ -11,11 +11,32 @@
 //! order, so the outcome is bit-identical for any worker count.
 
 use crate::policy::{Policy, RewardBaseline};
+use crate::resume::{CheckpointSink, ResumeState, SearchSnapshot};
 use crate::reward::RewardFn;
 use h2o_space::{ArchSample, SearchSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// SplitMix64 finalizer: a full-avalanche bijection on `u64` (Steele et
+/// al.), the same mixer `h2o_hwsim`'s cache uses for shard routing.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG seed that owns the `(seed, step, shard)` sample stream.
+///
+/// Each coordinate passes through a SplitMix64 finalizer before the next is
+/// folded in, so distinct tuples get statistically independent streams.
+/// The previous XOR mix (`seed ^ (step << 20) ^ shard`) made whole streams
+/// collide across `(seed, shard)` pairs — e.g. `seed=3, shard=0` and
+/// `seed=2, shard=1` drew identical architectures every step.
+pub fn shard_seed(seed: u64, step: u64, shard: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed).wrapping_add(step)).wrapping_add(shard))
+}
 
 /// Quality and measured performance of one evaluated candidate.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -138,8 +159,44 @@ impl SearchOutcome {
 pub fn parallel_search<E, F>(
     space: &SearchSpace,
     reward_fn: &RewardFn,
+    make_evaluator: F,
+    config: &SearchConfig,
+) -> SearchOutcome
+where
+    E: ArchEvaluator + Send,
+    F: FnMut(usize) -> E,
+{
+    parallel_search_with(space, reward_fn, make_evaluator, config, None, None)
+}
+
+/// [`parallel_search`] with checkpoint/resume hooks.
+///
+/// `resume` restores controller state captured by a [`CheckpointSink`] at a
+/// completed step `k`; the loop then runs steps `k..config.steps` and the
+/// outcome is byte-identical to an uninterrupted run (per-step sample
+/// streams are derived from `(seed, step, shard)` via [`shard_seed`], so no
+/// run-long RNG state needs saving). Stateless evaluators (simulators, cost
+/// models) resume exactly; evaluators with their own mutable state are the
+/// caller's responsibility to reconstruct — for trainable supernets use
+/// `unified_search_with`, which snapshots the shared weights.
+///
+/// `sink` is consulted after every completed step; when
+/// [`CheckpointSink::should_checkpoint`] returns true it receives a
+/// borrowed [`SearchSnapshot`].
+///
+/// # Panics
+///
+/// Panics if `config.shards == 0`, `config.steps == 0`, if the resume state
+/// was captured past `config.steps` or does not match the search space, or
+/// if the sink returns an error (a checkpoint that cannot be written is a
+/// lost durability guarantee, not a condition to search through).
+pub fn parallel_search_with<E, F>(
+    space: &SearchSpace,
+    reward_fn: &RewardFn,
     mut make_evaluator: F,
     config: &SearchConfig,
+    resume: Option<ResumeState>,
+    mut sink: Option<&mut dyn CheckpointSink>,
 ) -> SearchOutcome
 where
     E: ArchEvaluator + Send,
@@ -147,16 +204,46 @@ where
 {
     assert!(config.shards > 0, "need at least one shard");
     assert!(config.steps > 0, "need at least one step");
-    let mut policy = Policy::uniform(space);
-    let mut baseline = RewardBaseline::new(config.baseline_momentum);
-    let mut history = Vec::with_capacity(config.steps);
-    let mut evaluated = Vec::with_capacity(config.steps * config.shards);
+    let (start_step, mut policy, mut baseline, mut history, mut evaluated) = match resume {
+        Some(state) => {
+            assert!(
+                state.steps_done <= config.steps,
+                "resume state is from step {} but the search only runs {} steps",
+                state.steps_done,
+                config.steps
+            );
+            assert_eq!(
+                state.policy.num_decisions(),
+                space.num_decisions(),
+                "resume state does not match the search space"
+            );
+            (
+                state.steps_done,
+                state.policy,
+                state.baseline,
+                state.history,
+                state.evaluated,
+            )
+        }
+        None => (
+            0,
+            Policy::uniform(space),
+            RewardBaseline::new(config.baseline_momentum),
+            Vec::with_capacity(config.steps),
+            Vec::with_capacity(config.steps * config.shards),
+        ),
+    };
     let mut evaluators: Vec<E> = (0..config.shards).map(&mut make_evaluator).collect();
     let executor = h2o_exec::Executor::from_env(config.workers, config.shards);
     let steps_total = h2o_obs::counter("h2o_core_search_steps_total");
     let candidates_total = h2o_obs::counter("h2o_core_candidates_evaluated_total");
+    // Per-shard counters, resolved once: the registry lookup (and its
+    // format!-ed label) has no business inside the per-evaluation hot path.
+    let shard_evals: Vec<h2o_obs::Counter> = (0..config.shards)
+        .map(|shard| h2o_obs::counter(&format!("h2o_core_shard_evals{{shard=\"{shard}\"}}")))
+        .collect();
 
-    for step in 0..config.steps {
+    for step in start_step..config.steps {
         let step_span = h2o_obs::span("search_step");
         // Stage 1: every shard samples and evaluates its own candidate on
         // the work-stealing pool (Fig. 2's per-core sample + forward pass).
@@ -166,15 +253,16 @@ where
         let policy_ref = &policy;
         let jobs: Vec<_> = evaluators
             .iter_mut()
+            .zip(&shard_evals)
             .enumerate()
-            .map(|(shard, evaluator)| {
+            .map(|(shard, (evaluator, evals_counter))| {
                 move || {
                     // Per-shard counters: each worker records under the
                     // shard's label; exporters aggregate the set.
                     let _eval_span = h2o_obs::span("shard_evaluate");
-                    h2o_obs::counter(&format!("h2o_core_shard_evals{{shard=\"{shard}\"}}")).inc();
+                    evals_counter.inc();
                     let mut rng =
-                        StdRng::seed_from_u64(config.seed ^ (step as u64) << 20 ^ shard as u64);
+                        StdRng::seed_from_u64(shard_seed(config.seed, step as u64, shard as u64));
                     let sample = policy_ref.sample(&mut rng);
                     let result = evaluator.evaluate(&sample);
                     (sample, result)
@@ -221,6 +309,22 @@ where
                 result,
                 reward,
             });
+        }
+
+        let steps_done = step + 1;
+        if let Some(sink) = sink.as_deref_mut() {
+            if sink.should_checkpoint(steps_done) {
+                let snapshot = SearchSnapshot {
+                    steps_done,
+                    policy: &policy,
+                    baseline: &baseline,
+                    history: &history,
+                    evaluated: &evaluated,
+                    supernet_state: None,
+                };
+                sink.on_checkpoint(&snapshot)
+                    .expect("checkpoint sink failed");
+            }
         }
     }
 

@@ -76,6 +76,11 @@ pub struct PipelineStats {
     pub weights_used: u64,
     /// Examples handed out.
     pub examples: u64,
+    /// Batches explicitly abandoned before completing their lifecycle.
+    pub abandoned: u64,
+    /// Batches drawn and discarded by [`InMemoryPipeline::fast_forward`]
+    /// (checkpoint resume replay).
+    pub fast_forwarded: u64,
 }
 
 struct Inner<S: TrafficSource> {
@@ -201,6 +206,46 @@ impl<S: TrafficSource> InMemoryPipeline<S> {
         }
     }
 
+    /// Abandons an in-flight batch: an evaluation that will never complete
+    /// (shard error, shutdown) releases its record instead of leaking it in
+    /// the lifecycle map forever. Allowed from either the `Produced` or the
+    /// `PolicyUsed` state; no payload trace remains afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::UnknownBatch`] if the batch was never produced or
+    /// already completed/abandoned.
+    pub fn abandon(&self, seq: u64) -> Result<(), PipelineError> {
+        let mut inner = self.inner.lock();
+        if inner.states.remove(&seq).is_none() {
+            h2o_obs::counter("h2o_data_audit_violations_total").inc();
+            return Err(PipelineError::UnknownBatch(seq));
+        }
+        inner.stats.abandoned += 1;
+        h2o_obs::counter("h2o_data_batches_abandoned_total").inc();
+        Ok(())
+    }
+
+    /// Replays `batches` batches of `batch_size` examples from the source
+    /// and discards them, advancing the sequence counter as if they had
+    /// been served. Checkpoint resume uses this to bring the stream to the
+    /// exact position it had when the snapshot was taken: traffic sources
+    /// draw from their RNG per example, so whole batches must be replayed
+    /// (not just the counter bumped) for the continuation to be
+    /// bit-identical.
+    ///
+    /// Discarded batches are *not* counted as produced and never enter the
+    /// lifecycle map.
+    pub fn fast_forward(&self, batches: usize, batch_size: usize) {
+        let mut inner = self.inner.lock();
+        for _ in 0..batches {
+            let _ = inner.source.next_batch(batch_size);
+            inner.next_seq += 1;
+            inner.stats.fast_forwarded += 1;
+        }
+        h2o_obs::counter("h2o_data_batches_fast_forwarded_total").add(batches as u64);
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> PipelineStats {
         self.inner.lock().stats
@@ -311,6 +356,52 @@ mod tests {
         seqs.dedup();
         assert_eq!(seqs.len(), 8, "every shard saw distinct data");
         assert_eq!(p.stats().weights_used, 8);
+    }
+
+    #[test]
+    fn abandoned_batches_do_not_leak() {
+        let p = pipeline();
+        let a = p.next_batch(4); // abandoned while Produced
+        let b = p.next_batch(4); // abandoned while PolicyUsed
+        p.mark_policy_use(b.seq).unwrap();
+        p.abandon(a.seq).unwrap();
+        p.abandon(b.seq).unwrap();
+        assert_eq!(p.in_flight(), 0, "abandoned batches leave no trace");
+        assert_eq!(p.stats().abandoned, 2);
+        // The record is gone: any further use is an UnknownBatch error.
+        assert_eq!(
+            p.mark_policy_use(a.seq),
+            Err(PipelineError::UnknownBatch(a.seq))
+        );
+        assert_eq!(p.abandon(a.seq), Err(PipelineError::UnknownBatch(a.seq)));
+    }
+
+    #[test]
+    fn abandon_unknown_batch_rejected() {
+        let p = pipeline();
+        assert_eq!(p.abandon(7), Err(PipelineError::UnknownBatch(7)));
+    }
+
+    #[test]
+    fn fast_forward_matches_a_served_stream() {
+        let fresh = pipeline();
+        let skipped = pipeline();
+        // Serve (and fully consume) 3 batches on one pipeline; fast-forward
+        // the other past the same 3 batches.
+        for _ in 0..3 {
+            let b = fresh.next_batch(8);
+            fresh.mark_policy_use(b.seq).unwrap();
+            fresh.mark_weights_use(b.seq).unwrap();
+        }
+        skipped.fast_forward(3, 8);
+        assert_eq!(skipped.stats().fast_forwarded, 3);
+        assert_eq!(skipped.stats().produced, 0, "discards are not 'produced'");
+        // The next batch from both pipelines is identical: same seq, same
+        // stream position.
+        let a = fresh.next_batch(8);
+        let b = skipped.next_batch(8);
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(format!("{:?}", a.data), format!("{:?}", b.data));
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::decision::ArchSample;
 use crate::dlrm::{choices, DlrmSpace, DlrmSpaceConfig, DECISIONS_PER_GROUP, DECISIONS_PER_TABLE};
 use h2o_tensor::{
     loss, Activation, LowRankDense, MaskedDense, Matrix, OptimConfig, Optimizer,
-    SharedEmbeddingBank,
+    SharedEmbeddingBank, StateError, StateReader, StateWriter,
 };
 use rand::Rng;
 
@@ -444,6 +444,53 @@ impl DlrmSupernet {
         let auc = loss::auc(&scores, &batch.labels);
         (logloss, auc)
     }
+
+    /// Serialises every shared trainable buffer — embedding banks, both
+    /// paths of every super-layer, the head, and the optimizer moments —
+    /// into a bit-exact blob for checkpointing. Taken at a step boundary
+    /// (after [`DlrmSupernet::train_step`] returns), all gradients are zero
+    /// and all masks are reapplied by the next
+    /// [`DlrmSupernet::apply_sample`], so weights + optimizer state are the
+    /// complete resumable state.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        for bank in &self.banks {
+            bank.write_state(&mut w);
+        }
+        for group in &self.groups {
+            for layer in &group.layers {
+                layer.full.write_state(&mut w);
+                layer.low.write_state(&mut w);
+            }
+        }
+        self.head.write_state(&mut w);
+        self.optimizer.write_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores a blob written by [`DlrmSupernet::save_state`] into a
+    /// super-network built from the *same* space configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving the network partially overwritten — rebuild it before
+    /// retrying) if the blob was produced by a differently-shaped network
+    /// or is truncated.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        for bank in &mut self.banks {
+            bank.read_state(&mut r)?;
+        }
+        for group in &mut self.groups {
+            for layer in &mut group.layers {
+                layer.full.read_state(&mut r)?;
+                layer.low.read_state(&mut r)?;
+            }
+        }
+        self.head.read_state(&mut r)?;
+        self.optimizer.read_state(&mut r)?;
+        r.finish()
+    }
 }
 
 #[cfg(test)]
@@ -557,6 +604,44 @@ mod tests {
             let l = net.train_step(&batch);
             assert!(l.is_finite());
         }
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_exact() {
+        let mut r = rng();
+        let mut net = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut r);
+        let sample = net.space().baseline();
+        net.apply_sample(&sample);
+        for _ in 0..5 {
+            let batch = make_batch(&net, 32, &mut r);
+            net.train_step(&batch);
+        }
+        let blob = net.save_state();
+        // A freshly built network (different init seed) must restore to the
+        // exact same bytes and the exact same function.
+        let mut fresh = DlrmSupernet::new(
+            DlrmSpaceConfig::tiny(),
+            0.05,
+            &mut StdRng::seed_from_u64(99),
+        );
+        fresh.load_state(&blob).expect("load");
+        assert_eq!(fresh.save_state(), blob);
+        fresh.apply_sample(&sample);
+        net.apply_sample(&sample);
+        let eval = make_batch(&net, 64, &mut r);
+        let (a, _) = net.evaluate(&eval);
+        let (b, _) = fresh.evaluate(&eval);
+        assert_eq!(a.to_bits(), b.to_bits(), "restored net must match bitwise");
+    }
+
+    #[test]
+    fn load_state_rejects_truncated_blob() {
+        let mut r = rng();
+        let net = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut r);
+        let blob = net.save_state();
+        let mut other = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut rng());
+        assert!(other.load_state(&blob[..blob.len() / 2]).is_err());
+        assert!(other.load_state(&[]).is_err());
     }
 
     #[test]

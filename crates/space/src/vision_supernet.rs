@@ -9,7 +9,10 @@
 //! and powers the cross-domain one-shot tests.
 
 use crate::decision::{ArchSample, Decision, SearchSpace};
-use h2o_tensor::{loss, Activation, MaskedDense, Matrix, OptimConfig, Optimizer};
+use h2o_tensor::{
+    loss, Activation, MaskedDense, Matrix, OptimConfig, Optimizer, StateError, StateReader,
+    StateWriter,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -271,6 +274,42 @@ impl VisionSupernet {
         }
         (ce, correct as f64 / labels.len().max(1) as f64)
     }
+
+    /// Serialises every shared trainable buffer (all group layers, the
+    /// head, and the optimizer moments) into a bit-exact blob for
+    /// checkpointing. Masks and activations are transient — the next
+    /// [`VisionSupernet::apply_sample`] restores them.
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        for layers in &self.groups {
+            for layer in layers {
+                layer.write_state(&mut w);
+            }
+        }
+        self.head.write_state(&mut w);
+        self.optimizer.write_state(&mut w);
+        w.into_bytes()
+    }
+
+    /// Restores a blob written by [`VisionSupernet::save_state`] into a
+    /// super-network built from the *same* configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails (leaving the network partially overwritten — rebuild it before
+    /// retrying) if the blob was produced by a differently-shaped network
+    /// or is truncated.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let mut r = StateReader::new(bytes);
+        for layers in &mut self.groups {
+            for layer in layers {
+                layer.read_state(&mut r)?;
+            }
+        }
+        self.head.read_state(&mut r)?;
+        self.optimizer.read_state(&mut r)?;
+        r.finish()
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +383,28 @@ mod tests {
         net.apply_sample(&narrow);
         let (after, _) = net.evaluate(&eval.features, &eval.labels);
         assert!(after < before, "sharing must transfer: {before} -> {after}");
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_exact() {
+        let mut net = VisionSupernet::new(VisionSupernetConfig::tiny(), &mut rng());
+        let sample = vec![1, 4, 0, 1, 4, 0];
+        net.apply_sample(&sample);
+        let mut traffic = VisionTraffic::new(4, 16, 0.2, 5);
+        for _ in 0..5 {
+            let b = traffic.next_batch(32);
+            net.train_step(&b.features, &b.labels);
+        }
+        let blob = net.save_state();
+        let mut fresh =
+            VisionSupernet::new(VisionSupernetConfig::tiny(), &mut StdRng::seed_from_u64(99));
+        fresh.load_state(&blob).expect("load");
+        assert_eq!(fresh.save_state(), blob);
+        fresh.apply_sample(&sample);
+        let eval = traffic.next_batch(64);
+        let (a, _) = net.evaluate(&eval.features, &eval.labels);
+        let (b, _) = fresh.evaluate(&eval.features, &eval.labels);
+        assert_eq!(a.to_bits(), b.to_bits(), "restored net must match bitwise");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!   size is a *separate* table to avoid harmful interference between
 //!   candidates — see [`SharedEmbeddingBank`].
 
+use crate::state::{StateError, StateReader, StateWriter};
 use crate::Matrix;
 use rand::Rng;
 use std::collections::HashMap;
@@ -157,6 +158,23 @@ impl EmbeddingTable {
     pub fn active_param_count(&self) -> usize {
         self.weights.rows() * self.active_width
     }
+
+    /// Serialises the full embedding matrix for checkpointing. Pending
+    /// sparse gradients and the active width are transient per-step state
+    /// and are not written (checkpoints are taken at step boundaries, where
+    /// gradients have been applied and cleared).
+    pub fn write_state(&self, w: &mut StateWriter) {
+        w.put_f32_slice(self.weights.as_slice());
+    }
+
+    /// Restores weights written by [`EmbeddingTable::write_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the recorded length does not match this table's shape.
+    pub fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        r.read_f32_slice(self.weights.as_mut_slice())
+    }
 }
 
 /// Coarse-grained vocabulary sharing: one [`EmbeddingTable`] per searchable
@@ -240,6 +258,25 @@ impl SharedEmbeddingBank {
     /// Sparse SGD on the active table.
     pub fn apply_sparse_sgd(&mut self, lr: f32) {
         self.tables[self.active_table].apply_sparse_sgd(lr);
+    }
+
+    /// Serialises every table in the bank, in vocabulary order.
+    pub fn write_state(&self, w: &mut StateWriter) {
+        for table in &self.tables {
+            table.write_state(w);
+        }
+    }
+
+    /// Restores state written by [`SharedEmbeddingBank::write_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if any table's recorded shape does not match.
+    pub fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        for table in &mut self.tables {
+            table.read_state(r)?;
+        }
+        Ok(())
     }
 }
 

@@ -11,6 +11,7 @@
 //!   searchable; ranks share the leading columns/rows of `U`/`V`
 //!   (fine-grained sharing for low-rank candidates, ④ in Fig. 3).
 
+use crate::state::{StateError, StateReader, StateWriter};
 use crate::{Activation, Matrix};
 use rand::Rng;
 
@@ -314,6 +315,24 @@ impl MaskedDense {
             (self.b.as_mut_slice(), self.grad_b.as_slice()),
         ]
     }
+
+    /// Serialises the trainable buffers (full weight matrix and bias) for
+    /// checkpointing. Gradients, activation caches, and the active mask are
+    /// transient per-step state and are not written.
+    pub fn write_state(&self, w: &mut StateWriter) {
+        w.put_f32_slice(self.w.as_slice());
+        w.put_f32_slice(&self.b);
+    }
+
+    /// Restores buffers written by [`MaskedDense::write_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the recorded buffer lengths do not match this layer's shape.
+    pub fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        r.read_f32_slice(self.w.as_mut_slice())?;
+        r.read_f32_slice(&mut self.b)
+    }
 }
 
 /// A low-rank factorised dense layer `y = act((x·U)·V + b)` with a
@@ -550,6 +569,26 @@ impl LowRankDense {
             (self.v.as_mut_slice(), self.grad_v.as_slice()),
             (self.b.as_mut_slice(), self.grad_b.as_slice()),
         ]
+    }
+
+    /// Serialises the trainable buffers (`U`, `V`, bias) for checkpointing.
+    /// Gradients, caches, and the active rank/widths are transient per-step
+    /// state and are not written.
+    pub fn write_state(&self, w: &mut StateWriter) {
+        w.put_f32_slice(self.u.as_slice());
+        w.put_f32_slice(self.v.as_slice());
+        w.put_f32_slice(&self.b);
+    }
+
+    /// Restores buffers written by [`LowRankDense::write_state`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the recorded buffer lengths do not match this layer's shape.
+    pub fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        r.read_f32_slice(self.u.as_mut_slice())?;
+        r.read_f32_slice(self.v.as_mut_slice())?;
+        r.read_f32_slice(&mut self.b)
     }
 }
 

@@ -47,6 +47,7 @@ pub mod loss;
 mod matrix;
 mod mlp;
 mod optim;
+mod state;
 
 pub use activation::Activation;
 pub use embedding::{EmbeddingTable, SharedEmbeddingBank};
@@ -54,3 +55,4 @@ pub use layers::{Dense, LowRankDense, MaskedDense};
 pub use matrix::Matrix;
 pub use mlp::Mlp;
 pub use optim::{OptimConfig, Optimizer};
+pub use state::{StateError, StateReader, StateWriter};

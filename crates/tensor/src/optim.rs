@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::state::{StateError, StateReader, StateWriter};
+
 /// Optimizer algorithm and hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum OptimConfig {
@@ -175,6 +177,40 @@ impl Optimizer {
                 }
             }
         }
+    }
+
+    /// Serialises the optimizer's mutable state (step counter plus every
+    /// slot's moment buffers) for checkpointing. The algorithm config and
+    /// clip setting are *not* written — they are reconstructed by the owner.
+    pub fn write_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.t);
+        w.put_u64(self.slots.len() as u64);
+        for slot in &self.slots {
+            w.put_f32_slice(&slot.m);
+            w.put_f32_slice(&slot.v);
+        }
+    }
+
+    /// Restores state written by [`Optimizer::write_state`]. Slot moment
+    /// buffers keep whatever lengths the blob recorded (slots grow on
+    /// demand, so a freshly constructed optimizer has none); the first
+    /// [`Optimizer::step`] after a restore re-validates them against the
+    /// live parameter buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding failures from the reader.
+    pub fn read_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.t = r.take_u64()?;
+        let slots = r.take_u64()? as usize;
+        self.slots.clear();
+        self.slots.reserve(slots);
+        for _ in 0..slots {
+            let m = r.take_f32_vec()?;
+            let v = r.take_f32_vec()?;
+            self.slots.push(Slot { m, v });
+        }
+        Ok(())
     }
 }
 

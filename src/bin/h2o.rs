@@ -10,8 +10,10 @@
 //! Argument parsing is hand-rolled (the workspace's dependency set is
 //! intentionally small); every subcommand prints plain text.
 
+use h2o_nas::ckpt::{CheckpointStore, FileCheckpointSink};
 use h2o_nas::core::{
-    parallel_search, EvalResult, PerfObjective, RewardFn, RewardKind, SearchConfig,
+    parallel_search_with, CheckpointSink, EvalResult, PerfObjective, ResumeState, RewardFn,
+    RewardKind, SearchConfig,
 };
 use h2o_nas::graph::Graph;
 use h2o_nas::hwsim::{
@@ -39,6 +41,7 @@ USAGE:
   h2o search --domain <cnn|dlrm|vit|dlrm-oneshot> [--budget-ms X] [--steps N] [--shards N]
              [--workers N] [--eval-cache on|off] [--eval-cache-capacity N]
              [--csv STEM] [--metrics-out FILE] [--trace-out FILE]
+             [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]
 
 MODELS:
   coatnet-0..coatnet-5, coatnet-h0..coatnet-h5,
@@ -311,6 +314,56 @@ fn export_observability(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the checkpoint sink and resume state requested by the
+/// `--checkpoint-dir` / `--checkpoint-every` / `--resume` flags, for a
+/// search whose config fingerprints to `fingerprint` and runs `steps`
+/// steps. Returns `(None, None)` when checkpointing is off.
+fn checkpoint_setup(
+    flags: &HashMap<String, String>,
+    fingerprint: u64,
+    steps: usize,
+) -> Result<(Option<FileCheckpointSink>, Option<ResumeState>), String> {
+    let every: usize = flags
+        .get("checkpoint-every")
+        .map(|s| s.parse().map_err(|_| "bad --checkpoint-every"))
+        .transpose()?
+        .unwrap_or(10);
+    if every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
+    let resume = flags.contains_key("resume");
+    let Some(dir) = flags.get("checkpoint-dir") else {
+        if resume {
+            return Err("--resume requires --checkpoint-dir".into());
+        }
+        return Ok((None, None));
+    };
+    let store =
+        CheckpointStore::new(dir, fingerprint).map_err(|e| format!("opening {dir}: {e}"))?;
+    let state = if resume {
+        let state = store
+            .load_latest()
+            .map_err(|e| format!("resuming from {dir}: {e}"))?
+            .ok_or_else(|| format!("--resume: no checkpoint found in {dir}"))?;
+        if state.steps_done > steps {
+            return Err(format!(
+                "--resume: checkpoint has {} completed steps, but --steps is {steps}",
+                state.steps_done
+            ));
+        }
+        println!(
+            "resuming from {dir} at step {} ({} steps remain)",
+            state.steps_done,
+            steps - state.steps_done
+        );
+        Some(state)
+    } else {
+        None
+    };
+    println!("checkpointing to {dir} every {every} steps");
+    Ok((Some(FileCheckpointSink::new(store, every)), state))
+}
+
 /// Per-shard simulator front-end: plain, or memoizing through a shared
 /// [`EvalCache`] when `--eval-cache on`.
 enum ShardSim {
@@ -403,7 +456,9 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
         "cnn" => {
             let space = CnnSpace::new(CnnSpaceConfig::default());
             let quality = VisionQualityModel::new(DatasetScale::Medium);
-            let outcome = parallel_search(
+            let (mut sink, resume_state) =
+                checkpoint_setup(flags, cfg.fingerprint(space.space()), cfg.steps)?;
+            let outcome = parallel_search_with(
                 space.space(),
                 &reward,
                 |_| {
@@ -423,6 +478,8 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                     }
                 },
                 &cfg,
+                resume_state,
+                sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
             );
             maybe_export(&outcome)?;
             let best = space.decode(&outcome.best);
@@ -440,7 +497,9 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
             let space = DlrmSpace::new(config.clone());
             let base = space.decode(&space.baseline());
             let quality = DlrmQualityModel::new(&base, 85.0);
-            let outcome = parallel_search(
+            let (mut sink, resume_state) =
+                checkpoint_setup(flags, cfg.fingerprint(space.space()), cfg.steps)?;
+            let outcome = parallel_search_with(
                 space.space(),
                 &reward,
                 |_| {
@@ -461,6 +520,8 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                     }
                 },
                 &cfg,
+                resume_state,
+                sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
             );
             maybe_export(&outcome)?;
             let best = space.decode(&outcome.best);
@@ -475,7 +536,9 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
         "vit" => {
             let space = VitSpace::new(VitSpaceConfig::pure());
             let quality = VisionQualityModel::new(DatasetScale::Medium);
-            let outcome = parallel_search(
+            let (mut sink, resume_state) =
+                checkpoint_setup(flags, cfg.fingerprint(space.space()), cfg.steps)?;
+            let outcome = parallel_search_with(
                 space.space(),
                 &reward,
                 |_| {
@@ -495,6 +558,8 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                     }
                 },
                 &cfg,
+                resume_state,
+                sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
             );
             maybe_export(&outcome)?;
             let best = space.decode(&outcome.best);
@@ -509,7 +574,7 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
             // The full §4 loop on a small scale: DLRM super-network +
             // use-once pipeline + simulator-pretrained performance model,
             // exercising core, data, hwsim and perfmodel in one run.
-            use h2o_nas::core::{unified_search, OneShotConfig};
+            use h2o_nas::core::{unified_search_with, OneShotConfig};
             use h2o_nas::data::{CtrTraffic, CtrTrafficConfig, InMemoryPipeline};
             use h2o_nas::perfmodel::{Featurizer, PerfModel, PerfTargets, TrainConfig};
             use h2o_nas::space::{DlrmSpaceConfig, DlrmSupernet};
@@ -573,12 +638,22 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
             };
             let perf =
                 |sample: &ArchSample| vec![model.predict(&featurizer.featurize(sample)).training];
-            let outcome = unified_search(
+            // The perf-model pretrain above is deterministic (fixed seed 0),
+            // so a resumed run reconstructs the identical model and only the
+            // supernet weights + controller state come from the checkpoint.
+            let (mut sink, resume_state) = checkpoint_setup(
+                flags,
+                oneshot_cfg.fingerprint(space.space()),
+                oneshot_cfg.steps,
+            )?;
+            let outcome = unified_search_with(
                 &mut supernet,
                 &pipeline,
                 &oneshot_reward,
                 perf,
                 &oneshot_cfg,
+                resume_state,
+                sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
             );
             maybe_export(&outcome)?;
             let stats = pipeline.stats();

@@ -18,6 +18,9 @@
 //!   synthetic production traffic.
 //! * [`exec`] (`h2o-exec`) — the work-stealing parallel evaluation
 //!   executor with deterministic submission-order reduction.
+//! * [`ckpt`] (`h2o-ckpt`) — crash-safe, versioned checkpoint files with
+//!   atomic writes, checksums, and config fingerprints for resumable
+//!   searches.
 //! * [`obs`] (`h2o-obs`) — the observability layer: metrics registry, span
 //!   timers and Prometheus / JSON / Chrome-trace exporters.
 //! * [`graph`] (`h2o-graph`) — the HLO-like operator IR.
@@ -53,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+pub use h2o_ckpt as ckpt;
 pub use h2o_core as core;
 pub use h2o_data as data;
 pub use h2o_exec as exec;

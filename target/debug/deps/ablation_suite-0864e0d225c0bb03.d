@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_suite-0864e0d225c0bb03.d: crates/bench/src/bin/ablation_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_suite-0864e0d225c0bb03.rmeta: crates/bench/src/bin/ablation_suite.rs Cargo.toml
+
+crates/bench/src/bin/ablation_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_suite-0a5374c37da6200e.d: crates/bench/src/bin/ablation_suite.rs
+
+/root/repo/target/debug/deps/ablation_suite-0a5374c37da6200e: crates/bench/src/bin/ablation_suite.rs
+
+crates/bench/src/bin/ablation_suite.rs:

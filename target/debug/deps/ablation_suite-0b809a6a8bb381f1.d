@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_suite-0b809a6a8bb381f1.d: crates/bench/src/bin/ablation_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_suite-0b809a6a8bb381f1.rmeta: crates/bench/src/bin/ablation_suite.rs Cargo.toml
+
+crates/bench/src/bin/ablation_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

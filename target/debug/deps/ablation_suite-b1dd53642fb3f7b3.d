@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_suite-b1dd53642fb3f7b3.d: crates/bench/src/bin/ablation_suite.rs
+
+/root/repo/target/debug/deps/ablation_suite-b1dd53642fb3f7b3: crates/bench/src/bin/ablation_suite.rs
+
+crates/bench/src/bin/ablation_suite.rs:

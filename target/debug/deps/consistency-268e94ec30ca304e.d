@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/consistency-268e94ec30ca304e.d: tests/consistency.rs
+
+/root/repo/target/debug/deps/consistency-268e94ec30ca304e: tests/consistency.rs
+
+tests/consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/consistency-8e61d6814b17b1f1.d: tests/consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconsistency-8e61d6814b17b1f1.rmeta: tests/consistency.rs Cargo.toml
+
+tests/consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

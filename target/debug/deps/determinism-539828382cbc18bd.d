@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/determinism-539828382cbc18bd.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterminism-539828382cbc18bd.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_h2o=placeholder:h2o
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/determinism-ff381d2cf9a15956.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ff381d2cf9a15956: tests/determinism.rs
+
+tests/determinism.rs:
+
+# env-dep:CARGO_BIN_EXE_h2o=/root/repo/target/debug/h2o

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2b122b539b32295f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2b122b539b32295f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

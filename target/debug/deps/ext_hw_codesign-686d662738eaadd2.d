@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_hw_codesign-686d662738eaadd2.d: crates/bench/src/bin/ext_hw_codesign.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_hw_codesign-686d662738eaadd2.rmeta: crates/bench/src/bin/ext_hw_codesign.rs Cargo.toml
+
+crates/bench/src/bin/ext_hw_codesign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hw_codesign-88972ab22964f2d8.d: crates/bench/src/bin/ext_hw_codesign.rs
+
+/root/repo/target/debug/deps/ext_hw_codesign-88972ab22964f2d8: crates/bench/src/bin/ext_hw_codesign.rs
+
+crates/bench/src/bin/ext_hw_codesign.rs:

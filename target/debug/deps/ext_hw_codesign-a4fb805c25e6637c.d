@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_hw_codesign-a4fb805c25e6637c.d: crates/bench/src/bin/ext_hw_codesign.rs
+
+/root/repo/target/debug/deps/ext_hw_codesign-a4fb805c25e6637c: crates/bench/src/bin/ext_hw_codesign.rs
+
+crates/bench/src/bin/ext_hw_codesign.rs:

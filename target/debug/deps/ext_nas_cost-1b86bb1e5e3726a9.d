@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_nas_cost-1b86bb1e5e3726a9.d: crates/bench/src/bin/ext_nas_cost.rs
+
+/root/repo/target/debug/deps/ext_nas_cost-1b86bb1e5e3726a9: crates/bench/src/bin/ext_nas_cost.rs
+
+crates/bench/src/bin/ext_nas_cost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_nas_cost-950d2e7d28db7dbd.d: crates/bench/src/bin/ext_nas_cost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_nas_cost-950d2e7d28db7dbd.rmeta: crates/bench/src/bin/ext_nas_cost.rs Cargo.toml
+
+crates/bench/src/bin/ext_nas_cost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_nas_cost-db859b4bba1f7152.d: crates/bench/src/bin/ext_nas_cost.rs
+
+/root/repo/target/debug/deps/ext_nas_cost-db859b4bba1f7152: crates/bench/src/bin/ext_nas_cost.rs
+
+crates/bench/src/bin/ext_nas_cost.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_search_baselines-2cc5f914351580e9.d: crates/bench/src/bin/ext_search_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_search_baselines-2cc5f914351580e9.rmeta: crates/bench/src/bin/ext_search_baselines.rs Cargo.toml
+
+crates/bench/src/bin/ext_search_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

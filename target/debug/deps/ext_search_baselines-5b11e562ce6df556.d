@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_search_baselines-5b11e562ce6df556.d: crates/bench/src/bin/ext_search_baselines.rs
+
+/root/repo/target/debug/deps/ext_search_baselines-5b11e562ce6df556: crates/bench/src/bin/ext_search_baselines.rs
+
+crates/bench/src/bin/ext_search_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_search_baselines-75f8c288bf98723a.d: crates/bench/src/bin/ext_search_baselines.rs
+
+/root/repo/target/debug/deps/ext_search_baselines-75f8c288bf98723a: crates/bench/src/bin/ext_search_baselines.rs
+
+crates/bench/src/bin/ext_search_baselines.rs:

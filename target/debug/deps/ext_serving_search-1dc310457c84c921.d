@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_serving_search-1dc310457c84c921.d: crates/bench/src/bin/ext_serving_search.rs
+
+/root/repo/target/debug/deps/ext_serving_search-1dc310457c84c921: crates/bench/src/bin/ext_serving_search.rs
+
+crates/bench/src/bin/ext_serving_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_serving_search-440e8435f220c873.d: crates/bench/src/bin/ext_serving_search.rs
+
+/root/repo/target/debug/deps/ext_serving_search-440e8435f220c873: crates/bench/src/bin/ext_serving_search.rs
+
+crates/bench/src/bin/ext_serving_search.rs:

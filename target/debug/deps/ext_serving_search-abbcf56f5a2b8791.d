@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_serving_search-abbcf56f5a2b8791.d: crates/bench/src/bin/ext_serving_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_serving_search-abbcf56f5a2b8791.rmeta: crates/bench/src/bin/ext_serving_search.rs Cargo.toml
+
+crates/bench/src/bin/ext_serving_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_shard_scaling-2f5c8cb0ba30132c.d: crates/bench/src/bin/ext_shard_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_shard_scaling-2f5c8cb0ba30132c.rmeta: crates/bench/src/bin/ext_shard_scaling.rs Cargo.toml
+
+crates/bench/src/bin/ext_shard_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_shard_scaling-4d0f4bf17973a7e2.d: crates/bench/src/bin/ext_shard_scaling.rs
+
+/root/repo/target/debug/deps/ext_shard_scaling-4d0f4bf17973a7e2: crates/bench/src/bin/ext_shard_scaling.rs
+
+crates/bench/src/bin/ext_shard_scaling.rs:

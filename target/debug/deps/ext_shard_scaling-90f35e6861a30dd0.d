@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_shard_scaling-90f35e6861a30dd0.d: crates/bench/src/bin/ext_shard_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_shard_scaling-90f35e6861a30dd0.rmeta: crates/bench/src/bin/ext_shard_scaling.rs Cargo.toml
+
+crates/bench/src/bin/ext_shard_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_shard_scaling-a2cd5c476cdf883e.d: crates/bench/src/bin/ext_shard_scaling.rs
+
+/root/repo/target/debug/deps/ext_shard_scaling-a2cd5c476cdf883e: crates/bench/src/bin/ext_shard_scaling.rs
+
+crates/bench/src/bin/ext_shard_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_transformer_search-3f9e984b18632801.d: crates/bench/src/bin/ext_transformer_search.rs
+
+/root/repo/target/debug/deps/ext_transformer_search-3f9e984b18632801: crates/bench/src/bin/ext_transformer_search.rs
+
+crates/bench/src/bin/ext_transformer_search.rs:

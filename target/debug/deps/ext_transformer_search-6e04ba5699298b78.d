@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_transformer_search-6e04ba5699298b78.d: crates/bench/src/bin/ext_transformer_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_transformer_search-6e04ba5699298b78.rmeta: crates/bench/src/bin/ext_transformer_search.rs Cargo.toml
+
+crates/bench/src/bin/ext_transformer_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_transformer_search-f9c792c4fc740bfd.d: crates/bench/src/bin/ext_transformer_search.rs
+
+/root/repo/target/debug/deps/ext_transformer_search-f9c792c4fc740bfd: crates/bench/src/bin/ext_transformer_search.rs
+
+crates/bench/src/bin/ext_transformer_search.rs:

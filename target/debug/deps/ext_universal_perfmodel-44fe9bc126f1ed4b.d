@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_universal_perfmodel-44fe9bc126f1ed4b.d: crates/bench/src/bin/ext_universal_perfmodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_universal_perfmodel-44fe9bc126f1ed4b.rmeta: crates/bench/src/bin/ext_universal_perfmodel.rs Cargo.toml
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

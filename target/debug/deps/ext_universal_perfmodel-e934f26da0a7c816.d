@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_universal_perfmodel-e934f26da0a7c816.d: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+/root/repo/target/debug/deps/ext_universal_perfmodel-e934f26da0a7c816: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_universal_perfmodel-ed9c482a9143431e.d: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+/root/repo/target/debug/deps/ext_universal_perfmodel-ed9c482a9143431e: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_production-375da93b84977f3b.d: crates/bench/src/bin/fig10_production.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_production-375da93b84977f3b.rmeta: crates/bench/src/bin/fig10_production.rs Cargo.toml
+
+crates/bench/src/bin/fig10_production.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

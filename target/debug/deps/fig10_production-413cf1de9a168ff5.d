@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_production-413cf1de9a168ff5.d: crates/bench/src/bin/fig10_production.rs
+
+/root/repo/target/debug/deps/fig10_production-413cf1de9a168ff5: crates/bench/src/bin/fig10_production.rs
+
+crates/bench/src/bin/fig10_production.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_production-e472017407b51acd.d: crates/bench/src/bin/fig10_production.rs
+
+/root/repo/target/debug/deps/fig10_production-e472017407b51acd: crates/bench/src/bin/fig10_production.rs
+
+crates/bench/src/bin/fig10_production.rs:

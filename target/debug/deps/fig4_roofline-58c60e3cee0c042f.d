@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_roofline-58c60e3cee0c042f.d: crates/bench/src/bin/fig4_roofline.rs
+
+/root/repo/target/debug/deps/fig4_roofline-58c60e3cee0c042f: crates/bench/src/bin/fig4_roofline.rs
+
+crates/bench/src/bin/fig4_roofline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_roofline-a73deba370b47971.d: crates/bench/src/bin/fig4_roofline.rs
+
+/root/repo/target/debug/deps/fig4_roofline-a73deba370b47971: crates/bench/src/bin/fig4_roofline.rs
+
+crates/bench/src/bin/fig4_roofline.rs:

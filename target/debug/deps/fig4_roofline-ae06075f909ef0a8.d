@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_roofline-ae06075f909ef0a8.d: crates/bench/src/bin/fig4_roofline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_roofline-ae06075f909ef0a8.rmeta: crates/bench/src/bin/fig4_roofline.rs Cargo.toml
+
+crates/bench/src/bin/fig4_roofline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

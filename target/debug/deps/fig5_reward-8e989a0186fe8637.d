@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_reward-8e989a0186fe8637.d: crates/bench/src/bin/fig5_reward.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_reward-8e989a0186fe8637.rmeta: crates/bench/src/bin/fig5_reward.rs Cargo.toml
+
+crates/bench/src/bin/fig5_reward.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

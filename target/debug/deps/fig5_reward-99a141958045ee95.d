@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_reward-99a141958045ee95.d: crates/bench/src/bin/fig5_reward.rs
+
+/root/repo/target/debug/deps/fig5_reward-99a141958045ee95: crates/bench/src/bin/fig5_reward.rs
+
+crates/bench/src/bin/fig5_reward.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_reward-e2cca5f5b2096abf.d: crates/bench/src/bin/fig5_reward.rs
+
+/root/repo/target/debug/deps/fig5_reward-e2cca5f5b2096abf: crates/bench/src/bin/fig5_reward.rs
+
+crates/bench/src/bin/fig5_reward.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_coatnet_pareto-347bfaf5e5cef9a3.d: crates/bench/src/bin/fig6_coatnet_pareto.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_coatnet_pareto-347bfaf5e5cef9a3.rmeta: crates/bench/src/bin/fig6_coatnet_pareto.rs Cargo.toml
+
+crates/bench/src/bin/fig6_coatnet_pareto.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_coatnet_pareto-35d70ced5266d526.d: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+/root/repo/target/debug/deps/fig6_coatnet_pareto-35d70ced5266d526: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+crates/bench/src/bin/fig6_coatnet_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_coatnet_pareto-3d5910e65fc5f5d8.d: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+/root/repo/target/debug/deps/fig6_coatnet_pareto-3d5910e65fc5f5d8: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+crates/bench/src/bin/fig6_coatnet_pareto.rs:

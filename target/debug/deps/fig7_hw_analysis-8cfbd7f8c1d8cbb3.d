@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_hw_analysis-8cfbd7f8c1d8cbb3.d: crates/bench/src/bin/fig7_hw_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_hw_analysis-8cfbd7f8c1d8cbb3.rmeta: crates/bench/src/bin/fig7_hw_analysis.rs Cargo.toml
+
+crates/bench/src/bin/fig7_hw_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_hw_analysis-8ff0934ba68bf032.d: crates/bench/src/bin/fig7_hw_analysis.rs
+
+/root/repo/target/debug/deps/fig7_hw_analysis-8ff0934ba68bf032: crates/bench/src/bin/fig7_hw_analysis.rs
+
+crates/bench/src/bin/fig7_hw_analysis.rs:

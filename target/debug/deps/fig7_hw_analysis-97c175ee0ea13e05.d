@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_hw_analysis-97c175ee0ea13e05.d: crates/bench/src/bin/fig7_hw_analysis.rs
+
+/root/repo/target/debug/deps/fig7_hw_analysis-97c175ee0ea13e05: crates/bench/src/bin/fig7_hw_analysis.rs
+
+crates/bench/src/bin/fig7_hw_analysis.rs:

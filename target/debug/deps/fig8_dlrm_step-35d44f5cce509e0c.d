@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_dlrm_step-35d44f5cce509e0c.d: crates/bench/src/bin/fig8_dlrm_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_dlrm_step-35d44f5cce509e0c.rmeta: crates/bench/src/bin/fig8_dlrm_step.rs Cargo.toml
+
+crates/bench/src/bin/fig8_dlrm_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_dlrm_step-575bb667f235b83d.d: crates/bench/src/bin/fig8_dlrm_step.rs
+
+/root/repo/target/debug/deps/fig8_dlrm_step-575bb667f235b83d: crates/bench/src/bin/fig8_dlrm_step.rs
+
+crates/bench/src/bin/fig8_dlrm_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_dlrm_step-9f878e60db189984.d: crates/bench/src/bin/fig8_dlrm_step.rs
+
+/root/repo/target/debug/deps/fig8_dlrm_step-9f878e60db189984: crates/bench/src/bin/fig8_dlrm_step.rs
+
+crates/bench/src/bin/fig8_dlrm_step.rs:

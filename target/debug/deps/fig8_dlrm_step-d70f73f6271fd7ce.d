@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_dlrm_step-d70f73f6271fd7ce.d: crates/bench/src/bin/fig8_dlrm_step.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_dlrm_step-d70f73f6271fd7ce.rmeta: crates/bench/src/bin/fig8_dlrm_step.rs Cargo.toml
+
+crates/bench/src/bin/fig8_dlrm_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_energy-26d4badc7769ca16.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/debug/deps/fig9_energy-26d4badc7769ca16: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

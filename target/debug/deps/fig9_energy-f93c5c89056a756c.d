@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_energy-f93c5c89056a756c.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/debug/deps/fig9_energy-f93c5c89056a756c: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/format_props-032ed7f1f70b9a59.d: crates/ckpt/tests/format_props.rs
+
+/root/repo/target/debug/deps/format_props-032ed7f1f70b9a59: crates/ckpt/tests/format_props.rs
+
+crates/ckpt/tests/format_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/format_props-059614de68487229.d: crates/ckpt/tests/format_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformat_props-059614de68487229.rmeta: crates/ckpt/tests/format_props.rs Cargo.toml
+
+crates/ckpt/tests/format_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-83a701dd7e5779fe.d: crates/bench/src/bin/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-83a701dd7e5779fe: crates/bench/src/bin/full_pipeline.rs
+
+crates/bench/src/bin/full_pipeline.rs:

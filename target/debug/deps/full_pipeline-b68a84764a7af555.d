@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-b68a84764a7af555.d: crates/bench/src/bin/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-b68a84764a7af555: crates/bench/src/bin/full_pipeline.rs
+
+crates/bench/src/bin/full_pipeline.rs:

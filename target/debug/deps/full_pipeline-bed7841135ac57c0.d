@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_pipeline-bed7841135ac57c0.d: crates/bench/src/bin/full_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_pipeline-bed7841135ac57c0.rmeta: crates/bench/src/bin/full_pipeline.rs Cargo.toml
+
+crates/bench/src/bin/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

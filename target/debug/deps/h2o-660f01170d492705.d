@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o-660f01170d492705.d: src/bin/h2o.rs
+
+/root/repo/target/debug/deps/h2o-660f01170d492705: src/bin/h2o.rs
+
+src/bin/h2o.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h2o-b6b554f3d6c12e29.d: src/bin/h2o.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o-b6b554f3d6c12e29.rmeta: src/bin/h2o.rs Cargo.toml
+
+src/bin/h2o.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

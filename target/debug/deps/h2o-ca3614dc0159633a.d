@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o-ca3614dc0159633a.d: src/bin/h2o.rs
+
+/root/repo/target/debug/deps/h2o-ca3614dc0159633a: src/bin/h2o.rs
+
+src/bin/h2o.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o_ckpt-4b94919b0f72da31.d: crates/ckpt/src/lib.rs
+
+/root/repo/target/debug/deps/h2o_ckpt-4b94919b0f72da31: crates/ckpt/src/lib.rs
+
+crates/ckpt/src/lib.rs:

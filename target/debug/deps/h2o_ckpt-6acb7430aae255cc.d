@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h2o_ckpt-6acb7430aae255cc.d: crates/ckpt/src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_ckpt-6acb7430aae255cc.rlib: crates/ckpt/src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_ckpt-6acb7430aae255cc.rmeta: crates/ckpt/src/lib.rs
+
+crates/ckpt/src/lib.rs:

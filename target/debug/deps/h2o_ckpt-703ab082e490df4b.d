@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h2o_ckpt-703ab082e490df4b.d: crates/ckpt/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_ckpt-703ab082e490df4b.rmeta: crates/ckpt/src/lib.rs Cargo.toml
+
+crates/ckpt/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

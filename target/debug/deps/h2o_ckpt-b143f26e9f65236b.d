@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o_ckpt-b143f26e9f65236b.d: crates/ckpt/src/lib.rs
+
+/root/repo/target/debug/deps/h2o_ckpt-b143f26e9f65236b: crates/ckpt/src/lib.rs
+
+crates/ckpt/src/lib.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/h2o_core-aa15594cf938d294.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+/root/repo/target/debug/deps/h2o_core-aa15594cf938d294.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
 
-/root/repo/target/debug/deps/h2o_core-aa15594cf938d294: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+/root/repo/target/debug/deps/h2o_core-aa15594cf938d294: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
 
 crates/core/src/lib.rs:
 crates/core/src/baselines.rs:
@@ -8,6 +8,7 @@ crates/core/src/oneshot.rs:
 crates/core/src/oneshot_generic.rs:
 crates/core/src/pareto.rs:
 crates/core/src/policy.rs:
+crates/core/src/resume.rs:
 crates/core/src/reward.rs:
 crates/core/src/search.rs:
 crates/core/src/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o_nas-1ec4b910309c62aa.d: src/lib.rs
+
+/root/repo/target/debug/deps/h2o_nas-1ec4b910309c62aa: src/lib.rs
+
+src/lib.rs:

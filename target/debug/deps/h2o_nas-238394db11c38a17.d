@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/h2o_nas-238394db11c38a17.d: src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_nas-238394db11c38a17.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_nas-238394db11c38a17.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h2o_nas-766d6d0109ba9826.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libh2o_nas-766d6d0109ba9826.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/h2o_tensor-2bb16d6454122776.d: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs
+/root/repo/target/debug/deps/h2o_tensor-2bb16d6454122776.d: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs crates/tensor/src/state.rs
 
-/root/repo/target/debug/deps/h2o_tensor-2bb16d6454122776: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs
+/root/repo/target/debug/deps/h2o_tensor-2bb16d6454122776: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs crates/tensor/src/state.rs
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/activation.rs:
@@ -10,3 +10,4 @@ crates/tensor/src/loss.rs:
 crates/tensor/src/matrix.rs:
 crates/tensor/src/mlp.rs:
 crates/tensor/src/optim.rs:
+crates/tensor/src/state.rs:

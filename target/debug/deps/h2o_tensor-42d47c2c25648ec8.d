@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/h2o_tensor-42d47c2c25648ec8.d: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs Cargo.toml
+/root/repo/target/debug/deps/h2o_tensor-42d47c2c25648ec8.d: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs crates/tensor/src/state.rs Cargo.toml
 
-/root/repo/target/debug/deps/libh2o_tensor-42d47c2c25648ec8.rmeta: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs Cargo.toml
+/root/repo/target/debug/deps/libh2o_tensor-42d47c2c25648ec8.rmeta: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs crates/tensor/src/state.rs Cargo.toml
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/activation.rs:
@@ -10,7 +10,8 @@ crates/tensor/src/loss.rs:
 crates/tensor/src/matrix.rs:
 crates/tensor/src/mlp.rs:
 crates/tensor/src/optim.rs:
+crates/tensor/src/state.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/h2o_tensor-d9cc50dda1dbff53.d: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs
+/root/repo/target/debug/deps/h2o_tensor-d9cc50dda1dbff53.d: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs crates/tensor/src/state.rs
 
-/root/repo/target/debug/deps/libh2o_tensor-d9cc50dda1dbff53.rlib: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs
+/root/repo/target/debug/deps/libh2o_tensor-d9cc50dda1dbff53.rlib: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs crates/tensor/src/state.rs
 
-/root/repo/target/debug/deps/libh2o_tensor-d9cc50dda1dbff53.rmeta: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs
+/root/repo/target/debug/deps/libh2o_tensor-d9cc50dda1dbff53.rmeta: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs crates/tensor/src/state.rs
 
 crates/tensor/src/lib.rs:
 crates/tensor/src/activation.rs:
@@ -12,3 +12,4 @@ crates/tensor/src/loss.rs:
 crates/tensor/src/matrix.rs:
 crates/tensor/src/mlp.rs:
 crates/tensor/src/optim.rs:
+crates/tensor/src/state.rs:

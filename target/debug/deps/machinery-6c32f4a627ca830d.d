@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/machinery-6c32f4a627ca830d.d: crates/bench/benches/machinery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmachinery-6c32f4a627ca830d.rmeta: crates/bench/benches/machinery.rs Cargo.toml
+
+crates/bench/benches/machinery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-474945028a47900b.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-474945028a47900b: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-155c34f18cf32cdd.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-155c34f18cf32cdd: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-7818b301d577b994.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-7818b301d577b994: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_perfmodel-213ca3f82af7839f.d: crates/bench/src/bin/table1_perfmodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_perfmodel-213ca3f82af7839f.rmeta: crates/bench/src/bin/table1_perfmodel.rs Cargo.toml
+
+crates/bench/src/bin/table1_perfmodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_perfmodel-2347b424a7a795c6.d: crates/bench/src/bin/table1_perfmodel.rs
+
+/root/repo/target/debug/deps/table1_perfmodel-2347b424a7a795c6: crates/bench/src/bin/table1_perfmodel.rs
+
+crates/bench/src/bin/table1_perfmodel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_perfmodel-33f377746a9dadec.d: crates/bench/src/bin/table1_perfmodel.rs
+
+/root/repo/target/debug/deps/table1_perfmodel-33f377746a9dadec: crates/bench/src/bin/table1_perfmodel.rs
+
+crates/bench/src/bin/table1_perfmodel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_perfmodel-fc82a8f0adbb4b2e.d: crates/bench/src/bin/table1_perfmodel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_perfmodel-fc82a8f0adbb4b2e.rmeta: crates/bench/src/bin/table1_perfmodel.rs Cargo.toml
+
+crates/bench/src/bin/table1_perfmodel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_domains-3052c4fb3e56ed3f.d: crates/bench/src/bin/table2_domains.rs
+
+/root/repo/target/debug/deps/table2_domains-3052c4fb3e56ed3f: crates/bench/src/bin/table2_domains.rs
+
+crates/bench/src/bin/table2_domains.rs:

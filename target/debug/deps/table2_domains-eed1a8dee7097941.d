@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_domains-eed1a8dee7097941.d: crates/bench/src/bin/table2_domains.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_domains-eed1a8dee7097941.rmeta: crates/bench/src/bin/table2_domains.rs Cargo.toml
+
+crates/bench/src/bin/table2_domains.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

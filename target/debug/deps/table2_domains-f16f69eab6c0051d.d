@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_domains-f16f69eab6c0051d.d: crates/bench/src/bin/table2_domains.rs
+
+/root/repo/target/debug/deps/table2_domains-f16f69eab6c0051d: crates/bench/src/bin/table2_domains.rs
+
+crates/bench/src/bin/table2_domains.rs:

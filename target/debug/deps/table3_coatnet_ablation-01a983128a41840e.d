@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_coatnet_ablation-01a983128a41840e.d: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+/root/repo/target/debug/deps/table3_coatnet_ablation-01a983128a41840e: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:

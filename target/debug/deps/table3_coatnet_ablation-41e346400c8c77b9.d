@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_coatnet_ablation-41e346400c8c77b9.d: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+/root/repo/target/debug/deps/table3_coatnet_ablation-41e346400c8c77b9: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_coatnet_ablation-501f14a4656d1421.d: crates/bench/src/bin/table3_coatnet_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_coatnet_ablation-501f14a4656d1421.rmeta: crates/bench/src/bin/table3_coatnet_ablation.rs Cargo.toml
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

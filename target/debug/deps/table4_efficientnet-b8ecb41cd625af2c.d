@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_efficientnet-b8ecb41cd625af2c.d: crates/bench/src/bin/table4_efficientnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_efficientnet-b8ecb41cd625af2c.rmeta: crates/bench/src/bin/table4_efficientnet.rs Cargo.toml
+
+crates/bench/src/bin/table4_efficientnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

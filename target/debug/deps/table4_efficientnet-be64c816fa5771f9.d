@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_efficientnet-be64c816fa5771f9.d: crates/bench/src/bin/table4_efficientnet.rs
+
+/root/repo/target/debug/deps/table4_efficientnet-be64c816fa5771f9: crates/bench/src/bin/table4_efficientnet.rs
+
+crates/bench/src/bin/table4_efficientnet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_efficientnet-c1b33dba0fe0f5dd.d: crates/bench/src/bin/table4_efficientnet.rs
+
+/root/repo/target/debug/deps/table4_efficientnet-c1b33dba0fe0f5dd: crates/bench/src/bin/table4_efficientnet.rs
+
+crates/bench/src/bin/table4_efficientnet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_efficientnet-f7d08f98cc1303db.d: crates/bench/src/bin/table4_efficientnet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_efficientnet-f7d08f98cc1303db.rmeta: crates/bench/src/bin/table4_efficientnet.rs Cargo.toml
+
+crates/bench/src/bin/table4_efficientnet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_spaces-6d68cce0cb64647c.d: crates/bench/src/bin/table5_spaces.rs
+
+/root/repo/target/debug/deps/table5_spaces-6d68cce0cb64647c: crates/bench/src/bin/table5_spaces.rs
+
+crates/bench/src/bin/table5_spaces.rs:

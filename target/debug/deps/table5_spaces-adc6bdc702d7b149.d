@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_spaces-adc6bdc702d7b149.d: crates/bench/src/bin/table5_spaces.rs
+
+/root/repo/target/debug/deps/table5_spaces-adc6bdc702d7b149: crates/bench/src/bin/table5_spaces.rs
+
+crates/bench/src/bin/table5_spaces.rs:

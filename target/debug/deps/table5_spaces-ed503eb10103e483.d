@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_spaces-ed503eb10103e483.d: crates/bench/src/bin/table5_spaces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_spaces-ed503eb10103e483.rmeta: crates/bench/src/bin/table5_spaces.rs Cargo.toml
+
+crates/bench/src/bin/table5_spaces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dlrm_oneshot_search-80a9d642df1d8d9e.d: examples/dlrm_oneshot_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdlrm_oneshot_search-80a9d642df1d8d9e.rmeta: examples/dlrm_oneshot_search.rs Cargo.toml
+
+examples/dlrm_oneshot_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dlrm_oneshot_search-b8b168adc5698ce9.d: examples/dlrm_oneshot_search.rs
+
+/root/repo/target/debug/examples/dlrm_oneshot_search-b8b168adc5698ce9: examples/dlrm_oneshot_search.rs
+
+examples/dlrm_oneshot_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hardware_explorer-229d8014404bb0a6.d: examples/hardware_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhardware_explorer-229d8014404bb0a6.rmeta: examples/hardware_explorer.rs Cargo.toml
+
+examples/hardware_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hardware_explorer-4843446e21fcc788.d: examples/hardware_explorer.rs
+
+/root/repo/target/debug/examples/hardware_explorer-4843446e21fcc788: examples/hardware_explorer.rs
+
+examples/hardware_explorer.rs:

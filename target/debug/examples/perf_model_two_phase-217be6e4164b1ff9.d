@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/perf_model_two_phase-217be6e4164b1ff9.d: examples/perf_model_two_phase.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperf_model_two_phase-217be6e4164b1ff9.rmeta: examples/perf_model_two_phase.rs Cargo.toml
+
+examples/perf_model_two_phase.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_model_two_phase-c07351f7bcbc0bd7.d: examples/perf_model_two_phase.rs
+
+/root/repo/target/debug/examples/perf_model_two_phase-c07351f7bcbc0bd7: examples/perf_model_two_phase.rs
+
+examples/perf_model_two_phase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-49ca2b111b9f5b5c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-49ca2b111b9f5b5c: examples/quickstart.rs
+
+examples/quickstart.rs:

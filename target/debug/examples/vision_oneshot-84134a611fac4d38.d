@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vision_oneshot-84134a611fac4d38.d: examples/vision_oneshot.rs
+
+/root/repo/target/debug/examples/vision_oneshot-84134a611fac4d38: examples/vision_oneshot.rs
+
+examples/vision_oneshot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vision_oneshot-9ffade299155dc0e.d: examples/vision_oneshot.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvision_oneshot-9ffade299155dc0e.rmeta: examples/vision_oneshot.rs Cargo.toml
+
+examples/vision_oneshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/h2o-3dbf6311951541a7.d: src/bin/h2o.rs
+
+/root/repo/target/release/deps/h2o-3dbf6311951541a7: src/bin/h2o.rs
+
+src/bin/h2o.rs:

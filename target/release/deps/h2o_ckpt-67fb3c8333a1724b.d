@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/h2o_ckpt-67fb3c8333a1724b.d: crates/ckpt/src/lib.rs
+
+/root/repo/target/release/deps/libh2o_ckpt-67fb3c8333a1724b.rlib: crates/ckpt/src/lib.rs
+
+/root/repo/target/release/deps/libh2o_ckpt-67fb3c8333a1724b.rmeta: crates/ckpt/src/lib.rs
+
+crates/ckpt/src/lib.rs:

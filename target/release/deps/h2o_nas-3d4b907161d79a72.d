@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/h2o_nas-3d4b907161d79a72.d: src/lib.rs
+
+/root/repo/target/release/deps/libh2o_nas-3d4b907161d79a72.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libh2o_nas-3d4b907161d79a72.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-aed9f1f847c7d47d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-aed9f1f847c7d47d: examples/quickstart.rs
+
+examples/quickstart.rs:

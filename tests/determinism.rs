@@ -6,10 +6,11 @@
 //! column, so outcomes are normalized (timing zeroed) before the CSVs are
 //! compared byte-for-byte.
 
+use h2o_nas::ckpt::{CheckpointStore, FileCheckpointSink};
 use h2o_nas::core::telemetry::{candidates_csv, history_csv};
 use h2o_nas::core::{
-    parallel_search, ArchEvaluator, EvalResult, PerfObjective, RewardFn, RewardKind, SearchConfig,
-    SearchOutcome,
+    parallel_search, parallel_search_with, shard_seed, ArchEvaluator, CheckpointSink, EvalResult,
+    PerfObjective, ResumeState, RewardFn, RewardKind, SearchConfig, SearchOutcome, SearchSnapshot,
 };
 use h2o_nas::graph::{DType, Graph, OpKind};
 use h2o_nas::hwsim::{
@@ -54,16 +55,24 @@ fn normalized_csvs(mut outcome: SearchOutcome) -> (String, String) {
     (history_csv(&outcome), candidates_csv(&outcome))
 }
 
-fn run_with(workers: usize, cache: Option<EvalCache>) -> (String, String) {
-    let cfg = SearchConfig {
+fn det_cfg(workers: usize) -> SearchConfig {
+    SearchConfig {
         steps: 30,
         shards: 6,
         policy_lr: 0.07,
         seed: 1234,
         workers,
         ..Default::default()
-    };
-    let outcome = parallel_search(
+    }
+}
+
+fn det_search(
+    cfg: &SearchConfig,
+    cache: Option<EvalCache>,
+    resume: Option<ResumeState>,
+    sink: Option<&mut dyn CheckpointSink>,
+) -> SearchOutcome {
+    parallel_search_with(
         &space(),
         &reward(),
         |_| {
@@ -91,9 +100,14 @@ fn run_with(workers: usize, cache: Option<EvalCache>) -> (String, String) {
                 }
             }
         },
-        &cfg,
-    );
-    normalized_csvs(outcome)
+        cfg,
+        resume,
+        sink,
+    )
+}
+
+fn run_with(workers: usize, cache: Option<EvalCache>) -> (String, String) {
+    normalized_csvs(det_search(&det_cfg(workers), cache, None, None))
 }
 
 #[test]
@@ -227,5 +241,222 @@ fn cli_binary_is_deterministic_across_worker_counts() {
     let w1 = run("1", "w1");
     let w4 = run("4", "w4");
     assert_eq!(w1, w4, "CLI telemetry must not depend on --workers");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_seed_streams_are_pairwise_distinct() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+    // Every (seed, step, shard) cell in a realistic grid must open a
+    // distinct RNG stream: compare the first 8 draws bit-for-bit.
+    let mut seen: HashMap<Vec<u64>, (u64, u64, u64)> = HashMap::new();
+    for seed in 0..4u64 {
+        for step in 0..3u64 {
+            for shard in 0..6u64 {
+                let mut rng = StdRng::seed_from_u64(shard_seed(seed, step, shard));
+                let draws: Vec<u64> = (0..8).map(|_| rng.gen::<f64>().to_bits()).collect();
+                if let Some(prev) = seen.insert(draws, (seed, step, shard)) {
+                    panic!("stream of ({seed},{step},{shard}) collides with {prev:?}");
+                }
+            }
+        }
+    }
+    // Regression: the old `seed ^ step << 20 ^ shard` mix collided whenever
+    // the XOR of the parts matched — e.g. seed 3/shard 0 vs seed 2/shard 1.
+    assert_ne!(shard_seed(3, 5, 0), shard_seed(2, 5, 1));
+    assert_ne!(shard_seed(0, 0, 1), shard_seed(1, 0, 0));
+}
+
+#[test]
+fn interrupted_search_resumes_byte_identically() {
+    // The tentpole guarantee: a search killed after a checkpoint and
+    // resumed from disk produces telemetry byte-identical to the
+    // uninterrupted run — at every worker count, cache on or off.
+    for workers in [1usize, 4] {
+        for cache_on in [false, true] {
+            let mk_cache = || cache_on.then(|| EvalCache::new(512));
+            let full = run_with(workers, mk_cache());
+
+            let dir = std::env::temp_dir().join(format!(
+                "h2o_resume_{}_{workers}_{cache_on}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let cfg_full = det_cfg(workers);
+            let cfg_cut = SearchConfig {
+                steps: 12,
+                ..cfg_full
+            };
+            let fingerprint = cfg_full.fingerprint(&space());
+            assert_eq!(
+                fingerprint,
+                cfg_cut.fingerprint(&space()),
+                "changing the horizon must not change the fingerprint"
+            );
+
+            // The "interrupted" run: 12 of 30 steps, snapshot every 4.
+            let store = CheckpointStore::new(&dir, fingerprint).expect("store opens");
+            let mut sink = FileCheckpointSink::new(store, 4);
+            det_search(&cfg_cut, mk_cache(), None, Some(&mut sink));
+
+            // Crash. A fresh process re-opens the store and resumes; the
+            // eval cache starts cold again, which must be value-invisible.
+            let store = CheckpointStore::new(&dir, fingerprint).expect("store reopens");
+            let state = store
+                .load_latest()
+                .expect("latest loads")
+                .expect("a snapshot exists");
+            assert_eq!(state.steps_done, 12);
+            let resumed = normalized_csvs(det_search(&cfg_full, mk_cache(), Some(state), None));
+
+            assert_eq!(
+                full, resumed,
+                "resume diverged at workers={workers} cache={cache_on}"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// Captures the snapshot taken after exactly `at` completed steps.
+struct CaptureAt {
+    at: usize,
+    state: Option<ResumeState>,
+}
+
+impl CheckpointSink for CaptureAt {
+    fn should_checkpoint(&self, steps_done: usize) -> bool {
+        steps_done == self.at
+    }
+    fn on_checkpoint(&mut self, snapshot: &SearchSnapshot<'_>) -> Result<(), String> {
+        self.state = Some(ResumeState::from_snapshot(snapshot));
+        Ok(())
+    }
+}
+
+#[test]
+fn oneshot_resume_restores_supernet_weights_bit_exactly() {
+    use h2o_nas::core::{unified_search_with, OneShotConfig};
+    use h2o_nas::data::{CtrTraffic, CtrTrafficConfig, InMemoryPipeline};
+    use h2o_nas::space::{DlrmSpaceConfig, DlrmSupernet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let make = || {
+        let mut rng = StdRng::seed_from_u64(3);
+        let supernet = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut rng);
+        let pipeline = InMemoryPipeline::new(CtrTraffic::new(CtrTrafficConfig::tiny(), 1));
+        (supernet, pipeline)
+    };
+    let cfg = OneShotConfig {
+        steps: 8,
+        shards: 2,
+        batch_size: 16,
+        ..Default::default()
+    };
+    let (mut supernet, pipeline) = make();
+    let space = supernet.space().clone();
+    let baseline_size = space.decode(&space.baseline()).model_size_bytes();
+    let oneshot_reward = RewardFn::new(
+        RewardKind::Relu,
+        vec![PerfObjective::new("size", baseline_size, -2.0)],
+    );
+    let perf_space = space.clone();
+    let perf = move |sample: &ArchSample| vec![perf_space.decode(sample).model_size_bytes()];
+
+    let mut capture = CaptureAt { at: 5, state: None };
+    let full = unified_search_with(
+        &mut supernet,
+        &pipeline,
+        &oneshot_reward,
+        &perf,
+        &cfg,
+        None,
+        Some(&mut capture),
+    );
+    let state = capture.state.expect("snapshot captured after step 5");
+    assert!(
+        state.supernet_state.is_some(),
+        "one-shot snapshots must carry the shared weights"
+    );
+
+    // Crash. Resume on a *freshly constructed* supernet and pipeline — the
+    // shared weights come back from the snapshot, the pipeline is
+    // fast-forwarded to the same stream position.
+    let (mut supernet2, pipeline2) = make();
+    let resumed = unified_search_with(
+        &mut supernet2,
+        &pipeline2,
+        &oneshot_reward,
+        &perf,
+        &cfg,
+        Some(state),
+        None,
+    );
+    assert_eq!(normalized_csvs(full), normalized_csvs(resumed));
+    let stats = pipeline2.stats();
+    assert_eq!(stats.fast_forwarded, 5 * 2, "5 steps x 2 shards replayed");
+    assert_eq!(pipeline2.in_flight(), 0);
+}
+
+#[test]
+fn cli_binary_resumes_byte_identically() {
+    // End-to-end kill-and-resume through the `h2o` binary: full run vs
+    // (truncated run + --resume) must write identical candidate CSVs and
+    // history CSVs modulo the wall-clock column.
+    let dir = std::env::temp_dir().join(format!("h2o_cli_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ckpt_dir = dir.join("ckpt");
+    let run = |steps: &str, stem: Option<&str>, extra: &[&str]| {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_h2o"));
+        cmd.args([
+            "search", "--domain", "dlrm", "--steps", steps, "--shards", "4",
+        ]);
+        cmd.args(extra);
+        if let Some(stem) = stem {
+            cmd.arg("--csv").arg(dir.join(stem));
+        }
+        let status = cmd.status().expect("h2o binary runs");
+        assert!(status.success(), "h2o search failed (steps={steps})");
+    };
+    let read = |stem: &str| {
+        let text = |suffix: &str| {
+            std::fs::read_to_string(dir.join(format!("{stem}{suffix}"))).expect("csv written")
+        };
+        let history: String = text("_history.csv")
+            .lines()
+            .map(|line| {
+                let (rest, _timing) = line.rsplit_once(',').expect("timing column");
+                format!("{rest}\n")
+            })
+            .collect();
+        (history, text("_candidates.csv"))
+    };
+    let ckpt = ckpt_dir.to_str().expect("utf-8 path");
+    run("6", Some("full"), &[]);
+    run(
+        "4",
+        None,
+        &["--checkpoint-dir", ckpt, "--checkpoint-every", "2"],
+    );
+    run(
+        "6",
+        Some("resumed"),
+        &[
+            "--checkpoint-dir",
+            ckpt,
+            "--checkpoint-every",
+            "2",
+            "--resume",
+        ],
+    );
+    assert_eq!(
+        read("full"),
+        read("resumed"),
+        "CLI resume must reproduce the uninterrupted run"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

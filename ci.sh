@@ -50,4 +50,14 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+# The driver/stage API is trait-heavy; broken intra-doc links or malformed
+# examples should fail CI, not ship.
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+# Dead-code pass scoped to h2o-core: the controller extraction must leave
+# no stranded loop bodies behind.
+echo "==> cargo clippy -p h2o-core (dead-code pass)"
+cargo clippy -p h2o-core --all-targets -- -D dead_code -D unused
+
 echo "==> CI green"

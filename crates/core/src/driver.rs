@@ -1,0 +1,464 @@
+//! The unified search-controller engine (§4.2, Fig. 2).
+//!
+//! The paper's central claim is that *one* single-step RL controller drives
+//! every domain — DLRM, CNN, ViT. [`SearchDriver`] is that controller
+//! extracted as a reusable engine: it owns the per-step invariant loop
+//! (reward computation → baseline EMA → cross-shard REINFORCE update →
+//! telemetry → checkpointing) and delegates only *candidate production* to
+//! a pluggable [`CandidateStage`]. The three search flavors the crate
+//! exposes are stages over this one engine:
+//!
+//! * [`ParallelStage`](crate::ParallelStage) — executor-fanned stateless
+//!   evaluation (the `parallel_search` entry points);
+//! * [`UnifiedStage`](crate::UnifiedStage) — serial supernet quality +
+//!   executor-fanned performance (the `unified_search*` entry points);
+//! * [`TunasStage`](crate::TunasStage) — the alternating train/valid
+//!   two-stream baseline (the `tunas_search*` entry points).
+//!
+//! The engine upholds the determinism contract: stages derive every sample
+//! stream from `(seed, step, shard)` via
+//! [`shard_seed`](crate::shard_seed), so the driver itself holds no
+//! run-long RNG state and a run resumed from a [`ResumeState`] captured at
+//! a completed step is byte-identical to an uninterrupted one
+//! (`tests/driver_equivalence.rs` pins all three stages to goldens
+//! recorded from the pre-refactor hand-rolled loops).
+
+use crate::policy::{Policy, RewardBaseline};
+use crate::resume::{CheckpointSink, ResumeState, SearchSnapshot};
+use crate::reward::RewardFn;
+use crate::search::{EvalResult, EvaluatedCandidate, SearchOutcome, StepRecord};
+use h2o_space::{ArchSample, SearchSpace};
+use serde::{Deserialize, Serialize};
+
+/// Reward assigned to a candidate whose combined reward is not finite
+/// (NaN/±∞ from a diverged evaluator or a pathological objective value).
+///
+/// Without this guard a single NaN reward poisons the baseline EMA — and
+/// through it every subsequent policy update — silently. The penalty is
+/// far below any reward the repo's objectives produce, so non-finite
+/// candidates are strongly discouraged while the controller state stays
+/// finite. Finite rewards pass through bit-unchanged.
+pub const NON_FINITE_REWARD_PENALTY: f64 = -1.0e4;
+
+/// The shared controller knobs: everything the [`SearchDriver`] engine
+/// needs, independent of how candidates are produced.
+///
+/// This is the merge of the fields `SearchConfig` and `OneShotConfig`
+/// historically duplicated. [`SearchConfig`](crate::SearchConfig) *is*
+/// this type (the parallel loop has no extra knobs), and
+/// [`OneShotConfig`](crate::OneShotConfig) projects onto it via
+/// [`OneShotConfig::controller`](crate::OneShotConfig::controller).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Search steps (policy updates).
+    pub steps: usize,
+    /// Virtual accelerator shards per step (parallel candidate samples).
+    pub shards: usize,
+    /// REINFORCE learning rate on the policy logits.
+    pub policy_lr: f64,
+    /// EMA momentum of the reward baseline.
+    pub baseline_momentum: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Evaluation worker threads. `0` means auto: the `H2O_WORKERS`
+    /// environment variable if set, else available parallelism. The
+    /// search outcome is bit-identical for every worker count.
+    #[serde(default)]
+    pub workers: usize,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            steps: 200,
+            shards: 8,
+            policy_lr: 0.05,
+            baseline_momentum: 0.9,
+            seed: 0,
+            workers: 0,
+        }
+    }
+}
+
+/// Produces one step's worth of candidates for the [`SearchDriver`].
+///
+/// A stage owns everything flavor-specific: evaluators, super-networks,
+/// data streams, executors, and any per-step state carried between
+/// [`collect`](CandidateStage::collect) and
+/// [`after_policy_update`](CandidateStage::after_policy_update) (the
+/// one-shot stage keeps the step's batches so shared weights can train on
+/// them *after* the policy has learned from them). The driver owns the
+/// invariant controller loop and never samples the policy itself —
+/// stages do, from RNG streams derived via
+/// [`shard_seed`](crate::shard_seed) so resume needs no RNG state.
+pub trait CandidateStage {
+    /// Observability span name wrapping one controller step.
+    fn step_span_name(&self) -> &'static str {
+        "search_step"
+    }
+
+    /// Observability counter name for completed controller steps.
+    fn steps_counter_name(&self) -> &'static str;
+
+    /// Samples and evaluates this step's candidates, one per shard, in
+    /// shard order. Implementations must be deterministic in
+    /// `(step, policy)` and their own construction-time seed.
+    fn collect(&mut self, step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)>;
+
+    /// Hook invoked after the REINFORCE update, before telemetry is
+    /// recorded. The one-shot stage trains the shared weights here, on the
+    /// very batches that just informed the policy (Fig. 2 right). The
+    /// default does nothing.
+    fn after_policy_update(&mut self, _candidates: &[(ArchSample, EvalResult)], _rewards: &[f64]) {}
+
+    /// Restores stage-owned state (super-network weights, stream
+    /// positions) from a snapshot captured at `state.steps_done` completed
+    /// steps. The driver has already validated the controller-level
+    /// invariants. The default does nothing — correct for stateless
+    /// stages.
+    fn restore(&mut self, _state: &ResumeState) {}
+
+    /// Serialises stage-owned trainable state for a checkpoint, or `None`
+    /// for stateless stages. Only called once a [`CheckpointSink`] has
+    /// asked for a snapshot, so expensive serialisation is never wasted.
+    fn checkpoint_state(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// The unified single-step search controller: one engine for every
+/// [`CandidateStage`].
+///
+/// Per step the driver (1) asks the stage for one candidate per shard,
+/// (2) combines each candidate's quality and performance signals through
+/// the [`RewardFn`], guarding non-finite rewards with
+/// [`NON_FINITE_REWARD_PENALTY`], (3) updates the reward-baseline EMA and
+/// applies one cross-shard REINFORCE update, (4) lets the stage react
+/// (weight training), and (5) records telemetry and consults the
+/// [`CheckpointSink`]. The final architecture is the per-decision argmax
+/// of the trained policy (§4.2).
+///
+/// # Examples
+///
+/// The public entry points (`parallel_search`, `unified_search_over`,
+/// `tunas_search`, …) are thin wrappers that build the matching stage and
+/// call [`SearchDriver::run`]; use them unless you are bringing your own
+/// stage. A custom stage needs only candidate production:
+///
+/// ```
+/// use h2o_core::{
+///     CandidateStage, ControllerConfig, EvalResult, Policy, RewardFn, RewardKind,
+///     SearchDriver, shard_seed,
+/// };
+/// use h2o_space::{ArchSample, Decision, SearchSpace};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// /// Evaluates every candidate analytically, serially.
+/// struct AnalyticStage {
+///     shards: usize,
+///     seed: u64,
+/// }
+///
+/// impl CandidateStage for AnalyticStage {
+///     fn steps_counter_name(&self) -> &'static str {
+///         "demo_steps_total"
+///     }
+///     fn collect(&mut self, step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)> {
+///         (0..self.shards)
+///             .map(|shard| {
+///                 let mut rng =
+///                     StdRng::seed_from_u64(shard_seed(self.seed, step as u64, shard as u64));
+///                 let sample = policy.sample(&mut rng);
+///                 let quality = sample[0] as f64;
+///                 (sample, EvalResult { quality, perf_values: vec![] })
+///             })
+///             .collect()
+///     }
+/// }
+///
+/// let mut space = SearchSpace::new("demo");
+/// space.push(Decision::new("width", 5));
+/// let reward = RewardFn::new(RewardKind::Relu, vec![]);
+/// let config = ControllerConfig { steps: 60, shards: 4, ..Default::default() };
+/// let mut stage = AnalyticStage { shards: config.shards, seed: config.seed };
+/// let outcome = SearchDriver::new(&space, &reward, config).run(&mut stage, None, None);
+/// assert_eq!(outcome.best[0], 4, "quality is maximised by the widest choice");
+/// ```
+#[derive(Debug)]
+pub struct SearchDriver<'a> {
+    space: &'a SearchSpace,
+    reward_fn: &'a RewardFn,
+    config: ControllerConfig,
+}
+
+impl<'a> SearchDriver<'a> {
+    /// Builds a driver over `space` with the given reward and controller
+    /// knobs.
+    pub fn new(space: &'a SearchSpace, reward_fn: &'a RewardFn, config: ControllerConfig) -> Self {
+        Self {
+            space,
+            reward_fn,
+            config,
+        }
+    }
+
+    /// Runs the controller loop over `stage`, optionally resuming from a
+    /// snapshot and reporting to a checkpoint sink after each completed
+    /// step.
+    ///
+    /// `resume` restores controller state captured by a [`CheckpointSink`]
+    /// at a completed step `k`; the loop then runs steps
+    /// `k..config.steps` and the outcome is byte-identical to an
+    /// uninterrupted run. Stage-owned state is restored through
+    /// [`CandidateStage::restore`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards == 0`, `config.steps == 0`, if the resume
+    /// state was captured past `config.steps` or does not match the search
+    /// space, or if the sink returns an error (a checkpoint that cannot be
+    /// written is a lost durability guarantee, not a condition to search
+    /// through).
+    pub fn run<S: CandidateStage + ?Sized>(
+        &self,
+        stage: &mut S,
+        resume: Option<ResumeState>,
+        mut sink: Option<&mut dyn CheckpointSink>,
+    ) -> SearchOutcome {
+        let config = &self.config;
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(config.steps > 0, "need at least one step");
+        let (start_step, mut policy, mut baseline, mut history, mut evaluated) = match resume {
+            Some(state) => {
+                assert!(
+                    state.steps_done <= config.steps,
+                    "resume state is from step {} but the search only runs {} steps",
+                    state.steps_done,
+                    config.steps
+                );
+                assert_eq!(
+                    state.policy.num_decisions(),
+                    self.space.num_decisions(),
+                    "resume state does not match the search space"
+                );
+                stage.restore(&state);
+                (
+                    state.steps_done,
+                    state.policy,
+                    state.baseline,
+                    state.history,
+                    state.evaluated,
+                )
+            }
+            None => (
+                0,
+                Policy::uniform(self.space),
+                RewardBaseline::new(config.baseline_momentum),
+                Vec::with_capacity(config.steps),
+                Vec::with_capacity(config.steps * config.shards),
+            ),
+        };
+        let steps_total = h2o_obs::counter(stage.steps_counter_name());
+        let candidates_total = h2o_obs::counter("h2o_core_candidates_evaluated_total");
+
+        for step in start_step..config.steps {
+            let step_span = h2o_obs::span(stage.step_span_name());
+            // Stage-specific: sample + evaluate one candidate per shard.
+            let results = stage.collect(step, &policy);
+
+            // Invariant controller sequence: reward → baseline → REINFORCE.
+            let rewards: Vec<f64> = results
+                .iter()
+                .map(|(_, r)| {
+                    let reward = self.reward_fn.reward(r.quality, &r.perf_values);
+                    if reward.is_finite() {
+                        reward
+                    } else {
+                        NON_FINITE_REWARD_PENALTY
+                    }
+                })
+                .collect();
+            let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
+            let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let b = baseline.update(mean);
+            let batch: Vec<(ArchSample, f64)> = results
+                .iter()
+                .zip(&rewards)
+                .map(|((sample, _), &r)| (sample.clone(), r - b))
+                .collect();
+            h2o_obs::time("policy_update", || {
+                policy.reinforce_update(&batch, config.policy_lr)
+            });
+            stage.after_policy_update(&results, &rewards);
+
+            let entropy = policy.mean_entropy();
+            steps_total.inc();
+            candidates_total.add(results.len() as u64);
+            h2o_obs::gauge("h2o_core_mean_reward").set(mean);
+            h2o_obs::gauge("h2o_core_best_reward").set(best);
+            h2o_obs::gauge("h2o_core_entropy").set(entropy);
+            h2o_obs::gauge("h2o_core_baseline").set(b);
+            let step_time_ms = step_span.finish() * 1e3;
+            history.push(StepRecord {
+                step,
+                mean_reward: mean,
+                best_reward: best,
+                entropy,
+                step_time_ms,
+            });
+            for ((sample, result), reward) in results.into_iter().zip(rewards) {
+                evaluated.push(EvaluatedCandidate {
+                    sample,
+                    result,
+                    reward,
+                });
+            }
+
+            let steps_done = step + 1;
+            if let Some(sink) = sink.as_deref_mut() {
+                if sink.should_checkpoint(steps_done) {
+                    // Stage serialisation is the expensive part, so it only
+                    // happens once the sink has said yes.
+                    let stage_state = stage.checkpoint_state();
+                    let snapshot = SearchSnapshot {
+                        steps_done,
+                        policy: &policy,
+                        baseline: &baseline,
+                        history: &history,
+                        evaluated: &evaluated,
+                        supernet_state: stage_state.as_deref(),
+                    };
+                    sink.on_checkpoint(&snapshot)
+                        .expect("checkpoint sink failed");
+                }
+            }
+        }
+
+        SearchOutcome {
+            best: policy.argmax(),
+            policy,
+            history,
+            evaluated,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::RewardKind;
+    use crate::search::shard_seed;
+    use h2o_space::Decision;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space() -> SearchSpace {
+        let mut s = SearchSpace::new("drv");
+        s.push(Decision::new("a", 4));
+        s.push(Decision::new("b", 3));
+        s
+    }
+
+    /// A minimal deterministic stage whose quality is `sample[0]`, with a
+    /// switch to emit NaN quality on even shards.
+    struct ToyStage {
+        shards: usize,
+        seed: u64,
+        nan_on_even_shards: bool,
+    }
+
+    impl CandidateStage for ToyStage {
+        fn steps_counter_name(&self) -> &'static str {
+            "h2o_core_driver_test_steps_total"
+        }
+        fn collect(&mut self, step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)> {
+            (0..self.shards)
+                .map(|shard| {
+                    let mut rng =
+                        StdRng::seed_from_u64(shard_seed(self.seed, step as u64, shard as u64));
+                    let sample = policy.sample(&mut rng);
+                    let quality = if self.nan_on_even_shards && shard.is_multiple_of(2) {
+                        f64::NAN
+                    } else {
+                        sample[0] as f64
+                    };
+                    (
+                        sample,
+                        EvalResult {
+                            quality,
+                            perf_values: vec![],
+                        },
+                    )
+                })
+                .collect()
+        }
+    }
+
+    fn run_toy(nan_on_even_shards: bool) -> SearchOutcome {
+        let space = space();
+        let reward = RewardFn::new(RewardKind::Relu, vec![]);
+        let config = ControllerConfig {
+            steps: 40,
+            shards: 4,
+            seed: 5,
+            ..Default::default()
+        };
+        let mut stage = ToyStage {
+            shards: config.shards,
+            seed: config.seed,
+            nan_on_even_shards,
+        };
+        SearchDriver::new(&space, &reward, config).run(&mut stage, None, None)
+    }
+
+    #[test]
+    fn driver_learns_the_argmax() {
+        let outcome = run_toy(false);
+        assert_eq!(outcome.best[0], 3, "quality favours the widest choice");
+        assert_eq!(outcome.history.len(), 40);
+        assert_eq!(outcome.evaluated.len(), 160);
+    }
+
+    #[test]
+    fn nan_rewards_do_not_poison_the_baseline() {
+        // Regression for the satellite fix: a NaN from a custom evaluator
+        // used to flow straight into the baseline EMA and every subsequent
+        // advantage. Now it is clamped to the documented penalty.
+        let outcome = run_toy(true);
+        for record in &outcome.history {
+            assert!(
+                record.mean_reward.is_finite(),
+                "step {} mean reward went non-finite",
+                record.step
+            );
+        }
+        assert!(
+            outcome.evaluated.iter().all(|c| c.reward.is_finite()),
+            "every reward is clamped finite"
+        );
+        assert!(
+            outcome
+                .evaluated
+                .iter()
+                .any(|c| c.reward == NON_FINITE_REWARD_PENALTY),
+            "NaN candidates received the documented penalty"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        let space = space();
+        let reward = RewardFn::new(RewardKind::Relu, vec![]);
+        let config = ControllerConfig {
+            steps: 0,
+            ..Default::default()
+        };
+        let mut stage = ToyStage {
+            shards: 4,
+            seed: 0,
+            nan_on_even_shards: false,
+        };
+        SearchDriver::new(&space, &reward, config).run(&mut stage, None, None);
+    }
+}

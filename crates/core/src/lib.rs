@@ -19,9 +19,17 @@
 //!   α-before-W ordering enforced per batch; the TuNAS variant is the
 //!   alternating two-stream baseline the paper improves upon.
 //! * [`pareto`] — Pareto fronts and the bucketised comparisons of Fig. 5.
-//! * [`parallel_search_with`] / [`unified_search_with`] — the same loops
-//!   with crash-safe checkpoint/resume hooks ([`CheckpointSink`]); the
-//!   `h2o-ckpt` crate provides the durable on-disk sink.
+//! * [`parallel_search_with`] / [`unified_search_with`] /
+//!   [`tunas_search_with`] — the same loops with crash-safe
+//!   checkpoint/resume hooks ([`CheckpointSink`]); the `h2o-ckpt` crate
+//!   provides the durable on-disk sink.
+//!
+//! All three search flavors are thin wrappers over one controller engine:
+//! [`SearchDriver`] owns the invariant per-step loop (reward → baseline
+//! EMA → cross-shard REINFORCE → telemetry → checkpoint) and a
+//! [`CandidateStage`] supplies the flavor-specific candidate production
+//! ([`ParallelStage`], [`UnifiedStage`], [`TunasStage`]). Custom stages
+//! plug into the same engine — see [`SearchDriver`] for an example.
 //!
 //! # Examples
 //!
@@ -50,6 +58,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baselines;
+mod driver;
 mod oneshot;
 mod oneshot_generic;
 pub mod pareto;
@@ -60,12 +69,17 @@ mod search;
 pub mod telemetry;
 
 pub use baselines::{evolution_search, random_search, BaselineOutcome, EvolutionConfig};
-pub use oneshot::{tunas_search, unified_search, unified_search_with, OneShotConfig};
-pub use oneshot_generic::{unified_search_over, unified_search_over_with, OneShotSupernet};
+pub use driver::{CandidateStage, ControllerConfig, SearchDriver, NON_FINITE_REWARD_PENALTY};
+pub use oneshot::{
+    tunas_search, tunas_search_with, unified_search, unified_search_with, OneShotConfig, TunasStage,
+};
+pub use oneshot_generic::{
+    unified_search_over, unified_search_over_with, OneShotSupernet, UnifiedStage,
+};
 pub use policy::{Policy, RewardBaseline};
 pub use resume::{CheckpointSink, ResumeState, SearchSnapshot};
 pub use reward::{PerfObjective, RewardFn, RewardKind};
 pub use search::{
     parallel_search, parallel_search_with, shard_seed, ArchEvaluator, EvalResult,
-    EvaluatedCandidate, SearchConfig, SearchOutcome, StepRecord,
+    EvaluatedCandidate, ParallelStage, SearchConfig, SearchOutcome, StepRecord,
 };

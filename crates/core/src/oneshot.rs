@@ -1,6 +1,8 @@
 //! One-shot search with a *real* trainable super-network (Fig. 2).
 //!
-//! Two algorithms over the same DLRM super-network and in-memory traffic:
+//! Two algorithms over the same DLRM super-network and in-memory traffic,
+//! both stages over the unified [`SearchDriver`](crate::SearchDriver)
+//! engine:
 //!
 //! * [`unified_search`] — the H2O-NAS **unified single-step** algorithm
 //!   (Fig. 2 right): each virtual shard pulls a *fresh* batch, the policy
@@ -12,17 +14,26 @@
 //!   with policy steps on a *separate validation stream* — the design the
 //!   paper improves upon (and the ablation bench compares against).
 
-use crate::policy::{Policy, RewardBaseline};
+use crate::driver::{CandidateStage, ControllerConfig, SearchDriver};
+use crate::policy::Policy;
+use crate::resume::{CheckpointSink, ResumeState};
 use crate::reward::RewardFn;
-use crate::search::{EvalResult, EvaluatedCandidate, SearchOutcome, StepRecord};
+use crate::search::{EvalResult, SearchOutcome};
 use h2o_data::TrafficSource;
 use h2o_data::{CtrTraffic, InMemoryPipeline};
 use h2o_space::{ArchSample, DlrmSupernet};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
-/// Configuration of the one-shot supernet searches.
+/// Configuration of the one-shot supernet searches: the shared
+/// [`ControllerConfig`] knobs plus the supernet-training extras
+/// (`batch_size`, `quality_scale`).
+///
+/// The fields stay flat (rather than embedding a `ControllerConfig`) so
+/// existing struct literals and serde encodings are untouched;
+/// [`OneShotConfig::controller`] projects onto the shared controller view.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OneShotConfig {
     /// Search steps (policy updates).
@@ -50,15 +61,31 @@ pub struct OneShotConfig {
 
 impl Default for OneShotConfig {
     fn default() -> Self {
+        let shared = ControllerConfig::default();
         Self {
             steps: 150,
             shards: 4,
             batch_size: 64,
-            policy_lr: 0.05,
-            baseline_momentum: 0.9,
+            policy_lr: shared.policy_lr,
+            baseline_momentum: shared.baseline_momentum,
             quality_scale: 10.0,
-            seed: 0,
-            workers: 0,
+            seed: shared.seed,
+            workers: shared.workers,
+        }
+    }
+}
+
+impl OneShotConfig {
+    /// The shared controller view of this config: what the
+    /// [`SearchDriver`] engine needs, minus the supernet-training extras.
+    pub fn controller(&self) -> ControllerConfig {
+        ControllerConfig {
+            steps: self.steps,
+            shards: self.shards,
+            policy_lr: self.policy_lr,
+            baseline_momentum: self.baseline_momentum,
+            seed: self.seed,
+            workers: self.workers,
         }
     }
 }
@@ -94,12 +121,138 @@ pub fn unified_search_with(
     reward_fn: &RewardFn,
     perf_of: impl Fn(&ArchSample) -> Vec<f64> + Sync,
     config: &OneShotConfig,
-    resume: Option<crate::resume::ResumeState>,
-    sink: Option<&mut dyn crate::resume::CheckpointSink>,
+    resume: Option<ResumeState>,
+    sink: Option<&mut dyn CheckpointSink>,
 ) -> SearchOutcome {
     crate::oneshot_generic::unified_search_over_with(
         supernet, pipeline, reward_fn, perf_of, config, resume, sink,
     )
+}
+
+/// The [`CandidateStage`] of the TuNAS-style alternating baseline
+/// (Fig. 2 left): per step, shared weights first train on `shards` batches
+/// from the training stream (stage A), then `shards` candidates are scored
+/// on the validation stream (stage B) to drive the policy update.
+///
+/// Unlike the other stages, TuNAS draws every sample from one *run-long*
+/// RNG seeded from `config.seed` (faithful to the baseline it models).
+/// Resume therefore fast-forwards that RNG instead of re-deriving per-step
+/// seeds: each completed step consumed exactly `2 × shards` samples of
+/// `num_decisions` draws each, so the stream position is recomputable from
+/// `steps_done` alone — no RNG state is stored in the snapshot.
+pub struct TunasStage<'a, P> {
+    supernet: &'a mut DlrmSupernet,
+    train_stream: &'a mut CtrTraffic,
+    valid_stream: &'a mut CtrTraffic,
+    perf_of: P,
+    rng: StdRng,
+    config: OneShotConfig,
+}
+
+impl<'a, P> fmt::Debug for TunasStage<'a, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TunasStage")
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<'a, P> TunasStage<'a, P>
+where
+    P: FnMut(&ArchSample) -> Vec<f64>,
+{
+    /// Builds the stage over a supernet and its two traffic streams.
+    pub fn new(
+        supernet: &'a mut DlrmSupernet,
+        train_stream: &'a mut CtrTraffic,
+        valid_stream: &'a mut CtrTraffic,
+        perf_of: P,
+        config: &OneShotConfig,
+    ) -> Self {
+        Self {
+            supernet,
+            train_stream,
+            valid_stream,
+            perf_of,
+            rng: StdRng::seed_from_u64(config.seed),
+            config: *config,
+        }
+    }
+}
+
+impl<'a, P> CandidateStage for TunasStage<'a, P>
+where
+    P: FnMut(&ArchSample) -> Vec<f64>,
+{
+    fn step_span_name(&self) -> &'static str {
+        "tunas_step"
+    }
+
+    fn steps_counter_name(&self) -> &'static str {
+        "h2o_core_tunas_steps_total"
+    }
+
+    fn collect(&mut self, _step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)> {
+        let config = &self.config;
+        // Step A: train shared weights W on the training stream.
+        {
+            let _weights = h2o_obs::span("weight_update");
+            for _ in 0..config.shards {
+                let batch = self.train_stream.next_batch(config.batch_size);
+                let sample = policy.sample(&mut self.rng);
+                self.supernet.apply_sample(&sample);
+                self.supernet.train_step(&batch);
+            }
+        }
+        // Step B: score candidates for the policy π on the validation
+        // stream.
+        let mut candidates = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let batch = self.valid_stream.next_batch(config.batch_size);
+            let sample = policy.sample(&mut self.rng);
+            self.supernet.apply_sample(&sample);
+            let (logloss, _) = h2o_obs::time("supernet_forward", || self.supernet.evaluate(&batch));
+            let quality = -config.quality_scale * logloss as f64;
+            let perf_values = (self.perf_of)(&sample);
+            candidates.push((
+                sample,
+                EvalResult {
+                    quality,
+                    perf_values,
+                },
+            ));
+        }
+        candidates
+    }
+
+    fn restore(&mut self, state: &ResumeState) {
+        let weights = state
+            .supernet_state
+            .as_deref()
+            .expect("tunas resume requires snapshotted supernet state");
+        self.supernet
+            .load_state(weights)
+            .expect("supernet state does not match this super-network");
+        let config = &self.config;
+        // Rejoin the run-long sample stream: each completed step drew
+        // 2 × shards samples (stage A + stage B), each consuming exactly
+        // one f64 per decision.
+        let decisions = self.supernet.space().space().num_decisions();
+        for _ in 0..state.steps_done * 2 * config.shards * decisions {
+            let _: f64 = self.rng.gen();
+        }
+        // And rejoin both data streams past the consumed batches.
+        for _ in 0..state.steps_done * config.shards {
+            self.train_stream.next_batch(config.batch_size);
+            self.valid_stream.next_batch(config.batch_size);
+        }
+    }
+
+    fn checkpoint_state(&mut self) -> Option<Vec<u8>> {
+        Some(h2o_obs::time("supernet_save_state", || {
+            self.supernet.save_state()
+        }))
+    }
 }
 
 /// The TuNAS-style alternating baseline (Fig. 2 left): weight training on a
@@ -108,85 +261,59 @@ pub fn unified_search_with(
 /// Uses the same step/shard budget as [`unified_search`] but needs two
 /// statistically stable streams — the operational burden the paper's
 /// unified algorithm removes.
+///
+/// # Panics
+///
+/// Panics if `config.shards == 0` or `config.steps == 0`.
 pub fn tunas_search(
     supernet: &mut DlrmSupernet,
     train_stream: &mut CtrTraffic,
     valid_stream: &mut CtrTraffic,
     reward_fn: &RewardFn,
-    mut perf_of: impl FnMut(&ArchSample) -> Vec<f64>,
+    perf_of: impl FnMut(&ArchSample) -> Vec<f64>,
     config: &OneShotConfig,
 ) -> SearchOutcome {
+    tunas_search_with(
+        supernet,
+        train_stream,
+        valid_stream,
+        reward_fn,
+        perf_of,
+        config,
+        None,
+        None,
+    )
+}
+
+/// [`tunas_search`] with checkpoint/resume hooks.
+///
+/// `resume` restores a snapshot captured at a completed step `k`: the
+/// supernet's shared weights are restored, the run-long sampling RNG is
+/// fast-forwarded past the `k × 2 × shards` samples the original run drew,
+/// and both streams are advanced past the `k × shards` batches each
+/// consumed — so the caller must pass a **freshly constructed** supernet
+/// and streams built with the same seeds/configs as the original run. The
+/// resumed run is then byte-identical to an uninterrupted one.
+///
+/// # Panics
+///
+/// Panics if `config.shards == 0`, `config.steps == 0`, if the resume
+/// state was captured past `config.steps`, lacks supernet state, does not
+/// match the supernet's shape, or if the sink returns an error.
+#[allow(clippy::too_many_arguments)]
+pub fn tunas_search_with(
+    supernet: &mut DlrmSupernet,
+    train_stream: &mut CtrTraffic,
+    valid_stream: &mut CtrTraffic,
+    reward_fn: &RewardFn,
+    perf_of: impl FnMut(&ArchSample) -> Vec<f64>,
+    config: &OneShotConfig,
+    resume: Option<ResumeState>,
+    sink: Option<&mut dyn CheckpointSink>,
+) -> SearchOutcome {
     let space = supernet.space().space().clone();
-    let mut policy = Policy::uniform(&space);
-    let mut baseline = RewardBaseline::new(config.baseline_momentum);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut history = Vec::with_capacity(config.steps);
-    let mut evaluated = Vec::with_capacity(config.steps * config.shards);
-
-    let steps_total = h2o_obs::counter("h2o_core_tunas_steps_total");
-
-    for step in 0..config.steps {
-        let step_span = h2o_obs::span("tunas_step");
-        // Step A: train shared weights W on the training stream.
-        {
-            let _weights = h2o_obs::span("weight_update");
-            for _ in 0..config.shards {
-                let batch = train_stream.next_batch(config.batch_size);
-                let sample = policy.sample(&mut rng);
-                supernet.apply_sample(&sample);
-                supernet.train_step(&batch);
-            }
-        }
-        // Step B: learn the policy π on the validation stream.
-        let mut step_samples = Vec::with_capacity(config.shards);
-        for _ in 0..config.shards {
-            let batch = valid_stream.next_batch(config.batch_size);
-            let sample = policy.sample(&mut rng);
-            supernet.apply_sample(&sample);
-            let (logloss, _) = h2o_obs::time("supernet_forward", || supernet.evaluate(&batch));
-            let quality = -config.quality_scale * logloss as f64;
-            let perf_values = perf_of(&sample);
-            step_samples.push((sample, quality, perf_values));
-        }
-        let rewards: Vec<f64> = step_samples
-            .iter()
-            .map(|(_, q, p)| reward_fn.reward(*q, p))
-            .collect();
-        let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
-        let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let b = baseline.update(mean);
-        let update: Vec<(ArchSample, f64)> = step_samples
-            .iter()
-            .zip(&rewards)
-            .map(|((sample, _, _), &r)| (sample.clone(), r - b))
-            .collect();
-        policy.reinforce_update(&update, config.policy_lr);
-        for ((sample, quality, perf_values), reward) in step_samples.into_iter().zip(rewards) {
-            evaluated.push(EvaluatedCandidate {
-                sample,
-                result: EvalResult {
-                    quality,
-                    perf_values,
-                },
-                reward,
-            });
-        }
-        steps_total.inc();
-        let step_time_ms = step_span.finish() * 1e3;
-        history.push(StepRecord {
-            step,
-            mean_reward: mean,
-            best_reward: best,
-            entropy: policy.mean_entropy(),
-            step_time_ms,
-        });
-    }
-    SearchOutcome {
-        best: policy.argmax(),
-        policy,
-        history,
-        evaluated,
-    }
+    let mut stage = TunasStage::new(supernet, train_stream, valid_stream, perf_of, config);
+    SearchDriver::new(&space, reward_fn, config.controller()).run(&mut stage, resume, sink)
 }
 
 #[cfg(test)]
@@ -275,6 +402,108 @@ mod tests {
         // samples (training + validation streams).
         assert_eq!(train.examples_produced(), 10 * 2 * 32);
         assert_eq!(valid.examples_produced(), 10 * 2 * 32);
+        // The driver now times tunas steps like every other stage.
+        assert!(outcome.history.iter().all(|h| h.step_time_ms >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn tunas_zero_shards_panics() {
+        let (mut supernet, _) = setup();
+        let (reward, perf) = size_reward(&supernet);
+        let mut train = CtrTraffic::new(CtrTrafficConfig::tiny(), 10);
+        let mut valid = CtrTraffic::new(CtrTrafficConfig::tiny(), 11);
+        let cfg = OneShotConfig {
+            shards: 0,
+            ..Default::default()
+        };
+        tunas_search(&mut supernet, &mut train, &mut valid, &reward, perf, &cfg);
+    }
+
+    #[test]
+    fn tunas_resume_from_checkpoint_is_bit_identical() {
+        use crate::resume::{ResumeState, SearchSnapshot};
+
+        struct CaptureAt {
+            at: usize,
+            state: Option<ResumeState>,
+        }
+        impl CheckpointSink for CaptureAt {
+            fn should_checkpoint(&self, steps_done: usize) -> bool {
+                steps_done == self.at
+            }
+            fn on_checkpoint(&mut self, snapshot: &SearchSnapshot<'_>) -> Result<(), String> {
+                self.state = Some(ResumeState::from_snapshot(snapshot));
+                Ok(())
+            }
+        }
+
+        let cfg = OneShotConfig {
+            steps: 8,
+            shards: 2,
+            batch_size: 32,
+            seed: 7,
+            ..Default::default()
+        };
+        let fresh = || {
+            let mut rng = StdRng::seed_from_u64(3);
+            DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut rng)
+        };
+        let streams = || {
+            (
+                CtrTraffic::new(CtrTrafficConfig::tiny(), 10),
+                CtrTraffic::new(CtrTrafficConfig::tiny(), 11),
+            )
+        };
+
+        // Uninterrupted reference run.
+        let mut supernet = fresh();
+        let (mut train, mut valid) = streams();
+        let (reward, perf) = size_reward(&supernet);
+        let full = tunas_search(&mut supernet, &mut train, &mut valid, &reward, perf, &cfg);
+
+        // Run to the midpoint, capturing a snapshot.
+        let mut capture = CaptureAt { at: 4, state: None };
+        let mut supernet = fresh();
+        let (mut train, mut valid) = streams();
+        let (reward, perf) = size_reward(&supernet);
+        let cut = OneShotConfig { steps: 4, ..cfg };
+        tunas_search_with(
+            &mut supernet,
+            &mut train,
+            &mut valid,
+            &reward,
+            perf,
+            &cut,
+            None,
+            Some(&mut capture),
+        );
+        let state = capture.state.expect("snapshot captured");
+        assert!(state.supernet_state.is_some(), "tunas snapshots weights");
+
+        // Resume on freshly constructed supernet + streams.
+        let mut supernet = fresh();
+        let (mut train, mut valid) = streams();
+        let (reward, perf) = size_reward(&supernet);
+        let resumed = tunas_search_with(
+            &mut supernet,
+            &mut train,
+            &mut valid,
+            &reward,
+            perf,
+            &cfg,
+            Some(state),
+            None,
+        );
+
+        assert_eq!(full.best, resumed.best);
+        assert_eq!(full.evaluated, resumed.evaluated);
+        assert_eq!(full.policy, resumed.policy);
+        for (a, b) in full.history.iter().zip(&resumed.history) {
+            assert_eq!(a.mean_reward, b.mean_reward);
+            assert_eq!(a.best_reward, b.best_reward);
+            assert_eq!(a.entropy, b.entropy);
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Domain-generic one-shot search: the unified single-step algorithm over
-//! *any* weight-sharing super-network.
+//! *any* weight-sharing super-network, as a [`CandidateStage`] over the
+//! [`SearchDriver`] engine.
 //!
 //! §4.2's algorithm does not care what the super-network computes — it
 //! needs (a) a categorical space, (b) candidate masking, (c) a quality
@@ -10,15 +11,17 @@
 //! super-network both implement it, demonstrating that the machinery is
 //! domain-independent.
 
-use crate::policy::{Policy, RewardBaseline};
-use crate::resume::{CheckpointSink, ResumeState, SearchSnapshot};
+use crate::driver::{CandidateStage, SearchDriver};
+use crate::policy::Policy;
+use crate::resume::{CheckpointSink, ResumeState};
 use crate::reward::RewardFn;
-use crate::search::{shard_seed, EvalResult, EvaluatedCandidate, SearchOutcome, StepRecord};
-use crate::OneShotConfig;
-use h2o_data::{InMemoryPipeline, TrafficSource};
+use crate::search::{shard_seed, EvalResult};
+use crate::{OneShotConfig, SearchOutcome};
+use h2o_data::{InMemoryPipeline, StampedBatch, TrafficSource};
 use h2o_space::{ArchSample, DlrmSupernet, SearchSpace, VisionSupernet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::fmt;
 
 /// The contract a weight-sharing super-network must satisfy to be searched
 /// by the unified single-step algorithm.
@@ -110,10 +113,177 @@ impl OneShotSupernet for VisionSupernet {
     }
 }
 
+/// The [`CandidateStage`] of the unified one-shot search (Fig. 2 right):
+/// serial supernet quality on fresh batches, executor-fanned performance
+/// evaluation, and shared-weight training on the very batches the policy
+/// just learned from.
+///
+/// Per step the stage samples from a *per-step* RNG seeded by
+/// [`shard_seed`]`(seed, step, u64::MAX)` — the `u64::MAX` tag keeps the
+/// stream disjoint from per-shard eval streams, and deriving it from
+/// `(seed, step)` means a resumed run rejoins the exact sample stream with
+/// no run-long RNG state to save. The step's batches are carried from
+/// [`collect`](CandidateStage::collect) to
+/// [`after_policy_update`](CandidateStage::after_policy_update) so the
+/// pipeline's α-before-W ordering is exercised on every batch.
+pub struct UnifiedStage<'a, S, Src, P>
+where
+    S: OneShotSupernet,
+    Src: TrafficSource<Batch = S::Batch>,
+{
+    supernet: &'a mut S,
+    pipeline: &'a InMemoryPipeline<Src>,
+    perf_of: P,
+    executor: h2o_exec::Executor,
+    config: OneShotConfig,
+    /// This step's batches, in shard order, between collect and the
+    /// post-update weight training.
+    step_batches: Vec<StampedBatch<S::Batch>>,
+}
+
+impl<'a, S, Src, P> fmt::Debug for UnifiedStage<'a, S, Src, P>
+where
+    S: OneShotSupernet,
+    Src: TrafficSource<Batch = S::Batch>,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UnifiedStage")
+            .field("space", &self.supernet.search_space().name())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<'a, S, Src, P> UnifiedStage<'a, S, Src, P>
+where
+    S: OneShotSupernet,
+    Src: TrafficSource<Batch = S::Batch>,
+    P: Fn(&ArchSample) -> Vec<f64> + Sync,
+{
+    /// Builds the stage over a super-network, its data pipeline, and a
+    /// pure performance oracle `perf_of`.
+    pub fn new(
+        supernet: &'a mut S,
+        pipeline: &'a InMemoryPipeline<Src>,
+        perf_of: P,
+        config: &OneShotConfig,
+    ) -> Self {
+        let executor = h2o_exec::Executor::from_env(config.workers, config.shards);
+        Self {
+            supernet,
+            pipeline,
+            perf_of,
+            executor,
+            config: *config,
+            step_batches: Vec::with_capacity(config.shards),
+        }
+    }
+}
+
+impl<'a, S, Src, P> CandidateStage for UnifiedStage<'a, S, Src, P>
+where
+    S: OneShotSupernet,
+    Src: TrafficSource<Batch = S::Batch>,
+    P: Fn(&ArchSample) -> Vec<f64> + Sync,
+{
+    fn steps_counter_name(&self) -> &'static str {
+        "h2o_core_oneshot_steps_total"
+    }
+
+    fn collect(&mut self, step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)> {
+        let config = &self.config;
+        let mut rng = StdRng::seed_from_u64(shard_seed(config.seed, step as u64, u64::MAX));
+        // Quality stage stays serial: it trains/masks the single shared
+        // supernet and consumes pipeline batches in order.
+        let mut quality_data = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let batch = h2o_obs::time("pipeline_next_batch", || {
+                self.pipeline.next_batch(config.batch_size)
+            });
+            let sample = h2o_obs::time("policy_sample", || policy.sample(&mut rng));
+            self.supernet.apply_sample(&sample);
+            let raw_quality =
+                h2o_obs::time("supernet_forward", || self.supernet.quality(&batch.data));
+            // A diverged candidate (non-finite loss) gets a hard penalty
+            // instead of poisoning the policy update with NaN.
+            let quality = if raw_quality.is_finite() {
+                config.quality_scale * raw_quality
+            } else {
+                -10.0 * config.quality_scale.abs().max(1.0)
+            };
+            self.pipeline
+                .mark_policy_use(batch.seq)
+                .expect("fresh batch");
+            quality_data.push((batch, sample, quality));
+        }
+        // Performance stage fans out over the executor: `perf_of` is pure
+        // per sample, and results come back in submission order, so the
+        // worker count never changes the outcome.
+        let samples: Vec<&ArchSample> = quality_data.iter().map(|(_, s, _)| s).collect();
+        let perf_of = &self.perf_of;
+        let perf_values = self.executor.map(samples, |_, sample| {
+            h2o_obs::time("reward_eval", || perf_of(sample))
+        });
+        self.step_batches.clear();
+        quality_data
+            .into_iter()
+            .zip(perf_values)
+            .map(|((batch, sample, quality), perf_values)| {
+                self.step_batches.push(batch);
+                (
+                    sample,
+                    EvalResult {
+                        quality,
+                        perf_values,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn after_policy_update(&mut self, candidates: &[(ArchSample, EvalResult)], _rewards: &[f64]) {
+        // The batches that just informed the policy now train the shared
+        // weights (policy use strictly before weights use — the pipeline
+        // enforces the ordering).
+        let _weights = h2o_obs::span("weight_update");
+        for ((sample, _), batch) in candidates.iter().zip(self.step_batches.drain(..)) {
+            self.supernet.apply_sample(sample);
+            self.supernet.train_step_on(&batch.data);
+            self.pipeline
+                .mark_weights_use(batch.seq)
+                .expect("policy-seen batch");
+        }
+    }
+
+    fn restore(&mut self, state: &ResumeState) {
+        let weights = state
+            .supernet_state
+            .as_deref()
+            .expect("one-shot resume requires snapshotted supernet state");
+        self.supernet
+            .load_state(weights)
+            .expect("supernet state does not match this super-network");
+        self.pipeline.fast_forward(
+            state.steps_done * self.config.shards,
+            self.config.batch_size,
+        );
+    }
+
+    fn checkpoint_state(&mut self) -> Option<Vec<u8>> {
+        Some(h2o_obs::time("supernet_save_state", || {
+            self.supernet.save_state()
+        }))
+    }
+}
+
 /// The unified single-step search (Fig. 2 right) over any
 /// [`OneShotSupernet`]: per shard, a fresh batch feeds policy learning
 /// first and weight training second, with the pipeline enforcing the
 /// ordering.
+///
+/// # Panics
+///
+/// Panics if `config.shards == 0` or `config.steps == 0`.
 pub fn unified_search_over<S, Src>(
     supernet: &mut S,
     pipeline: &InMemoryPipeline<Src>,
@@ -131,7 +301,7 @@ where
 /// [`unified_search_over`] with checkpoint/resume hooks.
 ///
 /// `resume` restores a snapshot captured at a completed step `k` by a
-/// [`CheckpointSink`]: controller state is handed back to the loop, the
+/// [`CheckpointSink`]: controller state is handed back to the driver, the
 /// supernet's shared weights are restored via
 /// [`OneShotSupernet::load_state`], and the pipeline is fast-forwarded past
 /// the `k × shards` batches the original run consumed — so the caller must
@@ -143,9 +313,9 @@ where
 ///
 /// # Panics
 ///
-/// Panics if the resume state was captured past `config.steps`, lacks
-/// supernet state, does not match the supernet's shape, or if the sink
-/// returns an error.
+/// Panics if `config.shards == 0`, `config.steps == 0`, if the resume state
+/// was captured past `config.steps`, lacks supernet state, does not match
+/// the supernet's shape, or if the sink returns an error.
 pub fn unified_search_over_with<S, Src>(
     supernet: &mut S,
     pipeline: &InMemoryPipeline<Src>,
@@ -153,165 +323,15 @@ pub fn unified_search_over_with<S, Src>(
     perf_of: impl Fn(&ArchSample) -> Vec<f64> + Sync,
     config: &OneShotConfig,
     resume: Option<ResumeState>,
-    mut sink: Option<&mut dyn CheckpointSink>,
+    sink: Option<&mut dyn CheckpointSink>,
 ) -> SearchOutcome
 where
     S: OneShotSupernet,
     Src: TrafficSource<Batch = S::Batch>,
 {
     let space = supernet.search_space().clone();
-    let (start_step, mut policy, mut baseline, mut history, mut evaluated) = match resume {
-        Some(state) => {
-            assert!(
-                state.steps_done <= config.steps,
-                "resume state is from step {} but the search only runs {} steps",
-                state.steps_done,
-                config.steps
-            );
-            let weights = state
-                .supernet_state
-                .as_deref()
-                .expect("one-shot resume requires snapshotted supernet state");
-            supernet
-                .load_state(weights)
-                .expect("supernet state does not match this super-network");
-            pipeline.fast_forward(state.steps_done * config.shards, config.batch_size);
-            (
-                state.steps_done,
-                state.policy,
-                state.baseline,
-                state.history,
-                state.evaluated,
-            )
-        }
-        None => (
-            0,
-            Policy::uniform(&space),
-            RewardBaseline::new(config.baseline_momentum),
-            Vec::with_capacity(config.steps),
-            Vec::with_capacity(config.steps * config.shards),
-        ),
-    };
-    let executor = h2o_exec::Executor::from_env(config.workers, config.shards);
-
-    let steps_total = h2o_obs::counter("h2o_core_oneshot_steps_total");
-    let candidates_total = h2o_obs::counter("h2o_core_candidates_evaluated_total");
-
-    for step in start_step..config.steps {
-        let step_span = h2o_obs::span("search_step");
-        // Per-step policy-sampling RNG: derived from (seed, step) so a
-        // resumed run rejoins the exact sample stream without any run-long
-        // RNG state to save. The u64::MAX shard tag keeps this stream
-        // disjoint from parallel_search's per-shard eval streams.
-        let mut rng = StdRng::seed_from_u64(shard_seed(config.seed, step as u64, u64::MAX));
-        // Quality stage stays serial: it trains/masks the single shared
-        // supernet and consumes pipeline batches in order.
-        let mut quality_data = Vec::with_capacity(config.shards);
-        for _ in 0..config.shards {
-            let batch = h2o_obs::time("pipeline_next_batch", || {
-                pipeline.next_batch(config.batch_size)
-            });
-            let sample = h2o_obs::time("policy_sample", || policy.sample(&mut rng));
-            supernet.apply_sample(&sample);
-            let raw_quality = h2o_obs::time("supernet_forward", || supernet.quality(&batch.data));
-            // A diverged candidate (non-finite loss) gets a hard penalty
-            // instead of poisoning the policy update with NaN.
-            let quality = if raw_quality.is_finite() {
-                config.quality_scale * raw_quality
-            } else {
-                -10.0 * config.quality_scale.abs().max(1.0)
-            };
-            pipeline.mark_policy_use(batch.seq).expect("fresh batch");
-            quality_data.push((batch, sample, quality));
-        }
-        // Performance stage fans out over the executor: `perf_of` is pure
-        // per sample, and results come back in submission order, so the
-        // worker count never changes the outcome.
-        let samples: Vec<&ArchSample> = quality_data.iter().map(|(_, s, _)| s).collect();
-        let perf_values = executor.map(samples, |_, sample| {
-            h2o_obs::time("reward_eval", || perf_of(sample))
-        });
-        let shard_data: Vec<_> = quality_data
-            .into_iter()
-            .zip(perf_values)
-            .map(|((batch, sample, quality), perf)| (batch, sample, quality, perf))
-            .collect();
-        let rewards: Vec<f64> = shard_data
-            .iter()
-            .map(|(_, _, q, p)| reward_fn.reward(*q, p))
-            .collect();
-        let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
-        let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let b = baseline.update(mean);
-        let update: Vec<(ArchSample, f64)> = shard_data
-            .iter()
-            .zip(&rewards)
-            .map(|((_, sample, _, _), &r)| (sample.clone(), r - b))
-            .collect();
-        h2o_obs::time("policy_update", || {
-            policy.reinforce_update(&update, config.policy_lr)
-        });
-        {
-            let _weights = h2o_obs::span("weight_update");
-            for ((batch, sample, quality, perf_values), reward) in
-                shard_data.into_iter().zip(rewards)
-            {
-                supernet.apply_sample(&sample);
-                supernet.train_step_on(&batch.data);
-                pipeline
-                    .mark_weights_use(batch.seq)
-                    .expect("policy-seen batch");
-                evaluated.push(EvaluatedCandidate {
-                    sample,
-                    result: EvalResult {
-                        quality,
-                        perf_values,
-                    },
-                    reward,
-                });
-            }
-        }
-        let entropy = policy.mean_entropy();
-        steps_total.inc();
-        candidates_total.add(config.shards as u64);
-        h2o_obs::gauge("h2o_core_mean_reward").set(mean);
-        h2o_obs::gauge("h2o_core_best_reward").set(best);
-        h2o_obs::gauge("h2o_core_entropy").set(entropy);
-        h2o_obs::gauge("h2o_core_baseline").set(b);
-        let step_time_ms = step_span.finish() * 1e3;
-        history.push(StepRecord {
-            step,
-            mean_reward: mean,
-            best_reward: best,
-            entropy,
-            step_time_ms,
-        });
-
-        let steps_done = step + 1;
-        if let Some(sink) = sink.as_deref_mut() {
-            if sink.should_checkpoint(steps_done) {
-                // Supernet serialisation is the expensive part, so it only
-                // happens once the sink has said yes.
-                let weights = h2o_obs::time("supernet_save_state", || supernet.save_state());
-                let snapshot = SearchSnapshot {
-                    steps_done,
-                    policy: &policy,
-                    baseline: &baseline,
-                    history: &history,
-                    evaluated: &evaluated,
-                    supernet_state: Some(&weights),
-                };
-                sink.on_checkpoint(&snapshot)
-                    .expect("checkpoint sink failed");
-            }
-        }
-    }
-    SearchOutcome {
-        best: policy.argmax(),
-        policy,
-        history,
-        evaluated,
-    }
+    let mut stage = UnifiedStage::new(supernet, pipeline, perf_of, config);
+    SearchDriver::new(&space, reward_fn, config.controller()).run(&mut stage, resume, sink)
 }
 
 #[cfg(test)]
@@ -388,5 +408,39 @@ mod tests {
         };
         let outcome = unified_search_over(&mut net, &pipeline, &reward, |_| vec![], &cfg);
         assert_eq!(outcome.evaluated.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics_in_unified_search() {
+        // Regression: the one-shot path used to accept shards == 0 and
+        // divide by zero computing the mean reward.
+        use h2o_data::{CtrTraffic, CtrTrafficConfig};
+        use h2o_space::DlrmSpaceConfig;
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut net = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut rng);
+        let pipeline = InMemoryPipeline::new(CtrTraffic::new(CtrTrafficConfig::tiny(), 9));
+        let reward = RewardFn::new(RewardKind::Relu, vec![]);
+        let cfg = OneShotConfig {
+            shards: 0,
+            ..Default::default()
+        };
+        unified_search_over(&mut net, &pipeline, &reward, |_| vec![], &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics_in_unified_search() {
+        use h2o_data::{CtrTraffic, CtrTrafficConfig};
+        use h2o_space::DlrmSpaceConfig;
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut net = DlrmSupernet::new(DlrmSpaceConfig::tiny(), 0.05, &mut rng);
+        let pipeline = InMemoryPipeline::new(CtrTraffic::new(CtrTrafficConfig::tiny(), 9));
+        let reward = RewardFn::new(RewardKind::Relu, vec![]);
+        let cfg = OneShotConfig {
+            steps: 0,
+            ..Default::default()
+        };
+        unified_search_over(&mut net, &pipeline, &reward, |_| vec![], &cfg);
     }
 }

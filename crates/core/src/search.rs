@@ -1,22 +1,26 @@
-//! The massively parallel single-step search loop (§4.2, Fig. 2 right).
+//! The massively parallel single-step search (§4.2, Fig. 2 right) as a
+//! [`CandidateStage`] over the unified [`SearchDriver`] engine.
 //!
 //! Each step, every virtual accelerator shard (1) samples its own
 //! architecture `αᵢ` from the shared policy `π` and evaluates its quality
 //! and performance, (2) all shards' rewards drive one **cross-shard
-//! REINFORCE update** of `π`, and (3) shared weights `W` are updated on the
-//! same batches (for evaluators that train — see `crate::oneshot`).
-//! Shards run on a work-stealing [`h2o_exec::Executor`] pool standing in
-//! for the paper's hundreds of TPU cores. Each shard's job owns its RNG
-//! (seeded from `seed`, `step`, `shard`) and results reduce in submission
-//! order, so the outcome is bit-identical for any worker count.
+//! REINFORCE update** of `π` (the driver's invariant loop), and (3) shared
+//! weights `W` are updated on the same batches (for evaluators that train —
+//! see `crate::oneshot`). Shards run on a work-stealing
+//! [`h2o_exec::Executor`] pool standing in for the paper's hundreds of TPU
+//! cores. Each shard's job owns its RNG (seeded from `seed`, `step`,
+//! `shard`) and results reduce in submission order, so the outcome is
+//! bit-identical for any worker count.
 
-use crate::policy::{Policy, RewardBaseline};
-use crate::resume::{CheckpointSink, ResumeState, SearchSnapshot};
+use crate::driver::{CandidateStage, ControllerConfig, SearchDriver};
+use crate::policy::Policy;
+use crate::resume::{CheckpointSink, ResumeState};
 use crate::reward::RewardFn;
 use h2o_space::{ArchSample, SearchSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// SplitMix64 finalizer: a full-avalanche bijection on `u64` (Steele et
 /// al.), the same mixer `h2o_hwsim`'s cache uses for shard routing.
@@ -66,37 +70,11 @@ where
 }
 
 /// Configuration of the parallel search loop.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct SearchConfig {
-    /// Search steps (policy updates).
-    pub steps: usize,
-    /// Virtual accelerator shards per step (parallel candidate samples).
-    pub shards: usize,
-    /// REINFORCE learning rate on the policy logits.
-    pub policy_lr: f64,
-    /// EMA momentum of the reward baseline.
-    pub baseline_momentum: f64,
-    /// RNG seed.
-    pub seed: u64,
-    /// Evaluation worker threads. `0` means auto: the `H2O_WORKERS`
-    /// environment variable if set, else available parallelism. The
-    /// search outcome is bit-identical for every worker count.
-    #[serde(default)]
-    pub workers: usize,
-}
-
-impl Default for SearchConfig {
-    fn default() -> Self {
-        Self {
-            steps: 200,
-            shards: 8,
-            policy_lr: 0.05,
-            baseline_momentum: 0.9,
-            seed: 0,
-            workers: 0,
-        }
-    }
-}
+///
+/// The parallel loop needs exactly the shared controller knobs, so this is
+/// [`ControllerConfig`] itself (struct literals, serde encodings, and the
+/// `h2o-ckpt` fingerprint are all unchanged by the aliasing).
+pub type SearchConfig = ControllerConfig;
 
 /// Per-step telemetry.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -139,10 +117,106 @@ pub struct SearchOutcome {
 
 impl SearchOutcome {
     /// The evaluated candidate with the highest reward.
+    ///
+    /// Uses [`f64::total_cmp`], so a NaN reward (impossible through the
+    /// driver, which clamps non-finite rewards, but reachable in
+    /// hand-constructed outcomes) can never panic the comparison — NaN
+    /// sorts above every finite reward under the IEEE total order and
+    /// would surface as the maximum rather than abort the caller.
     pub fn best_evaluated(&self) -> Option<&EvaluatedCandidate> {
         self.evaluated
             .iter()
-            .max_by(|a, b| a.reward.partial_cmp(&b.reward).expect("no NaN rewards"))
+            .max_by(|a, b| a.reward.total_cmp(&b.reward))
+    }
+}
+
+/// The [`CandidateStage`] of the massively parallel search: one stateless
+/// (from the driver's point of view) evaluator per shard, fanned out on a
+/// work-stealing executor pool.
+///
+/// Evaluator construction happens once per shard; evaluators persist
+/// across steps (so stateful evaluators amortise setup and can train
+/// shard-local state). Shard `i` always runs job `i` with its own RNG
+/// seeded from [`shard_seed`]`(seed, step, i)` and the executor reduces in
+/// submission order, so the stealing schedule cannot leak into the
+/// outcome.
+pub struct ParallelStage<E> {
+    evaluators: Vec<E>,
+    shard_evals: Vec<h2o_obs::Counter>,
+    executor: h2o_exec::Executor,
+    seed: u64,
+}
+
+impl<E> fmt::Debug for ParallelStage<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParallelStage")
+            .field("shards", &self.evaluators.len())
+            .field("workers", &self.executor.workers())
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl<E> ParallelStage<E>
+where
+    E: ArchEvaluator + Send,
+{
+    /// Builds the stage: one evaluator per shard from
+    /// `make_evaluator(shard_index)`, plus the executor pool sized from
+    /// `config.workers`.
+    pub fn new<F>(mut make_evaluator: F, config: &SearchConfig) -> Self
+    where
+        F: FnMut(usize) -> E,
+    {
+        let evaluators: Vec<E> = (0..config.shards).map(&mut make_evaluator).collect();
+        let executor = h2o_exec::Executor::from_env(config.workers, config.shards);
+        // Per-shard counters, resolved once: the registry lookup (and its
+        // format!-ed label) has no business inside the per-evaluation hot
+        // path.
+        let shard_evals: Vec<h2o_obs::Counter> = (0..config.shards)
+            .map(|shard| h2o_obs::counter(&format!("h2o_core_shard_evals{{shard=\"{shard}\"}}")))
+            .collect();
+        Self {
+            evaluators,
+            shard_evals,
+            executor,
+            seed: config.seed,
+        }
+    }
+}
+
+impl<E> CandidateStage for ParallelStage<E>
+where
+    E: ArchEvaluator + Send,
+{
+    fn steps_counter_name(&self) -> &'static str {
+        "h2o_core_search_steps_total"
+    }
+
+    fn collect(&mut self, step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)> {
+        // Every shard samples and evaluates its own candidate on the
+        // work-stealing pool (Fig. 2's per-core sample + forward pass).
+        let seed = self.seed;
+        let jobs: Vec<_> = self
+            .evaluators
+            .iter_mut()
+            .zip(&self.shard_evals)
+            .enumerate()
+            .map(|(shard, (evaluator, evals_counter))| {
+                move || {
+                    // Per-shard counters: each worker records under the
+                    // shard's label; exporters aggregate the set.
+                    let _eval_span = h2o_obs::span("shard_evaluate");
+                    evals_counter.inc();
+                    let mut rng =
+                        StdRng::seed_from_u64(shard_seed(seed, step as u64, shard as u64));
+                    let sample = policy.sample(&mut rng);
+                    let result = evaluator.evaluate(&sample);
+                    (sample, result)
+                }
+            })
+            .collect();
+        self.executor.execute(jobs)
     }
 }
 
@@ -182,7 +256,7 @@ where
 ///
 /// `sink` is consulted after every completed step; when
 /// [`CheckpointSink::should_checkpoint`] returns true it receives a
-/// borrowed [`SearchSnapshot`].
+/// borrowed [`crate::SearchSnapshot`].
 ///
 /// # Panics
 ///
@@ -193,147 +267,17 @@ where
 pub fn parallel_search_with<E, F>(
     space: &SearchSpace,
     reward_fn: &RewardFn,
-    mut make_evaluator: F,
+    make_evaluator: F,
     config: &SearchConfig,
     resume: Option<ResumeState>,
-    mut sink: Option<&mut dyn CheckpointSink>,
+    sink: Option<&mut dyn CheckpointSink>,
 ) -> SearchOutcome
 where
     E: ArchEvaluator + Send,
     F: FnMut(usize) -> E,
 {
-    assert!(config.shards > 0, "need at least one shard");
-    assert!(config.steps > 0, "need at least one step");
-    let (start_step, mut policy, mut baseline, mut history, mut evaluated) = match resume {
-        Some(state) => {
-            assert!(
-                state.steps_done <= config.steps,
-                "resume state is from step {} but the search only runs {} steps",
-                state.steps_done,
-                config.steps
-            );
-            assert_eq!(
-                state.policy.num_decisions(),
-                space.num_decisions(),
-                "resume state does not match the search space"
-            );
-            (
-                state.steps_done,
-                state.policy,
-                state.baseline,
-                state.history,
-                state.evaluated,
-            )
-        }
-        None => (
-            0,
-            Policy::uniform(space),
-            RewardBaseline::new(config.baseline_momentum),
-            Vec::with_capacity(config.steps),
-            Vec::with_capacity(config.steps * config.shards),
-        ),
-    };
-    let mut evaluators: Vec<E> = (0..config.shards).map(&mut make_evaluator).collect();
-    let executor = h2o_exec::Executor::from_env(config.workers, config.shards);
-    let steps_total = h2o_obs::counter("h2o_core_search_steps_total");
-    let candidates_total = h2o_obs::counter("h2o_core_candidates_evaluated_total");
-    // Per-shard counters, resolved once: the registry lookup (and its
-    // format!-ed label) has no business inside the per-evaluation hot path.
-    let shard_evals: Vec<h2o_obs::Counter> = (0..config.shards)
-        .map(|shard| h2o_obs::counter(&format!("h2o_core_shard_evals{{shard=\"{shard}\"}}")))
-        .collect();
-
-    for step in start_step..config.steps {
-        let step_span = h2o_obs::span("search_step");
-        // Stage 1: every shard samples and evaluates its own candidate on
-        // the work-stealing pool (Fig. 2's per-core sample + forward pass).
-        // Shard `i` always runs job `i` with its own seeded RNG and the
-        // executor reduces in submission order, so the stealing schedule
-        // cannot leak into the outcome.
-        let policy_ref = &policy;
-        let jobs: Vec<_> = evaluators
-            .iter_mut()
-            .zip(&shard_evals)
-            .enumerate()
-            .map(|(shard, (evaluator, evals_counter))| {
-                move || {
-                    // Per-shard counters: each worker records under the
-                    // shard's label; exporters aggregate the set.
-                    let _eval_span = h2o_obs::span("shard_evaluate");
-                    evals_counter.inc();
-                    let mut rng =
-                        StdRng::seed_from_u64(shard_seed(config.seed, step as u64, shard as u64));
-                    let sample = policy_ref.sample(&mut rng);
-                    let result = evaluator.evaluate(&sample);
-                    (sample, result)
-                }
-            })
-            .collect();
-        let results: Vec<(ArchSample, EvalResult)> = executor.execute(jobs);
-
-        // Stage 2: cross-shard reward + policy update (REINFORCE).
-        let rewards: Vec<f64> = results
-            .iter()
-            .map(|(_, r)| reward_fn.reward(r.quality, &r.perf_values))
-            .collect();
-        let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
-        let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let b = baseline.update(mean);
-        let batch: Vec<(ArchSample, f64)> = results
-            .iter()
-            .zip(&rewards)
-            .map(|((sample, _), &r)| (sample.clone(), r - b))
-            .collect();
-        h2o_obs::time("policy_update", || {
-            policy.reinforce_update(&batch, config.policy_lr)
-        });
-
-        let entropy = policy.mean_entropy();
-        steps_total.inc();
-        candidates_total.add(results.len() as u64);
-        h2o_obs::gauge("h2o_core_mean_reward").set(mean);
-        h2o_obs::gauge("h2o_core_best_reward").set(best);
-        h2o_obs::gauge("h2o_core_entropy").set(entropy);
-        h2o_obs::gauge("h2o_core_baseline").set(b);
-        let step_time_ms = step_span.finish() * 1e3;
-        history.push(StepRecord {
-            step,
-            mean_reward: mean,
-            best_reward: best,
-            entropy,
-            step_time_ms,
-        });
-        for ((sample, result), reward) in results.into_iter().zip(rewards) {
-            evaluated.push(EvaluatedCandidate {
-                sample,
-                result,
-                reward,
-            });
-        }
-
-        let steps_done = step + 1;
-        if let Some(sink) = sink.as_deref_mut() {
-            if sink.should_checkpoint(steps_done) {
-                let snapshot = SearchSnapshot {
-                    steps_done,
-                    policy: &policy,
-                    baseline: &baseline,
-                    history: &history,
-                    evaluated: &evaluated,
-                    supernet_state: None,
-                };
-                sink.on_checkpoint(&snapshot)
-                    .expect("checkpoint sink failed");
-            }
-        }
-    }
-
-    SearchOutcome {
-        best: policy.argmax(),
-        policy,
-        history,
-        evaluated,
-    }
+    let mut stage = ParallelStage::new(make_evaluator, config);
+    SearchDriver::new(space, reward_fn, *config).run(&mut stage, resume, sink)
 }
 
 #[cfg(test)]
@@ -502,5 +446,56 @@ mod tests {
             final_of(&a),
             final_of(&b)
         );
+    }
+
+    #[test]
+    fn nan_evaluator_rewards_are_clamped_not_propagated() {
+        // Regression: a NaN from a custom evaluator used to flow straight
+        // into the baseline EMA and poison every later advantage, and
+        // `best_evaluated` would then panic in `partial_cmp`.
+        let nan_evaluator = |_shard: usize| {
+            |sample: &ArchSample| EvalResult {
+                quality: if sample[0].is_multiple_of(2) {
+                    f64::NAN
+                } else {
+                    sample[0] as f64
+                },
+                perf_values: vec![],
+            }
+        };
+        let cfg = SearchConfig {
+            steps: 15,
+            shards: 4,
+            seed: 3,
+            ..Default::default()
+        };
+        let reward = RewardFn::new(RewardKind::Relu, vec![]);
+        let outcome = parallel_search(&space(), &reward, nan_evaluator, &cfg);
+        assert!(outcome.history.iter().all(|h| h.mean_reward.is_finite()));
+        assert!(outcome.evaluated.iter().all(|c| c.reward.is_finite()));
+        let best = outcome.best_evaluated().expect("candidates recorded");
+        assert!(best.reward.is_finite());
+    }
+
+    #[test]
+    fn best_evaluated_tolerates_nan_rewards_in_hand_built_outcomes() {
+        let candidate = |reward: f64| EvaluatedCandidate {
+            sample: vec![0],
+            result: EvalResult {
+                quality: 0.0,
+                perf_values: vec![],
+            },
+            reward,
+        };
+        let outcome = SearchOutcome {
+            best: vec![0],
+            policy: Policy::from_logits(vec![vec![0.0]]),
+            history: vec![],
+            evaluated: vec![candidate(1.0), candidate(f64::NAN), candidate(2.0)],
+        };
+        // total_cmp sorts NaN above every finite value; the call must not
+        // panic (it used to, via partial_cmp().expect()).
+        let best = outcome.best_evaluated().expect("non-empty");
+        assert!(best.reward.is_nan());
     }
 }

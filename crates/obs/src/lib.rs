@@ -7,7 +7,7 @@
 //!   log-linear histograms with p50/p95/p99 estimation. Recording is
 //!   atomics-only; counters are cache-line-striped so concurrent search
 //!   shards don't contend.
-//! - **Spans** ([`span`]): RAII wall-clock timers with hierarchical
+//! - **Spans** ([`mod@span`]): RAII wall-clock timers with hierarchical
 //!   per-thread paths (`search_step/policy_sample`). Durations mirror into
 //!   the registry as histograms; completed spans buffer for trace export.
 //! - **Exporters** ([`export`]): Prometheus text exposition, JSON

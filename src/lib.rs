@@ -34,7 +34,11 @@
 //!
 //! # Examples
 //!
-//! Search a toy space against a hardware-aware reward:
+//! Search a toy space against a hardware-aware reward. `parallel_search`
+//! (like every search entry point) is a thin wrapper over the unified
+//! [`core::SearchDriver`] controller engine — swap the stage to search a
+//! trainable super-network ([`core::UnifiedStage`]) or bring your own
+//! [`core::CandidateStage`]:
 //!
 //! ```
 //! use h2o_nas::core::{parallel_search, EvalResult, PerfObjective, RewardFn, RewardKind,

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-06c1fcab4ec7557b.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-06c1fcab4ec7557b.rmeta: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

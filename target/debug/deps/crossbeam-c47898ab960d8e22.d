@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-c47898ab960d8e22.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-c47898ab960d8e22.rmeta: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/driver_equivalence-fd76b22b5ba9f4db.d: tests/driver_equivalence.rs
+
+/root/repo/target/debug/deps/driver_equivalence-fd76b22b5ba9f4db: tests/driver_equivalence.rs
+
+tests/driver_equivalence.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o_ckpt-573cb6f93cabcadc.d: crates/ckpt/src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_ckpt-573cb6f93cabcadc.rmeta: crates/ckpt/src/lib.rs
+
+crates/ckpt/src/lib.rs:

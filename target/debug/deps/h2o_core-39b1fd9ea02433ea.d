@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/h2o_core-39b1fd9ea02433ea.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs Cargo.toml
+/root/repo/target/debug/deps/h2o_core-39b1fd9ea02433ea.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs Cargo.toml
 
-/root/repo/target/debug/deps/libh2o_core-39b1fd9ea02433ea.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs Cargo.toml
+/root/repo/target/debug/deps/libh2o_core-39b1fd9ea02433ea.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/baselines.rs:
+crates/core/src/driver.rs:
 crates/core/src/oneshot.rs:
 crates/core/src/oneshot_generic.rs:
 crates/core/src/pareto.rs:
@@ -14,5 +15,5 @@ crates/core/src/search.rs:
 crates/core/src/telemetry.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__unused__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/h2o_core-6d4a8e70feddf119.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+/root/repo/target/debug/deps/h2o_core-6d4a8e70feddf119.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
 
-/root/repo/target/debug/deps/libh2o_core-6d4a8e70feddf119.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+/root/repo/target/debug/deps/libh2o_core-6d4a8e70feddf119.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
 
-/root/repo/target/debug/deps/libh2o_core-6d4a8e70feddf119.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+/root/repo/target/debug/deps/libh2o_core-6d4a8e70feddf119.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
 
 crates/core/src/lib.rs:
 crates/core/src/baselines.rs:
+crates/core/src/driver.rs:
 crates/core/src/oneshot.rs:
 crates/core/src/oneshot_generic.rs:
 crates/core/src/pareto.rs:

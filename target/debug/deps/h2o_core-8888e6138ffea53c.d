@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/h2o_core-8888e6138ffea53c.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+
+/root/repo/target/debug/deps/libh2o_core-8888e6138ffea53c.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/driver.rs:
+crates/core/src/oneshot.rs:
+crates/core/src/oneshot_generic.rs:
+crates/core/src/pareto.rs:
+crates/core/src/policy.rs:
+crates/core/src/resume.rs:
+crates/core/src/reward.rs:
+crates/core/src/search.rs:
+crates/core/src/telemetry.rs:

@@ -8,5 +8,5 @@ crates/data/src/stats.rs:
 crates/data/src/traffic.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__unused__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/h2o_exec-80957309c9c2f619.d: crates/exec/src/lib.rs crates/exec/src/pool.rs
+
+/root/repo/target/debug/deps/libh2o_exec-80957309c9c2f619.rmeta: crates/exec/src/lib.rs crates/exec/src/pool.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/pool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h2o_graph-ecc6a7ad2c44afd4.d: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+/root/repo/target/debug/deps/libh2o_graph-ecc6a7ad2c44afd4.rmeta: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/blocks.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/op.rs:
+crates/graph/src/text.rs:

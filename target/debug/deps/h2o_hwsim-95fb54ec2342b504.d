@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h2o_hwsim-95fb54ec2342b504.d: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+/root/repo/target/debug/deps/libh2o_hwsim-95fb54ec2342b504.rmeta: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/cache.rs:
+crates/hwsim/src/config.rs:
+crates/hwsim/src/production.rs:
+crates/hwsim/src/roofline.rs:
+crates/hwsim/src/simulator.rs:
+crates/hwsim/src/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/h2o_nas-3ec2ecbd3a55ffc1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libh2o_nas-3ec2ecbd3a55ffc1.rmeta: src/lib.rs
+
+src/lib.rs:

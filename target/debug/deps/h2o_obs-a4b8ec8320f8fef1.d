@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/h2o_obs-a4b8ec8320f8fef1.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libh2o_obs-a4b8ec8320f8fef1.rmeta: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

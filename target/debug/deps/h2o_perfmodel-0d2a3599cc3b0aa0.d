@@ -7,5 +7,5 @@ crates/perfmodel/src/features.rs:
 crates/perfmodel/src/model.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__unused__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/h2o_space-ccbb5e6c3716d0a1.d: crates/space/src/lib.rs crates/space/src/cnn.rs crates/space/src/decision.rs crates/space/src/dlrm.rs crates/space/src/supernet.rs crates/space/src/vision_supernet.rs crates/space/src/vit.rs
+
+/root/repo/target/debug/deps/libh2o_space-ccbb5e6c3716d0a1.rmeta: crates/space/src/lib.rs crates/space/src/cnn.rs crates/space/src/decision.rs crates/space/src/dlrm.rs crates/space/src/supernet.rs crates/space/src/vision_supernet.rs crates/space/src/vit.rs
+
+crates/space/src/lib.rs:
+crates/space/src/cnn.rs:
+crates/space/src/decision.rs:
+crates/space/src/dlrm.rs:
+crates/space/src/supernet.rs:
+crates/space/src/vision_supernet.rs:
+crates/space/src/vit.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/h2o_tensor-e3fe2180172e8826.d: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs crates/tensor/src/state.rs
+
+/root/repo/target/debug/deps/libh2o_tensor-e3fe2180172e8826.rmeta: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs crates/tensor/src/state.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/activation.rs:
+crates/tensor/src/embedding.rs:
+crates/tensor/src/layers.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/mlp.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-b1a348b4e8139aa9.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-b1a348b4e8139aa9.rmeta: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

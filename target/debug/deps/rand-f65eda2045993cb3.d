@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-f65eda2045993cb3.d: third_party/rand/src/lib.rs third_party/rand/src/rngs.rs third_party/rand/src/seq.rs
+
+/root/repo/target/debug/deps/librand-f65eda2045993cb3.rmeta: third_party/rand/src/lib.rs third_party/rand/src/rngs.rs third_party/rand/src/seq.rs
+
+third_party/rand/src/lib.rs:
+third_party/rand/src/rngs.rs:
+third_party/rand/src/seq.rs:

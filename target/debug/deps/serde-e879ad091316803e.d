@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-e879ad091316803e.d: third_party/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-e879ad091316803e.rmeta: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/driver_custom_stage-8cff5bb05f6967c3.d: examples/driver_custom_stage.rs
+
+/root/repo/target/debug/examples/driver_custom_stage-8cff5bb05f6967c3: examples/driver_custom_stage.rs
+
+examples/driver_custom_stage.rs:

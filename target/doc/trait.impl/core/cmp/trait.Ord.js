@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["h2o_graph",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"h2o_graph/struct.NodeId.html\" title=\"struct h2o_graph::NodeId\">NodeId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[258]}

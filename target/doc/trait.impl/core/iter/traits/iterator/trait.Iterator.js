@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["crossbeam",[["impl&lt;T&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/iter/traits/iterator/trait.Iterator.html\" title=\"trait core::iter::traits::iterator::Iterator\">Iterator</a> for <a class=\"struct\" href=\"crossbeam/channel/struct.Iter.html\" title=\"struct crossbeam::channel::Iter\">Iter</a>&lt;'_, T&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[342]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["crossbeam",[["impl&lt;T&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"crossbeam/channel/struct.Receiver.html\" title=\"struct crossbeam::channel::Receiver\">Receiver</a>&lt;T&gt;",0],["impl&lt;T&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"crossbeam/channel/struct.Sender.html\" title=\"struct crossbeam::channel::Sender\">Sender</a>&lt;T&gt;",0]]],["h2o_exec",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"h2o_exec/struct.WorkerPool.html\" title=\"struct h2o_exec::WorkerPool\">WorkerPool</a>",0]]],["h2o_obs",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"h2o_obs/span/struct.SpanGuard.html\" title=\"struct h2o_obs::span::SpanGuard\">SpanGuard</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[605,282,287]}

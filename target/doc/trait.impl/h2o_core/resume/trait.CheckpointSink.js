@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["h2o_ckpt",[["impl <a class=\"trait\" href=\"h2o_core/resume/trait.CheckpointSink.html\" title=\"trait h2o_core::resume::CheckpointSink\">CheckpointSink</a> for <a class=\"struct\" href=\"h2o_ckpt/struct.FileCheckpointSink.html\" title=\"struct h2o_ckpt::FileCheckpointSink\">FileCheckpointSink</a>",0]]],["h2o_ckpt",[["impl CheckpointSink for <a class=\"struct\" href=\"h2o_ckpt/struct.FileCheckpointSink.html\" title=\"struct h2o_ckpt::FileCheckpointSink\">FileCheckpointSink</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[305,183]}

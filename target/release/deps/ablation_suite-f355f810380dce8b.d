@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_suite-f355f810380dce8b.d: crates/bench/src/bin/ablation_suite.rs
+
+/root/repo/target/release/deps/ablation_suite-f355f810380dce8b: crates/bench/src/bin/ablation_suite.rs
+
+crates/bench/src/bin/ablation_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-440e71ad7cf0fabb.d: third_party/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-440e71ad7cf0fabb: third_party/bytes/src/lib.rs
+
+third_party/bytes/src/lib.rs:

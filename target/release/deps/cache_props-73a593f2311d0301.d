@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cache_props-73a593f2311d0301.d: crates/hwsim/tests/cache_props.rs
+
+/root/repo/target/release/deps/cache_props-73a593f2311d0301: crates/hwsim/tests/cache_props.rs
+
+crates/hwsim/tests/cache_props.rs:

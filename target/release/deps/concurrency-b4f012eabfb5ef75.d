@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrency-b4f012eabfb5ef75.d: crates/obs/tests/concurrency.rs
+
+/root/repo/target/release/deps/concurrency-b4f012eabfb5ef75: crates/obs/tests/concurrency.rs
+
+crates/obs/tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/consistency-f241bbbca6a3af07.d: tests/consistency.rs
+
+/root/repo/target/release/deps/consistency-f241bbbca6a3af07: tests/consistency.rs
+
+tests/consistency.rs:

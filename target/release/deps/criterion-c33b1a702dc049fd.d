@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-c33b1a702dc049fd.d: third_party/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-c33b1a702dc049fd: third_party/criterion/src/lib.rs
+
+third_party/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-3c8650d8b11e94f9.d: third_party/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-3c8650d8b11e94f9: third_party/crossbeam/src/lib.rs
+
+third_party/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/determinism-1a1c4bb89071be96.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-1a1c4bb89071be96: tests/determinism.rs
+
+tests/determinism.rs:
+
+# env-dep:CARGO_BIN_EXE_h2o=/root/repo/target/release/h2o

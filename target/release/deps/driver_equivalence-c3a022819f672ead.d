@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/driver_equivalence-c3a022819f672ead.d: tests/driver_equivalence.rs
+
+/root/repo/target/release/deps/driver_equivalence-c3a022819f672ead: tests/driver_equivalence.rs
+
+tests/driver_equivalence.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-047d3f8046dc22d1.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-047d3f8046dc22d1: tests/end_to_end.rs
+
+tests/end_to_end.rs:

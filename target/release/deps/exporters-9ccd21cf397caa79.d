@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exporters-9ccd21cf397caa79.d: crates/obs/tests/exporters.rs
+
+/root/repo/target/release/deps/exporters-9ccd21cf397caa79: crates/obs/tests/exporters.rs
+
+crates/obs/tests/exporters.rs:

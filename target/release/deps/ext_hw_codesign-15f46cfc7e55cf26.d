@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_hw_codesign-15f46cfc7e55cf26.d: crates/bench/src/bin/ext_hw_codesign.rs
+
+/root/repo/target/release/deps/ext_hw_codesign-15f46cfc7e55cf26: crates/bench/src/bin/ext_hw_codesign.rs
+
+crates/bench/src/bin/ext_hw_codesign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_nas_cost-1ecc460727bd1c39.d: crates/bench/src/bin/ext_nas_cost.rs
+
+/root/repo/target/release/deps/ext_nas_cost-1ecc460727bd1c39: crates/bench/src/bin/ext_nas_cost.rs
+
+crates/bench/src/bin/ext_nas_cost.rs:

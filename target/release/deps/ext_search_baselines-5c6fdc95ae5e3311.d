@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_search_baselines-5c6fdc95ae5e3311.d: crates/bench/src/bin/ext_search_baselines.rs
+
+/root/repo/target/release/deps/ext_search_baselines-5c6fdc95ae5e3311: crates/bench/src/bin/ext_search_baselines.rs
+
+crates/bench/src/bin/ext_search_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_serving_search-643f1b4be15427f2.d: crates/bench/src/bin/ext_serving_search.rs
+
+/root/repo/target/release/deps/ext_serving_search-643f1b4be15427f2: crates/bench/src/bin/ext_serving_search.rs
+
+crates/bench/src/bin/ext_serving_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_shard_scaling-c2adc238ed663056.d: crates/bench/src/bin/ext_shard_scaling.rs
+
+/root/repo/target/release/deps/ext_shard_scaling-c2adc238ed663056: crates/bench/src/bin/ext_shard_scaling.rs
+
+crates/bench/src/bin/ext_shard_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_transformer_search-e849161a249e2a51.d: crates/bench/src/bin/ext_transformer_search.rs
+
+/root/repo/target/release/deps/ext_transformer_search-e849161a249e2a51: crates/bench/src/bin/ext_transformer_search.rs
+
+crates/bench/src/bin/ext_transformer_search.rs:

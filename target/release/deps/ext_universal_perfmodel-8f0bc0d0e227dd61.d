@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_universal_perfmodel-8f0bc0d0e227dd61.d: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+/root/repo/target/release/deps/ext_universal_perfmodel-8f0bc0d0e227dd61: crates/bench/src/bin/ext_universal_perfmodel.rs
+
+crates/bench/src/bin/ext_universal_perfmodel.rs:

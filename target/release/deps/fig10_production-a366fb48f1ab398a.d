@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_production-a366fb48f1ab398a.d: crates/bench/src/bin/fig10_production.rs
+
+/root/repo/target/release/deps/fig10_production-a366fb48f1ab398a: crates/bench/src/bin/fig10_production.rs
+
+crates/bench/src/bin/fig10_production.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_roofline-5499512a559c4b12.d: crates/bench/src/bin/fig4_roofline.rs
+
+/root/repo/target/release/deps/fig4_roofline-5499512a559c4b12: crates/bench/src/bin/fig4_roofline.rs
+
+crates/bench/src/bin/fig4_roofline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_reward-22832ceec66ac62b.d: crates/bench/src/bin/fig5_reward.rs
+
+/root/repo/target/release/deps/fig5_reward-22832ceec66ac62b: crates/bench/src/bin/fig5_reward.rs
+
+crates/bench/src/bin/fig5_reward.rs:

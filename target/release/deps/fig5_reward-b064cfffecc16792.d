@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_reward-b064cfffecc16792.d: crates/bench/src/bin/fig5_reward.rs
+
+/root/repo/target/release/deps/fig5_reward-b064cfffecc16792: crates/bench/src/bin/fig5_reward.rs
+
+crates/bench/src/bin/fig5_reward.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_coatnet_pareto-def8f17d6254edfe.d: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+/root/repo/target/release/deps/fig6_coatnet_pareto-def8f17d6254edfe: crates/bench/src/bin/fig6_coatnet_pareto.rs
+
+crates/bench/src/bin/fig6_coatnet_pareto.rs:

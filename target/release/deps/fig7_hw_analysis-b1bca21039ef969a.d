@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_hw_analysis-b1bca21039ef969a.d: crates/bench/src/bin/fig7_hw_analysis.rs
+
+/root/repo/target/release/deps/fig7_hw_analysis-b1bca21039ef969a: crates/bench/src/bin/fig7_hw_analysis.rs
+
+crates/bench/src/bin/fig7_hw_analysis.rs:

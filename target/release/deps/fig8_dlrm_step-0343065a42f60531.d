@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_dlrm_step-0343065a42f60531.d: crates/bench/src/bin/fig8_dlrm_step.rs
+
+/root/repo/target/release/deps/fig8_dlrm_step-0343065a42f60531: crates/bench/src/bin/fig8_dlrm_step.rs
+
+crates/bench/src/bin/fig8_dlrm_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_energy-a45a75e2ac05e982.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/release/deps/fig9_energy-a45a75e2ac05e982: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

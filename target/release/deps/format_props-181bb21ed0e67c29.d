@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/format_props-181bb21ed0e67c29.d: crates/ckpt/tests/format_props.rs
+
+/root/repo/target/release/deps/format_props-181bb21ed0e67c29: crates/ckpt/tests/format_props.rs
+
+crates/ckpt/tests/format_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_pipeline-f4d39f9afd91319d.d: crates/bench/src/bin/full_pipeline.rs
+
+/root/repo/target/release/deps/full_pipeline-f4d39f9afd91319d: crates/bench/src/bin/full_pipeline.rs
+
+crates/bench/src/bin/full_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/h2o-d05a41051518c3e1.d: src/bin/h2o.rs
+
+/root/repo/target/release/deps/h2o-d05a41051518c3e1: src/bin/h2o.rs
+
+src/bin/h2o.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/release/deps/h2o_bench-1f95f8ea27da4dba.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/ext_baselines.rs crates/bench/src/experiments/ext_codesign.rs crates/bench/src/experiments/ext_cost.rs crates/bench/src/experiments/ext_scaling.rs crates/bench/src/experiments/ext_serving.rs crates/bench/src/experiments/ext_transformer.rs crates/bench/src/experiments/ext_universal.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/full_pipeline.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table5.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/h2o_bench-1f95f8ea27da4dba: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/ext_baselines.rs crates/bench/src/experiments/ext_codesign.rs crates/bench/src/experiments/ext_cost.rs crates/bench/src/experiments/ext_scaling.rs crates/bench/src/experiments/ext_serving.rs crates/bench/src/experiments/ext_transformer.rs crates/bench/src/experiments/ext_universal.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig4.rs crates/bench/src/experiments/fig5.rs crates/bench/src/experiments/fig6.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/full_pipeline.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table5.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/ext_baselines.rs:
+crates/bench/src/experiments/ext_codesign.rs:
+crates/bench/src/experiments/ext_cost.rs:
+crates/bench/src/experiments/ext_scaling.rs:
+crates/bench/src/experiments/ext_serving.rs:
+crates/bench/src/experiments/ext_transformer.rs:
+crates/bench/src/experiments/ext_universal.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig4.rs:
+crates/bench/src/experiments/fig5.rs:
+crates/bench/src/experiments/fig6.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/full_pipeline.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/experiments/table4.rs:
+crates/bench/src/experiments/table5.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/h2o_ckpt-720fd1434533e5df.d: crates/ckpt/src/lib.rs
+
+/root/repo/target/release/deps/h2o_ckpt-720fd1434533e5df: crates/ckpt/src/lib.rs
+
+crates/ckpt/src/lib.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/h2o_core-06c7bb3a6842aeeb.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+/root/repo/target/release/deps/h2o_core-06c7bb3a6842aeeb.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
 
-/root/repo/target/release/deps/libh2o_core-06c7bb3a6842aeeb.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+/root/repo/target/release/deps/libh2o_core-06c7bb3a6842aeeb.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
 
-/root/repo/target/release/deps/libh2o_core-06c7bb3a6842aeeb.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
+/root/repo/target/release/deps/libh2o_core-06c7bb3a6842aeeb.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/driver.rs crates/core/src/oneshot.rs crates/core/src/oneshot_generic.rs crates/core/src/pareto.rs crates/core/src/policy.rs crates/core/src/resume.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/telemetry.rs
 
 crates/core/src/lib.rs:
 crates/core/src/baselines.rs:
+crates/core/src/driver.rs:
 crates/core/src/oneshot.rs:
 crates/core/src/oneshot_generic.rs:
 crates/core/src/pareto.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/h2o_data-0ef7e86ed7c1a0dc.d: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+/root/repo/target/release/deps/h2o_data-0ef7e86ed7c1a0dc: crates/data/src/lib.rs crates/data/src/pipeline.rs crates/data/src/stats.rs crates/data/src/traffic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/pipeline.rs:
+crates/data/src/stats.rs:
+crates/data/src/traffic.rs:

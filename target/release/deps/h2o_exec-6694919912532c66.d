@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/h2o_exec-6694919912532c66.d: crates/exec/src/lib.rs crates/exec/src/pool.rs
+
+/root/repo/target/release/deps/h2o_exec-6694919912532c66: crates/exec/src/lib.rs crates/exec/src/pool.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/pool.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/h2o_graph-64041ce7f7dfa8ae.d: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+/root/repo/target/release/deps/h2o_graph-64041ce7f7dfa8ae: crates/graph/src/lib.rs crates/graph/src/blocks.rs crates/graph/src/graph.rs crates/graph/src/op.rs crates/graph/src/text.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/blocks.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/op.rs:
+crates/graph/src/text.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/h2o_hwsim-67658bb224e6cb4b.d: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+/root/repo/target/release/deps/h2o_hwsim-67658bb224e6cb4b: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/config.rs crates/hwsim/src/production.rs crates/hwsim/src/roofline.rs crates/hwsim/src/simulator.rs crates/hwsim/src/sweep.rs
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/cache.rs:
+crates/hwsim/src/config.rs:
+crates/hwsim/src/production.rs:
+crates/hwsim/src/roofline.rs:
+crates/hwsim/src/simulator.rs:
+crates/hwsim/src/sweep.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/h2o_models-74035e0f783121f2.d: crates/models/src/lib.rs crates/models/src/coatnet.rs crates/models/src/dlrm.rs crates/models/src/efficientnet.rs crates/models/src/production.rs crates/models/src/quality.rs
+
+/root/repo/target/release/deps/h2o_models-74035e0f783121f2: crates/models/src/lib.rs crates/models/src/coatnet.rs crates/models/src/dlrm.rs crates/models/src/efficientnet.rs crates/models/src/production.rs crates/models/src/quality.rs
+
+crates/models/src/lib.rs:
+crates/models/src/coatnet.rs:
+crates/models/src/dlrm.rs:
+crates/models/src/efficientnet.rs:
+crates/models/src/production.rs:
+crates/models/src/quality.rs:

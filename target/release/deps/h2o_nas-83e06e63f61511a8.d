@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/h2o_nas-83e06e63f61511a8.d: src/lib.rs
+
+/root/repo/target/release/deps/h2o_nas-83e06e63f61511a8: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/h2o_obs-ca550c765d268c47.d: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/h2o_obs-ca550c765d268c47: crates/obs/src/lib.rs crates/obs/src/export.rs crates/obs/src/metrics.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/export.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/h2o_perfmodel-9b78c6bef6a035fc.d: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+/root/repo/target/release/deps/h2o_perfmodel-9b78c6bef6a035fc: crates/perfmodel/src/lib.rs crates/perfmodel/src/features.rs crates/perfmodel/src/model.rs
+
+crates/perfmodel/src/lib.rs:
+crates/perfmodel/src/features.rs:
+crates/perfmodel/src/model.rs:

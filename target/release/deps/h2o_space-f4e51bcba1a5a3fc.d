@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/h2o_space-f4e51bcba1a5a3fc.d: crates/space/src/lib.rs crates/space/src/cnn.rs crates/space/src/decision.rs crates/space/src/dlrm.rs crates/space/src/supernet.rs crates/space/src/vision_supernet.rs crates/space/src/vit.rs
+
+/root/repo/target/release/deps/h2o_space-f4e51bcba1a5a3fc: crates/space/src/lib.rs crates/space/src/cnn.rs crates/space/src/decision.rs crates/space/src/dlrm.rs crates/space/src/supernet.rs crates/space/src/vision_supernet.rs crates/space/src/vit.rs
+
+crates/space/src/lib.rs:
+crates/space/src/cnn.rs:
+crates/space/src/decision.rs:
+crates/space/src/dlrm.rs:
+crates/space/src/supernet.rs:
+crates/space/src/vision_supernet.rs:
+crates/space/src/vit.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/h2o_tensor-5aef0fbfdf278b93.d: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs crates/tensor/src/state.rs
+
+/root/repo/target/release/deps/h2o_tensor-5aef0fbfdf278b93: crates/tensor/src/lib.rs crates/tensor/src/activation.rs crates/tensor/src/embedding.rs crates/tensor/src/layers.rs crates/tensor/src/loss.rs crates/tensor/src/matrix.rs crates/tensor/src/mlp.rs crates/tensor/src/optim.rs crates/tensor/src/state.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/activation.rs:
+crates/tensor/src/embedding.rs:
+crates/tensor/src/layers.rs:
+crates/tensor/src/loss.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/mlp.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-7c6a9ca3881099e0.d: third_party/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-7c6a9ca3881099e0: third_party/parking_lot/src/lib.rs
+
+third_party/parking_lot/src/lib.rs:

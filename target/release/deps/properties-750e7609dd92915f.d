@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-750e7609dd92915f.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-750e7609dd92915f: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-7e500e7b2b3ca607.d: crates/obs/tests/properties.rs
+
+/root/repo/target/release/deps/properties-7e500e7b2b3ca607: crates/obs/tests/properties.rs
+
+crates/obs/tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-84f04f4eb409d9c8.d: third_party/proptest/src/lib.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/proptest-84f04f4eb409d9c8: third_party/proptest/src/lib.rs third_party/proptest/src/strategy.rs third_party/proptest/src/test_runner.rs
+
+third_party/proptest/src/lib.rs:
+third_party/proptest/src/strategy.rs:
+third_party/proptest/src/test_runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-769c2b1748d01760.d: third_party/rand/src/lib.rs third_party/rand/src/rngs.rs third_party/rand/src/seq.rs
+
+/root/repo/target/release/deps/rand-769c2b1748d01760: third_party/rand/src/lib.rs third_party/rand/src/rngs.rs third_party/rand/src/seq.rs
+
+third_party/rand/src/lib.rs:
+third_party/rand/src/rngs.rs:
+third_party/rand/src/seq.rs:

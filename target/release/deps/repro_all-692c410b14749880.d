@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-692c410b14749880.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-692c410b14749880: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

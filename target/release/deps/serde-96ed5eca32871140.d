@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-96ed5eca32871140.d: third_party/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-96ed5eca32871140: third_party/serde/src/lib.rs
+
+third_party/serde/src/lib.rs:

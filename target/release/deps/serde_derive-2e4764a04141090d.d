@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-2e4764a04141090d.d: third_party/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-2e4764a04141090d: third_party/serde_derive/src/lib.rs
+
+third_party/serde_derive/src/lib.rs:

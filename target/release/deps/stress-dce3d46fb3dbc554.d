@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stress-dce3d46fb3dbc554.d: crates/exec/tests/stress.rs
+
+/root/repo/target/release/deps/stress-dce3d46fb3dbc554: crates/exec/tests/stress.rs
+
+crates/exec/tests/stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_perfmodel-7924b8d921cfe46d.d: crates/bench/src/bin/table1_perfmodel.rs
+
+/root/repo/target/release/deps/table1_perfmodel-7924b8d921cfe46d: crates/bench/src/bin/table1_perfmodel.rs
+
+crates/bench/src/bin/table1_perfmodel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_domains-729992f66b2de8bb.d: crates/bench/src/bin/table2_domains.rs
+
+/root/repo/target/release/deps/table2_domains-729992f66b2de8bb: crates/bench/src/bin/table2_domains.rs
+
+crates/bench/src/bin/table2_domains.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_coatnet_ablation-7084a71ebf3954b3.d: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+/root/repo/target/release/deps/table3_coatnet_ablation-7084a71ebf3954b3: crates/bench/src/bin/table3_coatnet_ablation.rs
+
+crates/bench/src/bin/table3_coatnet_ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_efficientnet-aef4b2cf601e1227.d: crates/bench/src/bin/table4_efficientnet.rs
+
+/root/repo/target/release/deps/table4_efficientnet-aef4b2cf601e1227: crates/bench/src/bin/table4_efficientnet.rs
+
+crates/bench/src/bin/table4_efficientnet.rs:

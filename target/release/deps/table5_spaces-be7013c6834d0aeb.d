@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_spaces-be7013c6834d0aeb.d: crates/bench/src/bin/table5_spaces.rs
+
+/root/repo/target/release/deps/table5_spaces-be7013c6834d0aeb: crates/bench/src/bin/table5_spaces.rs
+
+crates/bench/src/bin/table5_spaces.rs:

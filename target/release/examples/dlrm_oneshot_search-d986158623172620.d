@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dlrm_oneshot_search-d986158623172620.d: examples/dlrm_oneshot_search.rs
+
+/root/repo/target/release/examples/dlrm_oneshot_search-d986158623172620: examples/dlrm_oneshot_search.rs
+
+examples/dlrm_oneshot_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/driver_custom_stage-524e7c7a27408d13.d: examples/driver_custom_stage.rs
+
+/root/repo/target/release/examples/driver_custom_stage-524e7c7a27408d13: examples/driver_custom_stage.rs
+
+examples/driver_custom_stage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hardware_explorer-ef431fc3af3ca6bd.d: examples/hardware_explorer.rs
+
+/root/repo/target/release/examples/hardware_explorer-ef431fc3af3ca6bd: examples/hardware_explorer.rs
+
+examples/hardware_explorer.rs:

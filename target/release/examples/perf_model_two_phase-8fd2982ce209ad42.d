@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/perf_model_two_phase-8fd2982ce209ad42.d: examples/perf_model_two_phase.rs
+
+/root/repo/target/release/examples/perf_model_two_phase-8fd2982ce209ad42: examples/perf_model_two_phase.rs
+
+examples/perf_model_two_phase.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/vision_oneshot-ca7849d442d818e7.d: examples/vision_oneshot.rs
+
+/root/repo/target/release/examples/vision_oneshot-ca7849d442d818e7: examples/vision_oneshot.rs
+
+examples/vision_oneshot.rs:

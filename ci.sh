@@ -44,11 +44,17 @@ echo "==> serialized-schedule smoke (H2O_EXEC_SERIAL=1)"
 H2O_EXEC_SERIAL=1 cargo test -q -p h2o-exec -p h2o-hwsim
 H2O_EXEC_SERIAL=1 cargo test -q --test determinism
 
+# Workspace invariant checker: the determinism / NaN-robustness /
+# panic-hygiene contracts are enforced mechanically (see DESIGN.md,
+# "static-analysis contract"). Any un-allowed finding fails the build.
+echo "==> h2o-lint (workspace invariant checker)"
+cargo run -q --release -p h2o-lint
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 # The driver/stage API is trait-heavy; broken intra-doc links or malformed
 # examples should fail CI, not ship.

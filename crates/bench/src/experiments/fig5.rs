@@ -148,12 +148,10 @@ pub fn run() -> String {
     let mut best_time_adv = 0.0f64;
     for (q, t_relu, _) in &buckets_relu {
         // Find the matching absolute bucket by nearest quality midpoint.
-        if let Some((_, t_abs, _)) = buckets_abs.iter().min_by(|a, b| {
-            (a.0 - q)
-                .abs()
-                .partial_cmp(&(b.0 - q).abs())
-                .expect("no NaN")
-        }) {
+        if let Some((_, t_abs, _)) = buckets_abs
+            .iter()
+            .min_by(|a, b| (a.0 - q).abs().total_cmp(&(b.0 - q).abs()))
+        {
             let adv = 1.0 - t_relu / t_abs;
             best_time_adv = best_time_adv.max(adv);
             t5b.row(&[
@@ -180,12 +178,10 @@ pub fn run() -> String {
     );
     let mut best_q_adv = f64::NEG_INFINITY;
     for (t, q_relu, _) in &qb_relu {
-        if let Some((_, q_abs, _)) = qb_abs.iter().min_by(|a, b| {
-            (a.0 - t)
-                .abs()
-                .partial_cmp(&(b.0 - t).abs())
-                .expect("no NaN")
-        }) {
+        if let Some((_, q_abs, _)) = qb_abs
+            .iter()
+            .min_by(|a, b| (a.0 - t).abs().total_cmp(&(b.0 - t).abs()))
+        {
             let adv = q_relu - q_abs;
             best_q_adv = best_q_adv.max(adv);
             t5c.row(&[

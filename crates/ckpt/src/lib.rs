@@ -135,6 +135,21 @@ impl Enc {
     }
 }
 
+/// Little-endian u64 from an exactly-8-byte slice. Every caller slices a
+/// length it has already bounds-checked, so the error arm is dead in
+/// practice — but a typed `Truncated` beats an `expect` if a future
+/// format change gets a header offset wrong.
+fn read_u64_le(chunk: &[u8]) -> Result<u64, CkptError> {
+    let arr: [u8; 8] = chunk.try_into().map_err(|_| CkptError::Truncated)?;
+    Ok(u64::from_le_bytes(arr))
+}
+
+/// Little-endian u32 from an exactly-4-byte slice (see [`read_u64_le`]).
+fn read_u32_le(chunk: &[u8]) -> Result<u32, CkptError> {
+    let arr: [u8; 4] = chunk.try_into().map_err(|_| CkptError::Truncated)?;
+    Ok(u32::from_le_bytes(arr))
+}
+
 struct Dec<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -148,7 +163,7 @@ impl<'a> Dec<'a> {
         let end = self.pos.checked_add(8).ok_or(CkptError::Truncated)?;
         let chunk = self.bytes.get(self.pos..end).ok_or(CkptError::Truncated)?;
         self.pos = end;
-        Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte slice")))
+        read_u64_le(chunk)
     }
     fn f64(&mut self) -> Result<f64, CkptError> {
         Ok(f64::from_bits(self.u64()?))
@@ -377,25 +392,25 @@ pub fn decode_file(bytes: &[u8], expected_fingerprint: u64) -> Result<ResumeStat
         return Err(CkptError::BadMagic);
     }
     let (content, checksum_bytes) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8-byte slice"));
+    let stored = read_u64_le(checksum_bytes)?;
     if fnv1a(content) != stored {
         return Err(CkptError::ChecksumMismatch);
     }
-    let version = u32::from_le_bytes(content[8..12].try_into().expect("4-byte slice"));
+    let version = read_u32_le(&content[8..12])?;
     if version != FORMAT_VERSION {
         return Err(CkptError::BadVersion {
             found: version,
             expected: FORMAT_VERSION,
         });
     }
-    let fingerprint = u64::from_le_bytes(content[12..20].try_into().expect("8-byte slice"));
+    let fingerprint = read_u64_le(&content[12..20])?;
     if fingerprint != expected_fingerprint {
         return Err(CkptError::FingerprintMismatch {
             found: fingerprint,
             expected: expected_fingerprint,
         });
     }
-    let payload_len = u64::from_le_bytes(content[20..28].try_into().expect("8-byte slice"));
+    let payload_len = read_u64_le(&content[20..28])?;
     let payload = &content[28..];
     if payload_len != payload.len() as u64 {
         return Err(CkptError::Corrupt(format!(

@@ -8,6 +8,7 @@
 //! quantify the RL controller's sample efficiency (the
 //! `ext_search_baselines` bench).
 
+use crate::driver::NON_FINITE_REWARD_PENALTY;
 use crate::reward::RewardFn;
 use crate::search::{ArchEvaluator, EvalResult, EvaluatedCandidate};
 use h2o_space::{ArchSample, SearchSpace};
@@ -26,6 +27,18 @@ pub struct BaselineOutcome {
     pub best_so_far: Vec<f64>,
     /// Every evaluated candidate.
     pub evaluated: Vec<EvaluatedCandidate>,
+}
+
+/// The same non-finite guard the [`crate::driver::SearchDriver`] applies:
+/// a NaN/±∞ reward (diverged evaluator, pathological objective) becomes a
+/// hard penalty instead of poisoning `best_so_far` and the tournament
+/// comparisons. Finite rewards pass through bit-unchanged.
+fn clamp_reward(reward: f64) -> f64 {
+    if reward.is_finite() {
+        reward
+    } else {
+        NON_FINITE_REWARD_PENALTY
+    }
 }
 
 fn record(
@@ -47,7 +60,8 @@ fn record(
 fn finish(evaluated: Vec<EvaluatedCandidate>, best_so_far: Vec<f64>) -> BaselineOutcome {
     let best = evaluated
         .iter()
-        .max_by(|a, b| a.reward.partial_cmp(&b.reward).expect("no NaN rewards"))
+        .max_by(|a, b| a.reward.total_cmp(&b.reward))
+        // h2o-lint: allow(panic-hygiene) -- non-empty: both entry points assert a positive budget before recording
         .expect("at least one evaluation")
         .clone();
     BaselineOutcome {
@@ -76,7 +90,7 @@ pub fn random_search<E: ArchEvaluator>(
     for _ in 0..budget {
         let sample = space.sample_uniform(&mut rng);
         let result = evaluator.evaluate(&sample);
-        let reward = reward_fn.reward(result.quality, &result.perf_values);
+        let reward = clamp_reward(reward_fn.reward(result.quality, &result.perf_values));
         record(&mut evaluated, &mut best_so_far, sample, result, reward);
     }
     finish(evaluated, best_so_far)
@@ -134,7 +148,7 @@ pub fn evolution_search<E: ArchEvaluator>(
     for _ in 0..config.population {
         let sample = space.sample_uniform(&mut rng);
         let result = evaluator.evaluate(&sample);
-        let reward = reward_fn.reward(result.quality, &result.perf_values);
+        let reward = clamp_reward(reward_fn.reward(result.quality, &result.perf_values));
         population.push_back((sample.clone(), reward));
         record(&mut evaluated, &mut best_so_far, sample, result, reward);
     }
@@ -142,7 +156,8 @@ pub fn evolution_search<E: ArchEvaluator>(
     while evaluated.len() < budget {
         let parent = (0..config.tournament.max(1))
             .map(|_| &population[rng.gen_range(0..population.len())])
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            // h2o-lint: allow(panic-hygiene) -- non-empty: tournament draws at least one contestant
             .expect("population non-empty")
             .0
             .clone();
@@ -153,7 +168,7 @@ pub fn evolution_search<E: ArchEvaluator>(
             }
         }
         let result = evaluator.evaluate(&child);
-        let reward = reward_fn.reward(result.quality, &result.perf_values);
+        let reward = clamp_reward(reward_fn.reward(result.quality, &result.perf_values));
         population.push_back((child.clone(), reward));
         population.pop_front(); // aging: the oldest dies, fit or not
         record(&mut evaluated, &mut best_so_far, child, result, reward);
@@ -272,6 +287,46 @@ mod tests {
             4,
             &EvolutionConfig::default(),
         );
+    }
+
+    #[test]
+    fn nan_rewards_are_clamped_on_both_baseline_paths() {
+        // Regression: same NaN-panic class PR 4 fixed in `best_evaluated`
+        // — a NaN quality used to reach partial_cmp().expect() in the
+        // tournament and in finish(), aborting the whole baseline run.
+        let nan_evaluator = |sample: &ArchSample| EvalResult {
+            quality: if sample[0].is_multiple_of(2) {
+                f64::NAN
+            } else {
+                sample.iter().sum::<usize>() as f64
+            },
+            perf_values: vec![sample[0] as f64],
+        };
+        let mut e1 = nan_evaluator;
+        let random = random_search(&space(), &reward(), &mut e1, 80, 5);
+        let mut e2 = nan_evaluator;
+        let evo = evolution_search(
+            &space(),
+            &reward(),
+            &mut e2,
+            80,
+            &EvolutionConfig {
+                population: 16,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        for outcome in [&random, &evo] {
+            assert!(
+                outcome.evaluated.iter().all(|c| c.reward.is_finite()),
+                "every recorded reward is clamped finite"
+            );
+            assert!(
+                outcome.best_so_far.iter().all(|r| r.is_finite()),
+                "the sample-efficiency curve stays finite"
+            );
+            assert!(outcome.best.reward.is_finite());
+        }
     }
 
     #[test]

@@ -329,6 +329,10 @@ impl<'a> SearchDriver<'a> {
                         supernet_state: stage_state.as_deref(),
                     };
                     sink.on_checkpoint(&snapshot)
+                        // h2o-lint: allow(panic-hygiene) -- a failed checkpoint write (disk full,
+                        // permissions) must abort loudly: continuing would silently drop the
+                        // crash-safety the user asked for. Typed propagation through run() is a
+                        // ROADMAP item.
                         .expect("checkpoint sink failed");
                 }
             }

@@ -30,7 +30,7 @@ pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
         })
         .cloned()
         .collect();
-    front.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("no NaN costs"));
+    front.sort_by(|a, b| a.cost.total_cmp(&b.cost));
     front.dedup_by(|a, b| a.quality == b.quality && a.cost == b.cost);
     front
 }
@@ -80,7 +80,7 @@ fn bucketize(
 /// Larger is better. Used to compare ReLU vs absolute rewards (Fig. 5a).
 pub fn dominated_area(front: &[ParetoPoint], ref_cost: f64, quality_floor: f64) -> f64 {
     let mut front = front.to_vec();
-    front.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("no NaN"));
+    front.sort_by(|a, b| a.cost.total_cmp(&b.cost));
     let mut area = 0.0;
     let mut prev_cost: f64 = 0.0;
     let mut best_quality = quality_floor;

@@ -107,7 +107,7 @@ impl Policy {
                 logits
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(c, _)| c)
                     .unwrap_or(0)
             })

@@ -15,7 +15,7 @@
 
 use crate::traffic::TrafficSource;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -85,7 +85,7 @@ pub struct PipelineStats {
 
 struct Inner<S: TrafficSource> {
     source: S,
-    states: HashMap<u64, BatchState>,
+    states: BTreeMap<u64, BatchState>,
     next_seq: u64,
     stats: PipelineStats,
 }
@@ -131,7 +131,7 @@ impl<S: TrafficSource> InMemoryPipeline<S> {
         Self {
             inner: Arc::new(Mutex::new(Inner {
                 source,
-                states: HashMap::new(),
+                states: BTreeMap::new(),
                 next_seq: 0,
                 stats: PipelineStats::default(),
             })),

@@ -46,13 +46,13 @@ impl RuntimeStats {
             batches > 0 && batch_size > 0,
             "need a positive sample budget"
         );
-        let mut counters: Vec<std::collections::HashMap<usize, u64>> = Vec::new();
+        let mut counters: Vec<std::collections::BTreeMap<usize, u64>> = Vec::new();
         let mut totals: Vec<u64> = Vec::new();
         let mut examples = 0usize;
         for _ in 0..batches {
             let batch = source.next_batch(batch_size);
             if counters.is_empty() {
-                counters = vec![std::collections::HashMap::new(); batch.sparse.len()];
+                counters = vec![std::collections::BTreeMap::new(); batch.sparse.len()];
                 totals = vec![0; batch.sparse.len()];
             }
             examples += batch.len();

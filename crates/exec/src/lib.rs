@@ -211,6 +211,8 @@ impl Executor {
                             })
                         });
                         let Some(i) = idx else { break };
+                        // h2o-lint: allow(panic-hygiene) -- each index is pushed to exactly one
+                        // deque and stealing pops, never clones, so a slot is taken exactly once
                         let job = slots[i].lock().take().expect("job taken exactly once");
                         let result = job();
                         *results_ref[i].lock() = Some(result);
@@ -218,14 +220,19 @@ impl Executor {
                 })
                 .collect();
             for handle in handles {
+                // h2o-lint: allow(panic-hygiene) -- a worker panic means a job panicked; the only
+                // honest move is to propagate it to the caller, not to swallow it into an Err
                 handle.join().expect("executor worker panicked");
             }
         })
+        // h2o-lint: allow(panic-hygiene) -- same: scope Err re-raises a child thread's panic
         .expect("executor scope panicked");
 
         h2o_obs::counter("h2o_exec_steals_total").add(steals.into_inner());
         results
             .into_iter()
+            // h2o-lint: allow(panic-hygiene) -- the scope above joins every worker, and workers
+            // only exit once all deques are drained, so each result slot was filled
             .map(|slot| slot.into_inner().expect("every job produced a result"))
             .collect()
     }

@@ -86,6 +86,8 @@ impl WorkerPool {
         let injector = self
             .injector
             .as_ref()
+            // h2o-lint: allow(panic-hygiene) -- the Option is only taken in Drop; submit() cannot
+            // run on a dropped pool
             .expect("injector lives until the pool is dropped");
         for (index, job) in batch.into_iter().enumerate() {
             let tx = tx.clone();
@@ -95,6 +97,8 @@ impl WorkerPool {
                     // A dropped BatchHandle just discards the result.
                     let _ = tx.send((index, result));
                 }))
+                // h2o-lint: allow(panic-hygiene) -- send fails only when every receiver is gone,
+                // and workers are joined no earlier than Drop
                 .expect("pool workers alive");
         }
         BatchHandle { rx, expected }
@@ -106,6 +110,8 @@ impl Drop for WorkerPool {
         // Closing the injector lets workers drain the queue and exit.
         self.injector.take();
         for handle in self.handles.drain(..) {
+            // h2o-lint: allow(panic-hygiene) -- re-raises a job's panic on the dropping thread
+            // instead of discarding it
             handle.join().expect("pool worker panicked");
         }
     }
@@ -143,6 +149,8 @@ impl<R> BatchHandle<R> {
             let (index, result) = self
                 .rx
                 .recv()
+                // h2o-lint: allow(panic-hygiene) -- documented panic: collect() on a pool that shut
+                // down mid-batch is a caller bug (the pool's Drop drains all submitted jobs first)
                 .expect("pool shut down before the batch completed");
             assert!(
                 out[index].is_none(),
@@ -151,6 +159,8 @@ impl<R> BatchHandle<R> {
             out[index] = Some(result);
         }
         out.into_iter()
+            // h2o-lint: allow(panic-hygiene) -- expected results arrived with distinct indices
+            // (asserted above), so every slot is filled
             .map(|slot| slot.expect("no batch index skipped"))
             .collect()
     }

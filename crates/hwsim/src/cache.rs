@@ -19,7 +19,7 @@ use crate::simulator::{SimReport, Simulator};
 use h2o_graph::Graph;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 const FNV_OFFSET: u64 = 0xcbf29ce484222325;
@@ -127,7 +127,7 @@ struct Entry {
 }
 
 struct Shard {
-    map: HashMap<u64, Entry>,
+    map: BTreeMap<u64, Entry>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -137,7 +137,7 @@ struct Shard {
 impl Shard {
     fn new() -> Self {
         Self {
-            map: HashMap::new(),
+            map: BTreeMap::new(),
             clock: 0,
             hits: 0,
             misses: 0,

@@ -1,0 +1,154 @@
+//! Finding and rule-identity types shared by the rules engine and the CLI.
+
+use std::fmt;
+
+/// The five contracts h2o-lint enforces. Rule ids (`as_str`) are what the
+/// allow-pragma names: `// h2o-lint: allow(no-wallclock) -- reason`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// `Instant::now` / `SystemTime::now` outside the observability crate
+    /// and bench binaries: a wall-clock read on a search/sim path breaks
+    /// kill/resume determinism.
+    NoWallclock,
+    /// `thread_rng` / `from_entropy` / OS entropy: all randomness must
+    /// flow through the seeded SplitMix64 `shard_seed` stream helpers.
+    NoAmbientRng,
+    /// `HashMap` / `HashSet` in crates that produce user-visible or
+    /// checkpointed output: iteration order is unspecified, so ordered
+    /// (`BTreeMap`/`BTreeSet`) containers are required.
+    NoUnorderedCollections,
+    /// `partial_cmp(..).unwrap()/.expect()`: NaN panics at comparison
+    /// time; `total_cmp` orders every float.
+    FloatOrdering,
+    /// `.unwrap()` / `.expect()` / `panic!` in non-test code of crates on
+    /// the search hot path: typed errors (or a justified pragma) instead.
+    PanicHygiene,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::NoWallclock,
+        Rule::NoAmbientRng,
+        Rule::NoUnorderedCollections,
+        Rule::FloatOrdering,
+        Rule::PanicHygiene,
+    ];
+
+    /// The stable id used in pragmas and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::NoWallclock => "no-wallclock",
+            Rule::NoAmbientRng => "no-ambient-rng",
+            Rule::NoUnorderedCollections => "no-unordered-collections",
+            Rule::FloatOrdering => "float-ordering",
+            Rule::PanicHygiene => "panic-hygiene",
+        }
+    }
+
+    /// Parses a pragma rule id.
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.as_str() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// What was found and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document (the tool is
+/// dependency-free, so no serde here).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a JSON array (stable field order, one object per
+/// finding) for machine consumption in CI.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}{}\n",
+            f.rule,
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            json_escape(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::parse(rule.as_str()), Some(rule));
+        }
+        assert_eq!(Rule::parse("no-such-rule"), None);
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_array_shape() {
+        let findings = vec![Finding {
+            rule: Rule::NoWallclock,
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            message: "m".into(),
+        }];
+        let json = to_json(&findings);
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"rule\": \"no-wallclock\""));
+        assert!(json.contains("\"line\": 3"));
+    }
+}

@@ -1,0 +1,516 @@
+//! A hand-rolled Rust lexer — just enough of the language to walk token
+//! streams reliably.
+//!
+//! The workspace vendors its dependencies as offline stubs, so no external
+//! parser (`syn`, `proc-macro2`, …) is available; and the rules in
+//! [`crate::rules`] only need a faithful *token* stream, not a syntax
+//! tree. The tricky parts a naive regex scan gets wrong — and this lexer
+//! gets right — are exactly the ones that would cause false findings:
+//!
+//! - string literals (`"thread_rng"` is data, not a call), including raw
+//!   strings `r#"…"#` with arbitrary `#` runs and byte strings `b"…"`;
+//! - comments, line and nested block, which are *kept* as trivia tokens so
+//!   the pragma scanner in [`crate::rules`] can read them;
+//! - `'a` lifetimes vs `'a'` char literals (`'\''` included);
+//! - float literals (`1.max(2)` must not swallow the method dot).
+
+/// What a token is. Trivia (comments) is preserved — the allow-pragma
+/// grammar lives in comments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the rules don't care which).
+    Ident,
+    /// `'a`, `'static` — a lifetime, *not* a char literal.
+    Lifetime,
+    /// `'x'`, `'\n'`, `'\''`.
+    CharLit,
+    /// `"…"` or `b"…"` with escapes.
+    StrLit,
+    /// `r"…"`, `r#"…"#`, `br##"…"##` — no escapes, hash-delimited.
+    RawStrLit,
+    /// Integer or float literal (one coarse kind is enough here).
+    NumLit,
+    /// `// …` (text includes the slashes).
+    LineComment,
+    /// `/* … */`, nesting respected (text includes delimiters).
+    BlockComment,
+    /// Any single punctuation/operator character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The token's verbatim source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is trivia (a comment).
+    pub fn is_trivia(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            // Count characters, not UTF-8 continuation bytes.
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a full-fidelity token stream (comments included).
+///
+/// The lexer never fails: bytes it cannot classify become one-character
+/// [`TokenKind::Punct`] tokens, so a file with exotic syntax degrades to
+/// noise rather than a crash or a skipped file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(b) = cur.peek() {
+        let (line, col, start) = (cur.line, cur.col, cur.pos);
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' => match cur.peek_at(1) {
+                Some(b'/') => {
+                    while let Some(c) = cur.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        cur.bump();
+                    }
+                    TokenKind::LineComment
+                }
+                Some(b'*') => {
+                    cur.bump();
+                    cur.bump();
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (cur.peek(), cur.peek_at(1)) {
+                            (Some(b'/'), Some(b'*')) => {
+                                depth += 1;
+                                cur.bump();
+                                cur.bump();
+                            }
+                            (Some(b'*'), Some(b'/')) => {
+                                depth -= 1;
+                                cur.bump();
+                                cur.bump();
+                            }
+                            (Some(_), _) => {
+                                cur.bump();
+                            }
+                            (None, _) => break, // unterminated: EOF closes
+                        }
+                    }
+                    TokenKind::BlockComment
+                }
+                _ => {
+                    cur.bump();
+                    TokenKind::Punct
+                }
+            },
+            b'"' => {
+                lex_string(&mut cur);
+                TokenKind::StrLit
+            }
+            b'\'' => lex_quote(&mut cur),
+            b'0'..=b'9' => {
+                lex_number(&mut cur);
+                TokenKind::NumLit
+            }
+            _ if is_ident_start(b) => {
+                // Raw/byte string prefixes are idents up to the quote:
+                // r"…", r#"…"#, b"…", br#"…"#, b'…'.
+                if let Some(kind) = try_lex_prefixed_literal(&mut cur) {
+                    kind
+                } else {
+                    while cur.peek().is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    TokenKind::Ident
+                }
+            }
+            _ => {
+                cur.bump();
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token {
+            kind,
+            text: src[start..cur.pos].to_string(),
+            line,
+            col,
+        });
+    }
+    tokens
+}
+
+/// Consumes `"…"` with backslash escapes; the opening quote is at the
+/// cursor. Unterminated strings end at EOF.
+fn lex_string(cur: &mut Cursor<'_>) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.bump() {
+        match b {
+            b'\\' => {
+                cur.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes `r#*"…"#*` where the cursor sits on `r` (or the first `#` /
+/// quote when called after a `b` prefix was consumed). Returns after the
+/// closing delimiter.
+fn lex_raw_string(cur: &mut Cursor<'_>) {
+    if cur.peek() == Some(b'r') {
+        cur.bump();
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    'outer: while let Some(b) = cur.bump() {
+        if b == b'"' {
+            for i in 0..hashes {
+                if cur.peek_at(i) != Some(b'#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+}
+
+/// Detects and consumes `r"…"`/`r#"…"#`/`b"…"`/`br"…"`/`b'…'` when the
+/// cursor sits on the `r`/`b` prefix; returns `None` (consuming nothing)
+/// for plain identifiers like `rng` or `batch`.
+fn try_lex_prefixed_literal(cur: &mut Cursor<'_>) -> Option<TokenKind> {
+    let b0 = cur.peek()?;
+    let b1 = cur.peek_at(1);
+    match (b0, b1) {
+        (b'r', Some(b'"')) | (b'r', Some(b'#')) => {
+            // r#ident is a raw identifier, not a raw string.
+            if b1 == Some(b'#') && !raw_hashes_open_string(cur, 1) {
+                return None;
+            }
+            lex_raw_string(cur);
+            Some(TokenKind::RawStrLit)
+        }
+        (b'b', Some(b'"')) => {
+            cur.bump();
+            lex_string(cur);
+            Some(TokenKind::StrLit)
+        }
+        (b'b', Some(b'\'')) => {
+            cur.bump();
+            cur.bump(); // opening quote
+            if cur.peek() == Some(b'\\') {
+                cur.bump();
+            }
+            cur.bump(); // the byte
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            Some(TokenKind::CharLit)
+        }
+        (b'b', Some(b'r')) if matches!(cur.peek_at(2), Some(b'"') | Some(b'#')) => {
+            if cur.peek_at(2) == Some(b'#') && !raw_hashes_open_string(cur, 2) {
+                return None;
+            }
+            cur.bump();
+            lex_raw_string(cur);
+            Some(TokenKind::RawStrLit)
+        }
+        _ => None,
+    }
+}
+
+/// Whether the run of `#`s starting at `offset` is followed by `"` —
+/// distinguishing the raw string `r#"…"#` from the raw identifier
+/// `r#match`.
+fn raw_hashes_open_string(cur: &Cursor<'_>, mut offset: usize) -> bool {
+    while cur.peek_at(offset) == Some(b'#') {
+        offset += 1;
+    }
+    cur.peek_at(offset) == Some(b'"')
+}
+
+/// `'` starts either a lifetime (`'a`, `'static`) or a char literal
+/// (`'x'`, `'\n'`). Disambiguation: after the ident run, a closing `'`
+/// makes it a char literal; otherwise it was a lifetime.
+fn lex_quote(cur: &mut Cursor<'_>) -> TokenKind {
+    cur.bump(); // opening quote
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: the escape is one char (`\n`, `\'`,
+            // `\\`) or a braced unicode escape (`\u{1F600}`).
+            cur.bump(); // backslash
+            if cur.bump() == Some(b'u') && cur.peek() == Some(b'{') {
+                while let Some(b) = cur.bump() {
+                    if b == b'}' {
+                        break;
+                    }
+                }
+            }
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            TokenKind::CharLit
+        }
+        Some(b) if is_ident_start(b) => {
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+                TokenKind::CharLit
+            } else {
+                TokenKind::Lifetime
+            }
+        }
+        _ => {
+            // Something like '3' or '(' — a one-char literal.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            TokenKind::CharLit
+        }
+    }
+}
+
+/// Consumes a numeric literal. The dot joins the literal only when a
+/// digit follows (`1.5`), so `1.max(2)` and `0..n` keep their dots as
+/// punctuation.
+fn lex_number(cur: &mut Cursor<'_>) {
+    while cur.peek().is_some_and(is_ident_continue) {
+        let prev = cur.bump();
+        // Exponent sign: 1e-3 / 2.5E+7.
+        if matches!(prev, Some(b'e') | Some(b'E'))
+            && matches!(cur.peek(), Some(b'+') | Some(b'-'))
+            && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+        {
+            cur.bump();
+        }
+    }
+    if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+        cur.bump();
+        while cur.peek().is_some_and(is_ident_continue) {
+            let prev = cur.bump();
+            if matches!(prev, Some(b'e') | Some(b'E'))
+                && matches!(cur.peek(), Some(b'+') | Some(b'-'))
+                && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                cur.bump();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = foo::bar();");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[2], (TokenKind::Punct, "=".into()));
+        assert_eq!(toks[3], (TokenKind::Ident, "foo".into()));
+        assert_eq!(toks[4], (TokenKind::Punct, ":".into()));
+    }
+
+    #[test]
+    fn strings_swallow_their_contents() {
+        let toks = kinds(r#"let s = "thread_rng() \" escaped"; x"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t.contains("thread_rng")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "thread_rng"));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r#\"a \" b\"#; let t = r\"plain\"; end";
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::RawStrLit)
+                .count(),
+            2
+        );
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "end".into()));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let toks = kinds("let a = b\"bytes\"; let c = br#\"raw \" bytes\"#; done");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t == "b\"bytes\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::RawStrLit && t.starts_with("br#")));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "done".into()));
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_raw_string() {
+        let toks = kinds("let r#match = 1; tail");
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::RawStrLit));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "tail".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds(
+            "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let q = '\\''; let b = '\\\\'; }",
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2,
+            "two 'a lifetimes"
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::CharLit)
+                .count(),
+            4,
+            "'x', '\\n', '\\'' and '\\\\' are char literals"
+        );
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Punct, "}".into()));
+    }
+
+    #[test]
+    fn static_lifetime_is_a_lifetime() {
+        let toks = kinds("x: &'static str");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+    }
+
+    #[test]
+    fn line_comments_are_trivia_with_text() {
+        let toks = kinds("code(); // h2o-lint: allow(x) -- why\nmore();");
+        let comment = toks
+            .iter()
+            .find(|(k, _)| *k == TokenKind::LineComment)
+            .unwrap();
+        assert!(comment.1.contains("h2o-lint: allow(x)"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "more"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+        assert_eq!(toks.first().unwrap(), &(TokenKind::Ident, "a".into()));
+        assert_eq!(toks.last().unwrap(), &(TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_dots() {
+        let toks = kinds("1.max(2) + 1.5e-3 + 0..n");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::NumLit && t == "1.5e-3"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::NumLit && t == "0"));
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_reaches_eof_without_panic() {
+        let toks = kinds("let s = \"never closed");
+        assert_eq!(toks.last().unwrap().0, TokenKind::StrLit);
+    }
+}

@@ -1,0 +1,473 @@
+//! The five invariant rules, their crate scopes, and the allow-pragma
+//! machinery.
+//!
+//! Rules run over the token stream from [`crate::lexer`] — no syntax tree
+//! and no type information, which bounds what they can express (see
+//! DESIGN.md, "static-analysis contract"). Each rule is a token-pattern
+//! matcher plus a *crate scope*: the set of workspace crates whose output
+//! contracts the rule protects.
+//!
+//! Code under `#[cfg(test)]` / `#[test]` items is exempt from every rule
+//! (a test may unwrap freely), as are the `tests/`, `examples/` and
+//! `benches/` directories, which the workspace walker never visits.
+//!
+//! # Escape hatch
+//!
+//! A finding is suppressed by a pragma **with a justification**:
+//!
+//! ```text
+//! // h2o-lint: allow(panic-hygiene) -- slots are filled exactly once by construction
+//! ```
+//!
+//! on the same line as the finding or on the comment line(s) directly
+//! above it. A pragma without a non-empty reason after `--` does not
+//! suppress anything.
+
+use crate::findings::{Finding, Rule};
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a rule applies, expressed over crate directory names (`core`,
+/// `hwsim`, …; the root `h2o-nas` package participates as `h2o-nas`).
+enum Scope {
+    /// Every workspace crate except the listed ones.
+    AllExcept(&'static [&'static str]),
+    /// Only the listed crates.
+    Only(&'static [&'static str]),
+}
+
+impl Scope {
+    fn contains(&self, crate_name: &str) -> bool {
+        match self {
+            Scope::AllExcept(excluded) => !excluded.contains(&crate_name),
+            Scope::Only(included) => included.contains(&crate_name),
+        }
+    }
+}
+
+/// The crates whose CSV/console/checkpoint output must be reproducible:
+/// unordered iteration anywhere here can leak schedule- or hash-order
+/// noise into user-visible bytes.
+const ORDERED_OUTPUT_CRATES: &[&str] = &["core", "data", "hwsim", "tensor", "ckpt"];
+
+/// The crates on the search hot path, where a panic kills a multi-hour
+/// run: errors must be typed (or the panic justified by a pragma).
+const PANIC_SCOPED_CRATES: &[&str] = &["core", "exec", "hwsim", "data", "ckpt", "perfmodel"];
+
+/// Crates allowed to read the wall clock: the observability crate (spans,
+/// histograms — the `step_time_ms` sink measures through it) and the
+/// bench harness binaries, which exist to measure wall time.
+const WALLCLOCK_ALLOWED_CRATES: &[&str] = &["obs", "bench"];
+
+fn scope_of(rule: Rule) -> Scope {
+    match rule {
+        Rule::NoWallclock => Scope::AllExcept(WALLCLOCK_ALLOWED_CRATES),
+        Rule::NoAmbientRng => Scope::AllExcept(&[]),
+        Rule::NoUnorderedCollections => Scope::Only(ORDERED_OUTPUT_CRATES),
+        Rule::FloatOrdering => Scope::AllExcept(&[]),
+        Rule::PanicHygiene => Scope::Only(PANIC_SCOPED_CRATES),
+    }
+}
+
+/// RNG constructors that bypass the seeded SplitMix64 stream discipline.
+const AMBIENT_RNG_IDENTS: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "ThreadRng",
+    "getrandom",
+];
+
+/// Lints one source file. `crate_name` is the crate's directory name
+/// (`core`, `data`, …, or `h2o-nas` for the root package); `rel_path` is
+/// the workspace-relative path reported in findings.
+pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
+    let active: Vec<Rule> = Rule::ALL
+        .into_iter()
+        .filter(|&r| scope_of(r).contains(crate_name))
+        .collect();
+    if active.is_empty() {
+        return Vec::new();
+    }
+
+    let tokens = lex(src);
+    let pragmas = collect_pragmas(&tokens);
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_trivia()).collect();
+    let test_ranges = test_item_ranges(&code);
+
+    let mut findings = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if let Some(&end) = test_ranges.get(&i) {
+            i = end;
+            continue;
+        }
+        for &rule in &active {
+            if let Some(finding) = match_rule(rule, &code, i, rel_path) {
+                if !pragmas.allows(rule, finding.line) {
+                    findings.push(finding);
+                }
+            }
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// Tries every rule pattern anchored at token `i`; at most one finding
+/// per (rule, token) anchor.
+fn match_rule(rule: Rule, code: &[&Token], i: usize, rel_path: &str) -> Option<Finding> {
+    let t = code[i];
+    let finding = |message: String| {
+        Some(Finding {
+            rule,
+            file: rel_path.to_string(),
+            line: t.line,
+            col: t.col,
+            message,
+        })
+    };
+    match rule {
+        Rule::NoWallclock => {
+            if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+                && path_sep(code, i + 1)
+                && code.get(i + 3).is_some_and(|n| n.is_ident("now"))
+            {
+                return finding(format!(
+                    "{}::now() reads the wall clock; search/simulator paths must stay \
+                     deterministic across kill/resume — time through `h2o_obs` spans or \
+                     histograms instead",
+                    t.text
+                ));
+            }
+            None
+        }
+        Rule::NoAmbientRng => {
+            if t.kind == TokenKind::Ident && AMBIENT_RNG_IDENTS.contains(&t.text.as_str()) {
+                return finding(format!(
+                    "`{}` draws OS/ambient entropy; derive every RNG from the SplitMix64 \
+                     `shard_seed`/stream helpers so runs replay bit-identically",
+                    t.text
+                ));
+            }
+            None
+        }
+        Rule::NoUnorderedCollections => {
+            if t.is_ident("HashMap") || t.is_ident("HashSet") {
+                return finding(format!(
+                    "`{}` has unspecified iteration order; this crate produces \
+                     user-visible or checkpointed output — use BTreeMap/BTreeSet (or \
+                     justify with a pragma that order never escapes)",
+                    t.text
+                ));
+            }
+            None
+        }
+        Rule::FloatOrdering => {
+            if t.is_ident("partial_cmp") && code.get(i + 1).is_some_and(|p| p.is_punct('(')) {
+                let close = matching_close(code, i + 1, '(', ')')?;
+                if code.get(close + 1).is_some_and(|d| d.is_punct('.')) {
+                    if let Some(next) = code.get(close + 2) {
+                        if next.is_ident("unwrap") || next.is_ident("expect") {
+                            return finding(
+                                "partial_cmp().unwrap()/.expect() panics on NaN (rewards \
+                                 can be NaN under diverged training) — use total_cmp"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                }
+            }
+            None
+        }
+        Rule::PanicHygiene => {
+            let panicking_method = (t.is_ident("unwrap")
+                || t.is_ident("expect")
+                || t.is_ident("unwrap_err")
+                || t.is_ident("expect_err"))
+                && i > 0
+                && (code[i - 1].is_punct('.') || path_sep_back(code, i))
+                && code.get(i + 1).is_some_and(|p| p.is_punct('('));
+            if panicking_method {
+                return finding(format!(
+                    "`.{}()` can panic on a search-reachable path; return a typed error \
+                     (or justify the invariant with a pragma)",
+                    t.text
+                ));
+            }
+            if t.is_ident("panic") && code.get(i + 1).is_some_and(|p| p.is_punct('!')) {
+                return finding(
+                    "`panic!` on a search-reachable path; return a typed error (or \
+                     justify the invariant with a pragma)"
+                        .to_string(),
+                );
+            }
+            None
+        }
+    }
+}
+
+/// Whether tokens `i`, `i+1` are the `::` path separator.
+fn path_sep(code: &[&Token], i: usize) -> bool {
+    code.get(i).is_some_and(|a| a.is_punct(':')) && code.get(i + 1).is_some_and(|b| b.is_punct(':'))
+}
+
+/// Whether the two tokens before `i` are `::` (e.g. `Option::unwrap`).
+fn path_sep_back(code: &[&Token], i: usize) -> bool {
+    i >= 2 && code[i - 1].is_punct(':') && code[i - 2].is_punct(':')
+}
+
+/// Index of the token closing the group opened at `open_idx`, honouring
+/// nesting of the same delimiter pair.
+fn matching_close(code: &[&Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in code.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Test-item detection
+// ---------------------------------------------------------------------------
+
+/// Maps the index of each token starting a `#[cfg(test)]`/`#[test]` item
+/// to the index one past that item's end. The walker jumps the whole
+/// item, so nothing inside test modules or test functions is linted.
+fn test_item_ranges(code: &[&Token]) -> BTreeMap<usize, usize> {
+    let mut ranges = BTreeMap::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let Some(attr_end) = matching_close(code, i + 1, '[', ']') else {
+                break;
+            };
+            let attr = &code[i + 2..attr_end];
+            // `test` present without `not`: matches #[test], #[cfg(test)],
+            // #[cfg(all(test, …))] — and deliberately not #[cfg(not(test))].
+            let is_test =
+                attr.iter().any(|t| t.is_ident("test")) && !attr.iter().any(|t| t.is_ident("not"));
+            if is_test {
+                let end = skip_item(code, attr_end + 1);
+                ranges.insert(i, end);
+                i = end;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Returns the index one past the item starting at `start`: consumes any
+/// further attributes, then either a `{…}` body (functions, modules,
+/// impls) or a `;`-terminated declaration, tracking delimiter depth so a
+/// `;` inside a signature's generics or a nested block never ends the
+/// scan early.
+fn skip_item(code: &[&Token], start: usize) -> usize {
+    let mut i = start;
+    // Further attributes on the same item.
+    while i < code.len()
+        && code[i].is_punct('#')
+        && code.get(i + 1).is_some_and(|t| t.is_punct('['))
+    {
+        match matching_close(code, i + 1, '[', ']') {
+            Some(end) => i = end + 1,
+            None => return code.len(),
+        }
+    }
+    let (mut parens, mut brackets, mut braces) = (0i64, 0i64, 0i64);
+    let mut entered_braces = false;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('(') {
+            parens += 1;
+        } else if t.is_punct(')') {
+            parens -= 1;
+        } else if t.is_punct('[') {
+            brackets += 1;
+        } else if t.is_punct(']') {
+            brackets -= 1;
+        } else if t.is_punct('{') {
+            braces += 1;
+            entered_braces = true;
+        } else if t.is_punct('}') {
+            braces -= 1;
+            if entered_braces && braces == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(';') && parens == 0 && brackets == 0 && braces == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    code.len()
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------------
+
+struct Pragmas {
+    /// Line → rules allowed (with a valid justification) on that line.
+    by_line: BTreeMap<u32, BTreeSet<Rule>>,
+    /// Lines carrying at least one non-trivia token.
+    code_lines: BTreeSet<u32>,
+    /// Lines carrying at least one comment token.
+    comment_lines: BTreeSet<u32>,
+}
+
+impl Pragmas {
+    /// Whether `rule` is allowed at `line`: a pragma on the line itself,
+    /// or on the run of comment-only lines directly above it.
+    fn allows(&self, rule: Rule, line: u32) -> bool {
+        if self.by_line.get(&line).is_some_and(|s| s.contains(&rule)) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && self.comment_lines.contains(&l) && !self.code_lines.contains(&l) {
+            if self.by_line.get(&l).is_some_and(|s| s.contains(&rule)) {
+                return true;
+            }
+            l -= 1;
+        }
+        false
+    }
+}
+
+/// Scans every comment for `h2o-lint: allow(<rule>) -- <reason>`. A
+/// pragma only registers when the rule id is known **and** the reason is
+/// non-empty — an unjustified pragma suppresses nothing.
+fn collect_pragmas(tokens: &[Token]) -> Pragmas {
+    let mut by_line: BTreeMap<u32, BTreeSet<Rule>> = BTreeMap::new();
+    let mut code_lines = BTreeSet::new();
+    let mut comment_lines = BTreeSet::new();
+    for t in tokens {
+        if t.is_trivia() {
+            comment_lines.insert(t.line);
+            for (rule, reason) in parse_pragmas(&t.text) {
+                if !reason.is_empty() {
+                    by_line.entry(t.line).or_default().insert(rule);
+                }
+            }
+        } else {
+            code_lines.insert(t.line);
+        }
+    }
+    Pragmas {
+        by_line,
+        code_lines,
+        comment_lines,
+    }
+}
+
+/// Extracts every `h2o-lint: allow(<rule>) -- <reason>` from one comment's
+/// text. The reason runs to the end of the comment (line comments) or to
+/// the closing delimiter (block comments).
+fn parse_pragmas(comment: &str) -> Vec<(Rule, String)> {
+    const KEY: &str = "h2o-lint: allow(";
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find(KEY) {
+        rest = &rest[at + KEY.len()..];
+        let Some(close) = rest.find(')') else { break };
+        let rule_id = rest[..close].trim();
+        let after = rest[close + 1..].trim_start();
+        if let Some(rule) = Rule::parse(rule_id) {
+            if let Some(reason) = after.strip_prefix("--") {
+                let reason = reason.trim().trim_end_matches("*/").trim();
+                out.push((rule, reason.to_string()));
+            }
+        }
+        rest = &rest[close + 1..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_in(crate_name: &str, src: &str) -> Vec<Finding> {
+        lint_source(crate_name, "test.rs", src)
+    }
+
+    #[test]
+    fn pragma_requires_reason() {
+        let bare = "fn f() { let t = Instant::now(); } // h2o-lint: allow(no-wallclock)\n";
+        assert_eq!(lint_in("core", bare).len(), 1, "reasonless pragma ignored");
+        let justified =
+            "fn f() { let t = Instant::now(); } // h2o-lint: allow(no-wallclock) -- bench only\n";
+        assert!(lint_in("core", justified).is_empty());
+    }
+
+    #[test]
+    fn pragma_on_preceding_comment_line() {
+        let src = "\
+// h2o-lint: allow(no-ambient-rng) -- interactive tool, determinism not required
+let mut rng = thread_rng();
+";
+        assert!(lint_in("core", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_does_not_leak_past_code_lines() {
+        let src = "\
+// h2o-lint: allow(no-ambient-rng) -- only for the next line
+let a = thread_rng();
+let b = thread_rng();
+";
+        let found = lint_in("core", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn cfg_test_module_is_exempt() {
+        let src = "\
+pub fn lib() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let x: Option<u32> = None; x.unwrap(); }
+}
+";
+        assert!(lint_in("core", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u32>) { x.unwrap(); }\n";
+        assert_eq!(lint_in("core", src).len(), 1);
+    }
+
+    #[test]
+    fn scope_excludes_unlisted_crates() {
+        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        assert_eq!(lint_in("core", src).len(), 2, "two HashMap tokens");
+        assert!(
+            lint_in("space", src).is_empty(),
+            "space is not output-ordered"
+        );
+        assert!(
+            lint_in("obs", src).is_empty(),
+            "obs is outside the collections scope"
+        );
+    }
+
+    #[test]
+    fn string_contents_never_fire() {
+        let src = "fn f() { let s = \"thread_rng Instant::now unwrap()\"; }\n";
+        assert!(lint_in("core", src).is_empty());
+    }
+}

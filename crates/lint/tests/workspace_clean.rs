@@ -1,0 +1,33 @@
+//! The self-check: the workspace this linter ships in must itself be
+//! lint-clean. This is the test that turns the five rules from a style
+//! suggestion into an enforced contract — reintroducing a wall-clock read,
+//! an ambient RNG, an unordered map in an output crate, a
+//! `partial_cmp().unwrap()`, or an unjustified `.unwrap()` on a scoped
+//! path fails `cargo test`, not just the separate ci.sh lint stage.
+
+use h2o_lint::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_unallowed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        report.files_checked > 50,
+        "expected to walk the whole workspace, saw only {} files",
+        report.files_checked
+    );
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be lint-clean; found:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

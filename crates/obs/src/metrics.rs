@@ -254,6 +254,19 @@ impl Histogram {
         }
     }
 
+    /// Times `f` and records its wall-clock duration in seconds.
+    ///
+    /// This is the sanctioned way for other crates to measure durations:
+    /// the workspace bans `Instant::now` outside `h2o-obs` (h2o-lint's
+    /// `no-wallclock` rule), so the clock read lives here, where resume
+    /// determinism is already out of scope.
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.record(start.elapsed().as_secs_f64());
+        out
+    }
+
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
         self.inner.count.load(Ordering::Relaxed)

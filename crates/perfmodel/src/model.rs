@@ -214,27 +214,32 @@ impl PerfModel {
         // its second-moment normalisation, and gentle enough for finetune).
         let lr_scale = cfg.lr / 1e-3;
         for _ in 0..cfg.epochs {
-            let epoch_start = std::time::Instant::now();
-            order.shuffle(&mut self.rng);
-            let mut epoch_loss = 0.0f32;
-            let mut batches = 0;
-            for chunk in order.chunks(cfg.batch_size.max(1)) {
-                let mut x = Matrix::zeros(chunk.len(), dim);
-                let mut t = Matrix::zeros(chunk.len(), 2);
-                for (r, &i) in chunk.iter().enumerate() {
-                    x.row_mut(r).copy_from_slice(&xs[i]);
-                    t.set(r, 0, self.to_z(Head::Training, ys[i].training));
-                    t.set(r, 1, self.to_z(Head::Serving, ys[i].serving));
+            // The clock read lives inside `Histogram::time` (the obs crate
+            // is the one place allowed to touch wall time).
+            let (order_out, loss) = epoch_seconds.time(|| {
+                let mut order = std::mem::take(&mut order);
+                order.shuffle(&mut self.rng);
+                let mut epoch_loss = 0.0f32;
+                let mut batches = 0;
+                for chunk in order.chunks(cfg.batch_size.max(1)) {
+                    let mut x = Matrix::zeros(chunk.len(), dim);
+                    let mut t = Matrix::zeros(chunk.len(), 2);
+                    for (r, &i) in chunk.iter().enumerate() {
+                        x.row_mut(r).copy_from_slice(&xs[i]);
+                        t.set(r, 0, self.to_z(Head::Training, ys[i].training));
+                        t.set(r, 1, self.to_z(Head::Serving, ys[i].serving));
+                    }
+                    let pred = self.net.forward(&x);
+                    let (l, grad) = h2o_tensor::loss::mse(&pred, &t);
+                    self.net.backward_and_step(&grad.scale(lr_scale));
+                    epoch_loss += l;
+                    batches += 1;
                 }
-                let pred = self.net.forward(&x);
-                let (l, grad) = h2o_tensor::loss::mse(&pred, &t);
-                self.net.backward_and_step(&grad.scale(lr_scale));
-                epoch_loss += l;
-                batches += 1;
-            }
-            last_epoch_loss = epoch_loss / batches.max(1) as f32;
+                (order, epoch_loss / batches.max(1) as f32)
+            });
+            order = order_out;
+            last_epoch_loss = loss;
             epochs_total.inc();
-            epoch_seconds.record(epoch_start.elapsed().as_secs_f64());
         }
         last_epoch_loss
     }

@@ -439,12 +439,7 @@ impl DlrmSpace {
     pub fn encode(&self, arch: &DlrmArch) -> ArchSample {
         let nearest = |target: f64, options: &mut dyn Iterator<Item = (usize, f64)>| -> usize {
             options
-                .min_by(|a, b| {
-                    (a.1 - target)
-                        .abs()
-                        .partial_cmp(&(b.1 - target).abs())
-                        .expect("no NaN")
-                })
+                .min_by(|a, b| (a.1 - target).abs().total_cmp(&(b.1 - target).abs()))
                 .map(|(i, _)| i)
                 .unwrap_or(0)
         };

@@ -265,7 +265,7 @@ impl VisionSupernet {
             let pred = row
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(c, _)| c)
                 .unwrap_or(0);
             if pred == label {

@@ -11,7 +11,7 @@
 use crate::state::{StateError, StateReader, StateWriter};
 use crate::Matrix;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A single embedding table with a searchable (masked) width.
 ///
@@ -31,7 +31,7 @@ use std::collections::HashMap;
 pub struct EmbeddingTable {
     weights: Matrix,
     active_width: usize,
-    grad_rows: HashMap<usize, Vec<f32>>,
+    grad_rows: BTreeMap<usize, Vec<f32>>,
     cached_batch: Option<Vec<Vec<usize>>>,
 }
 
@@ -51,7 +51,7 @@ impl EmbeddingTable {
         Self {
             weights,
             active_width: max_width,
-            grad_rows: HashMap::new(),
+            grad_rows: BTreeMap::new(),
             cached_batch: None,
         }
     }

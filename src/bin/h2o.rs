@@ -200,7 +200,7 @@ fn cmd_simulate(flags: &HashMap<String, String>) -> Result<(), String> {
     );
     println!("  params          : {:.1} M", report.params / 1e6);
     let mut slowest: Vec<(&String, &f64)> = report.breakdown.iter().collect();
-    slowest.sort_by(|a, b| b.1.partial_cmp(a.1).expect("no NaN"));
+    slowest.sort_by(|a, b| b.1.total_cmp(a.1));
     println!("  top op classes  :");
     for (label, t) in slowest.iter().take(4) {
         println!("    {label:20} {:.3} ms", **t * 1e3);
@@ -618,7 +618,7 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
             // CTR budget is the median simulated step time (keeps the
             // objective meaningful for any --budget-ms).
             let mut times: Vec<f64> = ys.iter().map(|y| y.training).collect();
-            times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            times.sort_by(|a, b| a.total_cmp(b));
             let target = if budget_ms != 100.0 {
                 budget
             } else {

@@ -44,6 +44,16 @@ echo "==> serialized-schedule smoke (H2O_EXEC_SERIAL=1)"
 H2O_EXEC_SERIAL=1 cargo test -q -p h2o-exec -p h2o-hwsim
 H2O_EXEC_SERIAL=1 cargo test -q --test determinism
 
+# Perf smoke: run the baseline matrix at reduced scale and diff against
+# the committed baseline, warn-only (shared-runner timing is too noisy
+# for a hard gate — see DESIGN.md, "perf trajectory & phase-timing
+# contract"). Catches harness rot (a scenario that no longer runs, an
+# instrument that vanished) without flaking on machine speed.
+echo "==> perf smoke (bench_diff, warn-only, reduced steps)"
+H2O_BENCH_STEPS=8 H2O_BENCH_SIM_EVALS=20 H2O_BENCH_MATMUL_ITERS=5 \
+H2O_BENCH_STRICT=0 \
+    cargo run -q --release -p h2o-bench --bin bench_diff -- --baseline BENCH_pr6.json
+
 # Workspace invariant checker: the determinism / NaN-robustness /
 # panic-hygiene contracts are enforced mechanically (see DESIGN.md,
 # "static-analysis contract"). Any un-allowed finding fails the build.

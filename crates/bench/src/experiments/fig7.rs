@@ -16,8 +16,9 @@ pub fn counters(model: &CoAtNet) -> SimReport {
 
 /// Runs the experiment and renders the report.
 pub fn run() -> String {
-    let c5 = CoAtNet::family().pop().expect("family");
-    let h5 = CoAtNet::h_family().pop().expect("family");
+    let (Some(c5), Some(h5)) = (CoAtNet::family().pop(), CoAtNet::h_family().pop()) else {
+        return "Fig. 7: CoAtNet families are empty — nothing to compare".to_string();
+    };
     let base = counters(&c5);
     let opt = counters(&h5);
 

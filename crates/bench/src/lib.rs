@@ -13,4 +13,5 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod perf;
 pub mod report;

@@ -40,6 +40,56 @@ use serde::{Deserialize, Serialize};
 /// finite. Finite rewards pass through bit-unchanged.
 pub const NON_FINITE_REWARD_PENALTY: f64 = -1.0e4;
 
+/// A typed failure from the [`SearchDriver`] controller loop.
+///
+/// The engine distinguishes *contract violations* (zero shards, a resume
+/// snapshot from the wrong space — programmer errors that stay panics)
+/// from *environmental failures* it can report to the caller. Today the
+/// only environmental failure is a checkpoint write: a sink error is a
+/// lost durability guarantee, so the loop stops and hands the error up
+/// instead of searching on with crash-safety silently gone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The [`CheckpointSink`] failed to persist a snapshot after the step
+    /// counted in `steps_done`. The search state up to that step is lost
+    /// to the caller (the outcome is not returned), but every prior
+    /// on-disk checkpoint remains valid to resume from.
+    Checkpoint {
+        /// Completed steps at the moment the write failed.
+        steps_done: usize,
+        /// The sink's error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Checkpoint {
+                steps_done,
+                message,
+            } => write!(
+                f,
+                "checkpoint sink failed after step {steps_done}: {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// Phase labels of the `h2o_core_phase_seconds{phase=...}` histograms the
+/// driver records per step, in loop order. `perf_baseline` and the
+/// exporters read time shares per phase from these.
+pub const PHASES: [&str; 6] = [
+    "collect",
+    "reward",
+    "policy_update",
+    "stage_update",
+    "telemetry",
+    "checkpoint",
+];
+
 /// The shared controller knobs: everything the [`SearchDriver`] engine
 /// needs, independent of how candidates are produced.
 ///
@@ -181,7 +231,9 @@ pub trait CandidateStage {
 /// let reward = RewardFn::new(RewardKind::Relu, vec![]);
 /// let config = ControllerConfig { steps: 60, shards: 4, ..Default::default() };
 /// let mut stage = AnalyticStage { shards: config.shards, seed: config.seed };
-/// let outcome = SearchDriver::new(&space, &reward, config).run(&mut stage, None, None);
+/// let outcome = SearchDriver::new(&space, &reward, config)
+///     .run(&mut stage, None, None)
+///     .expect("no checkpoint sink, so the run cannot fail");
 /// assert_eq!(outcome.best[0], 4, "quality is maximised by the widest choice");
 /// ```
 #[derive(Debug)]
@@ -212,19 +264,32 @@ impl<'a> SearchDriver<'a> {
     /// uninterrupted run. Stage-owned state is restored through
     /// [`CandidateStage::restore`].
     ///
+    /// Each step records its per-phase wall time into the
+    /// `h2o_core_phase_seconds{phase=...}` histograms (see [`PHASES`]) and
+    /// its total into `h2o_core_step_seconds`, alongside the step span.
+    /// All instrumentation is observation-only: the recorded values never
+    /// feed back into controller state, so runs with a warm or a freshly
+    /// [`h2o_obs::reset`] registry produce bit-identical outcomes
+    /// (asserted by `tests/perf_observatory.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DriverError::Checkpoint`] when the sink fails to persist
+    /// a snapshot: the loop stops immediately (searching on without the
+    /// durability the caller asked for would be a silent contract break).
+    /// Prior on-disk checkpoints remain valid to resume from.
+    ///
     /// # Panics
     ///
-    /// Panics if `config.shards == 0`, `config.steps == 0`, if the resume
-    /// state was captured past `config.steps` or does not match the search
-    /// space, or if the sink returns an error (a checkpoint that cannot be
-    /// written is a lost durability guarantee, not a condition to search
-    /// through).
+    /// Panics if `config.shards == 0`, `config.steps == 0`, or if the
+    /// resume state was captured past `config.steps` or does not match the
+    /// search space.
     pub fn run<S: CandidateStage + ?Sized>(
         &self,
         stage: &mut S,
         resume: Option<ResumeState>,
         mut sink: Option<&mut dyn CheckpointSink>,
-    ) -> SearchOutcome {
+    ) -> Result<SearchOutcome, DriverError> {
         let config = &self.config;
         assert!(config.shards > 0, "need at least one shard");
         assert!(config.steps > 0, "need at least one step");
@@ -260,36 +325,55 @@ impl<'a> SearchDriver<'a> {
         };
         let steps_total = h2o_obs::counter(stage.steps_counter_name());
         let candidates_total = h2o_obs::counter("h2o_core_candidates_evaluated_total");
+        // Phase histograms, hoisted out of the loop (registry lookups have
+        // no business on the per-step path). Labels match [`PHASES`].
+        let phase_hist =
+            |name: &str| h2o_obs::histogram(&format!("h2o_core_phase_seconds{{phase=\"{name}\"}}"));
+        let phase_collect = phase_hist("collect");
+        let phase_reward = phase_hist("reward");
+        let phase_policy = phase_hist("policy_update");
+        let phase_stage = phase_hist("stage_update");
+        let phase_telemetry = phase_hist("telemetry");
+        let step_seconds = h2o_obs::histogram("h2o_core_step_seconds");
 
         for step in start_step..config.steps {
             let step_span = h2o_obs::span(stage.step_span_name());
-            // Stage-specific: sample + evaluate one candidate per shard.
-            let results = stage.collect(step, &policy);
+            // Stage-specific: shard-seed derivation, candidate sampling and
+            // the evaluation fan-out all live inside the stage's collect.
+            let results = phase_collect.time(|| stage.collect(step, &policy));
 
             // Invariant controller sequence: reward → baseline → REINFORCE.
-            let rewards: Vec<f64> = results
-                .iter()
-                .map(|(_, r)| {
-                    let reward = self.reward_fn.reward(r.quality, &r.perf_values);
-                    if reward.is_finite() {
-                        reward
-                    } else {
-                        NON_FINITE_REWARD_PENALTY
-                    }
-                })
-                .collect();
-            let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
-            let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let b = baseline.update(mean);
-            let batch: Vec<(ArchSample, f64)> = results
-                .iter()
-                .zip(&rewards)
-                .map(|((sample, _), &r)| (sample.clone(), r - b))
-                .collect();
-            h2o_obs::time("policy_update", || {
-                policy.reinforce_update(&batch, config.policy_lr)
+            // The reward phase covers the submission-order reduction of the
+            // shard results into rewards, the baseline EMA, and the
+            // advantage batch build.
+            let (rewards, mean, best, b, batch) = phase_reward.time(|| {
+                let rewards: Vec<f64> = results
+                    .iter()
+                    .map(|(_, r)| {
+                        let reward = self.reward_fn.reward(r.quality, &r.perf_values);
+                        if reward.is_finite() {
+                            reward
+                        } else {
+                            NON_FINITE_REWARD_PENALTY
+                        }
+                    })
+                    .collect();
+                let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
+                let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let b = baseline.update(mean);
+                let batch: Vec<(ArchSample, f64)> = results
+                    .iter()
+                    .zip(&rewards)
+                    .map(|((sample, _), &r)| (sample.clone(), r - b))
+                    .collect();
+                (rewards, mean, best, b, batch)
             });
-            stage.after_policy_update(&results, &rewards);
+            phase_policy.time(|| {
+                h2o_obs::time("policy_update", || {
+                    policy.reinforce_update(&batch, config.policy_lr)
+                })
+            });
+            phase_stage.time(|| stage.after_policy_update(&results, &rewards));
 
             let entropy = policy.mean_entropy();
             steps_total.inc();
@@ -298,52 +382,62 @@ impl<'a> SearchDriver<'a> {
             h2o_obs::gauge("h2o_core_best_reward").set(best);
             h2o_obs::gauge("h2o_core_entropy").set(entropy);
             h2o_obs::gauge("h2o_core_baseline").set(b);
-            let step_time_ms = step_span.finish() * 1e3;
-            history.push(StepRecord {
-                step,
-                mean_reward: mean,
-                best_reward: best,
-                entropy,
-                step_time_ms,
-            });
-            for ((sample, result), reward) in results.into_iter().zip(rewards) {
-                evaluated.push(EvaluatedCandidate {
-                    sample,
-                    result,
-                    reward,
+            let step_time_secs = step_span.finish();
+            step_seconds.record(step_time_secs);
+            let step_time_ms = step_time_secs * 1e3;
+            phase_telemetry.time(|| {
+                history.push(StepRecord {
+                    step,
+                    mean_reward: mean,
+                    best_reward: best,
+                    entropy,
+                    step_time_ms,
                 });
-            }
+                for ((sample, result), reward) in results.into_iter().zip(rewards) {
+                    evaluated.push(EvaluatedCandidate {
+                        sample,
+                        result,
+                        reward,
+                    });
+                }
+            });
 
             let steps_done = step + 1;
             if let Some(sink) = sink.as_deref_mut() {
                 if sink.should_checkpoint(steps_done) {
                     // Stage serialisation is the expensive part, so it only
-                    // happens once the sink has said yes.
-                    let stage_state = stage.checkpoint_state();
-                    let snapshot = SearchSnapshot {
-                        steps_done,
-                        policy: &policy,
-                        baseline: &baseline,
-                        history: &history,
-                        evaluated: &evaluated,
-                        supernet_state: stage_state.as_deref(),
-                    };
-                    sink.on_checkpoint(&snapshot)
-                        // h2o-lint: allow(panic-hygiene) -- a failed checkpoint write (disk full,
-                        // permissions) must abort loudly: continuing would silently drop the
-                        // crash-safety the user asked for. Typed propagation through run() is a
-                        // ROADMAP item.
-                        .expect("checkpoint sink failed");
+                    // happens once the sink has said yes. The phase timer
+                    // covers serialisation plus the sink's write; looked up
+                    // here (not hoisted) so sinkless runs never register an
+                    // empty checkpoint histogram.
+                    let written = phase_hist("checkpoint").time(|| {
+                        let stage_state = stage.checkpoint_state();
+                        let snapshot = SearchSnapshot {
+                            steps_done,
+                            policy: &policy,
+                            baseline: &baseline,
+                            history: &history,
+                            evaluated: &evaluated,
+                            supernet_state: stage_state.as_deref(),
+                        };
+                        sink.on_checkpoint(&snapshot)
+                    });
+                    if let Err(message) = written {
+                        return Err(DriverError::Checkpoint {
+                            steps_done,
+                            message,
+                        });
+                    }
                 }
             }
         }
 
-        SearchOutcome {
+        Ok(SearchOutcome {
             best: policy.argmax(),
             policy,
             history,
             evaluated,
-        }
+        })
     }
 }
 
@@ -412,7 +506,9 @@ mod tests {
             seed: config.seed,
             nan_on_even_shards,
         };
-        SearchDriver::new(&space, &reward, config).run(&mut stage, None, None)
+        SearchDriver::new(&space, &reward, config)
+            .run(&mut stage, None, None)
+            .expect("sinkless run cannot fail")
     }
 
     #[test]
@@ -463,6 +559,62 @@ mod tests {
             seed: 0,
             nan_on_even_shards: false,
         };
-        SearchDriver::new(&space, &reward, config).run(&mut stage, None, None);
+        let _ = SearchDriver::new(&space, &reward, config).run(&mut stage, None, None);
+    }
+
+    /// A sink that accepts a configured number of snapshots, then fails.
+    struct FlakySink {
+        accepted: usize,
+        budget: usize,
+    }
+
+    impl crate::resume::CheckpointSink for FlakySink {
+        fn should_checkpoint(&self, _steps_done: usize) -> bool {
+            true
+        }
+        fn on_checkpoint(&mut self, _snapshot: &SearchSnapshot<'_>) -> Result<(), String> {
+            if self.accepted < self.budget {
+                self.accepted += 1;
+                Ok(())
+            } else {
+                Err("disk full".to_string())
+            }
+        }
+    }
+
+    #[test]
+    fn failed_checkpoint_write_returns_a_typed_error() {
+        let space = space();
+        let reward = RewardFn::new(RewardKind::Relu, vec![]);
+        let config = ControllerConfig {
+            steps: 10,
+            shards: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        let mut stage = ToyStage {
+            shards: config.shards,
+            seed: config.seed,
+            nan_on_even_shards: false,
+        };
+        let mut sink = FlakySink {
+            accepted: 0,
+            budget: 3,
+        };
+        let err = SearchDriver::new(&space, &reward, config)
+            .run(&mut stage, None, Some(&mut sink))
+            .expect_err("the fourth checkpoint write fails");
+        assert_eq!(
+            err,
+            DriverError::Checkpoint {
+                steps_done: 4,
+                message: "disk full".to_string(),
+            }
+        );
+        let shown = err.to_string();
+        assert!(
+            shown.contains("step 4") && shown.contains("disk full"),
+            "{shown}"
+        );
     }
 }

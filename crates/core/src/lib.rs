@@ -69,7 +69,9 @@ mod search;
 pub mod telemetry;
 
 pub use baselines::{evolution_search, random_search, BaselineOutcome, EvolutionConfig};
-pub use driver::{CandidateStage, ControllerConfig, SearchDriver, NON_FINITE_REWARD_PENALTY};
+pub use driver::{
+    CandidateStage, ControllerConfig, DriverError, SearchDriver, NON_FINITE_REWARD_PENALTY, PHASES,
+};
 pub use oneshot::{
     tunas_search, tunas_search_with, unified_search, unified_search_with, OneShotConfig, TunasStage,
 };

@@ -318,7 +318,13 @@ pub fn tunas_search_with(
 ) -> SearchOutcome {
     let space = supernet.space().space().clone();
     let mut stage = TunasStage::new(supernet, train_stream, valid_stream, perf_of, config);
-    SearchDriver::new(&space, reward_fn, config.controller()).run(&mut stage, resume, sink)
+    match SearchDriver::new(&space, reward_fn, config.controller()).run(&mut stage, resume, sink) {
+        Ok(outcome) => outcome,
+        // h2o-lint: allow(panic-hygiene) -- documented wrapper contract: the convenience
+        // entry points abort on a failed checkpoint write; SearchDriver::run returns the
+        // typed DriverError for callers that need to handle it
+        Err(err) => panic!("{err}"),
+    }
 }
 
 #[cfg(test)]

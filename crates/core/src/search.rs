@@ -277,7 +277,13 @@ where
     F: FnMut(usize) -> E,
 {
     let mut stage = ParallelStage::new(make_evaluator, config);
-    SearchDriver::new(space, reward_fn, *config).run(&mut stage, resume, sink)
+    match SearchDriver::new(space, reward_fn, *config).run(&mut stage, resume, sink) {
+        Ok(outcome) => outcome,
+        // h2o-lint: allow(panic-hygiene) -- documented wrapper contract: the convenience
+        // entry points abort on a failed checkpoint write; SearchDriver::run returns the
+        // typed DriverError for callers that need to handle it
+        Err(err) => panic!("{err}"),
+    }
 }
 
 #[cfg(test)]

@@ -156,6 +156,13 @@ impl Executor {
     /// starts on worker `i % workers`); an idle worker steals from the
     /// back of the other deques. Each job runs exactly once.
     ///
+    /// Utilization telemetry per batch: jobs executed per worker
+    /// (`h2o_exec_worker_jobs_total{worker=...}`), steals
+    /// (`h2o_exec_steals_total`), and one busy plus one idle observation
+    /// per worker (`h2o_exec_worker_{busy,idle}_seconds`) — idle is the
+    /// time spent in the steal loop without holding a job, so
+    /// `idle / (busy + idle)` is the batch's scheduling overhead.
+    ///
     /// # Panics
     ///
     /// Propagates the first job panic after all workers stop.
@@ -168,8 +175,28 @@ impl Executor {
         h2o_obs::counter("h2o_exec_batches_total").inc();
         h2o_obs::counter("h2o_exec_jobs_total").add(n as u64);
         let workers = self.workers.min(n.max(1));
+        // Utilization instruments: per-worker job counters plus one busy
+        // and one idle observation per worker per batch (idle = the time a
+        // worker spent inside the steal loop without holding a job).
+        // Readings come from h2o-obs stopwatches and feed instruments
+        // only, so they cannot perturb the submission-order reduction.
+        let worker_jobs: Vec<h2o_obs::Counter> = (0..workers)
+            .map(|w| h2o_obs::counter(&format!("h2o_exec_worker_jobs_total{{worker=\"{w}\"}}")))
+            .collect();
+        let busy_seconds = h2o_obs::histogram("h2o_exec_worker_busy_seconds");
+        let idle_seconds = h2o_obs::histogram("h2o_exec_worker_idle_seconds");
         if self.serialized || workers == 1 {
-            return jobs.into_iter().map(|job| job()).collect();
+            let batch_watch = h2o_obs::Stopwatch::start();
+            let results = jobs
+                .into_iter()
+                .map(|job| {
+                    worker_jobs[0].inc();
+                    job()
+                })
+                .collect();
+            busy_seconds.record(batch_watch.elapsed_secs());
+            idle_seconds.record(0.0);
+            return results;
         }
 
         // Each job lives in its own slot so taking one never contends with
@@ -187,35 +214,47 @@ impl Executor {
         let results_ref = &results;
         let steals = AtomicU64::new(0);
         let steals_ref = &steals;
+        let worker_jobs = &worker_jobs;
+        let busy_seconds = &busy_seconds;
+        let idle_seconds = &idle_seconds;
 
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|me| {
-                    scope.spawn(move |_| loop {
-                        // Own deque first (front), then steal (back). The
-                        // own-queue guard MUST drop before stealing: chained
-                        // `lock().pop_front().or_else(..)` keeps the guard
-                        // alive across the closure (temporaries live to the
-                        // end of the statement), and N workers each holding
-                        // their own queue while locking a victim's is a
-                        // hold-and-wait cycle that deadlocks the pool.
-                        let own = queues[me].lock().pop_front();
-                        let idx = own.or_else(|| {
-                            (1..workers).find_map(|offset| {
-                                let victim = (me + offset) % workers;
-                                let stolen = queues[victim].lock().pop_back();
-                                if stolen.is_some() {
-                                    steals_ref.fetch_add(1, Ordering::Relaxed);
-                                }
-                                stolen
-                            })
-                        });
-                        let Some(i) = idx else { break };
-                        // h2o-lint: allow(panic-hygiene) -- each index is pushed to exactly one
-                        // deque and stealing pops, never clones, so a slot is taken exactly once
-                        let job = slots[i].lock().take().expect("job taken exactly once");
-                        let result = job();
-                        *results_ref[i].lock() = Some(result);
+                    scope.spawn(move |_| {
+                        let batch_watch = h2o_obs::Stopwatch::start();
+                        let mut busy = 0.0f64;
+                        loop {
+                            // Own deque first (front), then steal (back). The
+                            // own-queue guard MUST drop before stealing: chained
+                            // `lock().pop_front().or_else(..)` keeps the guard
+                            // alive across the closure (temporaries live to the
+                            // end of the statement), and N workers each holding
+                            // their own queue while locking a victim's is a
+                            // hold-and-wait cycle that deadlocks the pool.
+                            let own = queues[me].lock().pop_front();
+                            let idx = own.or_else(|| {
+                                (1..workers).find_map(|offset| {
+                                    let victim = (me + offset) % workers;
+                                    let stolen = queues[victim].lock().pop_back();
+                                    if stolen.is_some() {
+                                        steals_ref.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    stolen
+                                })
+                            });
+                            let Some(i) = idx else { break };
+                            // h2o-lint: allow(panic-hygiene) -- each index is pushed to exactly one
+                            // deque and stealing pops, never clones, so a slot is taken exactly once
+                            let job = slots[i].lock().take().expect("job taken exactly once");
+                            let job_watch = h2o_obs::Stopwatch::start();
+                            let result = job();
+                            busy += job_watch.elapsed_secs();
+                            worker_jobs[me].inc();
+                            *results_ref[i].lock() = Some(result);
+                        }
+                        busy_seconds.record(busy);
+                        idle_seconds.record((batch_watch.elapsed_secs() - busy).max(0.0));
                     })
                 })
                 .collect();

@@ -54,9 +54,16 @@ impl WorkerPool {
             .map(|_| {
                 let rx: Receiver<Job> = rx.clone();
                 std::thread::spawn(move || {
-                    // Err means: injector dropped AND queue drained.
-                    while let Ok(job) = rx.recv() {
-                        job();
+                    // Instruments are looked up per job, not hoisted: pool
+                    // threads outlive registry resets, and an orphaned
+                    // handle would silently vanish from snapshots.
+                    loop {
+                        let wait = h2o_obs::Stopwatch::start();
+                        // Err means: injector dropped AND queue drained.
+                        let Ok(job) = rx.recv() else { break };
+                        h2o_obs::histogram("h2o_exec_pool_idle_seconds")
+                            .record(wait.elapsed_secs());
+                        h2o_obs::histogram("h2o_exec_pool_job_seconds").time(job);
                         h2o_obs::counter("h2o_exec_pool_jobs_total").inc();
                     }
                 })

@@ -357,6 +357,29 @@ impl CachedSimulator {
         &self.cache
     }
 
+    /// One timed evaluation through the cache: the `h2o_hwsim_evals_total`
+    /// counter ticks per call, and wall time lands in
+    /// `h2o_hwsim_eval_seconds{result="hit"|"miss"}` so the hit/miss
+    /// latency gap (hash lookup vs graph build + simulator walk) is
+    /// visible in snapshots. Instruments are looked up per call — a
+    /// `CachedSimulator` may outlive a registry reset, and a cached handle
+    /// would silently drop out of snapshots. Like
+    /// [`EvalCache::get_or_insert_with`], the miss computation runs
+    /// outside the shard lock; racing misses recompute the identical value.
+    fn timed_eval(&self, ck: u64, compute: impl FnOnce() -> EvalCost) -> EvalCost {
+        let watch = h2o_obs::Stopwatch::start();
+        h2o_obs::counter("h2o_hwsim_evals_total").inc();
+        if let Some(cost) = self.cache.get(ck) {
+            h2o_obs::histogram("h2o_hwsim_eval_seconds{result=\"hit\"}")
+                .record(watch.elapsed_secs());
+            return cost;
+        }
+        let cost = compute();
+        self.cache.insert(ck, cost);
+        h2o_obs::histogram("h2o_hwsim_eval_seconds{result=\"miss\"}").record(watch.elapsed_secs());
+        cost
+    }
+
     /// Memoized training-step cost of the architecture identified by
     /// `key`. `build` runs only on a miss.
     pub fn training_cost(
@@ -365,19 +388,17 @@ impl CachedSimulator {
         system: &SystemConfig,
         build: impl FnOnce() -> Graph,
     ) -> EvalCost {
-        self.cache
-            .get_or_insert_with(context_key(key, "train", system.chips), || {
-                EvalCost::from_report(&self.sim.simulate_training(&build(), system))
-            })
+        self.timed_eval(context_key(key, "train", system.chips), || {
+            EvalCost::from_report(&self.sim.simulate_training(&build(), system))
+        })
     }
 
     /// Memoized serving (single forward pass) cost of the architecture
     /// identified by `key`. `build` runs only on a miss.
     pub fn serving_cost(&self, key: u64, build: impl FnOnce() -> Graph) -> EvalCost {
-        self.cache
-            .get_or_insert_with(context_key(key, "serve", 1), || {
-                EvalCost::from_report(&self.sim.simulate(&build()))
-            })
+        self.timed_eval(context_key(key, "serve", 1), || {
+            EvalCost::from_report(&self.sim.simulate(&build()))
+        })
     }
 }
 
@@ -497,6 +518,33 @@ mod tests {
         let train = cached.training_cost(key, &SystemConfig::single(64), build);
         let serve = cached.serving_cost(key, build);
         assert!(train.latency > serve.latency, "training ≈ 3× forward work");
+    }
+
+    #[test]
+    fn timed_eval_splits_hit_and_miss_latency() {
+        let cached =
+            CachedSimulator::new(Simulator::new(HardwareConfig::tpu_v4()), EvalCache::new(64));
+        let build = || {
+            let mut g = Graph::new("g", DType::Bf16);
+            g.add(
+                OpKind::MatMul {
+                    m: 128,
+                    k: 128,
+                    n: 128,
+                },
+                &[],
+            );
+            g
+        };
+        let key = arch_key("timed", &[9, 9]);
+        cached.serving_cost(key, build); // miss
+        cached.serving_cost(key, build); // hit
+                                         // The registry is global and other tests in this binary may touch
+                                         // the same series, so assert floors rather than exact counts.
+        let snap = h2o_obs::snapshot();
+        assert!(snap.counters["h2o_hwsim_evals_total"] >= 2);
+        assert!(snap.histograms["h2o_hwsim_eval_seconds{result=\"miss\"}"].count >= 1);
+        assert!(snap.histograms["h2o_hwsim_eval_seconds{result=\"hit\"}"].count >= 1);
     }
 
     #[test]

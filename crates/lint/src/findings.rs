@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// The five contracts h2o-lint enforces. Rule ids (`as_str`) are what the
+/// The six contracts h2o-lint enforces. Rule ids (`as_str`) are what the
 /// allow-pragma names: `// h2o-lint: allow(no-wallclock) -- reason`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
@@ -23,16 +23,21 @@ pub enum Rule {
     /// `.unwrap()` / `.expect()` / `panic!` in non-test code of crates on
     /// the search hot path: typed errors (or a justified pragma) instead.
     PanicHygiene,
+    /// A well-formed `allow` pragma that suppresses no finding: stale
+    /// escape hatches must be deleted, or they silently license a future
+    /// violation at the same site.
+    UnusedPragma,
 }
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::NoWallclock,
         Rule::NoAmbientRng,
         Rule::NoUnorderedCollections,
         Rule::FloatOrdering,
         Rule::PanicHygiene,
+        Rule::UnusedPragma,
     ];
 
     /// The stable id used in pragmas and reports.
@@ -43,6 +48,7 @@ impl Rule {
             Rule::NoUnorderedCollections => "no-unordered-collections",
             Rule::FloatOrdering => "float-ordering",
             Rule::PanicHygiene => "panic-hygiene",
+            Rule::UnusedPragma => "unused-pragma",
         }
     }
 

@@ -1,4 +1,4 @@
-//! The five invariant rules, their crate scopes, and the allow-pragma
+//! The invariant rules, their crate scopes, and the allow-pragma
 //! machinery.
 //!
 //! Rules run over the token stream from [`crate::lexer`] — no syntax tree
@@ -22,6 +22,11 @@
 //! on the same line as the finding or on the comment line(s) directly
 //! above it. A pragma without a non-empty reason after `--` does not
 //! suppress anything.
+//!
+//! The escape hatch polices itself: a well-formed pragma that suppresses
+//! **no** finding (the code it justified was refactored away, or the rule
+//! never fires in that crate) is reported as `unused-pragma` — stale
+//! pragmas must be deleted, not left to license a future violation.
 
 use crate::findings::{Finding, Rule};
 use crate::lexer::{lex, Token, TokenKind};
@@ -51,8 +56,19 @@ impl Scope {
 const ORDERED_OUTPUT_CRATES: &[&str] = &["core", "data", "hwsim", "tensor", "ckpt"];
 
 /// The crates on the search hot path, where a panic kills a multi-hour
-/// run: errors must be typed (or the panic justified by a pragma).
-const PANIC_SCOPED_CRATES: &[&str] = &["core", "exec", "hwsim", "data", "ckpt", "perfmodel"];
+/// run: errors must be typed (or the panic justified by a pragma). `obs`
+/// is included because every hot-path step crosses it, and `bench`
+/// because a panicking harness scenario loses the whole baseline run.
+const PANIC_SCOPED_CRATES: &[&str] = &[
+    "core",
+    "exec",
+    "hwsim",
+    "data",
+    "ckpt",
+    "perfmodel",
+    "obs",
+    "bench",
+];
 
 /// Crates allowed to read the wall clock: the observability crate (spans,
 /// histograms — the `step_time_ms` sink measures through it) and the
@@ -66,6 +82,7 @@ fn scope_of(rule: Rule) -> Scope {
         Rule::NoUnorderedCollections => Scope::Only(ORDERED_OUTPUT_CRATES),
         Rule::FloatOrdering => Scope::AllExcept(&[]),
         Rule::PanicHygiene => Scope::Only(PANIC_SCOPED_CRATES),
+        Rule::UnusedPragma => Scope::AllExcept(&[]),
     }
 }
 
@@ -83,16 +100,19 @@ const AMBIENT_RNG_IDENTS: &[&str] = &[
 /// (`core`, `data`, …, or `h2o-nas` for the root package); `rel_path` is
 /// the workspace-relative path reported in findings.
 pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
+    // `unused-pragma` is not a token-pattern rule: it fires in the
+    // post-pass below, over whatever pragmas the token rules left unused.
     let active: Vec<Rule> = Rule::ALL
         .into_iter()
-        .filter(|&r| scope_of(r).contains(crate_name))
+        .filter(|&r| r != Rule::UnusedPragma && scope_of(r).contains(crate_name))
         .collect();
-    if active.is_empty() {
+
+    let tokens = lex(src);
+    let mut pragmas = collect_pragmas(&tokens);
+    if active.is_empty() && !pragmas.any_pragmas() {
         return Vec::new();
     }
 
-    let tokens = lex(src);
-    let pragmas = collect_pragmas(&tokens);
     let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_trivia()).collect();
     let test_ranges = test_item_ranges(&code);
 
@@ -112,6 +132,37 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> 
         }
         i += 1;
     }
+
+    // Post-pass: every well-formed pragma that suppressed nothing is a
+    // stale escape hatch. Pragmas inside test items are exempt — test
+    // code is outside every rule, so theirs can never suppress anything.
+    let test_line_spans: Vec<(u32, u32)> = test_ranges
+        .iter()
+        .map(|(&start, &end)| (code[start].line, code[end - 1].line))
+        .collect();
+    for (line, rule, col) in pragmas.unused() {
+        if test_line_spans
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+        {
+            continue;
+        }
+        if pragmas.allows(Rule::UnusedPragma, line) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: Rule::UnusedPragma,
+            file: rel_path.to_string(),
+            line,
+            col,
+            message: format!(
+                "`allow({rule})` suppresses nothing here — the finding it justified \
+                 is gone (or the rule never fires in this crate); delete the stale \
+                 pragma"
+            ),
+        });
+    }
+    findings.sort_by_key(|f| (f.line, f.col, f.rule));
     findings
 }
 
@@ -205,6 +256,8 @@ fn match_rule(rule: Rule, code: &[&Token], i: usize, rel_path: &str) -> Option<F
             }
             None
         }
+        // Not a token pattern — handled by the post-pass in `lint_source`.
+        Rule::UnusedPragma => None,
     }
 }
 
@@ -319,8 +372,10 @@ fn skip_item(code: &[&Token], start: usize) -> usize {
 // ---------------------------------------------------------------------------
 
 struct Pragmas {
-    /// Line → rules allowed (with a valid justification) on that line.
-    by_line: BTreeMap<u32, BTreeSet<Rule>>,
+    /// Line → (rule allowed with a valid justification → pragma column).
+    by_line: BTreeMap<u32, BTreeMap<Rule, u32>>,
+    /// `(line, rule)` pragmas that suppressed at least one finding.
+    used: BTreeSet<(u32, Rule)>,
     /// Lines carrying at least one non-trivia token.
     code_lines: BTreeSet<u32>,
     /// Lines carrying at least one comment token.
@@ -329,19 +384,45 @@ struct Pragmas {
 
 impl Pragmas {
     /// Whether `rule` is allowed at `line`: a pragma on the line itself,
-    /// or on the run of comment-only lines directly above it.
-    fn allows(&self, rule: Rule, line: u32) -> bool {
-        if self.by_line.get(&line).is_some_and(|s| s.contains(&rule)) {
+    /// or on the run of comment-only lines directly above it. The
+    /// allowing pragma is marked used (feeding the `unused-pragma` pass).
+    fn allows(&mut self, rule: Rule, line: u32) -> bool {
+        if self
+            .by_line
+            .get(&line)
+            .is_some_and(|s| s.contains_key(&rule))
+        {
+            self.used.insert((line, rule));
             return true;
         }
         let mut l = line.saturating_sub(1);
         while l >= 1 && self.comment_lines.contains(&l) && !self.code_lines.contains(&l) {
-            if self.by_line.get(&l).is_some_and(|s| s.contains(&rule)) {
+            if self.by_line.get(&l).is_some_and(|s| s.contains_key(&rule)) {
+                self.used.insert((l, rule));
                 return true;
             }
             l -= 1;
         }
         false
+    }
+
+    /// Whether any well-formed pragma exists at all.
+    fn any_pragmas(&self) -> bool {
+        !self.by_line.is_empty()
+    }
+
+    /// Well-formed pragmas that never suppressed a finding, as
+    /// `(line, rule, col)` in line order.
+    fn unused(&self) -> Vec<(u32, Rule, u32)> {
+        self.by_line
+            .iter()
+            .flat_map(|(&line, rules)| {
+                rules
+                    .iter()
+                    .filter(move |&(&rule, _)| !self.used.contains(&(line, rule)))
+                    .map(move |(&rule, &col)| (line, rule, col))
+            })
+            .collect()
     }
 }
 
@@ -349,15 +430,29 @@ impl Pragmas {
 /// pragma only registers when the rule id is known **and** the reason is
 /// non-empty — an unjustified pragma suppresses nothing.
 fn collect_pragmas(tokens: &[Token]) -> Pragmas {
-    let mut by_line: BTreeMap<u32, BTreeSet<Rule>> = BTreeMap::new();
+    let mut by_line: BTreeMap<u32, BTreeMap<Rule, u32>> = BTreeMap::new();
     let mut code_lines = BTreeSet::new();
     let mut comment_lines = BTreeSet::new();
     for t in tokens {
         if t.is_trivia() {
             comment_lines.insert(t.line);
+            // Doc comments are documentation, not directives: rustdoc
+            // text quoting the pragma syntax (this linter's own docs do)
+            // must not register as a live pragma — which the unused-pragma
+            // pass would then flag as stale.
+            let is_doc = ["///", "//!", "/**", "/*!"]
+                .iter()
+                .any(|prefix| t.text.starts_with(prefix));
+            if is_doc {
+                continue;
+            }
             for (rule, reason) in parse_pragmas(&t.text) {
                 if !reason.is_empty() {
-                    by_line.entry(t.line).or_default().insert(rule);
+                    by_line
+                        .entry(t.line)
+                        .or_default()
+                        .entry(rule)
+                        .or_insert(t.col);
                 }
             }
         } else {
@@ -366,6 +461,7 @@ fn collect_pragmas(tokens: &[Token]) -> Pragmas {
     }
     Pragmas {
         by_line,
+        used: BTreeSet::new(),
         code_lines,
         comment_lines,
     }
@@ -463,6 +559,77 @@ mod tests {
             lint_in("obs", src).is_empty(),
             "obs is outside the collections scope"
         );
+    }
+
+    #[test]
+    fn stale_pragma_is_a_finding() {
+        let src = "\
+// h2o-lint: allow(panic-hygiene) -- stale: the unwrap was refactored away
+fn f() -> u32 { 1 }
+";
+        let found = lint_in("core", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::UnusedPragma);
+        assert_eq!(found[0].line, 1);
+        assert!(found[0].message.contains("allow(panic-hygiene)"));
+    }
+
+    #[test]
+    fn pragma_for_out_of_scope_rule_is_unused() {
+        // panic-hygiene never fires in `space`, so the pragma there
+        // suppresses nothing even though an unwrap sits right under it.
+        let src = "\
+// h2o-lint: allow(panic-hygiene) -- wrong crate for this rule
+fn f(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        let found = lint_in("space", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::UnusedPragma);
+    }
+
+    #[test]
+    fn pragma_inside_test_code_is_exempt_from_unused() {
+        let src = "\
+pub fn lib() {}
+#[cfg(test)]
+mod tests {
+    // h2o-lint: allow(panic-hygiene) -- tests may unwrap anyway
+    #[test]
+    fn t() {}
+}
+";
+        assert!(lint_in("core", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_pragma_text_is_not_a_pragma() {
+        // Quoting the pragma syntax in rustdoc neither suppresses the
+        // finding below nor registers as a stale pragma.
+        let src = "\
+/// Use `// h2o-lint: allow(no-wallclock) -- reason` to suppress.
+fn f() { let t = Instant::now(); }
+";
+        let found = lint_in("core", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::NoWallclock);
+    }
+
+    #[test]
+    fn reasonless_pragma_is_not_reported_unused() {
+        // A reasonless pragma never registers, so it is neither an escape
+        // hatch nor a stale one — only the underlying finding fires.
+        let bare = "fn f() { let t = Instant::now(); } // h2o-lint: allow(no-wallclock)\n";
+        let found = lint_in("core", bare);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::NoWallclock);
+    }
+
+    #[test]
+    fn panic_hygiene_covers_obs_and_bench() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(lint_in("obs", src).len(), 1);
+        assert_eq!(lint_in("bench", src).len(), 1);
+        assert!(lint_in("space", src).is_empty(), "space stays out of scope");
     }
 
     #[test]

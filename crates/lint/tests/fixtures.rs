@@ -215,14 +215,18 @@ pub fn f(v: Vec<u32>) -> u32 {
 "#;
     assert!(findings_in("core", src).is_empty());
 
-    // The same pragma does not excuse a different rule on that line.
+    // The same pragma does not excuse a different rule on that line — and
+    // since it then suppresses nothing, the pragma itself is flagged stale.
     let cross = r#"
 pub fn f() {
     // h2o-lint: allow(panic-hygiene) -- wrong rule named
     let _ = std::time::Instant::now();
 }
 "#;
-    assert_eq!(findings_in("core", cross), vec![(Rule::NoWallclock, 4)]);
+    assert_eq!(
+        findings_in("core", cross),
+        vec![(Rule::UnusedPragma, 3), (Rule::NoWallclock, 4)]
+    );
 }
 
 #[test]

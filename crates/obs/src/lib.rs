@@ -41,7 +41,7 @@ pub mod metrics;
 pub mod registry;
 pub mod span;
 
-pub use metrics::{Counter, Gauge, Histogram};
+pub use metrics::{Counter, Gauge, Histogram, Stopwatch};
 pub use registry::{HistogramSnapshot, Registry, Snapshot};
 pub use span::{SpanEvent, SpanGuard, Tracer};
 

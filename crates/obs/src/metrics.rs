@@ -331,6 +331,36 @@ impl Histogram {
     }
 }
 
+/// A started wall-clock timer whose readings feed observability
+/// instruments.
+///
+/// This is the second sanctioned clock access next to
+/// [`Histogram::time`]: the workspace bans `Instant::now` outside
+/// `h2o-obs` (h2o-lint's `no-wallclock` rule), but utilization metrics —
+/// a worker's busy vs idle split, a cache lookup's hit vs miss latency —
+/// need a reading *before* the destination instrument is known.
+/// `Stopwatch` keeps the clock read inside this crate; by contract its
+/// readings go into counters/gauges/histograms only, never into search
+/// state, so resume determinism is unaffected.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts the timer now.
+    pub fn start() -> Self {
+        Self {
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +420,15 @@ mod tests {
         );
         let p99 = h.quantile(0.99);
         assert!((0.98..=1.05).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn stopwatch_measures_forward_time() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let secs = sw.elapsed_secs();
+        assert!(secs >= 0.001, "read {secs}");
+        assert!(sw.elapsed_secs() >= secs, "monotonically increasing");
     }
 
     #[test]

@@ -143,6 +143,10 @@ impl Tracer {
         let mut events = self.core.events.lock();
         if events.len() >= self.core.capacity {
             self.core.dropped.fetch_add(1, Ordering::Relaxed);
+            // Also surfaced as a registry counter so silent trace loss is
+            // visible in Prometheus/JSON exports. Looked up per drop (not
+            // cached) so the series re-registers after a registry reset.
+            self.registry.inc("h2o_obs_spans_dropped_total");
             return;
         }
         let start_us = start.saturating_duration_since(self.core.epoch).as_micros() as u64;
@@ -232,12 +236,32 @@ mod tests {
     #[test]
     fn capacity_bounds_the_buffer() {
         let r = Registry::new();
-        let t = Tracer::with_capacity(r, 2);
+        let t = Tracer::with_capacity(r.clone(), 2);
         for _ in 0..5 {
             t.time("x", || {});
         }
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.dropped(), 3);
+        assert_eq!(
+            r.snapshot().counters["h2o_obs_spans_dropped_total"],
+            3,
+            "drops are visible in exports, not just the accessor"
+        );
+    }
+
+    #[test]
+    fn dropped_counter_reregisters_after_reset() {
+        let r = Registry::new();
+        let t = Tracer::with_capacity(r.clone(), 1);
+        t.time("x", || {});
+        t.time("x", || {});
+        r.reset();
+        t.time("x", || {});
+        assert_eq!(
+            r.snapshot().counters["h2o_obs_spans_dropped_total"],
+            1,
+            "post-reset drops appear in fresh snapshots"
+        );
     }
 
     #[test]

@@ -109,7 +109,9 @@ fn main() {
     };
 
     let mut stage = HalvingStage::new(config.shards, config.seed);
-    let outcome = SearchDriver::new(space.space(), &reward, config).run(&mut stage, None, None);
+    let outcome = SearchDriver::new(space.space(), &reward, config)
+        .run(&mut stage, None, None)
+        .expect("no checkpoint sink, so the run cannot fail");
 
     let best = space.decode(&outcome.best);
     let report = stage

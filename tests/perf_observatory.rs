@@ -1,0 +1,155 @@
+//! Observation-only contract for the perf-trajectory instrumentation:
+//! the phase/step/executor/simulator metrics added for the perf
+//! observatory must never influence search *output*. A run against a
+//! freshly reset registry and a run against a registry already warm with
+//! prior measurements must produce byte-identical telemetry CSVs.
+//!
+//! Also pins the instrument names the `perf_baseline` harness consumes,
+//! so a rename in `h2o-core`/`h2o-exec`/`h2o-hwsim` fails here instead of
+//! silently producing a baseline with holes.
+
+use h2o_nas::core::telemetry::{candidates_csv, history_csv};
+use h2o_nas::core::{
+    parallel_search_with, ArchEvaluator, EvalResult, PerfObjective, RewardFn, RewardKind,
+    SearchConfig, SearchOutcome, PHASES,
+};
+use h2o_nas::graph::{DType, Graph, OpKind};
+use h2o_nas::hwsim::{
+    arch_key, CachedSimulator, EvalCache, HardwareConfig, Simulator, SystemConfig,
+};
+use h2o_nas::space::{ArchSample, Decision, SearchSpace};
+
+fn space() -> SearchSpace {
+    let mut s = SearchSpace::new("obs");
+    s.push(Decision::new("m", 5));
+    s.push(Decision::new("k", 4));
+    s
+}
+
+fn sample_graph(sample: &ArchSample) -> Graph {
+    let mut g = Graph::new("obs", DType::Bf16);
+    g.add(
+        OpKind::MatMul {
+            m: 32 * (sample[0] + 1),
+            k: 32 * (sample[1] + 1),
+            n: 64,
+        },
+        &[],
+    );
+    g
+}
+
+fn evaluator(cache: Option<&EvalCache>) -> impl ArchEvaluator + Send {
+    let cached =
+        cache.map(|c| CachedSimulator::new(Simulator::new(HardwareConfig::tpu_v4()), c.clone()));
+    let sim = Simulator::new(HardwareConfig::tpu_v4());
+    move |sample: &ArchSample| {
+        let system = SystemConfig::training_pod();
+        let (latency, params) = match &cached {
+            Some(cached) => {
+                let cost =
+                    cached.training_cost(arch_key("obs", sample), &system, || sample_graph(sample));
+                (cost.latency, cost.params)
+            }
+            None => {
+                let report = sim.simulate_training(&sample_graph(sample), &system);
+                (report.time, report.params)
+            }
+        };
+        EvalResult {
+            quality: (params / 1e6).ln_1p(),
+            perf_values: vec![latency],
+        }
+    }
+}
+
+fn run(workers: usize, cache: Option<&EvalCache>) -> SearchOutcome {
+    let cfg = SearchConfig {
+        steps: 20,
+        shards: 4,
+        seed: 99,
+        workers,
+        ..Default::default()
+    };
+    parallel_search_with(&space(), &reward(), |_| evaluator(cache), &cfg, None, None)
+}
+
+fn reward() -> RewardFn {
+    RewardFn::new(
+        RewardKind::Relu,
+        vec![PerfObjective::new("time", 1e-4, -6.0)],
+    )
+}
+
+fn normalized_csvs(mut outcome: SearchOutcome) -> (String, String) {
+    for record in &mut outcome.history {
+        record.step_time_ms = 0.0;
+    }
+    (history_csv(&outcome), candidates_csv(&outcome))
+}
+
+#[test]
+fn instrumentation_is_observation_only() {
+    // Cold registry.
+    h2o_nas::obs::reset();
+    let cold = normalized_csvs(run(2, None));
+
+    // Warm registry: histograms and counters already hold data from a
+    // previous differently-shaped run (different worker count + cache).
+    let cache = EvalCache::new(256);
+    let _ = run(4, Some(&cache));
+    let warm = normalized_csvs(run(2, None));
+
+    assert_eq!(
+        cold.0, warm.0,
+        "history CSV must not depend on registry state"
+    );
+    assert_eq!(
+        cold.1, warm.1,
+        "candidate CSV must not depend on registry state"
+    );
+}
+
+#[test]
+fn run_populates_the_observatory_instruments() {
+    h2o_nas::obs::reset();
+    let cache = EvalCache::new(256);
+    let _ = run(2, Some(&cache));
+    let snap = h2o_nas::obs::snapshot();
+
+    // Driver: one histogram per phase (checkpoint absent — no sink here)
+    // plus the whole-step histogram.
+    for phase in PHASES {
+        let key = format!("h2o_core_phase_seconds{{phase=\"{phase}\"}}");
+        if phase == "checkpoint" {
+            assert!(
+                !snap.histograms.contains_key(&key),
+                "checkpoint histogram must only exist when a sink writes"
+            );
+        } else {
+            assert!(snap.histograms.contains_key(&key), "missing {key}");
+        }
+    }
+    assert!(snap.histograms.contains_key("h2o_core_step_seconds"));
+
+    // Executor utilization (worker-labelled).
+    assert!(snap
+        .counters
+        .keys()
+        .any(|k| k.starts_with("h2o_exec_worker_jobs_total")));
+    assert!(snap
+        .histograms
+        .keys()
+        .any(|k| k.starts_with("h2o_exec_worker_busy_seconds")));
+
+    // Simulator eval timing split by cache outcome.
+    let evals = snap.counters.get("h2o_hwsim_evals_total").copied();
+    assert!(evals.is_some_and(|n| n > 0), "evals_total missing or zero");
+    assert!(snap
+        .histograms
+        .contains_key("h2o_hwsim_eval_seconds{result=\"miss\"}"));
+    // 20 steps x 4 shards over a 20-point space guarantees repeats.
+    assert!(snap
+        .histograms
+        .contains_key("h2o_hwsim_eval_seconds{result=\"hit\"}"));
+}

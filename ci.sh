@@ -37,6 +37,21 @@ for w in 1 4; do
   rm -rf "$ckdir"
 done
 
+# Multi-process smoke: the same search fanned out over two node-worker
+# subprocesses (Unix sockets under a temp dir) must write byte-identical
+# telemetry to the serial run — the cross-process leg of the determinism
+# contract, through the release binary.
+echo "==> multi-process smoke (--nodes 2 vs serial)"
+mpdir=$(mktemp -d)
+./target/release/h2o search --domain dlrm --steps 6 --shards 4 \
+    --csv "$mpdir/serial" >/dev/null
+./target/release/h2o search --domain dlrm --steps 6 --shards 4 --nodes 2 \
+    --csv "$mpdir/nodes" >/dev/null
+cmp "$mpdir/serial_candidates.csv" "$mpdir/nodes_candidates.csv"
+cmp <(cut -d, -f1-4 "$mpdir/serial_history.csv") \
+    <(cut -d, -f1-4 "$mpdir/nodes_history.csv")
+rm -rf "$mpdir"
+
 # Loom-style smoke: force every executor batch through the serialized
 # in-order schedule and re-check the executor, cache and determinism
 # suites against it.
@@ -52,7 +67,7 @@ H2O_EXEC_SERIAL=1 cargo test -q --test determinism
 echo "==> perf smoke (bench_diff, warn-only, reduced steps)"
 H2O_BENCH_STEPS=8 H2O_BENCH_SIM_EVALS=20 H2O_BENCH_MATMUL_ITERS=5 \
 H2O_BENCH_STRICT=0 \
-    cargo run -q --release -p h2o-bench --bin bench_diff -- --baseline BENCH_pr6.json
+    cargo run -q --release -p h2o-bench --bin bench_diff -- --baseline BENCH_pr7.json
 
 # Workspace invariant checker: the determinism / NaN-robustness /
 # panic-hygiene contracts are enforced mechanically (see DESIGN.md,

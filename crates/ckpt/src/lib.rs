@@ -25,6 +25,7 @@
 
 use h2o_core::{CheckpointSink, Policy, ResumeState, RewardBaseline, SearchSnapshot};
 use h2o_core::{EvalResult, EvaluatedCandidate, StepRecord};
+use h2o_exec::wire::{self, Dec, Enc, WireError};
 use std::fmt;
 use std::fs;
 use std::io::Write;
@@ -36,18 +37,6 @@ const MAGIC: &[u8; 8] = b"H2OCKPT\0";
 pub const FORMAT_VERSION: u32 = 1;
 /// Filename extension of finished checkpoints.
 const EXT: &str = "h2o";
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x1000_0000_01b3;
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = FNV_OFFSET;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
 
 /// Everything that can go wrong saving or loading a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,91 +99,28 @@ impl From<std::io::Error> for CkptError {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Payload codec. Little-endian u64s throughout; floats as IEEE-754 bits so
-// the round trip is bit-exact.
-// ---------------------------------------------------------------------------
-
-struct Enc {
-    buf: Vec<u8>,
-}
-
-impl Enc {
-    fn new() -> Self {
-        Self { buf: Vec::new() }
-    }
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-    fn bytes(&mut self, v: &[u8]) {
-        self.u64(v.len() as u64);
-        self.buf.extend_from_slice(v);
+impl From<WireError> for CkptError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Truncated => CkptError::Truncated,
+            WireError::Corrupt(why) => CkptError::Corrupt(why),
+        }
     }
 }
 
-/// Little-endian u64 from an exactly-8-byte slice. Every caller slices a
-/// length it has already bounds-checked, so the error arm is dead in
-/// practice — but a typed `Truncated` beats an `expect` if a future
-/// format change gets a header offset wrong.
+// ---------------------------------------------------------------------------
+// Payload codec: the shared `h2o_exec::wire` dialect (little-endian u64s,
+// floats as IEEE-754 bits so the round trip is bit-exact) — the same codec
+// the node transport's frames use, so checkpoints and the distributed
+// protocol can never drift apart byte-wise.
+// ---------------------------------------------------------------------------
+
 fn read_u64_le(chunk: &[u8]) -> Result<u64, CkptError> {
-    let arr: [u8; 8] = chunk.try_into().map_err(|_| CkptError::Truncated)?;
-    Ok(u64::from_le_bytes(arr))
+    Ok(wire::read_u64_le(chunk)?)
 }
 
-/// Little-endian u32 from an exactly-4-byte slice (see [`read_u64_le`]).
 fn read_u32_le(chunk: &[u8]) -> Result<u32, CkptError> {
-    let arr: [u8; 4] = chunk.try_into().map_err(|_| CkptError::Truncated)?;
-    Ok(u32::from_le_bytes(arr))
-}
-
-struct Dec<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Dec<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Self { bytes, pos: 0 }
-    }
-    fn u64(&mut self) -> Result<u64, CkptError> {
-        let end = self.pos.checked_add(8).ok_or(CkptError::Truncated)?;
-        let chunk = self.bytes.get(self.pos..end).ok_or(CkptError::Truncated)?;
-        self.pos = end;
-        read_u64_le(chunk)
-    }
-    fn f64(&mut self) -> Result<f64, CkptError> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-    fn len(&mut self, what: &str) -> Result<usize, CkptError> {
-        let n = self.u64()?;
-        // A length can never exceed the bytes that remain: rejects absurd
-        // values before any allocation.
-        if n > (self.bytes.len() - self.pos) as u64 {
-            return Err(CkptError::Corrupt(format!(
-                "{what} length {n} exceeds payload"
-            )));
-        }
-        Ok(n as usize)
-    }
-    fn bytes_vec(&mut self) -> Result<Vec<u8>, CkptError> {
-        let n = self.len("byte string")?;
-        let end = self.pos + n;
-        let chunk = self.bytes.get(self.pos..end).ok_or(CkptError::Truncated)?;
-        self.pos = end;
-        Ok(chunk.to_vec())
-    }
-    fn finish(self) -> Result<(), CkptError> {
-        if self.pos != self.bytes.len() {
-            return Err(CkptError::Corrupt(format!(
-                "{} trailing payload bytes",
-                self.bytes.len() - self.pos
-            )));
-        }
-        Ok(())
-    }
+    Ok(wire::read_u32_le(chunk)?)
 }
 
 fn encode_payload(snapshot: &SearchSnapshot<'_>) -> Vec<u8> {
@@ -244,7 +170,7 @@ fn encode_payload(snapshot: &SearchSnapshot<'_>) -> Vec<u8> {
         }
         None => e.u64(0),
     }
-    e.buf
+    e.into_vec()
 }
 
 fn decode_payload(payload: &[u8]) -> Result<ResumeState, CkptError> {
@@ -359,7 +285,7 @@ fn encode_file_with_version(
     out.extend_from_slice(&fingerprint.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(&payload);
-    let checksum = fnv1a(&out);
+    let checksum = wire::fnv1a(&out);
     out.extend_from_slice(&checksum.to_le_bytes());
     out
 }
@@ -393,7 +319,7 @@ pub fn decode_file(bytes: &[u8], expected_fingerprint: u64) -> Result<ResumeStat
     }
     let (content, checksum_bytes) = bytes.split_at(bytes.len() - 8);
     let stored = read_u64_le(checksum_bytes)?;
-    if fnv1a(content) != stored {
+    if wire::fnv1a(content) != stored {
         return Err(CkptError::ChecksumMismatch);
     }
     let version = read_u32_le(&content[8..12])?;

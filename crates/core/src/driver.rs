@@ -44,10 +44,11 @@ pub const NON_FINITE_REWARD_PENALTY: f64 = -1.0e4;
 ///
 /// The engine distinguishes *contract violations* (zero shards, a resume
 /// snapshot from the wrong space — programmer errors that stay panics)
-/// from *environmental failures* it can report to the caller. Today the
-/// only environmental failure is a checkpoint write: a sink error is a
-/// lost durability guarantee, so the loop stops and hands the error up
-/// instead of searching on with crash-safety silently gone.
+/// from *environmental failures* it can report to the caller: a failed
+/// checkpoint write (a lost durability guarantee) and a failed candidate
+/// collection (a dead evaluator node, a broken transport). Both stop the
+/// loop and hand the error up instead of searching on with the contract
+/// silently gone.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DriverError {
     /// The [`CheckpointSink`] failed to persist a snapshot after the step
@@ -58,6 +59,17 @@ pub enum DriverError {
         /// Completed steps at the moment the write failed.
         steps_done: usize,
         /// The sink's error message.
+        message: String,
+    },
+    /// The [`CandidateStage`] failed to produce this step's candidates —
+    /// typically a remote evaluator node died or the transport to it
+    /// failed. Every step before `step` completed normally, so the last
+    /// on-disk checkpoint (if any) remains valid to resume from.
+    Eval {
+        /// The step whose collection failed (zero-based; this step did
+        /// *not* complete).
+        step: usize,
+        /// The stage's error message.
         message: String,
     },
 }
@@ -72,6 +84,9 @@ impl std::fmt::Display for DriverError {
                 f,
                 "checkpoint sink failed after step {steps_done}: {message}"
             ),
+            DriverError::Eval { step, message } => {
+                write!(f, "candidate collection failed at step {step}: {message}")
+            }
         }
     }
 }
@@ -153,7 +168,17 @@ pub trait CandidateStage {
     /// Samples and evaluates this step's candidates, one per shard, in
     /// shard order. Implementations must be deterministic in
     /// `(step, policy)` and their own construction-time seed.
-    fn collect(&mut self, step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)>;
+    ///
+    /// In-process stages are infallible and simply wrap their candidates
+    /// in `Ok`. Stages that cross a process boundary (the distributed
+    /// stage fanning out over worker nodes) return `Err` when a node dies
+    /// or the transport fails; the driver surfaces it as
+    /// [`DriverError::Eval`].
+    fn collect(
+        &mut self,
+        step: usize,
+        policy: &Policy,
+    ) -> Result<Vec<(ArchSample, EvalResult)>, String>;
 
     /// Hook invoked after the REINFORCE update, before telemetry is
     /// recorded. The one-shot stage trains the shared weights here, on the
@@ -213,8 +238,12 @@ pub trait CandidateStage {
 ///     fn steps_counter_name(&self) -> &'static str {
 ///         "demo_steps_total"
 ///     }
-///     fn collect(&mut self, step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)> {
-///         (0..self.shards)
+///     fn collect(
+///         &mut self,
+///         step: usize,
+///         policy: &Policy,
+///     ) -> Result<Vec<(ArchSample, EvalResult)>, String> {
+///         Ok((0..self.shards)
 ///             .map(|shard| {
 ///                 let mut rng =
 ///                     StdRng::seed_from_u64(shard_seed(self.seed, step as u64, shard as u64));
@@ -222,7 +251,7 @@ pub trait CandidateStage {
 ///                 let quality = sample[0] as f64;
 ///                 (sample, EvalResult { quality, perf_values: vec![] })
 ///             })
-///             .collect()
+///             .collect())
 ///     }
 /// }
 ///
@@ -277,7 +306,9 @@ impl<'a> SearchDriver<'a> {
     /// Returns [`DriverError::Checkpoint`] when the sink fails to persist
     /// a snapshot: the loop stops immediately (searching on without the
     /// durability the caller asked for would be a silent contract break).
-    /// Prior on-disk checkpoints remain valid to resume from.
+    /// Returns [`DriverError::Eval`] when the stage fails to produce a
+    /// step's candidates (a remote evaluator node died mid-run). In both
+    /// cases prior on-disk checkpoints remain valid to resume from.
     ///
     /// # Panics
     ///
@@ -340,7 +371,10 @@ impl<'a> SearchDriver<'a> {
             let step_span = h2o_obs::span(stage.step_span_name());
             // Stage-specific: shard-seed derivation, candidate sampling and
             // the evaluation fan-out all live inside the stage's collect.
-            let results = phase_collect.time(|| stage.collect(step, &policy));
+            let results = match phase_collect.time(|| stage.collect(step, &policy)) {
+                Ok(results) => results,
+                Err(message) => return Err(DriverError::Eval { step, message }),
+            };
 
             // Invariant controller sequence: reward → baseline → REINFORCE.
             // The reward phase covers the submission-order reduction of the
@@ -469,8 +503,12 @@ mod tests {
         fn steps_counter_name(&self) -> &'static str {
             "h2o_core_driver_test_steps_total"
         }
-        fn collect(&mut self, step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)> {
-            (0..self.shards)
+        fn collect(
+            &mut self,
+            step: usize,
+            policy: &Policy,
+        ) -> Result<Vec<(ArchSample, EvalResult)>, String> {
+            Ok((0..self.shards)
                 .map(|shard| {
                     let mut rng =
                         StdRng::seed_from_u64(shard_seed(self.seed, step as u64, shard as u64));
@@ -488,7 +526,7 @@ mod tests {
                         },
                     )
                 })
-                .collect()
+                .collect())
         }
     }
 
@@ -614,6 +652,64 @@ mod tests {
         let shown = err.to_string();
         assert!(
             shown.contains("step 4") && shown.contains("disk full"),
+            "{shown}"
+        );
+    }
+
+    /// A stage that evaluates normally until a configured step, then fails
+    /// like a dead remote node would.
+    struct DyingStage {
+        inner: ToyStage,
+        dies_at: usize,
+    }
+
+    impl CandidateStage for DyingStage {
+        fn steps_counter_name(&self) -> &'static str {
+            "h2o_core_driver_test_steps_total"
+        }
+        fn collect(
+            &mut self,
+            step: usize,
+            policy: &Policy,
+        ) -> Result<Vec<(ArchSample, EvalResult)>, String> {
+            if step >= self.dies_at {
+                return Err("node 1 hung up".to_string());
+            }
+            self.inner.collect(step, policy)
+        }
+    }
+
+    #[test]
+    fn failed_collect_returns_a_typed_eval_error() {
+        let space = space();
+        let reward = RewardFn::new(RewardKind::Relu, vec![]);
+        let config = ControllerConfig {
+            steps: 10,
+            shards: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        let mut stage = DyingStage {
+            inner: ToyStage {
+                shards: config.shards,
+                seed: config.seed,
+                nan_on_even_shards: false,
+            },
+            dies_at: 3,
+        };
+        let err = SearchDriver::new(&space, &reward, config)
+            .run(&mut stage, None, None)
+            .expect_err("collection dies at step 3");
+        assert_eq!(
+            err,
+            DriverError::Eval {
+                step: 3,
+                message: "node 1 hung up".to_string(),
+            }
+        );
+        let shown = err.to_string();
+        assert!(
+            shown.contains("step 3") && shown.contains("hung up"),
             "{shown}"
         );
     }

@@ -23,6 +23,10 @@
 //!   [`tunas_search_with`] — the same loops with crash-safe
 //!   checkpoint/resume hooks ([`CheckpointSink`]); the `h2o-ckpt` crate
 //!   provides the durable on-disk sink.
+//! * [`DistributedStage`] — the parallel fan-out stretched across worker
+//!   *processes* over a [`h2o_exec::DistributedPool`]; sampling stays
+//!   local and replies merge in submission order, so the outcome is
+//!   byte-identical to the in-process loop for any node count.
 //!
 //! All three search flavors are thin wrappers over one controller engine:
 //! [`SearchDriver`] owns the invariant per-step loop (reward → baseline
@@ -58,6 +62,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod baselines;
+mod distributed;
 mod driver;
 mod oneshot;
 mod oneshot_generic;
@@ -69,6 +74,9 @@ mod search;
 pub mod telemetry;
 
 pub use baselines::{evolution_search, random_search, BaselineOutcome, EvolutionConfig};
+pub use distributed::{
+    decode_eval_job, decode_eval_result, encode_eval_job, encode_eval_result, DistributedStage,
+};
 pub use driver::{
     CandidateStage, ControllerConfig, DriverError, SearchDriver, NON_FINITE_REWARD_PENALTY, PHASES,
 };

@@ -192,7 +192,11 @@ where
         "h2o_core_tunas_steps_total"
     }
 
-    fn collect(&mut self, _step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)> {
+    fn collect(
+        &mut self,
+        _step: usize,
+        policy: &Policy,
+    ) -> Result<Vec<(ArchSample, EvalResult)>, String> {
         let config = &self.config;
         // Step A: train shared weights W on the training stream.
         {
@@ -222,7 +226,7 @@ where
                 },
             ));
         }
-        candidates
+        Ok(candidates)
     }
 
     fn restore(&mut self, state: &ResumeState) {

@@ -190,7 +190,11 @@ where
         "h2o_core_oneshot_steps_total"
     }
 
-    fn collect(&mut self, step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)> {
+    fn collect(
+        &mut self,
+        step: usize,
+        policy: &Policy,
+    ) -> Result<Vec<(ArchSample, EvalResult)>, String> {
         let config = &self.config;
         let mut rng = StdRng::seed_from_u64(shard_seed(config.seed, step as u64, u64::MAX));
         // Quality stage stays serial: it trains/masks the single shared
@@ -227,7 +231,7 @@ where
             h2o_obs::time("reward_eval", || perf_of(sample))
         });
         self.step_batches.clear();
-        quality_data
+        Ok(quality_data
             .into_iter()
             .zip(perf_values)
             .map(|((batch, sample, quality), perf_values)| {
@@ -240,7 +244,7 @@ where
                     },
                 )
             })
-            .collect()
+            .collect())
     }
 
     fn after_policy_update(&mut self, candidates: &[(ArchSample, EvalResult)], _rewards: &[f64]) {

@@ -193,7 +193,11 @@ where
         "h2o_core_search_steps_total"
     }
 
-    fn collect(&mut self, step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)> {
+    fn collect(
+        &mut self,
+        step: usize,
+        policy: &Policy,
+    ) -> Result<Vec<(ArchSample, EvalResult)>, String> {
         // Every shard samples and evaluates its own candidate on the
         // work-stealing pool (Fig. 2's per-core sample + forward pass).
         let seed = self.seed;
@@ -216,7 +220,7 @@ where
                 }
             })
             .collect();
-        self.executor.execute(jobs)
+        Ok(self.executor.execute(jobs))
     }
 }
 

@@ -1,0 +1,432 @@
+//! The process-per-node executor: a [`DistributedPool`] fanning byte jobs
+//! out over [`NodeTransport`]s, and the worker-side [`serve`] loop.
+//!
+//! This is the multi-process sibling of the in-process [`crate::Executor`]
+//! and it keeps the same contract: **submission-order reduction**. Job `i`
+//! of a batch always runs on node `i % nodes` and `execute(jobs)[i]` is
+//! always the result of `jobs[i]`, so shard→node placement is invisible in
+//! the results and a 1-process run, a 2-node run and a 4-node run of the
+//! same search produce byte-identical output (`tests/
+//! distributed_determinism.rs` at the workspace root proves it on whole
+//! CSVs).
+//!
+//! Jobs and results are opaque byte payloads — closures cannot cross a
+//! process boundary, so the caller (`h2o-core`'s `DistributedStage`)
+//! encodes `(step, shard, sample)` jobs and decodes `EvalResult` bytes
+//! with the shared [`crate::wire`] codec. A handshake pins the scenario:
+//! both sides exchange a fingerprint of the evaluation configuration and
+//! refuse to proceed on a mismatch ([`ExecError::ScenarioMismatch`]), so a
+//! worker can never silently evaluate under different settings.
+
+use crate::frame::{ExecError, FrameKind};
+use crate::transport::{NodeAddr, NodeTransport};
+use crate::wire::{Dec, Enc};
+use std::time::Duration;
+
+/// Encodes an `(index, payload)` pair for a `Job` or `Result` frame.
+pub fn encode_indexed(index: u64, payload: &[u8]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u64(index);
+    e.bytes(payload);
+    e.into_vec()
+}
+
+/// Decodes an `(index, payload)` pair from a `Job` or `Result` frame.
+///
+/// # Errors
+///
+/// [`ExecError::Truncated`] / [`ExecError::Protocol`] on malformed bytes.
+pub fn decode_indexed(bytes: &[u8]) -> Result<(u64, Vec<u8>), ExecError> {
+    let mut d = Dec::new(bytes);
+    let index = d.u64()?;
+    let payload = d.bytes_vec()?;
+    d.finish()?;
+    Ok((index, payload))
+}
+
+/// Timeouts governing a [`DistributedPool`]'s connections.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolOptions {
+    /// How long to keep retrying the initial connect per node (covers
+    /// worker process startup).
+    pub connect_timeout: Duration,
+    /// Per-read/per-write socket timeout after the connection is up. One
+    /// evaluation must complete within this bound or the node counts as
+    /// dead.
+    pub io_timeout: Duration,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A pool of connected node processes executing byte jobs with
+/// submission-order reduction — the distributed counterpart of
+/// [`crate::Executor::execute`].
+#[derive(Debug)]
+pub struct DistributedPool {
+    nodes: Vec<NodeTransport>,
+    node_jobs: Vec<h2o_obs::Counter>,
+    node_roundtrip: Vec<h2o_obs::Histogram>,
+}
+
+impl DistributedPool {
+    /// Connects to every node and performs the scenario handshake.
+    ///
+    /// The client sends `Hello(fingerprint)`; each worker answers
+    /// `HelloAck(its own fingerprint)`. Both sides compare — a mismatch is
+    /// [`ExecError::ScenarioMismatch`] on both ends, so neither can run a
+    /// search whose evaluation settings differ from its peer's.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Connect`] / [`ExecError::Timeout`] on dead nodes, any
+    /// frame-shaped error on protocol trouble, [`ExecError::Protocol`] if
+    /// `addrs` is empty.
+    pub fn connect(
+        addrs: &[NodeAddr],
+        fingerprint: u64,
+        options: PoolOptions,
+    ) -> Result<Self, ExecError> {
+        if addrs.is_empty() {
+            return Err(ExecError::Protocol(
+                "a pool needs at least one node".to_string(),
+            ));
+        }
+        let mut nodes = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let mut transport =
+                NodeTransport::connect(addr, options.connect_timeout, options.io_timeout)?;
+            let mut hello = Enc::new();
+            hello.u64(fingerprint);
+            transport.send(FrameKind::Hello, hello.as_slice())?;
+            let ack = transport.recv()?;
+            match ack.kind {
+                FrameKind::HelloAck => {
+                    let mut d = Dec::new(&ack.payload);
+                    let theirs = d.u64()?;
+                    d.finish()?;
+                    if theirs != fingerprint {
+                        return Err(ExecError::ScenarioMismatch {
+                            found: theirs,
+                            expected: fingerprint,
+                        });
+                    }
+                }
+                FrameKind::Error => {
+                    return Err(ExecError::Worker {
+                        node: nodes.len(),
+                        message: String::from_utf8_lossy(&ack.payload).into_owned(),
+                    })
+                }
+                other => {
+                    return Err(ExecError::Protocol(format!(
+                        "expected HelloAck, got {other:?}"
+                    )))
+                }
+            }
+            nodes.push(transport);
+        }
+        let node_jobs = (0..nodes.len())
+            .map(|n| h2o_obs::counter(&format!("h2o_exec_node_jobs_total{{node=\"{n}\"}}")))
+            .collect();
+        let node_roundtrip = (0..nodes.len())
+            .map(|n| {
+                h2o_obs::histogram(&format!("h2o_exec_node_roundtrip_seconds{{node=\"{n}\"}}"))
+            })
+            .collect();
+        Ok(Self {
+            nodes,
+            node_jobs,
+            node_roundtrip,
+        })
+    }
+
+    /// The number of connected nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Runs every byte job on the pool and returns results in
+    /// **submission order**: `execute(jobs)[i]` is the result of
+    /// `jobs[i]`, evaluated on node `i % nodes`.
+    ///
+    /// Each node's jobs are pipelined (all sent, then all received) on a
+    /// thread per node; the per-socket I/O timeout bounds every blocking
+    /// read, so a node dying mid-batch surfaces as a typed error — the
+    /// lowest-numbered failing node's error is returned, deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ExecError`]; after an error the pool must be considered
+    /// poisoned (in-flight frames are not resynchronised) and rebuilt.
+    pub fn execute(&mut self, jobs: Vec<Vec<u8>>) -> Result<Vec<Vec<u8>>, ExecError> {
+        let n_jobs = jobs.len();
+        let n_nodes = self.nodes.len();
+        h2o_obs::counter("h2o_exec_node_batches_total").inc();
+        let mut per_node: Vec<Vec<(u64, Vec<u8>)>> = (0..n_nodes).map(|_| Vec::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            per_node[i % n_nodes].push((i as u64, job));
+        }
+        let node_jobs = &self.node_jobs;
+        let node_roundtrip = &self.node_roundtrip;
+
+        let mut outcomes: Vec<Result<IndexedBatch, ExecError>> =
+            (0..n_nodes).map(|_| Ok(Vec::new())).collect();
+        {
+            let mut outcome_slots: Vec<_> = outcomes.iter_mut().collect();
+            crossbeam::thread::scope(|scope| {
+                for (node, (transport, batch)) in self.nodes.iter_mut().zip(per_node).enumerate() {
+                    // Pop from the front so slot k belongs to node k.
+                    let slot = outcome_slots.remove(0);
+                    scope.spawn(move |_| {
+                        let watch = h2o_obs::Stopwatch::start();
+                        *slot = run_node_batch(transport, node, batch);
+                        node_roundtrip[node].record(watch.elapsed_secs());
+                    });
+                }
+            })
+            // h2o-lint: allow(panic-hygiene) -- a scope Err re-raises a child thread's panic;
+            // node threads return typed errors through their slot and do not panic themselves
+            .expect("node batch scope panicked");
+        }
+
+        let mut slots: Vec<Option<Vec<u8>>> = (0..n_jobs).map(|_| None).collect();
+        for (node, outcome) in outcomes.into_iter().enumerate() {
+            let results = outcome?;
+            node_jobs[node].add(results.len() as u64);
+            for (index, payload) in results {
+                let slot = slots.get_mut(index as usize).ok_or_else(|| {
+                    ExecError::Protocol(format!(
+                        "node {node} returned result index {index} beyond batch size {n_jobs}"
+                    ))
+                })?;
+                if slot.is_some() {
+                    return Err(ExecError::Protocol(format!(
+                        "node {node} returned result index {index} twice"
+                    )));
+                }
+                *slot = Some(payload);
+            }
+        }
+        let mut out = Vec::with_capacity(n_jobs);
+        for (i, slot) in slots.into_iter().enumerate() {
+            out.push(slot.ok_or_else(|| {
+                ExecError::Protocol(format!("no node returned a result for job {i}"))
+            })?);
+        }
+        Ok(out)
+    }
+
+    /// Asks every node to exit cleanly. Best-effort: a node that already
+    /// died is ignored.
+    pub fn shutdown(mut self) {
+        for transport in &mut self.nodes {
+            let _ = transport.send(FrameKind::Shutdown, &[]);
+        }
+    }
+}
+
+/// A batch of submission-index-tagged payloads, one entry per job.
+type IndexedBatch = Vec<(u64, Vec<u8>)>;
+
+/// One node's half of [`DistributedPool::execute`]: pipeline all jobs out,
+/// then collect exactly one reply per job.
+fn run_node_batch(
+    transport: &mut NodeTransport,
+    node: usize,
+    batch: IndexedBatch,
+) -> Result<IndexedBatch, ExecError> {
+    for (index, job) in &batch {
+        transport.send(FrameKind::Job, &encode_indexed(*index, job))?;
+    }
+    let mut results = Vec::with_capacity(batch.len());
+    for _ in 0..batch.len() {
+        let frame = transport.recv()?;
+        match frame.kind {
+            FrameKind::Result => results.push(decode_indexed(&frame.payload)?),
+            FrameKind::Error => {
+                return Err(ExecError::Worker {
+                    node,
+                    message: String::from_utf8_lossy(&frame.payload).into_owned(),
+                })
+            }
+            other => {
+                return Err(ExecError::Protocol(format!(
+                    "node {node}: expected Result, got {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(results)
+}
+
+/// The worker side: answers the scenario handshake, then evaluates every
+/// `Job` frame through `handler` until the client shuts down or hangs up.
+///
+/// A handler error is reported to the client as an `Error` frame (the
+/// client surfaces it as [`ExecError::Worker`]) and the loop continues —
+/// the client decides whether the batch is lost. Returns `Ok(())` on a
+/// clean `Shutdown` or a peer hang-up at a frame boundary.
+///
+/// # Errors
+///
+/// [`ExecError::ScenarioMismatch`] when the client's fingerprint differs
+/// from `fingerprint` (after telling the client ours), or any frame-shaped
+/// error from the transport.
+pub fn serve<F>(
+    transport: &mut NodeTransport,
+    fingerprint: u64,
+    mut handler: F,
+) -> Result<(), ExecError>
+where
+    F: FnMut(&[u8]) -> Result<Vec<u8>, String>,
+{
+    let jobs_served = h2o_obs::counter("h2o_exec_node_worker_jobs_total");
+    loop {
+        let frame = match transport.recv() {
+            Ok(frame) => frame,
+            Err(ExecError::PeerClosed) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        match frame.kind {
+            FrameKind::Hello => {
+                let mut d = Dec::new(&frame.payload);
+                let theirs = d.u64()?;
+                d.finish()?;
+                let mut ack = Enc::new();
+                ack.u64(fingerprint);
+                transport.send(FrameKind::HelloAck, ack.as_slice())?;
+                if theirs != fingerprint {
+                    return Err(ExecError::ScenarioMismatch {
+                        found: theirs,
+                        expected: fingerprint,
+                    });
+                }
+            }
+            FrameKind::Job => {
+                let (index, payload) = decode_indexed(&frame.payload)?;
+                match handler(&payload) {
+                    Ok(result) => {
+                        jobs_served.inc();
+                        transport.send(FrameKind::Result, &encode_indexed(index, &result))?;
+                    }
+                    Err(message) => {
+                        transport.send(FrameKind::Error, message.as_bytes())?;
+                    }
+                }
+            }
+            FrameKind::Shutdown => return Ok(()),
+            other => {
+                return Err(ExecError::Protocol(format!(
+                    "worker received unexpected {other:?} frame"
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::NodeListener;
+    use std::path::PathBuf;
+
+    fn temp_sock(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("h2o_dpool_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        dir.join(format!("{name}.sock"))
+    }
+
+    /// Spawns an in-process worker thread serving `handler` on a fresh
+    /// unix socket; returns its address.
+    fn spawn_worker<F>(name: &str, fingerprint: u64, handler: F) -> NodeAddr
+    where
+        F: FnMut(&[u8]) -> Result<Vec<u8>, String> + Send + 'static,
+    {
+        let addr = NodeAddr::Unix(temp_sock(name));
+        let listener = NodeListener::bind(&addr).unwrap();
+        std::thread::spawn(move || {
+            let mut handler = handler;
+            if let Ok(mut t) = listener.accept(Duration::from_secs(10)) {
+                let _ = serve(&mut t, fingerprint, &mut handler);
+            }
+        });
+        addr
+    }
+
+    fn opts() -> PoolOptions {
+        PoolOptions {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn pool_reduces_in_submission_order() {
+        let addrs: Vec<NodeAddr> = (0..3)
+            .map(|i| {
+                spawn_worker(&format!("order{i}"), 7, |job: &[u8]| {
+                    let mut out = job.to_vec();
+                    out.iter_mut().for_each(|b| *b = b.wrapping_mul(2));
+                    Ok(out)
+                })
+            })
+            .collect();
+        let mut pool = DistributedPool::connect(&addrs, 7, opts()).unwrap();
+        assert_eq!(pool.nodes(), 3);
+        let jobs: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i]).collect();
+        let results = pool.execute(jobs).unwrap();
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r, &vec![(i as u8) * 2], "job {i} out of order");
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn handshake_rejects_fingerprint_skew() {
+        let addr = spawn_worker("skew", 1111, |job: &[u8]| Ok(job.to_vec()));
+        let err = DistributedPool::connect(&[addr], 2222, opts()).expect_err("fingerprints differ");
+        assert_eq!(
+            err,
+            ExecError::ScenarioMismatch {
+                found: 1111,
+                expected: 2222,
+            }
+        );
+    }
+
+    #[test]
+    fn worker_handler_error_is_typed() {
+        let addr = spawn_worker("fail", 3, |_: &[u8]| Err("simulator exploded".to_string()));
+        let mut pool = DistributedPool::connect(&[addr], 3, opts()).unwrap();
+        let err = pool.execute(vec![vec![1]]).expect_err("handler fails");
+        assert_eq!(
+            err,
+            ExecError::Worker {
+                node: 0,
+                message: "simulator exploded".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let addr = spawn_worker("empty", 4, |job: &[u8]| Ok(job.to_vec()));
+        let mut pool = DistributedPool::connect(&[addr], 4, opts()).unwrap();
+        assert!(pool.execute(Vec::new()).unwrap().is_empty());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn indexed_payload_round_trips() {
+        let bytes = encode_indexed(42, b"payload");
+        assert_eq!(decode_indexed(&bytes).unwrap(), (42, b"payload".to_vec()));
+        assert!(decode_indexed(&bytes[..3]).is_err());
+    }
+}

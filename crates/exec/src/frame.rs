@@ -1,0 +1,392 @@
+//! Length-prefixed, checksummed message frames for the node transport.
+//!
+//! Every message between the search client and a `node-worker` process is
+//! one frame:
+//!
+//! ```text
+//! MAGIC (8) | version u32 | kind u32 | payload_len u64 | payload | fnv1a u64
+//! ```
+//!
+//! All integers little-endian; the trailing FNV-1a checksum covers every
+//! preceding byte (same construction as an `h2o-ckpt` checkpoint file, via
+//! the shared [`crate::wire`] codec). Anything wrong with a frame — bad
+//! magic, checksum mismatch, protocol version skew, an unknown kind, a
+//! truncated read, an oversize length — surfaces as a typed [`ExecError`];
+//! the decode paths never panic and the streaming read path never blocks
+//! past the transport's read timeout.
+
+use crate::wire::{self, WireError};
+use std::fmt;
+use std::io::Read;
+
+/// First 8 bytes of every frame.
+pub const FRAME_MAGIC: &[u8; 8] = b"H2OFRM1\0";
+
+/// Node-protocol version; bumped on any incompatible frame or payload
+/// layout change. A client and worker with different versions refuse each
+/// other with [`ExecError::VersionSkew`] instead of mis-decoding.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Fixed bytes before the payload: magic(8) + version(4) + kind(4) +
+/// payload_len(8).
+pub const FRAME_HEADER_LEN: usize = 24;
+
+/// Hard cap on a frame payload. Real job/result payloads are a few hundred
+/// bytes; the cap turns a corrupted length field into a typed
+/// [`ExecError::Oversize`] instead of a multi-gigabyte allocation.
+pub const MAX_PAYLOAD: u64 = 64 * 1024 * 1024;
+
+/// What a frame carries. The numeric values are the on-wire encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → worker: handshake carrying the scenario fingerprint.
+    Hello = 1,
+    /// Worker → client: handshake accepted.
+    HelloAck = 2,
+    /// Client → worker: one evaluation job (`index u64 | bytes`).
+    Job = 3,
+    /// Worker → client: one job result (`index u64 | bytes`).
+    Result = 4,
+    /// Worker → client: a typed failure (`bytes` = UTF-8 message).
+    Error = 5,
+    /// Client → worker: drain and exit cleanly.
+    Shutdown = 6,
+}
+
+impl FrameKind {
+    fn from_u32(v: u32) -> Option<Self> {
+        match v {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::HelloAck),
+            3 => Some(FrameKind::Job),
+            4 => Some(FrameKind::Result),
+            5 => Some(FrameKind::Error),
+            6 => Some(FrameKind::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The message kind.
+    pub kind: FrameKind,
+    /// The raw payload (kind-specific layout, see [`FrameKind`]).
+    pub payload: Vec<u8>,
+}
+
+/// Everything that can go wrong in the distributed executor: connecting,
+/// framing, protocol agreement, and remote evaluation.
+///
+/// The determinism contract extends to failures: a frame-level problem is
+/// always a typed error within the transport's timeout, never a hang and
+/// never a panic, so the driver can stop cleanly and a later resume from
+/// the last checkpoint reproduces the single-process trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Could not establish a connection to a node within the timeout.
+    Connect(String),
+    /// A transport I/O failure (formatted `std::io::Error`).
+    Io(String),
+    /// A read or write exceeded the transport's configured timeout.
+    Timeout(String),
+    /// The peer closed the connection at a frame boundary (clean EOF).
+    PeerClosed,
+    /// The stream does not start with the frame magic — not our protocol.
+    BadMagic,
+    /// The peer speaks a different protocol version.
+    VersionSkew {
+        /// Version found on the wire.
+        found: u32,
+        /// Version this build speaks.
+        expected: u32,
+    },
+    /// The frame kind field is not one this build knows.
+    BadKind(u32),
+    /// The frame checksum does not match: corruption in transit.
+    ChecksumMismatch,
+    /// The stream ended mid-frame (torn write or peer death).
+    Truncated,
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversize {
+        /// Declared payload length.
+        len: u64,
+        /// The cap it exceeded.
+        max: u64,
+    },
+    /// The peer's scenario fingerprint does not match ours — the worker
+    /// would evaluate under a different configuration and silently break
+    /// the determinism contract.
+    ScenarioMismatch {
+        /// Fingerprint the peer reported.
+        found: u64,
+        /// Fingerprint this side expects.
+        expected: u64,
+    },
+    /// A well-formed frame arrived where the protocol does not allow it,
+    /// or its payload decoded inconsistently.
+    Protocol(String),
+    /// A worker reported an evaluation failure.
+    Worker {
+        /// Index of the node that failed.
+        node: usize,
+        /// The worker's error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Connect(e) => write!(f, "node connect failed: {e}"),
+            ExecError::Io(e) => write!(f, "node transport I/O error: {e}"),
+            ExecError::Timeout(what) => write!(f, "node transport timed out: {what}"),
+            ExecError::PeerClosed => write!(f, "peer closed the connection"),
+            ExecError::BadMagic => write!(f, "not a node-protocol frame (bad magic)"),
+            ExecError::VersionSkew { found, expected } => {
+                write!(
+                    f,
+                    "peer speaks protocol v{found}, this build speaks v{expected}"
+                )
+            }
+            ExecError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            ExecError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            ExecError::Truncated => write!(f, "frame truncated (short read)"),
+            ExecError::Oversize { len, max } => {
+                write!(f, "frame payload length {len} exceeds the {max}-byte cap")
+            }
+            ExecError::ScenarioMismatch { found, expected } => write!(
+                f,
+                "worker scenario fingerprint {found:#018x} does not match client {expected:#018x}"
+            ),
+            ExecError::Protocol(why) => write!(f, "node protocol violation: {why}"),
+            ExecError::Worker { node, message } => {
+                write!(f, "node {node} evaluation failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<WireError> for ExecError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Truncated => ExecError::Truncated,
+            WireError::Corrupt(why) => ExecError::Protocol(why),
+        }
+    }
+}
+
+impl From<std::io::Error> for ExecError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                ExecError::Timeout(e.to_string())
+            }
+            std::io::ErrorKind::UnexpectedEof => ExecError::Truncated,
+            _ => ExecError::Io(e.to_string()),
+        }
+    }
+}
+
+/// Encodes one frame: header, payload, trailing checksum over everything
+/// before it.
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len() + 8);
+    out.extend_from_slice(FRAME_MAGIC);
+    out.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    out.extend_from_slice(&(kind as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    let checksum = wire::fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Parses and validates one complete frame from a byte buffer.
+///
+/// Validation order mirrors `h2o_ckpt::decode_file`: magic → whole-frame
+/// checksum → version → kind → payload length consistency. Because the
+/// checksum covers the header too, *any* single corrupted byte is caught
+/// as [`ExecError::BadMagic`] or [`ExecError::ChecksumMismatch`] (the
+/// robustness suite flips every byte and asserts exactly that).
+///
+/// # Errors
+///
+/// Any of the frame-shaped [`ExecError`] variants; never panics.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, ExecError> {
+    if bytes.len() < FRAME_HEADER_LEN + 8 {
+        return Err(ExecError::Truncated);
+    }
+    if &bytes[..8] != FRAME_MAGIC {
+        return Err(ExecError::BadMagic);
+    }
+    let (content, checksum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = wire::read_u64_le(checksum_bytes)?;
+    if wire::fnv1a(content) != stored {
+        return Err(ExecError::ChecksumMismatch);
+    }
+    let version = wire::read_u32_le(&content[8..12])?;
+    if version != PROTOCOL_VERSION {
+        return Err(ExecError::VersionSkew {
+            found: version,
+            expected: PROTOCOL_VERSION,
+        });
+    }
+    let kind_raw = wire::read_u32_le(&content[12..16])?;
+    let kind = FrameKind::from_u32(kind_raw).ok_or(ExecError::BadKind(kind_raw))?;
+    let payload_len = wire::read_u64_le(&content[16..24])?;
+    if payload_len > MAX_PAYLOAD {
+        return Err(ExecError::Oversize {
+            len: payload_len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let payload = &content[FRAME_HEADER_LEN..];
+    if payload_len != payload.len() as u64 {
+        return Err(ExecError::Protocol(format!(
+            "declared payload length {payload_len}, found {}",
+            payload.len()
+        )));
+    }
+    Ok(Frame {
+        kind,
+        payload: payload.to_vec(),
+    })
+}
+
+/// Reads one frame from a byte stream.
+///
+/// A clean EOF *before the first header byte* is [`ExecError::PeerClosed`]
+/// (the peer hung up at a frame boundary — normal shutdown); EOF anywhere
+/// inside a frame is [`ExecError::Truncated`] (a torn write or mid-frame
+/// peer death). The header's magic and length are validated *before* the
+/// payload is read, so a corrupt length can never make the reader block
+/// forever waiting for bytes that will not come: it fails typed, and the
+/// transport's read timeout bounds every blocking `read` underneath.
+///
+/// # Errors
+///
+/// Any frame-shaped [`ExecError`]; I/O failures map through
+/// [`From<std::io::Error>`] (timeouts become [`ExecError::Timeout`]).
+pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Frame, ExecError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    read_exact_or(r, &mut header, true)?;
+    if &header[..8] != FRAME_MAGIC {
+        return Err(ExecError::BadMagic);
+    }
+    let payload_len = wire::read_u64_le(&header[16..24])?;
+    if payload_len > MAX_PAYLOAD {
+        return Err(ExecError::Oversize {
+            len: payload_len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let mut rest = vec![0u8; payload_len as usize + 8];
+    read_exact_or(r, &mut rest, false)?;
+    let mut bytes = Vec::with_capacity(header.len() + rest.len());
+    bytes.extend_from_slice(&header);
+    bytes.extend_from_slice(&rest);
+    decode_frame(&bytes)
+}
+
+/// `read_exact` with the frame layer's EOF semantics: EOF on the very
+/// first byte is [`ExecError::PeerClosed`] when `at_boundary`, otherwise —
+/// and for EOF anywhere later — [`ExecError::Truncated`].
+fn read_exact_or<R: Read + ?Sized>(
+    r: &mut R,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> Result<(), ExecError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    ExecError::PeerClosed
+                } else {
+                    ExecError::Truncated
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one frame to a byte stream.
+///
+/// # Errors
+///
+/// [`ExecError::Io`] / [`ExecError::Timeout`] from the underlying writer.
+pub fn write_frame<W: std::io::Write + ?Sized>(
+    w: &mut W,
+    kind: FrameKind,
+    payload: &[u8],
+) -> Result<(), ExecError> {
+    let bytes = encode_frame(kind, payload);
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trips() {
+        let bytes = encode_frame(FrameKind::Job, b"payload bytes");
+        let frame = decode_frame(&bytes).unwrap();
+        assert_eq!(frame.kind, FrameKind::Job);
+        assert_eq!(frame.payload, b"payload bytes");
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let bytes = encode_frame(FrameKind::Shutdown, b"");
+        let frame = decode_frame(&bytes).unwrap();
+        assert_eq!(frame.kind, FrameKind::Shutdown);
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn stream_reader_matches_buffer_decoder() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(FrameKind::Hello, &[1, 2, 3]));
+        stream.extend_from_slice(&encode_frame(FrameKind::Result, &[4; 100]));
+        let mut cursor = std::io::Cursor::new(stream);
+        assert_eq!(read_frame(&mut cursor).unwrap().kind, FrameKind::Hello);
+        assert_eq!(read_frame(&mut cursor).unwrap().payload, vec![4; 100]);
+        // Clean EOF at a frame boundary is PeerClosed, not Truncated.
+        assert_eq!(read_frame(&mut cursor), Err(ExecError::PeerClosed));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_truncated() {
+        let bytes = encode_frame(FrameKind::Job, b"abcdef");
+        for cut in [1, FRAME_HEADER_LEN - 1, FRAME_HEADER_LEN, bytes.len() - 1] {
+            let mut cursor = std::io::Cursor::new(bytes[..cut].to_vec());
+            assert_eq!(
+                read_frame(&mut cursor),
+                Err(ExecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_before_allocation() {
+        let mut bytes = encode_frame(FrameKind::Job, b"x");
+        bytes[16..24].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ExecError::Oversize { .. })
+        ));
+    }
+}

@@ -13,6 +13,11 @@
 //!   supporting concurrent batch submission from many producer threads
 //!   ([`WorkerPool::submit`] / [`BatchHandle::collect`]) and clean
 //!   drain-then-join shutdown on drop.
+//! * [`DistributedPool`] — the **process-per-node** mode: byte jobs fan
+//!   out over Unix-socket or TCP [`NodeTransport`]s carrying
+//!   length-prefixed, checksummed [`frame`]s, with the same
+//!   submission-order reduction, so a multi-process search reproduces the
+//!   single-process run byte for byte ([`serve`] is the worker half).
 //!
 //! ## Determinism contract
 //!
@@ -35,9 +40,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod distributed;
+pub mod frame;
 mod pool;
+pub mod transport;
+pub mod wire;
 
+pub use distributed::{decode_indexed, encode_indexed, serve, DistributedPool, PoolOptions};
+pub use frame::{
+    decode_frame, encode_frame, read_frame, write_frame, ExecError, Frame, FrameKind,
+    FRAME_HEADER_LEN, FRAME_MAGIC, MAX_PAYLOAD, PROTOCOL_VERSION,
+};
 pub use pool::{BatchHandle, WorkerPool};
+pub use transport::{NodeAddr, NodeListener, NodeTransport};
+pub use wire::{Dec, Enc, WireError};
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;

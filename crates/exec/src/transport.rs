@@ -1,0 +1,412 @@
+//! Node addresses, listeners and connected transports for the
+//! process-per-node executor.
+//!
+//! Two interchangeable byte pipes carry the [`crate::frame`] protocol:
+//! Unix domain sockets (the default for co-located node processes — the
+//! `--nodes N` auto-spawn path) and TCP (for nodes on other machines or
+//! pre-started workers). Every blocking operation is bounded: connects
+//! retry up to a deadline, accepts poll up to a deadline, and reads and
+//! writes carry an OS-level socket timeout, so a dead or wedged peer
+//! surfaces as a typed [`ExecError`] instead of a hang.
+
+use crate::frame::{read_frame, write_frame, ExecError, Frame, FrameKind};
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// How often bounded retry loops (connect, accept) poll.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+/// The address of one evaluation node.
+///
+/// Textual forms (accepted by [`NodeAddr::parse`], produced by `Display`):
+/// `unix:/path/to.sock` and `tcp:host:port`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeAddr {
+    /// A Unix domain socket path.
+    Unix(PathBuf),
+    /// A TCP `host:port` endpoint.
+    Tcp(String),
+}
+
+impl NodeAddr {
+    /// Parses `unix:<path>` or `tcp:<host:port>`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Protocol`] naming the malformed address otherwise.
+    pub fn parse(s: &str) -> Result<Self, ExecError> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(ExecError::Protocol(format!(
+                    "empty unix socket path in '{s}'"
+                )));
+            }
+            return Ok(NodeAddr::Unix(PathBuf::from(path)));
+        }
+        if let Some(hostport) = s.strip_prefix("tcp:") {
+            if !hostport.contains(':') {
+                return Err(ExecError::Protocol(format!(
+                    "tcp address '{s}' must be tcp:host:port"
+                )));
+            }
+            return Ok(NodeAddr::Tcp(hostport.to_string()));
+        }
+        Err(ExecError::Protocol(format!(
+            "node address '{s}' must start with unix: or tcp:"
+        )))
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+            NodeAddr::Tcp(hostport) => write!(f, "tcp:{hostport}"),
+        }
+    }
+}
+
+/// A bound, listening node endpoint (the worker side).
+#[derive(Debug)]
+pub enum NodeListener {
+    /// Listening on a Unix domain socket.
+    Unix(UnixListener),
+    /// Listening on a TCP socket.
+    Tcp(TcpListener),
+}
+
+impl NodeListener {
+    /// Binds a listener at `addr`. A stale Unix socket file left by a
+    /// crashed worker is removed first; `tcp:host:0` binds an ephemeral
+    /// port ([`NodeListener::local_addr`] reports the real one).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Io`] if the bind fails.
+    pub fn bind(addr: &NodeAddr) -> Result<Self, ExecError> {
+        match addr {
+            NodeAddr::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Ok(NodeListener::Unix(UnixListener::bind(path)?))
+            }
+            NodeAddr::Tcp(hostport) => Ok(NodeListener::Tcp(TcpListener::bind(hostport)?)),
+        }
+    }
+
+    /// The actual bound address (resolves `tcp:host:0` to the assigned
+    /// port).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Io`] if the socket cannot report its address.
+    pub fn local_addr(&self) -> Result<NodeAddr, ExecError> {
+        match self {
+            NodeListener::Unix(l) => {
+                let addr = l.local_addr()?;
+                let path = addr
+                    .as_pathname()
+                    .ok_or_else(|| ExecError::Io("unnamed unix socket".to_string()))?;
+                Ok(NodeAddr::Unix(path.to_path_buf()))
+            }
+            NodeListener::Tcp(l) => Ok(NodeAddr::Tcp(l.local_addr()?.to_string())),
+        }
+    }
+
+    /// Accepts one connection, polling for at most `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Timeout`] if no peer connects in time, otherwise
+    /// [`ExecError::Io`].
+    pub fn accept(&self, timeout: Duration) -> Result<NodeTransport, ExecError> {
+        match self {
+            NodeListener::Unix(l) => l.set_nonblocking(true)?,
+            NodeListener::Tcp(l) => l.set_nonblocking(true)?,
+        }
+        let watch = h2o_obs::Stopwatch::start();
+        loop {
+            let accepted = match self {
+                NodeListener::Unix(l) => l.accept().map(|(s, _)| NodeTransport::Unix(s)),
+                NodeListener::Tcp(l) => l.accept().map(|(s, _)| NodeTransport::Tcp(s)),
+            };
+            match accepted {
+                Ok(transport) => {
+                    transport.set_blocking()?;
+                    return Ok(transport);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if watch.elapsed_secs() > timeout.as_secs_f64() {
+                        return Err(ExecError::Timeout(format!(
+                            "no connection within {timeout:?}"
+                        )));
+                    }
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+/// A connected byte pipe to one node, carrying [`crate::frame`] frames.
+#[derive(Debug)]
+pub enum NodeTransport {
+    /// Over a Unix domain socket.
+    Unix(UnixStream),
+    /// Over a TCP socket.
+    Tcp(TcpStream),
+}
+
+impl NodeTransport {
+    /// Connects to `addr`, retrying until `connect_timeout` elapses (a
+    /// just-spawned worker's socket may not exist yet), then applies
+    /// `io_timeout` to every subsequent read and write.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Connect`] when the deadline passes without a
+    /// connection.
+    pub fn connect(
+        addr: &NodeAddr,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+    ) -> Result<Self, ExecError> {
+        let watch = h2o_obs::Stopwatch::start();
+        loop {
+            let last_err = match Self::connect_once(addr) {
+                Ok(transport) => {
+                    transport.set_io_timeout(io_timeout)?;
+                    return Ok(transport);
+                }
+                Err(e) => e.to_string(),
+            };
+            if watch.elapsed_secs() > connect_timeout.as_secs_f64() {
+                return Err(ExecError::Connect(format!(
+                    "{addr}: no connection within {connect_timeout:?} (last error: {last_err})"
+                )));
+            }
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+
+    fn connect_once(addr: &NodeAddr) -> std::io::Result<Self> {
+        match addr {
+            NodeAddr::Unix(path) => Ok(NodeTransport::Unix(UnixStream::connect(path)?)),
+            NodeAddr::Tcp(hostport) => {
+                let sockaddr = hostport.to_socket_addrs()?.next().ok_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::AddrNotAvailable,
+                        format!("'{hostport}' resolves to no address"),
+                    )
+                })?;
+                let stream = TcpStream::connect_timeout(&sockaddr, Duration::from_secs(1))?;
+                stream.set_nodelay(true)?;
+                Ok(NodeTransport::Tcp(stream))
+            }
+        }
+    }
+
+    /// Applies `timeout` to every blocking read and write on the socket,
+    /// so a dead peer becomes [`ExecError::Timeout`] instead of a hang.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Io`] if the socket rejects the option.
+    pub fn set_io_timeout(&self, timeout: Duration) -> Result<(), ExecError> {
+        let t = Some(timeout);
+        match self {
+            NodeTransport::Unix(s) => {
+                s.set_read_timeout(t)?;
+                s.set_write_timeout(t)?;
+            }
+            NodeTransport::Tcp(s) => {
+                s.set_read_timeout(t)?;
+                s.set_write_timeout(t)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn set_blocking(&self) -> Result<(), ExecError> {
+        match self {
+            NodeTransport::Unix(s) => s.set_nonblocking(false)?,
+            NodeTransport::Tcp(s) => s.set_nonblocking(false)?,
+        }
+        Ok(())
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Frame-shaped [`ExecError`]s from the write path.
+    pub fn send(&mut self, kind: FrameKind, payload: &[u8]) -> Result<(), ExecError> {
+        match self {
+            NodeTransport::Unix(s) => write_frame(s, kind, payload),
+            NodeTransport::Tcp(s) => write_frame(s, kind, payload),
+        }
+    }
+
+    /// Receives one frame.
+    ///
+    /// # Errors
+    ///
+    /// Frame-shaped [`ExecError`]s from the read path; a peer that died
+    /// mid-frame is [`ExecError::Truncated`], one that hung up cleanly is
+    /// [`ExecError::PeerClosed`], one that stopped responding is
+    /// [`ExecError::Timeout`].
+    pub fn recv(&mut self) -> Result<Frame, ExecError> {
+        match self {
+            NodeTransport::Unix(s) => read_frame(s),
+            NodeTransport::Tcp(s) => read_frame(s),
+        }
+    }
+}
+
+impl Read for NodeTransport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            NodeTransport::Unix(s) => s.read(buf),
+            NodeTransport::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for NodeTransport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            NodeTransport::Unix(s) => s.write(buf),
+            NodeTransport::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            NodeTransport::Unix(s) => s.flush(),
+            NodeTransport::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_parse_round_trips() {
+        let unix = NodeAddr::parse("unix:/tmp/node-0.sock").unwrap();
+        assert_eq!(unix, NodeAddr::Unix(PathBuf::from("/tmp/node-0.sock")));
+        assert_eq!(unix.to_string(), "unix:/tmp/node-0.sock");
+        let tcp = NodeAddr::parse("tcp:127.0.0.1:9000").unwrap();
+        assert_eq!(tcp, NodeAddr::Tcp("127.0.0.1:9000".to_string()));
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:9000");
+    }
+
+    #[test]
+    fn malformed_addrs_are_typed_errors() {
+        for bad in [
+            "",
+            "unix:",
+            "tcp:",
+            "tcp:nohostport",
+            "/bare/path",
+            "udp:x:1",
+        ] {
+            assert!(
+                matches!(NodeAddr::parse(bad), Err(ExecError::Protocol(_))),
+                "'{bad}' must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn unix_frames_flow_both_ways() {
+        let dir = std::env::temp_dir().join(format!("h2o_exec_t_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let addr = NodeAddr::Unix(dir.join("pair.sock"));
+        let listener = NodeListener::bind(&addr).unwrap();
+        let client = std::thread::spawn({
+            let addr = addr.clone();
+            move || {
+                let mut t =
+                    NodeTransport::connect(&addr, Duration::from_secs(5), Duration::from_secs(5))
+                        .unwrap();
+                t.send(FrameKind::Hello, b"ping").unwrap();
+                t.recv().unwrap()
+            }
+        });
+        let mut server = listener.accept(Duration::from_secs(5)).unwrap();
+        let frame = server.recv().unwrap();
+        assert_eq!(frame.payload, b"ping");
+        server.send(FrameKind::HelloAck, b"pong").unwrap();
+        let reply = client.join().unwrap();
+        assert_eq!(reply.kind, FrameKind::HelloAck);
+        assert_eq!(reply.payload, b"pong");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tcp_port_zero_resolves_and_carries_frames() {
+        let listener = NodeListener::bind(&NodeAddr::Tcp("127.0.0.1:0".to_string())).unwrap();
+        let addr = listener.local_addr().unwrap();
+        assert!(matches!(&addr, NodeAddr::Tcp(hp) if !hp.ends_with(":0")));
+        let client = std::thread::spawn({
+            let addr = addr.clone();
+            move || {
+                let mut t =
+                    NodeTransport::connect(&addr, Duration::from_secs(5), Duration::from_secs(5))
+                        .unwrap();
+                t.send(FrameKind::Job, &[9; 32]).unwrap();
+            }
+        });
+        let mut server = listener.accept(Duration::from_secs(5)).unwrap();
+        assert_eq!(server.recv().unwrap().payload, vec![9; 32]);
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn connect_to_nobody_times_out_typed() {
+        let err = NodeTransport::connect(
+            &NodeAddr::Unix(PathBuf::from("/nonexistent/h2o/never.sock")),
+            Duration::from_millis(50),
+            Duration::from_secs(1),
+        )
+        .expect_err("nothing listens there");
+        assert!(matches!(err, ExecError::Connect(_)), "{err:?}");
+    }
+
+    #[test]
+    fn accept_with_no_client_times_out_typed() {
+        let dir = std::env::temp_dir().join(format!("h2o_exec_acc_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let listener = NodeListener::bind(&NodeAddr::Unix(dir.join("lonely.sock"))).unwrap();
+        let err = listener
+            .accept(Duration::from_millis(50))
+            .expect_err("no client ever connects");
+        assert!(matches!(err, ExecError::Timeout(_)), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_peer_read_times_out_typed() {
+        let dir = std::env::temp_dir().join(format!("h2o_exec_dead_{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let addr = NodeAddr::Unix(dir.join("dead.sock"));
+        let listener = NodeListener::bind(&addr).unwrap();
+        let client = std::thread::spawn({
+            let addr = addr.clone();
+            move || NodeTransport::connect(&addr, Duration::from_secs(5), Duration::from_millis(80))
+        });
+        let server = listener.accept(Duration::from_secs(5)).unwrap();
+        let mut t = client.join().unwrap().unwrap();
+        // The server holds the connection open but never writes: the read
+        // must come back as a typed timeout, not hang.
+        let err = t.recv().expect_err("silent peer");
+        assert!(matches!(err, ExecError::Timeout(_)), "{err:?}");
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

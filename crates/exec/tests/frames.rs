@@ -1,0 +1,216 @@
+//! Frame-codec robustness suite, mirroring the checkpoint format's
+//! corruption tests: every single-byte flip, truncation at every
+//! boundary, version skew and kind skew must surface as *typed* errors —
+//! never a panic, never a hang, never a silently-accepted frame.
+
+use h2o_exec::{
+    decode_frame, encode_frame, read_frame, write_frame, ExecError, FrameKind, FRAME_HEADER_LEN,
+    MAX_PAYLOAD, PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+use std::io::Read;
+
+fn sample_frame() -> Vec<u8> {
+    encode_frame(
+        FrameKind::Job,
+        b"the quick brown fox jumps over the lazy dog",
+    )
+}
+
+/// Re-stamps the trailing checksum after a deliberate header mutation, so
+/// validation proceeds past the checksum to the field checks.
+fn restamp(mut bytes: Vec<u8>) -> Vec<u8> {
+    let content_len = bytes.len() - 8;
+    let checksum = h2o_exec::wire::fnv1a(&bytes[..content_len]);
+    bytes[content_len..].copy_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+#[test]
+fn every_single_byte_flip_is_caught() {
+    let good = sample_frame();
+    assert!(decode_frame(&good).is_ok());
+    for i in 0..good.len() {
+        for flip in [0x01u8, 0x80, 0xff] {
+            let mut bad = good.clone();
+            bad[i] ^= flip;
+            match decode_frame(&bad) {
+                Err(ExecError::BadMagic) | Err(ExecError::ChecksumMismatch) => {}
+                other => panic!(
+                    "byte {i} flipped by {flip:#04x}: expected BadMagic or \
+                     ChecksumMismatch, got {other:?}"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary_is_typed() {
+    let good = sample_frame();
+    for cut in 0..good.len() {
+        match decode_frame(&good[..cut]) {
+            Err(
+                ExecError::Truncated
+                | ExecError::BadMagic
+                | ExecError::ChecksumMismatch
+                | ExecError::Protocol(_),
+            ) => {}
+            other => panic!("cut at {cut}: expected a typed error, got {other:?}"),
+        }
+    }
+    // Trailing garbage breaks the checksum too.
+    let mut padded = good;
+    padded.push(0);
+    assert_eq!(decode_frame(&padded), Err(ExecError::ChecksumMismatch));
+}
+
+#[test]
+fn version_skew_is_typed() {
+    let mut bytes = sample_frame();
+    bytes[8..12].copy_from_slice(&(PROTOCOL_VERSION + 1).to_le_bytes());
+    assert_eq!(
+        decode_frame(&restamp(bytes)),
+        Err(ExecError::VersionSkew {
+            found: PROTOCOL_VERSION + 1,
+            expected: PROTOCOL_VERSION,
+        })
+    );
+}
+
+#[test]
+fn unknown_kind_is_typed() {
+    let mut bytes = sample_frame();
+    bytes[12..16].copy_from_slice(&999u32.to_le_bytes());
+    assert_eq!(decode_frame(&restamp(bytes)), Err(ExecError::BadKind(999)));
+}
+
+#[test]
+fn oversize_declaration_is_rejected_before_allocation() {
+    // A frame *declaring* a huge payload (without carrying it) must be
+    // rejected from the length field alone.
+    let mut bytes = sample_frame();
+    bytes[16..24].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    assert_eq!(
+        decode_frame(&restamp(bytes)),
+        Err(ExecError::Oversize {
+            len: MAX_PAYLOAD + 1,
+            max: MAX_PAYLOAD,
+        })
+    );
+}
+
+#[test]
+fn declared_length_must_match_carried_payload() {
+    let mut bytes = sample_frame();
+    bytes[16..24].copy_from_slice(&5u64.to_le_bytes());
+    match decode_frame(&restamp(bytes)) {
+        Err(ExecError::Protocol(why)) => assert!(why.contains("payload length"), "{why}"),
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+}
+
+/// A reader that hands out its buffer in caller-chosen chunk sizes,
+/// exercising `read_frame`'s short-read handling.
+struct ChunkedReader {
+    data: Vec<u8>,
+    pos: usize,
+    chunks: Vec<usize>,
+    next_chunk: usize,
+}
+
+impl Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        // Cycle through the chunk sizes; a chunk of 0 becomes 1 so the
+        // stream always makes progress.
+        let chunk = self.chunks[self.next_chunk % self.chunks.len()].max(1);
+        self.next_chunk += 1;
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+proptest! {
+    /// Arbitrary payloads round-trip through encode → arbitrarily-chunked
+    /// stream reads → decode, bit-exactly, for every frame kind.
+    #[test]
+    fn frame_round_trips_across_arbitrary_chunk_boundaries(
+        payload_words in proptest::collection::vec(0u64..256, 0..200),
+        chunks in proptest::collection::vec(1usize..40, 1..12),
+        kind_index in 0usize..6,
+    ) {
+        let kinds = [
+            FrameKind::Hello,
+            FrameKind::HelloAck,
+            FrameKind::Job,
+            FrameKind::Result,
+            FrameKind::Error,
+            FrameKind::Shutdown,
+        ];
+        let kind = kinds[kind_index];
+        let payload: Vec<u8> = payload_words.iter().map(|&w| w as u8).collect();
+        let mut encoded = Vec::new();
+        write_frame(&mut encoded, kind, &payload).expect("write to Vec");
+        prop_assert_eq!(&encoded, &encode_frame(kind, &payload));
+        let mut reader = ChunkedReader { data: encoded, pos: 0, chunks, next_chunk: 0 };
+        let frame = read_frame(&mut reader).expect("round trip");
+        prop_assert_eq!(frame.kind, kind);
+        prop_assert_eq!(frame.payload, payload);
+        // The stream is fully consumed: a follow-up read sees a clean
+        // frame-boundary EOF.
+        prop_assert_eq!(read_frame(&mut reader), Err(ExecError::PeerClosed));
+    }
+
+    /// Truncating an encoded frame at an arbitrary point and serving it
+    /// through arbitrary chunk sizes yields PeerClosed (cut before the
+    /// first byte) or Truncated (cut mid-frame) — never a hang or panic.
+    #[test]
+    fn truncated_streams_yield_typed_errors(
+        payload_words in proptest::collection::vec(0u64..256, 0..100),
+        chunks in proptest::collection::vec(1usize..40, 1..12),
+        cut_seed in 0u64..10_000,
+    ) {
+        let payload: Vec<u8> = payload_words.iter().map(|&w| w as u8).collect();
+        let encoded = encode_frame(FrameKind::Result, &payload);
+        let cut = (cut_seed as usize) % encoded.len();
+        let mut reader = ChunkedReader {
+            data: encoded[..cut].to_vec(),
+            pos: 0,
+            chunks,
+            next_chunk: 0,
+        };
+        let expected = if cut == 0 { ExecError::PeerClosed } else { ExecError::Truncated };
+        prop_assert_eq!(read_frame(&mut reader), Err(expected));
+    }
+
+    /// Arbitrary corruption of one byte anywhere in the frame is caught
+    /// by magic or checksum validation.
+    #[test]
+    fn arbitrary_byte_corruption_is_caught(
+        payload_words in proptest::collection::vec(0u64..256, 1..100),
+        position_seed in 0u64..10_000,
+        flip in 1u64..256,
+    ) {
+        let payload: Vec<u8> = payload_words.iter().map(|&w| w as u8).collect();
+        let mut encoded = encode_frame(FrameKind::Job, &payload);
+        let position = (position_seed as usize) % encoded.len();
+        encoded[position] ^= flip as u8;
+        match decode_frame(&encoded) {
+            Err(ExecError::BadMagic) | Err(ExecError::ChecksumMismatch) => {}
+            other => prop_assert!(false, "byte {} xor {:#04x}: got {:?}", position, flip, other),
+        }
+    }
+}
+
+#[test]
+fn header_len_constant_matches_the_layout() {
+    // magic(8) + version(4) + kind(4) + payload_len(8).
+    assert_eq!(FRAME_HEADER_LEN, 24);
+    let empty = encode_frame(FrameKind::Shutdown, b"");
+    assert_eq!(empty.len(), FRAME_HEADER_LEN + 8);
+}

@@ -2,8 +2,8 @@
 
 use std::fmt;
 
-/// The six contracts h2o-lint enforces. Rule ids (`as_str`) are what the
-/// allow-pragma names: `// h2o-lint: allow(no-wallclock) -- reason`.
+/// The seven contracts h2o-lint enforces. Rule ids (`as_str`) are what
+/// the allow-pragma names: `// h2o-lint: allow(no-wallclock) -- reason`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
     /// `Instant::now` / `SystemTime::now` outside the observability crate
@@ -23,6 +23,10 @@ pub enum Rule {
     /// `.unwrap()` / `.expect()` / `panic!` in non-test code of crates on
     /// the search hot path: typed errors (or a justified pragma) instead.
     PanicHygiene,
+    /// `println!` / `eprintln!` / `dbg!` in library code (anything
+    /// outside a `main.rs` / `src/bin/` entry point): libraries return
+    /// data or go through `h2o_obs`; only binaries own the terminal.
+    NoPrintlnInLibs,
     /// A well-formed `allow` pragma that suppresses no finding: stale
     /// escape hatches must be deleted, or they silently license a future
     /// violation at the same site.
@@ -31,12 +35,13 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::NoWallclock,
         Rule::NoAmbientRng,
         Rule::NoUnorderedCollections,
         Rule::FloatOrdering,
         Rule::PanicHygiene,
+        Rule::NoPrintlnInLibs,
         Rule::UnusedPragma,
     ];
 
@@ -48,6 +53,7 @@ impl Rule {
             Rule::NoUnorderedCollections => "no-unordered-collections",
             Rule::FloatOrdering => "float-ordering",
             Rule::PanicHygiene => "panic-hygiene",
+            Rule::NoPrintlnInLibs => "no-println-in-libs",
             Rule::UnusedPragma => "unused-pragma",
         }
     }

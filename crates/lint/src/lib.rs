@@ -15,6 +15,7 @@
 //! | `no-unordered-collections` | output byte-stability: no `HashMap`/`HashSet` in output-producing crates |
 //! | `float-ordering` | NaN robustness: `total_cmp`, never `partial_cmp().unwrap()` |
 //! | `panic-hygiene` | crash-safety: typed errors on search-reachable paths |
+//! | `no-println-in-libs` | output ownership: only binary entry points (`main.rs`, `src/bin/`) write to stdout/stderr |
 //! | `unused-pragma` | escape-hatch hygiene: an `allow` pragma that suppresses nothing must be deleted |
 //!
 //! Run it with `cargo run -p h2o-lint` (add `--json` for machine-readable

@@ -59,6 +59,9 @@ const ORDERED_OUTPUT_CRATES: &[&str] = &["core", "data", "hwsim", "tensor", "ckp
 /// run: errors must be typed (or the panic justified by a pragma). `obs`
 /// is included because every hot-path step crosses it, and `bench`
 /// because a panicking harness scenario loses the whole baseline run.
+/// `tensor`/`graph`/`models`/`space` carry the decode → build-graph →
+/// train path every shard evaluator (and every worker node) runs per
+/// candidate, so a panic there takes down a distributed run too.
 const PANIC_SCOPED_CRATES: &[&str] = &[
     "core",
     "exec",
@@ -68,6 +71,10 @@ const PANIC_SCOPED_CRATES: &[&str] = &[
     "perfmodel",
     "obs",
     "bench",
+    "tensor",
+    "space",
+    "models",
+    "graph",
 ];
 
 /// Crates allowed to read the wall clock: the observability crate (spans,
@@ -82,9 +89,23 @@ fn scope_of(rule: Rule) -> Scope {
         Rule::NoUnorderedCollections => Scope::Only(ORDERED_OUTPUT_CRATES),
         Rule::FloatOrdering => Scope::AllExcept(&[]),
         Rule::PanicHygiene => Scope::Only(PANIC_SCOPED_CRATES),
+        Rule::NoPrintlnInLibs => Scope::AllExcept(&[]),
         Rule::UnusedPragma => Scope::AllExcept(&[]),
     }
 }
+
+/// Whether a workspace-relative path is a binary entry point — the only
+/// code that owns the terminal and may print. Everything else is library
+/// code, where `no-println-in-libs` applies.
+fn is_binary_entry(rel_path: &str) -> bool {
+    rel_path == "main.rs"
+        || rel_path.ends_with("/main.rs")
+        || rel_path.contains("/bin/")
+        || rel_path.starts_with("bin/")
+}
+
+/// Macros that write to the process's stdout/stderr directly.
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
 
 /// RNG constructors that bypass the seeded SplitMix64 stream discipline.
 const AMBIENT_RNG_IDENTS: &[&str] = &[
@@ -105,6 +126,7 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> 
     let active: Vec<Rule> = Rule::ALL
         .into_iter()
         .filter(|&r| r != Rule::UnusedPragma && scope_of(r).contains(crate_name))
+        .filter(|&r| !(r == Rule::NoPrintlnInLibs && is_binary_entry(rel_path)))
         .collect();
 
     let tokens = lex(src);
@@ -253,6 +275,20 @@ fn match_rule(rule: Rule, code: &[&Token], i: usize, rel_path: &str) -> Option<F
                      justify the invariant with a pragma)"
                         .to_string(),
                 );
+            }
+            None
+        }
+        Rule::NoPrintlnInLibs => {
+            if t.kind == TokenKind::Ident
+                && PRINT_MACROS.contains(&t.text.as_str())
+                && code.get(i + 1).is_some_and(|p| p.is_punct('!'))
+            {
+                return finding(format!(
+                    "`{}!` writes to the terminal from library code; return the text to \
+                     the caller or record it through `h2o_obs` — only binary entry \
+                     points (`main.rs`, `src/bin/`) own stdout/stderr",
+                    t.text
+                ));
             }
             None
         }
@@ -576,13 +612,13 @@ fn f() -> u32 { 1 }
 
     #[test]
     fn pragma_for_out_of_scope_rule_is_unused() {
-        // panic-hygiene never fires in `space`, so the pragma there
+        // panic-hygiene never fires in `lint`, so the pragma there
         // suppresses nothing even though an unwrap sits right under it.
         let src = "\
 // h2o-lint: allow(panic-hygiene) -- wrong crate for this rule
 fn f(x: Option<u32>) -> u32 { x.unwrap() }
 ";
-        let found = lint_in("space", src);
+        let found = lint_in("lint", src);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].rule, Rule::UnusedPragma);
     }
@@ -625,11 +661,44 @@ fn f() { let t = Instant::now(); }
     }
 
     #[test]
-    fn panic_hygiene_covers_obs_and_bench() {
+    fn panic_hygiene_covers_the_whole_candidate_eval_path() {
         let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
-        assert_eq!(lint_in("obs", src).len(), 1);
-        assert_eq!(lint_in("bench", src).len(), 1);
-        assert!(lint_in("space", src).is_empty(), "space stays out of scope");
+        for scoped in ["obs", "bench", "tensor", "space", "models", "graph"] {
+            assert_eq!(lint_in(scoped, src).len(), 1, "{scoped} is in scope");
+        }
+        assert!(lint_in("lint", src).is_empty(), "lint stays out of scope");
+    }
+
+    #[test]
+    fn println_in_library_code_fires_for_every_print_macro() {
+        for mac in ["println", "print", "eprintln", "eprint", "dbg"] {
+            let src = format!("fn f() {{ {mac}!(\"x\"); }}\n");
+            let found = lint_in("space", &src);
+            assert_eq!(found.len(), 1, "{mac}! should fire");
+            assert_eq!(found[0].rule, Rule::NoPrintlnInLibs);
+        }
+    }
+
+    #[test]
+    fn println_in_binary_entry_points_is_allowed() {
+        let src = "fn main() { println!(\"usage\"); }\n";
+        for path in ["crates/lint/src/main.rs", "src/bin/h2o.rs", "main.rs"] {
+            assert!(
+                lint_source("h2o-nas", path, src).is_empty(),
+                "{path} owns the terminal"
+            );
+        }
+        assert_eq!(
+            lint_source("h2o-nas", "src/distributed.rs", src).len(),
+            1,
+            "library modules of a package with binaries are still libraries"
+        );
+    }
+
+    #[test]
+    fn writeln_to_a_caller_supplied_writer_is_fine() {
+        let src = "fn f(w: &mut impl std::io::Write) { let _ = writeln!(w, \"x\"); }\n";
+        assert!(lint_in("space", src).is_empty());
     }
 
     #[test]

@@ -117,6 +117,7 @@ impl EmbeddingTable {
         let batch = self
             .cached_batch
             .as_ref()
+            // h2o-lint: allow(panic-hygiene) -- documented `# Panics` training-order contract
             .expect("backward before lookup_bag");
         assert_eq!(grad_out.rows(), batch.len().max(1), "grad rows mismatch");
         assert_eq!(grad_out.cols(), self.active_width, "grad cols mismatch");

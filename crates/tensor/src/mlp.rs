@@ -68,6 +68,7 @@ impl Mlp {
 
     /// Output width.
     pub fn n_out(&self) -> usize {
+        // h2o-lint: allow(panic-hygiene) -- constructor rejects empty layer lists
         self.layers.last().expect("non-empty").n_out()
     }
 

@@ -134,7 +134,7 @@ impl<'a> StateReader<'a> {
     /// [`StateError::Truncated`] if fewer than 8 bytes remain.
     pub fn take_u64(&mut self) -> Result<u64, StateError> {
         let bytes = self.take(8)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes"))) // h2o-lint: allow(panic-hygiene) -- chunk width fixed by take()/chunks_exact
     }
 
     /// Reads a length-prefixed `f32` buffer into `dst`, requiring the
@@ -154,6 +154,7 @@ impl<'a> StateReader<'a> {
         }
         let bytes = self.take(found * 4)?;
         for (d, chunk) in dst.iter_mut().zip(bytes.chunks_exact(4)) {
+            // h2o-lint: allow(panic-hygiene) -- chunk width fixed by take()/chunks_exact
             *d = f32::from_bits(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
         }
         Ok(())
@@ -170,7 +171,7 @@ impl<'a> StateReader<'a> {
         let bytes = self.take(len * 4)?;
         Ok(bytes
             .chunks_exact(4)
-            .map(|chunk| f32::from_bits(u32::from_le_bytes(chunk.try_into().expect("4 bytes"))))
+            .map(|chunk| f32::from_bits(u32::from_le_bytes(chunk.try_into().expect("4 bytes")))) // h2o-lint: allow(panic-hygiene) -- chunk width fixed by take()/chunks_exact
             .collect())
     }
 

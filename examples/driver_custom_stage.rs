@@ -56,7 +56,11 @@ impl CandidateStage for HalvingStage {
         "example_halving_steps_total"
     }
 
-    fn collect(&mut self, step: usize, policy: &Policy) -> Vec<(ArchSample, EvalResult)> {
+    fn collect(
+        &mut self,
+        step: usize,
+        policy: &Policy,
+    ) -> Result<Vec<(ArchSample, EvalResult)>, String> {
         // One RNG per (seed, step): the whole stage stays deterministic and
         // resumable without storing any run-long RNG state.
         let mut rng = StdRng::seed_from_u64(shard_seed(self.seed, step as u64, u64::MAX));
@@ -72,7 +76,8 @@ impl CandidateStage for HalvingStage {
         pool.sort_by(|a, b| a.1.total_cmp(&b.1));
         self.screened += pool.len();
         pool.truncate(self.shards);
-        pool.into_iter()
+        Ok(pool
+            .into_iter()
             .map(|(sample, _)| {
                 self.simulations += 1;
                 let arch = self.space.decode(&sample);
@@ -91,7 +96,7 @@ impl CandidateStage for HalvingStage {
                     },
                 )
             })
-            .collect()
+            .collect())
     }
 }
 

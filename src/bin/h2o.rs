@@ -12,21 +12,21 @@
 
 use h2o_nas::ckpt::{CheckpointStore, FileCheckpointSink};
 use h2o_nas::core::{
-    parallel_search_with, CheckpointSink, EvalResult, PerfObjective, ResumeState, RewardFn,
-    RewardKind, SearchConfig,
+    parallel_search_with, CheckpointSink, DistributedStage, PerfObjective, ResumeState, RewardFn,
+    RewardKind, SearchConfig, SearchDriver, SearchOutcome,
 };
+use h2o_nas::distributed::{EvalScenario, NodeCluster};
+use h2o_nas::exec::{DistributedPool, NodeAddr, PoolOptions};
 use h2o_nas::graph::Graph;
-use h2o_nas::hwsim::{
-    arch_key, CachedSimulator, EvalCache, EvalCost, HardwareConfig, Simulator, SystemConfig,
-};
+use h2o_nas::hwsim::{EvalCache, HardwareConfig, Simulator, SystemConfig};
 use h2o_nas::models::coatnet::CoAtNet;
 use h2o_nas::models::efficientnet::EfficientNet;
-use h2o_nas::models::quality::{DatasetScale, DlrmQualityModel, VisionQualityModel};
 use h2o_nas::space::{
     ArchSample, CnnSpace, CnnSpaceConfig, DlrmSpace, DlrmSpaceConfig, VitSpace, VitSpaceConfig,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 h2o — Hyperscale Hardware Optimized NAS (ASPLOS'23 reproduction)
@@ -42,6 +42,14 @@ USAGE:
              [--workers N] [--eval-cache on|off] [--eval-cache-capacity N]
              [--csv STEM] [--metrics-out FILE] [--trace-out FILE]
              [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]
+             [--nodes N | --nodes addr,addr,...] [--node-timeout-ms X]
+  h2o node-worker --addr <unix:PATH|tcp:HOST:PORT> --domain <cnn|dlrm|vit>
+             [--eval-cache on|off] [--eval-cache-capacity N] [--chaos-exit-after N]
+
+  --nodes N spawns N local node-worker subprocesses on Unix sockets;
+  --nodes with addresses connects to already-running workers (H2O_NODES
+  is the environment equivalent). Search outcomes are byte-identical for
+  any node count.
 
 MODELS:
   coatnet-0..coatnet-5, coatnet-h0..coatnet-h5,
@@ -364,25 +372,71 @@ fn checkpoint_setup(
     Ok((Some(FileCheckpointSink::new(store, every)), state))
 }
 
-/// Per-shard simulator front-end: plain, or memoizing through a shared
-/// [`EvalCache`] when `--eval-cache on`.
-enum ShardSim {
-    Plain(Simulator),
-    Cached(CachedSimulator),
+/// Runs the search over a pool of worker processes instead of in-process
+/// threads: spawn or connect the nodes, handshake on the scenario
+/// fingerprint, then drive the same `SearchDriver` loop through a
+/// `DistributedStage`. The outcome is byte-identical to the in-process
+/// path for any node count.
+#[allow(clippy::too_many_arguments)]
+fn run_distributed(
+    scenario: &EvalScenario,
+    space: &h2o_nas::space::SearchSpace,
+    reward: &RewardFn,
+    cfg: SearchConfig,
+    nodes_spec: &str,
+    node_timeout: Duration,
+    resume_state: Option<ResumeState>,
+    sink: Option<&mut dyn CheckpointSink>,
+) -> Result<SearchOutcome, String> {
+    let options = PoolOptions {
+        io_timeout: node_timeout,
+        ..PoolOptions::default()
+    };
+    let (cluster, addrs) = if let Ok(count) = nodes_spec.parse::<usize>() {
+        let cluster = NodeCluster::spawn(count, scenario)?;
+        let addrs = cluster.addrs().to_vec();
+        (Some(cluster), addrs)
+    } else {
+        let addrs = nodes_spec
+            .split(',')
+            .map(|s| NodeAddr::parse(s.trim()).map_err(|e| e.to_string()))
+            .collect::<Result<Vec<_>, _>>()?;
+        (None, addrs)
+    };
+    println!(
+        "distributed: {} node process(es), io timeout {node_timeout:?}",
+        addrs.len()
+    );
+    let pool = DistributedPool::connect(&addrs, scenario.fingerprint(), options)
+        .map_err(|e| e.to_string())?;
+    let mut stage = DistributedStage::new(pool, &cfg);
+    let result = SearchDriver::new(space, reward, cfg).run(&mut stage, resume_state, sink);
+    stage.shutdown();
+    if let Some(cluster) = cluster {
+        cluster.shutdown();
+    }
+    result.map_err(|e| e.to_string())
 }
 
-impl ShardSim {
-    fn training_cost(
-        &self,
-        key: u64,
-        system: &SystemConfig,
-        build: impl FnOnce() -> Graph,
-    ) -> EvalCost {
-        match self {
-            ShardSim::Plain(sim) => EvalCost::from_report(&sim.simulate_training(&build(), system)),
-            ShardSim::Cached(cached) => cached.training_cost(key, system, build),
-        }
-    }
+fn cmd_node_worker(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("addr").ok_or("missing --addr")?;
+    let domain = flags.get("domain").ok_or("missing --domain")?;
+    let cache_on = match flags.get("eval-cache").map(String::as_str) {
+        None | Some("on") | Some("true") => true,
+        Some("off") | Some("false") => false,
+        Some(other) => return Err(format!("bad --eval-cache '{other}' (on|off)")),
+    };
+    let cache_capacity: usize = flags
+        .get("eval-cache-capacity")
+        .map(|s| s.parse().map_err(|_| "bad --eval-cache-capacity"))
+        .transpose()?
+        .unwrap_or(4096);
+    let chaos_exit_after: Option<usize> = flags
+        .get("chaos-exit-after")
+        .map(|s| s.parse().map_err(|_| "bad --chaos-exit-after"))
+        .transpose()?;
+    let scenario = EvalScenario::new(domain, cache_on.then_some(cache_capacity))?;
+    h2o_nas::distributed::run_worker(addr, scenario, chaos_exit_after)
 }
 
 fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -419,14 +473,20 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
         .transpose()?
         .unwrap_or(4096);
     let cache = cache_on.then(|| EvalCache::new(cache_capacity));
-    // Every shard shares the same cache storage; a clone is a handle.
-    let shard_sim = |cache: &Option<EvalCache>| {
-        let sim = Simulator::new(HardwareConfig::tpu_v4());
-        match cache {
-            Some(c) => ShardSim::Cached(CachedSimulator::new(sim, c.clone())),
-            None => ShardSim::Plain(sim),
-        }
-    };
+    // --nodes / H2O_NODES switches candidate evaluation from in-process
+    // threads to worker subprocesses; either an integer (auto-spawn that
+    // many local Unix-socket workers) or a comma-separated address list.
+    let nodes_spec = flags
+        .get("nodes")
+        .cloned()
+        .or_else(|| std::env::var("H2O_NODES").ok());
+    let node_timeout = Duration::from_millis(
+        flags
+            .get("node-timeout-ms")
+            .map(|s| s.parse().map_err(|_| "bad --node-timeout-ms"))
+            .transpose()?
+            .unwrap_or(30_000u64),
+    );
     let cfg = SearchConfig {
         steps,
         shards,
@@ -453,122 +513,45 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
     };
 
     match domain {
-        "cnn" => {
-            let space = CnnSpace::new(CnnSpaceConfig::default());
-            let quality = VisionQualityModel::new(DatasetScale::Medium);
+        // The stateless-evaluator domains share one code path: the same
+        // EvalScenario builds the evaluator for in-process shards and for
+        // worker subprocesses, so the two modes cannot drift apart.
+        "cnn" | "dlrm" | "vit" => {
+            let scenario = EvalScenario::new(domain, cache_on.then_some(cache_capacity))?;
+            let space = scenario.space();
             let (mut sink, resume_state) =
-                checkpoint_setup(flags, cfg.fingerprint(space.space()), cfg.steps)?;
-            let outcome = parallel_search_with(
-                space.space(),
-                &reward,
-                |_| {
-                    let space = CnnSpace::new(CnnSpaceConfig::default());
-                    let sim = shard_sim(&cache);
-                    move |sample: &ArchSample| {
-                        let arch = space.decode(sample);
-                        let cost = sim.training_cost(
-                            arch_key("cnn", sample),
-                            &SystemConfig::training_pod(),
-                            || arch.build_graph(64),
-                        );
-                        EvalResult {
-                            quality: quality.accuracy_of_cnn(&arch, cost.params / 1e6),
-                            perf_values: vec![cost.latency],
-                        }
-                    }
-                },
-                &cfg,
-                resume_state,
-                sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
-            );
+                checkpoint_setup(flags, cfg.fingerprint(&space), cfg.steps)?;
+            let outcome = match &nodes_spec {
+                Some(spec) => run_distributed(
+                    &scenario,
+                    &space,
+                    &reward,
+                    cfg,
+                    spec,
+                    node_timeout,
+                    resume_state,
+                    sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
+                )?,
+                None => parallel_search_with(
+                    &space,
+                    &reward,
+                    // Every shard shares the same cache storage; a clone
+                    // is a handle.
+                    |_| scenario.shard_evaluator(cache.clone()),
+                    &cfg,
+                    resume_state,
+                    sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
+                ),
+            };
             maybe_export(&outcome)?;
-            let best = space.decode(&outcome.best);
-            println!("best: resolution {}, blocks:", best.resolution);
-            for (i, b) in best.blocks.iter().enumerate() {
-                println!(
-                    "  {i}: {:?} k{} e{} d{} w{}",
-                    b.block_type, b.kernel, b.expansion, b.depth, b.width
-                );
-            }
+            println!("{}", scenario.describe_best(&outcome.best));
         }
-        "dlrm" => {
-            let mut config = DlrmSpaceConfig::production();
-            config.tables.truncate(40);
-            let space = DlrmSpace::new(config.clone());
-            let base = space.decode(&space.baseline());
-            let quality = DlrmQualityModel::new(&base, 85.0);
-            let (mut sink, resume_state) =
-                checkpoint_setup(flags, cfg.fingerprint(space.space()), cfg.steps)?;
-            let outcome = parallel_search_with(
-                space.space(),
-                &reward,
-                |_| {
-                    let space = DlrmSpace::new(config.clone());
-                    let sim = shard_sim(&cache);
-                    let quality = quality.clone();
-                    move |sample: &ArchSample| {
-                        let arch = space.decode(sample);
-                        let cost = sim.training_cost(
-                            arch_key("dlrm", sample),
-                            &SystemConfig::training_pod(),
-                            || arch.build_graph(64, 128),
-                        );
-                        EvalResult {
-                            quality: quality.quality(&arch),
-                            perf_values: vec![cost.latency],
-                        }
-                    }
-                },
-                &cfg,
-                resume_state,
-                sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
+        "dlrm-oneshot" if nodes_spec.is_some() => {
+            return Err(
+                "--nodes does not support dlrm-oneshot: the one-shot search trains a shared \
+                 supernet, which cannot be sharded across stateless worker processes"
+                    .into(),
             );
-            maybe_export(&outcome)?;
-            let best = space.decode(&outcome.best);
-            println!(
-                "best: {} tables totalling {:.0}M embedding params, {} MLP groups, size {:.1} MB",
-                best.tables.len(),
-                best.embedding_params() / 1e6,
-                best.mlp_groups.len(),
-                best.model_size_bytes() / 1e6
-            );
-        }
-        "vit" => {
-            let space = VitSpace::new(VitSpaceConfig::pure());
-            let quality = VisionQualityModel::new(DatasetScale::Medium);
-            let (mut sink, resume_state) =
-                checkpoint_setup(flags, cfg.fingerprint(space.space()), cfg.steps)?;
-            let outcome = parallel_search_with(
-                space.space(),
-                &reward,
-                |_| {
-                    let space = VitSpace::new(VitSpaceConfig::pure());
-                    let sim = shard_sim(&cache);
-                    move |sample: &ArchSample| {
-                        let arch = space.decode(sample);
-                        let cost = sim.training_cost(
-                            arch_key("vit", sample),
-                            &SystemConfig::training_pod(),
-                            || arch.build_graph(32, 512),
-                        );
-                        EvalResult {
-                            quality: quality.accuracy_of_vit(&arch, cost.params / 1e6),
-                            perf_values: vec![cost.latency],
-                        }
-                    }
-                },
-                &cfg,
-                resume_state,
-                sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
-            );
-            maybe_export(&outcome)?;
-            let best = space.decode(&outcome.best);
-            for (i, b) in best.tfm_blocks.iter().enumerate() {
-                println!(
-                    "  block {i}: hidden {} x{} layers, {:?}, rank {:.1}, pool={}, primer={}",
-                    b.hidden, b.layers, b.act, b.low_rank, b.seq_pool, b.primer
-                );
-            }
         }
         "dlrm-oneshot" => {
             // The full §4 loop on a small scale: DLRM super-network +
@@ -712,6 +695,7 @@ fn main() -> ExitCode {
             "roofline" => cmd_roofline(&flags),
             "sweep" => cmd_sweep(&flags),
             "search" => cmd_search(&flags),
+            "node-worker" => cmd_node_worker(&flags),
             "help" | "--help" | "-h" => {
                 print!("{USAGE}");
                 Ok(())

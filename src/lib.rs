@@ -23,6 +23,9 @@
 //!   searches.
 //! * [`obs`] (`h2o-obs`) — the observability layer: metrics registry, span
 //!   timers and Prometheus / JSON / Chrome-trace exporters.
+//! * [`distributed`] — multi-process search plumbing shared by the CLI's
+//!   `--nodes` controller side and its `node-worker` subprocess mode:
+//!   evaluation scenarios, the worker serve loop, local cluster spawning.
 //! * [`graph`] (`h2o-graph`) — the HLO-like operator IR.
 //! * [`tensor`] (`h2o-tensor`) — the minimal dense NN training substrate.
 //! * [`models`] (`h2o-models`) — CoAtNet(-H), EfficientNet-X/H, DLRM(-H)
@@ -59,6 +62,8 @@
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod distributed;
 
 pub use h2o_ckpt as ckpt;
 pub use h2o_core as core;

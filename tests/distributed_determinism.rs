@@ -1,0 +1,295 @@
+//! The cross-process determinism proof (the headline artifact of the
+//! multi-process search): the `h2o` binary run end-to-end must write
+//! byte-identical telemetry CSVs whether candidates are evaluated
+//! in-process or across 1, 2, or 4 worker node processes, over Unix
+//! sockets or TCP, with the eval cache on or off, and through a
+//! kill-and-resume cycle — the history CSV compared modulo its wall-clock
+//! column, exactly as the single-process determinism suite does.
+//!
+//! Chaos coverage rides along: a worker that vanishes mid-run must
+//! surface as a typed error on the controller (promptly — no deadlock),
+//! and a resume from the last checkpoint must still reproduce the
+//! uninterrupted golden run.
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// A per-test temp dir: process id + test name, so parallel test threads
+/// and stale runs never collide.
+fn unique_temp_dir(test_name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "h2o_dist_determinism_{}_{}",
+        std::process::id(),
+        test_name
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Runs `h2o search --domain dlrm --steps 6 --shards 4` plus `extra`
+/// flags, writing CSVs to `<dir>/<stem>_*` when a stem is given.
+fn run_search(dir: &Path, stem: Option<&str>, extra: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_h2o"));
+    cmd.args([
+        "search", "--domain", "dlrm", "--steps", "6", "--shards", "4",
+    ]);
+    cmd.args(extra);
+    if let Some(stem) = stem {
+        cmd.arg("--csv").arg(dir.join(stem));
+    }
+    cmd.output().expect("h2o binary runs")
+}
+
+fn assert_success(out: &std::process::Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Reads `<stem>_history.csv` (wall-clock column stripped) and
+/// `<stem>_candidates.csv`.
+fn read_csvs(dir: &Path, stem: &str) -> (String, String) {
+    let text = |suffix: &str| {
+        let path = dir.join(format!("{stem}{suffix}"));
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+    };
+    let history: String = text("_history.csv")
+        .lines()
+        .map(|line| {
+            let (rest, _timing) = line.rsplit_once(',').expect("timing column");
+            format!("{rest}\n")
+        })
+        .collect();
+    (history, text("_candidates.csv"))
+}
+
+#[test]
+fn node_counts_one_two_four_match_the_serial_run() {
+    let dir = unique_temp_dir("node_counts");
+    let out = run_search(&dir, Some("serial"), &[]);
+    assert_success(&out, "serial run");
+    let golden = read_csvs(&dir, "serial");
+    for nodes in ["1", "2", "4"] {
+        let stem = format!("nodes{nodes}");
+        let out = run_search(&dir, Some(&stem), &["--nodes", nodes]);
+        assert_success(&out, &format!("{nodes}-node run"));
+        assert_eq!(
+            read_csvs(&dir, &stem),
+            golden,
+            "--nodes {nodes} diverged from the serial run"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_off_distributed_matches_cache_off_serial() {
+    // The worker processes keep their own private eval caches; cache
+    // state is value-invisible memoization, so cache-off runs must agree
+    // with cache-on runs AND distributed cache-off must agree with serial
+    // cache-off.
+    let dir = unique_temp_dir("cache_off");
+    let out = run_search(&dir, Some("serial_on"), &[]);
+    assert_success(&out, "serial cache-on run");
+    let out = run_search(&dir, Some("serial_off"), &["--eval-cache", "off"]);
+    assert_success(&out, "serial cache-off run");
+    let out = run_search(
+        &dir,
+        Some("dist_off"),
+        &["--eval-cache", "off", "--nodes", "2"],
+    );
+    assert_success(&out, "2-node cache-off run");
+    let golden = read_csvs(&dir, "serial_on");
+    assert_eq!(
+        read_csvs(&dir, "serial_off"),
+        golden,
+        "the eval cache must be value-invisible"
+    );
+    assert_eq!(
+        read_csvs(&dir, "dist_off"),
+        golden,
+        "distributed cache-off diverged"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn distributed_resume_from_mid_run_checkpoint_matches_golden() {
+    // Full 6-step serial golden vs: 4 distributed steps with
+    // checkpointing, then a distributed --resume to 6. Byte-identical.
+    let dir = unique_temp_dir("dist_resume");
+    let ckpt = dir.join("ckpt");
+    let ckpt = ckpt.to_str().expect("utf-8 path");
+    let out = run_search(&dir, Some("full"), &[]);
+    assert_success(&out, "serial golden run");
+    let out = Command::new(env!("CARGO_BIN_EXE_h2o"))
+        .args([
+            "search", "--domain", "dlrm", "--steps", "4", "--shards", "4",
+        ])
+        .args([
+            "--nodes",
+            "2",
+            "--checkpoint-dir",
+            ckpt,
+            "--checkpoint-every",
+            "2",
+        ])
+        .output()
+        .expect("h2o binary runs");
+    assert_success(&out, "truncated distributed run");
+    let out = run_search(
+        &dir,
+        Some("resumed"),
+        &[
+            "--nodes",
+            "2",
+            "--checkpoint-dir",
+            ckpt,
+            "--checkpoint-every",
+            "2",
+            "--resume",
+        ],
+    );
+    assert_success(&out, "resumed distributed run");
+    assert_eq!(
+        read_csvs(&dir, "resumed"),
+        read_csvs(&dir, "full"),
+        "a distributed resume must reproduce the uninterrupted serial run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Spawns a `node-worker` subprocess and returns it with the address it
+/// announced on stdout (resolving `tcp:...:0` to the OS-chosen port).
+fn spawn_worker(args: &[&str]) -> (std::process::Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_h2o"))
+        .arg("node-worker")
+        .args(args)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("node-worker spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("worker announces its address");
+    let addr = line
+        .trim()
+        .strip_prefix("node-worker listening ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn tcp_nodes_match_the_serial_run() {
+    let dir = unique_temp_dir("tcp_nodes");
+    let out = run_search(&dir, Some("serial"), &[]);
+    assert_success(&out, "serial run");
+    let (mut worker_a, addr_a) = spawn_worker(&["--addr", "tcp:127.0.0.1:0", "--domain", "dlrm"]);
+    let (mut worker_b, addr_b) = spawn_worker(&["--addr", "tcp:127.0.0.1:0", "--domain", "dlrm"]);
+    let nodes = format!("{addr_a},{addr_b}");
+    let out = run_search(&dir, Some("tcp"), &["--nodes", &nodes]);
+    // The controller sends Shutdown frames, so the workers exit on their
+    // own; reap them before asserting so failures don't leak processes.
+    let _ = worker_a.kill();
+    let _ = worker_b.kill();
+    let _ = worker_a.wait();
+    let _ = worker_b.wait();
+    assert_success(&out, "2-TCP-node run");
+    assert_eq!(
+        read_csvs(&dir, "tcp"),
+        read_csvs(&dir, "serial"),
+        "TCP transport diverged from the serial run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn scenario_mismatch_fails_the_handshake_with_a_typed_error() {
+    let dir = unique_temp_dir("mismatch");
+    // Worker evaluates the CNN space; the controller searches DLRM.
+    let (mut worker, addr) = spawn_worker(&["--addr", "tcp:127.0.0.1:0", "--domain", "cnn"]);
+    let out = run_search(&dir, None, &["--nodes", &addr]);
+    let _ = worker.kill();
+    let _ = worker.wait();
+    assert!(
+        !out.status.success(),
+        "a domain-mismatched worker must fail the handshake"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("scenario fingerprint"),
+        "expected a scenario-mismatch error, got: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_node_surfaces_typed_error_and_checkpoint_resume_recovers() {
+    let dir = unique_temp_dir("chaos");
+    let ckpt = dir.join("ckpt");
+    let ckpt = ckpt.to_str().expect("utf-8 path");
+    let out = run_search(&dir, Some("golden"), &[]);
+    assert_success(&out, "serial golden run");
+
+    // The worker answers 12 jobs (steps 0..3 at 4 shards), then vanishes
+    // mid-step-3 without a Shutdown or Error frame — indistinguishable
+    // from a crashed node. Checkpoints land after steps 2 (and would land
+    // at 4 and 6); the last one before death is step 2.
+    let sock = dir.join("chaos.sock");
+    let addr = format!("unix:{}", sock.display());
+    let (mut worker, _addr) = spawn_worker(&[
+        "--addr",
+        &addr,
+        "--domain",
+        "dlrm",
+        "--chaos-exit-after",
+        "12",
+    ]);
+    let out = Command::new(env!("CARGO_BIN_EXE_h2o"))
+        .args([
+            "search", "--domain", "dlrm", "--steps", "6", "--shards", "4",
+        ])
+        .args(["--nodes", &addr, "--node-timeout-ms", "10000"])
+        .args(["--checkpoint-dir", ckpt, "--checkpoint-every", "2"])
+        .output()
+        .expect("h2o binary runs");
+    let _ = worker.kill();
+    let _ = worker.wait();
+    assert!(
+        !out.status.success(),
+        "a search whose only node died must fail"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("candidate collection failed at step 3"),
+        "expected a typed eval error naming the failed step, got: {stderr}"
+    );
+
+    // The checkpoint from step 2 is intact: a serial resume completes the
+    // search and reproduces the golden run byte-for-byte.
+    let out = run_search(
+        &dir,
+        Some("recovered"),
+        &[
+            "--checkpoint-dir",
+            ckpt,
+            "--checkpoint-every",
+            "2",
+            "--resume",
+        ],
+    );
+    assert_success(&out, "post-chaos resume");
+    assert_eq!(
+        read_csvs(&dir, "recovered"),
+        read_csvs(&dir, "golden"),
+        "resume after node death must reproduce the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -52,6 +52,25 @@ cmp <(cut -d, -f1-4 "$mpdir/serial_history.csv") \
     <(cut -d, -f1-4 "$mpdir/nodes_history.csv")
 rm -rf "$mpdir"
 
+# Chaos smoke: the fault-tolerance leg of the contract, through the
+# release binary. One of the two spawn-managed workers is launched with
+# --chaos-exit-after (via the H2O_CHAOS_* env hooks) and dies mid-run;
+# redispatch + respawn must complete the run with exit 0 and telemetry
+# byte-identical to the serial run — no resume involved.
+echo "==> chaos smoke (--nodes 2, one worker dies mid-run)"
+chdir=$(mktemp -d)
+./target/release/h2o search --domain dlrm --steps 6 --shards 4 \
+    --csv "$chdir/serial" >/dev/null
+H2O_CHAOS_EXIT_AFTER=5 H2O_CHAOS_NODE=0 \
+./target/release/h2o search --domain dlrm --steps 6 --shards 4 --nodes 2 \
+    --csv "$chdir/chaos" --metrics-out "$chdir/chaos.prom" >/dev/null
+cmp "$chdir/serial_candidates.csv" "$chdir/chaos_candidates.csv"
+cmp <(cut -d, -f1-4 "$chdir/serial_history.csv") \
+    <(cut -d, -f1-4 "$chdir/chaos_history.csv")
+grep -q '^h2o_exec_node_deaths_total [1-9]' "$chdir/chaos.prom"
+grep -q '^h2o_exec_redispatched_jobs_total [1-9]' "$chdir/chaos.prom"
+rm -rf "$chdir"
+
 # Loom-style smoke: force every executor batch through the serialized
 # in-order schedule and re-check the executor, cache and determinism
 # suites against it.

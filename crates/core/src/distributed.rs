@@ -19,7 +19,14 @@
 //!
 //! `tests/distributed_determinism.rs` holds the proof: byte-identical
 //! history/candidates/best CSVs at 1, 2, and 4 node processes, cache on
-//! and off, including a resume from a mid-run checkpoint.
+//! and off, including a resume from a mid-run checkpoint — and including
+//! chaos runs where a node is killed mid-search. Node death is absorbed
+//! below this layer: [`DistributedPool::execute`] redispatches a dead
+//! node's unfinished jobs to survivors (optionally respawning the
+//! worker), and because evaluation is a pure function of the job payload
+//! the stage cannot observe where a job ran. Only pool exhaustion
+//! (fewer live nodes than its configured floor) or a non-I/O protocol
+//! error surfaces as the stage error.
 //!
 //! The wire payloads (inside [`h2o_exec`] Job/Result frames) use the same
 //! `Enc`/`Dec` codec as the checkpoint file format:
@@ -97,10 +104,12 @@ pub fn decode_eval_result(bytes: &[u8]) -> Result<EvalResult, WireError> {
 /// processes through a [`DistributedPool`], and replies merge in
 /// submission order.
 ///
-/// Any transport failure (node death, timeout, checksum mismatch) is
-/// returned as the stage error and surfaces from the driver as
-/// [`DriverError::Eval`](crate::DriverError::Eval); the last on-disk
-/// checkpoint remains valid to resume from.
+/// Node churn is handled inside the pool (redispatch + bounded respawn);
+/// what reaches the stage error — and surfaces from the driver as
+/// [`DriverError::Eval`](crate::DriverError::Eval) — is pool exhaustion
+/// (live nodes below `PoolOptions::min_live_nodes`) or a fatal protocol
+/// error (checksum mismatch, scenario skew, worker-reported failure).
+/// The last on-disk checkpoint remains valid to resume from.
 #[derive(Debug)]
 pub struct DistributedStage {
     pool: DistributedPool,

@@ -61,10 +61,12 @@ pub enum DriverError {
         /// The sink's error message.
         message: String,
     },
-    /// The [`CandidateStage`] failed to produce this step's candidates —
-    /// typically a remote evaluator node died or the transport to it
-    /// failed. Every step before `step` completed normally, so the last
-    /// on-disk checkpoint (if any) remains valid to resume from.
+    /// The [`CandidateStage`] failed to produce this step's candidates.
+    /// On the distributed stage individual node deaths are absorbed by
+    /// redispatch/respawn, so this means the node pool was exhausted
+    /// (fewer live nodes than its configured floor) or a fatal protocol
+    /// error occurred. Every step before `step` completed normally, so
+    /// the last on-disk checkpoint (if any) remains valid to resume from.
     Eval {
         /// The step whose collection failed (zero-based; this step did
         /// *not* complete).
@@ -171,9 +173,10 @@ pub trait CandidateStage {
     ///
     /// In-process stages are infallible and simply wrap their candidates
     /// in `Ok`. Stages that cross a process boundary (the distributed
-    /// stage fanning out over worker nodes) return `Err` when a node dies
-    /// or the transport fails; the driver surfaces it as
-    /// [`DriverError::Eval`].
+    /// stage fanning out over worker nodes) return `Err` when evaluation
+    /// can no longer proceed — the node pool dropped below its live
+    /// floor, or a fatal protocol error occurred; the driver surfaces it
+    /// as [`DriverError::Eval`].
     fn collect(
         &mut self,
         step: usize,

@@ -134,6 +134,38 @@ pub enum ExecError {
         /// The worker's error message.
         message: String,
     },
+    /// Node deaths left fewer live nodes than the pool's configured
+    /// minimum (`PoolOptions::min_live_nodes`); the batch cannot complete
+    /// even with redispatch.
+    NodesExhausted {
+        /// Live nodes remaining after the losses.
+        live: usize,
+        /// The configured minimum.
+        min: usize,
+        /// The rendered error that killed the last node.
+        last_error: String,
+    },
+}
+
+impl ExecError {
+    /// Whether this error means the connection to a node is gone — an
+    /// I/O-class failure (timeout, peer hang-up, torn frame, transport
+    /// I/O) that a fault-tolerant pool may recover from by marking the
+    /// node dead and redispatching its unfinished jobs. Protocol- and
+    /// configuration-class errors (version skew, scenario mismatch, a
+    /// worker-reported evaluation failure, malformed frames from a *live*
+    /// peer) return `false`: retrying cannot fix those, so they stay
+    /// fatal.
+    pub fn is_node_loss(&self) -> bool {
+        matches!(
+            self,
+            ExecError::Connect(_)
+                | ExecError::Io(_)
+                | ExecError::Timeout(_)
+                | ExecError::PeerClosed
+                | ExecError::Truncated
+        )
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -164,6 +196,15 @@ impl fmt::Display for ExecError {
             ExecError::Worker { node, message } => {
                 write!(f, "node {node} evaluation failed: {message}")
             }
+            ExecError::NodesExhausted {
+                live,
+                min,
+                last_error,
+            } => write!(
+                f,
+                "node pool degraded to {live} live node(s), below the configured minimum \
+                 of {min} (last node loss: {last_error})"
+            ),
         }
     }
 }

@@ -345,7 +345,7 @@ mod tests {
             i if i == a => 5.0,
             i if i == b => 9.0,
             i if i == c => 1.0,
-            _ => unreachable!(),
+            other => panic!("critical_path_time queried unknown node {other:?}"),
         };
         assert_eq!(g.critical_path_time(time), 10.0);
     }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// The seven contracts h2o-lint enforces. Rule ids (`as_str`) are what
+/// The eight contracts h2o-lint enforces. Rule ids (`as_str`) are what
 /// the allow-pragma names: `// h2o-lint: allow(no-wallclock) -- reason`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
@@ -17,8 +17,10 @@ pub enum Rule {
     /// checkpointed output: iteration order is unspecified, so ordered
     /// (`BTreeMap`/`BTreeSet`) containers are required.
     NoUnorderedCollections,
-    /// `partial_cmp(..).unwrap()/.expect()`: NaN panics at comparison
-    /// time; `total_cmp` orders every float.
+    /// `partial_cmp(..).unwrap()/.expect()` (NaN panics at comparison
+    /// time) and `partial_cmp(..).unwrap_or(..)` (a NaN-swallowing
+    /// fallback makes the comparator non-transitive, silently
+    /// mis-sorting): `total_cmp` orders every float.
     FloatOrdering,
     /// `.unwrap()` / `.expect()` / `panic!` in non-test code of crates on
     /// the search hot path: typed errors (or a justified pragma) instead.
@@ -27,6 +29,11 @@ pub enum Rule {
     /// outside a `main.rs` / `src/bin/` entry point): libraries return
     /// data or go through `h2o_obs`; only binaries own the terminal.
     NoPrintlnInLibs,
+    /// `unreachable!` / `todo!` in non-test code: a branch the author
+    /// believed impossible is a panic waiting for the first input that
+    /// disproves the belief — return a typed error (or justify the
+    /// structural invariant with a pragma) instead.
+    NoUnreachable,
     /// A well-formed `allow` pragma that suppresses no finding: stale
     /// escape hatches must be deleted, or they silently license a future
     /// violation at the same site.
@@ -35,13 +42,14 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::NoWallclock,
         Rule::NoAmbientRng,
         Rule::NoUnorderedCollections,
         Rule::FloatOrdering,
         Rule::PanicHygiene,
         Rule::NoPrintlnInLibs,
+        Rule::NoUnreachable,
         Rule::UnusedPragma,
     ];
 
@@ -54,6 +62,7 @@ impl Rule {
             Rule::FloatOrdering => "float-ordering",
             Rule::PanicHygiene => "panic-hygiene",
             Rule::NoPrintlnInLibs => "no-println-in-libs",
+            Rule::NoUnreachable => "no-unreachable",
             Rule::UnusedPragma => "unused-pragma",
         }
     }

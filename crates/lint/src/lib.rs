@@ -13,9 +13,10 @@
 //! | `no-wallclock` | resume determinism: no `Instant::now`/`SystemTime::now` outside `obs`/`bench` |
 //! | `no-ambient-rng` | replay determinism: all RNGs derive from the seeded SplitMix64 streams |
 //! | `no-unordered-collections` | output byte-stability: no `HashMap`/`HashSet` in output-producing crates |
-//! | `float-ordering` | NaN robustness: `total_cmp`, never `partial_cmp().unwrap()` |
+//! | `float-ordering` | NaN robustness: `total_cmp`, never `partial_cmp().unwrap()` or a NaN-swallowing `.unwrap_or(..)` fallback |
 //! | `panic-hygiene` | crash-safety: typed errors on search-reachable paths |
 //! | `no-println-in-libs` | output ownership: only binary entry points (`main.rs`, `src/bin/`) write to stdout/stderr |
+//! | `no-unreachable` | crash-safety: no `unreachable!`/`todo!` in non-test code — "impossible" branches return typed errors |
 //! | `unused-pragma` | escape-hatch hygiene: an `allow` pragma that suppresses nothing must be deleted |
 //!
 //! Run it with `cargo run -p h2o-lint` (add `--json` for machine-readable

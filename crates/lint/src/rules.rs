@@ -90,6 +90,7 @@ fn scope_of(rule: Rule) -> Scope {
         Rule::FloatOrdering => Scope::AllExcept(&[]),
         Rule::PanicHygiene => Scope::Only(PANIC_SCOPED_CRATES),
         Rule::NoPrintlnInLibs => Scope::AllExcept(&[]),
+        Rule::NoUnreachable => Scope::AllExcept(&[]),
         Rule::UnusedPragma => Scope::AllExcept(&[]),
     }
 }
@@ -249,6 +250,17 @@ fn match_rule(rule: Rule, code: &[&Token], i: usize, rel_path: &str) -> Option<F
                                     .to_string(),
                             );
                         }
+                        if next.is_ident("unwrap_or")
+                            || next.is_ident("unwrap_or_else")
+                            || next.is_ident("unwrap_or_default")
+                        {
+                            return finding(format!(
+                                "partial_cmp().{}() swallows the NaN case: \"NaN compares \
+                                 equal to everything\" is not transitive, so a sort using \
+                                 this comparator silently mis-orders — use total_cmp",
+                                next.text
+                            ));
+                        }
                     }
                 }
             }
@@ -287,6 +299,19 @@ fn match_rule(rule: Rule, code: &[&Token], i: usize, rel_path: &str) -> Option<F
                     "`{}!` writes to the terminal from library code; return the text to \
                      the caller or record it through `h2o_obs` — only binary entry \
                      points (`main.rs`, `src/bin/`) own stdout/stderr",
+                    t.text
+                ));
+            }
+            None
+        }
+        Rule::NoUnreachable => {
+            if (t.is_ident("unreachable") || t.is_ident("todo"))
+                && code.get(i + 1).is_some_and(|p| p.is_punct('!'))
+            {
+                return finding(format!(
+                    "`{}!` in non-test code: the first input that disproves the \
+                     \"impossible\" branch panics the run — return a typed error, or \
+                     justify the structural invariant with a pragma",
                     t.text
                 ));
             }
@@ -704,6 +729,60 @@ fn f() { let t = Instant::now(); }
     #[test]
     fn string_contents_never_fire() {
         let src = "fn f() { let s = \"thread_rng Instant::now unwrap()\"; }\n";
+        assert!(lint_in("core", src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_or_variants_all_fire() {
+        for call in [
+            "unwrap_or(std::cmp::Ordering::Equal)",
+            "unwrap_or_else(|| std::cmp::Ordering::Equal)",
+            "unwrap_or_default()",
+        ] {
+            let src = format!("fn f(a: f64, b: f64) {{ let _ = a.partial_cmp(&b).{call}; }}\n");
+            let found = lint_in("space", &src);
+            assert_eq!(found.len(), 1, "partial_cmp().{call} should fire");
+            assert_eq!(found[0].rule, Rule::FloatOrdering);
+        }
+    }
+
+    #[test]
+    fn unwrap_or_without_partial_cmp_is_fine() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+        assert!(lint_in("space", src).is_empty());
+    }
+
+    #[test]
+    fn unreachable_and_todo_fire_everywhere() {
+        for mac in ["unreachable", "todo"] {
+            let src = format!("fn f(x: u32) {{ match x {{ 0 => {{}}, _ => {mac}!() }} }}\n");
+            for crate_name in ["core", "lint", "h2o-nas"] {
+                let found = lint_in(crate_name, &src);
+                assert_eq!(found.len(), 1, "{mac}! should fire in {crate_name}");
+                assert_eq!(found[0].rule, Rule::NoUnreachable);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_in_test_code_is_exempt() {
+        let src = "\
+pub fn lib() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(x: u32) { match x { 0 => {}, _ => unreachable!() } }
+}
+";
+        assert!(lint_in("core", src).is_empty());
+    }
+
+    #[test]
+    fn unreachable_pragma_with_reason_suppresses() {
+        let src = "\
+// h2o-lint: allow(no-unreachable) -- enum is #[non_exhaustive] upstream, new variants rejected at parse
+fn f(x: u32) { match x { 0 => {}, _ => unreachable!() } }
+";
         assert!(lint_in("core", src).is_empty());
     }
 }

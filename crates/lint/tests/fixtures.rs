@@ -134,14 +134,39 @@ fn sort(xs: &mut Vec<f64>) {
 }
 
 #[test]
-fn float_ordering_accepts_total_cmp_and_handled_partial_cmp() {
+fn float_ordering_accepts_total_cmp_and_inspected_partial_cmp() {
     let good = r#"
 fn sort(xs: &mut Vec<f64>) {
     xs.sort_by(|a, b| a.total_cmp(b));
-    let _ = (1.0f64).partial_cmp(&2.0).unwrap_or(std::cmp::Ordering::Equal);
+    if let Some(ord) = (1.0f64).partial_cmp(&2.0) {
+        let _ = ord;
+    }
 }
 "#;
     assert!(findings_in("core", good).is_empty());
+}
+
+#[test]
+fn float_ordering_flags_nan_swallowing_fallbacks() {
+    // unwrap_or(Equal) does not panic — it silently builds a
+    // non-transitive comparator, the worse failure mode (the loss.rs AUC
+    // sort shipped exactly this bug).
+    let bad = r#"
+fn sort(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or_else(|| std::cmp::Ordering::Equal));
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or_default());
+}
+"#;
+    let got = findings_in("lint", bad);
+    assert_eq!(
+        got,
+        vec![
+            (Rule::FloatOrdering, 3),
+            (Rule::FloatOrdering, 4),
+            (Rule::FloatOrdering, 5)
+        ]
+    );
 }
 
 #[test]
@@ -204,6 +229,56 @@ fn panic_hygiene_skips_unscoped_crates() {
     );
     assert_eq!(findings_in("exec", src).len(), 1, "exec is scoped");
     assert_eq!(findings_in("tensor", src).len(), 1, "tensor is scoped");
+}
+
+// ---------------------------------------------------------------- rule 7
+
+#[test]
+fn no_unreachable_flags_unreachable_and_todo_everywhere() {
+    let bad = r#"
+pub fn route(kind: u8) -> u32 {
+    match kind {
+        0 => 1,
+        1 => todo!(),
+        _ => unreachable!("kinds are validated upstream"),
+    }
+}
+"#;
+    // Fires even in crates outside panic-hygiene's scope.
+    let got = findings_in("lint", bad);
+    assert_eq!(
+        got,
+        vec![(Rule::NoUnreachable, 5), (Rule::NoUnreachable, 6)]
+    );
+}
+
+#[test]
+fn no_unreachable_exempts_tests_and_honours_pragmas() {
+    let test_code = r#"
+pub fn lib() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        match 1u8 {
+            1 => {}
+            _ => unreachable!(),
+        }
+    }
+}
+"#;
+    assert!(findings_in("lint", test_code).is_empty());
+
+    let justified = r#"
+pub fn f(x: u8) {
+    match x & 1 {
+        0 | 1 => {}
+        // h2o-lint: allow(no-unreachable) -- x & 1 is 0 or 1 by arithmetic
+        _ => unreachable!(),
+    }
+}
+"#;
+    assert!(findings_in("lint", justified).is_empty());
 }
 
 // ---------------------------------------------------------------- pragmas

@@ -100,7 +100,11 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix)
 pub fn auc(scores: &[f32], labels: &[f32]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "auc length mismatch");
     let mut paired: Vec<(f32, f32)> = scores.iter().cloned().zip(labels.iter().cloned()).collect();
-    paired.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp, not partial_cmp().unwrap_or(Equal): "NaN equals everything"
+    // is not transitive, so a NaN score could leave the slice mis-sorted and
+    // corrupt every rank below it. Under total order NaN sorts above +inf —
+    // deterministically, whatever the input permutation.
+    paired.sort_by(|a, b| a.0.total_cmp(&b.0));
     let positives = labels.iter().filter(|&&l| l > 0.5).count() as f64;
     let negatives = labels.len() as f64 - positives;
     if positives == 0.0 || negatives == 0.0 {
@@ -220,6 +224,36 @@ mod tests {
         let scores = [0.9, 0.8, 0.1, 0.2];
         let labels = [0.0, 0.0, 1.0, 1.0];
         assert!(auc(&scores, &labels) < 1e-9);
+    }
+
+    #[test]
+    fn auc_with_nan_score_is_finite_and_permutation_invariant() {
+        // Regression: partial_cmp().unwrap_or(Equal) made "NaN == everything",
+        // a non-transitive comparator — sort produced an order-dependent
+        // arrangement and the rank sums drifted with the input permutation.
+        // Under total_cmp the NaN ranks above +inf deterministically.
+        let scores = [0.1, f32::NAN, 0.8, 0.9, 0.3, 0.2];
+        let labels = [0.0, 1.0, 1.0, 1.0, 0.0, 0.0];
+        let base = auc(&scores, &labels);
+        assert!(base.is_finite(), "AUC with a NaN score must stay finite");
+        assert!((0.0..=1.0).contains(&base), "AUC out of range: {base}");
+        // Every rotation of the same pairs must agree exactly.
+        for shift in 1..scores.len() {
+            let mut s = scores.to_vec();
+            let mut l = labels.to_vec();
+            s.rotate_left(shift);
+            l.rotate_left(shift);
+            let rotated = auc(&s, &l);
+            assert_eq!(
+                base.to_bits(),
+                rotated.to_bits(),
+                "AUC changed under rotation {shift}: {base} vs {rotated}"
+            );
+        }
+        // The NaN ranks above every finite score, so it credits its
+        // (positive) label with the top rank: 6 + 5 + 4 ranks for the three
+        // positives => AUC (15 - 6) / 9 = 1.0 here.
+        assert!((base - 1.0).abs() < 1e-9);
     }
 
     #[test]

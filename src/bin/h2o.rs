@@ -26,6 +26,7 @@ use h2o_nas::space::{
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -43,13 +44,17 @@ USAGE:
              [--csv STEM] [--metrics-out FILE] [--trace-out FILE]
              [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]
              [--nodes N | --nodes addr,addr,...] [--node-timeout-ms X]
+             [--node-retries N] [--min-live-nodes N]
   h2o node-worker --addr <unix:PATH|tcp:HOST:PORT> --domain <cnn|dlrm|vit>
              [--eval-cache on|off] [--eval-cache-capacity N] [--chaos-exit-after N]
 
   --nodes N spawns N local node-worker subprocesses on Unix sockets;
   --nodes with addresses connects to already-running workers (H2O_NODES
   is the environment equivalent). Search outcomes are byte-identical for
-  any node count.
+  any node count — node deaths are absorbed by redispatching unfinished
+  jobs to survivors (spawn-managed workers are also respawned, up to
+  --node-retries times per death). The run only fails once fewer than
+  --min-live-nodes workers remain.
 
 MODELS:
   coatnet-0..coatnet-5, coatnet-h0..coatnet-h5,
@@ -376,7 +381,10 @@ fn checkpoint_setup(
 /// threads: spawn or connect the nodes, handshake on the scenario
 /// fingerprint, then drive the same `SearchDriver` loop through a
 /// `DistributedStage`. The outcome is byte-identical to the in-process
-/// path for any node count.
+/// path for any node count — including runs where nodes die and their
+/// jobs are redispatched. Spawn-managed clusters additionally get a
+/// respawner hook so the pool can revive dead workers
+/// (bounded by `--node-retries`).
 #[allow(clippy::too_many_arguments)]
 fn run_distributed(
     scenario: &EvalScenario,
@@ -384,18 +392,14 @@ fn run_distributed(
     reward: &RewardFn,
     cfg: SearchConfig,
     nodes_spec: &str,
-    node_timeout: Duration,
+    pool_options: PoolOptions,
     resume_state: Option<ResumeState>,
     sink: Option<&mut dyn CheckpointSink>,
 ) -> Result<SearchOutcome, String> {
-    let options = PoolOptions {
-        io_timeout: node_timeout,
-        ..PoolOptions::default()
-    };
     let (cluster, addrs) = if let Ok(count) = nodes_spec.parse::<usize>() {
         let cluster = NodeCluster::spawn(count, scenario)?;
         let addrs = cluster.addrs().to_vec();
-        (Some(cluster), addrs)
+        (Some(Arc::new(Mutex::new(cluster))), addrs)
     } else {
         let addrs = nodes_spec
             .split(',')
@@ -404,16 +408,34 @@ fn run_distributed(
         (None, addrs)
     };
     println!(
-        "distributed: {} node process(es), io timeout {node_timeout:?}",
-        addrs.len()
+        "distributed: {} node process(es), io timeout {:?}, node retries {}, min live nodes {}",
+        addrs.len(),
+        pool_options.io_timeout,
+        pool_options.max_node_retries,
+        pool_options.min_live_nodes,
     );
-    let pool = DistributedPool::connect(&addrs, scenario.fingerprint(), options)
+    let mut pool = DistributedPool::connect(&addrs, scenario.fingerprint(), pool_options)
         .map_err(|e| e.to_string())?;
+    if let Some(cluster) = &cluster {
+        // Spawn-managed workers are revivable: hand the pool a hook that
+        // respawns a dead worker and reports where to reconnect.
+        // Externally managed workers (address-list mode) have no such
+        // hook; the pool degrades to the survivors instead.
+        let respawner = Arc::clone(cluster);
+        pool.set_respawner(Box::new(move |node| {
+            respawner
+                .lock()
+                .map_err(|_| "node cluster lock poisoned".to_string())?
+                .respawn(node)
+        }));
+    }
     let mut stage = DistributedStage::new(pool, &cfg);
     let result = SearchDriver::new(space, reward, cfg).run(&mut stage, resume_state, sink);
     stage.shutdown();
     if let Some(cluster) = cluster {
-        cluster.shutdown();
+        if let Ok(mut cluster) = cluster.lock() {
+            cluster.shutdown();
+        }
     }
     result.map_err(|e| e.to_string())
 }
@@ -487,6 +509,23 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
             .transpose()?
             .unwrap_or(30_000u64),
     );
+    let pool_defaults = PoolOptions::default();
+    let node_retries: usize = flags
+        .get("node-retries")
+        .map(|s| s.parse().map_err(|_| "bad --node-retries"))
+        .transpose()?
+        .unwrap_or(pool_defaults.max_node_retries);
+    let min_live_nodes: usize = flags
+        .get("min-live-nodes")
+        .map(|s| s.parse().map_err(|_| "bad --min-live-nodes"))
+        .transpose()?
+        .unwrap_or(pool_defaults.min_live_nodes);
+    let pool_options = PoolOptions {
+        io_timeout: node_timeout,
+        max_node_retries: node_retries,
+        min_live_nodes,
+        ..pool_defaults
+    };
     let cfg = SearchConfig {
         steps,
         shards,
@@ -528,7 +567,7 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                     &reward,
                     cfg,
                     spec,
-                    node_timeout,
+                    pool_options,
                     resume_state,
                     sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
                 )?,

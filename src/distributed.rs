@@ -337,11 +337,20 @@ static CLUSTER_COUNTER: AtomicUsize = AtomicUsize::new(0);
 
 /// A set of auto-spawned local `node-worker` subprocesses listening on
 /// Unix sockets, with best-effort teardown on drop.
+///
+/// Spawn-managed workers are *revivable*: [`NodeCluster::respawn`] kills
+/// whatever is left of a dead worker and brings up a fresh one, which is
+/// how the pool's reconnect path replaces nodes lost to churn.
 #[derive(Debug)]
 pub struct NodeCluster {
     children: Vec<Child>,
     addrs: Vec<NodeAddr>,
     dir: PathBuf,
+    exe: PathBuf,
+    worker_args: Vec<String>,
+    /// Per-node respawn generation, so a replacement worker never races a
+    /// predecessor for the same socket path.
+    generations: Vec<usize>,
 }
 
 impl NodeCluster {
@@ -350,6 +359,13 @@ impl NodeCluster {
     ///
     /// The sockets come up asynchronously; `DistributedPool::connect`'s
     /// retry window absorbs the startup race.
+    ///
+    /// Chaos injection for the fault-tolerance tests: when
+    /// `H2O_CHAOS_EXIT_AFTER=<n>` is set, the worker at index
+    /// `H2O_CHAOS_NODE` (default 0) is launched with
+    /// `--chaos-exit-after <n>` so it dies mid-run. Respawned
+    /// replacements are always healthy — the chaos flag applies to the
+    /// initial spawn only.
     ///
     /// # Errors
     ///
@@ -365,19 +381,39 @@ impl NodeCluster {
             CLUSTER_COUNTER.fetch_add(1, Ordering::Relaxed)
         ));
         std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let chaos = std::env::var("H2O_CHAOS_EXIT_AFTER")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|limit| {
+                let node = std::env::var("H2O_CHAOS_NODE")
+                    .ok()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(0);
+                (node, limit)
+            });
         let mut cluster = Self {
             children: Vec::with_capacity(count),
             addrs: Vec::with_capacity(count),
             dir,
+            exe,
+            worker_args: scenario.worker_args(),
+            generations: vec![0; count],
         };
         for i in 0..count {
             let sock = cluster.dir.join(format!("node-{i}.sock"));
-            let child = Command::new(&exe)
+            let mut command = Command::new(&cluster.exe);
+            command
                 .arg("node-worker")
                 .arg("--addr")
                 .arg(format!("unix:{}", sock.display()))
-                .args(scenario.worker_args())
-                .stdout(Stdio::null())
+                .args(&cluster.worker_args)
+                .stdout(Stdio::null());
+            if let Some((chaos_node, limit)) = chaos {
+                if chaos_node == i {
+                    command.arg("--chaos-exit-after").arg(limit.to_string());
+                }
+            }
+            let child = command
                 .spawn()
                 .map_err(|e| format!("spawning node {i}: {e}"))?;
             cluster.children.push(child);
@@ -391,9 +427,48 @@ impl NodeCluster {
         &self.addrs
     }
 
+    /// Replaces the worker at `index`: reaps whatever is left of the old
+    /// process and spawns a fresh (always healthy) one on a new socket
+    /// path. Returns the new worker's address for the pool to reconnect
+    /// to. This is the cluster half of the pool's bounded
+    /// reconnect-with-backoff cycle.
+    ///
+    /// # Errors
+    ///
+    /// Unknown index, or process-spawn failure.
+    pub fn respawn(&mut self, index: usize) -> Result<NodeAddr, String> {
+        if index >= self.children.len() {
+            return Err(format!(
+                "respawn index {index} out of range for {} workers",
+                self.children.len()
+            ));
+        }
+        let old = &mut self.children[index];
+        let _ = old.kill();
+        let _ = old.wait();
+        if let NodeAddr::Unix(path) = &self.addrs[index] {
+            let _ = std::fs::remove_file(path);
+        }
+        self.generations[index] += 1;
+        let sock = self
+            .dir
+            .join(format!("node-{index}-r{}.sock", self.generations[index]));
+        let child = Command::new(&self.exe)
+            .arg("node-worker")
+            .arg("--addr")
+            .arg(format!("unix:{}", sock.display()))
+            .args(&self.worker_args)
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("respawning node {index}: {e}"))?;
+        self.children[index] = child;
+        self.addrs[index] = NodeAddr::Unix(sock);
+        Ok(self.addrs[index].clone())
+    }
+
     /// Reaps the workers. Workers that already received a Shutdown frame
     /// exit on their own; stragglers are killed.
-    pub fn shutdown(mut self) {
+    pub fn shutdown(&mut self) {
         self.teardown();
     }
 

@@ -6,10 +6,17 @@
 //! kill-and-resume cycle — the history CSV compared modulo its wall-clock
 //! column, exactly as the single-process determinism suite does.
 //!
-//! Chaos coverage rides along: a worker that vanishes mid-run must
-//! surface as a typed error on the controller (promptly — no deadlock),
-//! and a resume from the last checkpoint must still reproduce the
-//! uninterrupted golden run.
+//! Chaos coverage rides along, in two tiers. The fault-tolerance
+//! contract (DESIGN.md): a node killed mid-search at any point — before
+//! its first batch, mid-batch, or at a batch boundary — must be absorbed
+//! by redispatching its unfinished jobs to survivors (plus a respawn when
+//! the workers are spawn-managed), completing the run *without resume*
+//! with CSVs byte-identical to the uninterrupted serial golden and the
+//! churn visible in the metrics export. Only when the pool drops below
+//! `--min-live-nodes` (or the sole external node dies with nobody to
+//! respawn it) does the run fail — with a typed error naming the step,
+//! after which a resume from the last checkpoint must still reproduce
+//! the golden run.
 
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
@@ -230,6 +237,205 @@ fn scenario_mismatch_fails_the_handshake_with_a_typed_error() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Like [`run_search`], with extra environment variables on the child —
+/// how the spawn-managed chaos runs inject `H2O_CHAOS_EXIT_AFTER` /
+/// `H2O_CHAOS_NODE` into the controller (which forwards them to exactly
+/// one worker as `--chaos-exit-after`).
+fn run_search_env(
+    dir: &Path,
+    stem: Option<&str>,
+    extra: &[&str],
+    envs: &[(&str, &str)],
+) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_h2o"));
+    cmd.args([
+        "search", "--domain", "dlrm", "--steps", "6", "--shards", "4",
+    ]);
+    cmd.args(extra);
+    for (key, value) in envs {
+        cmd.env(key, value);
+    }
+    if let Some(stem) = stem {
+        cmd.arg("--csv").arg(dir.join(stem));
+    }
+    cmd.output().expect("h2o binary runs")
+}
+
+/// Reads the value of an exact metric series (name including any labels)
+/// from a Prometheus text export.
+fn metric_value(text: &str, series: &str) -> f64 {
+    text.lines()
+        .find_map(|line| line.strip_prefix(series)?.strip_prefix(' ')?.parse().ok())
+        .unwrap_or_else(|| panic!("metric {series} not found in export:\n{text}"))
+}
+
+#[test]
+fn chaos_matrix_killed_node_completes_without_resume_and_matches_golden() {
+    // The tentpole proof: one of N spawn-managed nodes dies before its
+    // first batch (exit-after 0), at a batch boundary (exit-after 4 = all
+    // of steps 0-1 for its 2 shards at 2 nodes), or mid-batch
+    // (exit-after 5) — and the run still completes WITHOUT resume,
+    // byte-identical to the uninterrupted serial golden, because
+    // unfinished jobs are redispatched (and the worker respawned) while
+    // submission-order reduction keeps placement invisible.
+    let dir = unique_temp_dir("chaos_matrix");
+    let out = run_search(&dir, Some("golden"), &[]);
+    assert_success(&out, "serial golden run");
+    let golden = read_csvs(&dir, "golden");
+    for (nodes, chaos_node, exit_after) in [
+        ("2", "0", "0"),
+        ("2", "0", "4"),
+        ("2", "1", "5"),
+        ("4", "2", "3"),
+    ] {
+        let stem = format!("chaos_n{nodes}_c{chaos_node}_x{exit_after}");
+        let metrics = dir.join(format!("{stem}.prom"));
+        let out = run_search_env(
+            &dir,
+            Some(&stem),
+            &[
+                "--nodes",
+                nodes,
+                "--metrics-out",
+                metrics.to_str().expect("utf-8 path"),
+            ],
+            &[
+                ("H2O_CHAOS_EXIT_AFTER", exit_after),
+                ("H2O_CHAOS_NODE", chaos_node),
+            ],
+        );
+        assert_success(
+            &out,
+            &format!("{nodes}-node run with node {chaos_node} dying after {exit_after} jobs"),
+        );
+        assert_eq!(
+            read_csvs(&dir, &stem),
+            golden,
+            "chaos run {stem} diverged from the serial golden"
+        );
+        let prom = std::fs::read_to_string(&metrics).expect("metrics export");
+        assert!(
+            metric_value(&prom, "h2o_exec_node_deaths_total") >= 1.0,
+            "{stem}: the death must be counted in the export"
+        );
+        assert!(
+            metric_value(&prom, "h2o_exec_redispatched_jobs_total") >= 1.0,
+            "{stem}: redispatched jobs must be counted in the export"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_spawn_managed_node_is_respawned_and_reconnected() {
+    // With --node-retries the controller revives the dead worker: the
+    // reconnect counter must show it, and the per-node liveness gauges
+    // must read 1 again at export time.
+    let dir = unique_temp_dir("chaos_respawn");
+    let out = run_search(&dir, Some("golden"), &[]);
+    assert_success(&out, "serial golden run");
+    let metrics = dir.join("respawn.prom");
+    let out = run_search_env(
+        &dir,
+        Some("respawned"),
+        &[
+            "--nodes",
+            "2",
+            "--node-retries",
+            "2",
+            "--metrics-out",
+            metrics.to_str().expect("utf-8 path"),
+        ],
+        &[("H2O_CHAOS_EXIT_AFTER", "4"), ("H2O_CHAOS_NODE", "0")],
+    );
+    assert_success(&out, "respawning chaos run");
+    assert_eq!(
+        read_csvs(&dir, "respawned"),
+        read_csvs(&dir, "golden"),
+        "respawning chaos run diverged from the serial golden"
+    );
+    let prom = std::fs::read_to_string(&metrics).expect("metrics export");
+    assert!(metric_value(&prom, "h2o_exec_node_deaths_total") >= 1.0);
+    assert!(
+        metric_value(&prom, "h2o_exec_node_reconnects_total") >= 1.0,
+        "the respawned worker must reconnect"
+    );
+    for node in ["0", "1"] {
+        assert_eq!(
+            metric_value(&prom, &format!("h2o_exec_node_live{{node=\"{node}\"}}")),
+            1.0,
+            "node {node} must be live at the end of the run"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_tcp_external_node_death_degrades_to_the_survivor() {
+    // External (address-list) workers have no respawner: the pool must
+    // degrade to the surviving node and still finish byte-identically.
+    let dir = unique_temp_dir("chaos_tcp");
+    let out = run_search(&dir, Some("serial"), &[]);
+    assert_success(&out, "serial run");
+    let (mut chaotic, addr_a) = spawn_worker(&[
+        "--addr",
+        "tcp:127.0.0.1:0",
+        "--domain",
+        "dlrm",
+        "--chaos-exit-after",
+        "5",
+    ]);
+    let (mut healthy, addr_b) = spawn_worker(&["--addr", "tcp:127.0.0.1:0", "--domain", "dlrm"]);
+    let nodes = format!("{addr_a},{addr_b}");
+    let out = run_search(&dir, Some("tcp_chaos"), &["--nodes", &nodes]);
+    let _ = chaotic.kill();
+    let _ = healthy.kill();
+    let _ = chaotic.wait();
+    let _ = healthy.wait();
+    assert_success(&out, "TCP chaos run");
+    assert_eq!(
+        read_csvs(&dir, "tcp_chaos"),
+        read_csvs(&dir, "serial"),
+        "degraded TCP run diverged from the serial run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_below_min_live_nodes_fails_with_a_typed_step_error() {
+    // With the respawner disabled (--node-retries 0) a single death drops
+    // a 2-node pool below --min-live-nodes 2: the run must fail with the
+    // typed eval error naming the step, not hang or succeed degraded.
+    let dir = unique_temp_dir("chaos_min_live");
+    let out = run_search_env(
+        &dir,
+        None,
+        &[
+            "--nodes",
+            "2",
+            "--min-live-nodes",
+            "2",
+            "--node-retries",
+            "0",
+        ],
+        &[("H2O_CHAOS_EXIT_AFTER", "4"), ("H2O_CHAOS_NODE", "0")],
+    );
+    assert!(
+        !out.status.success(),
+        "dropping below --min-live-nodes must fail the run"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("candidate collection failed at step"),
+        "expected a typed eval error naming the step, got: {stderr}"
+    );
+    assert!(
+        stderr.contains("below the configured minimum"),
+        "expected the NodesExhausted rendering, got: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn killed_node_surfaces_typed_error_and_checkpoint_resume_recovers() {
     let dir = unique_temp_dir("chaos");
@@ -240,8 +446,10 @@ fn killed_node_surfaces_typed_error_and_checkpoint_resume_recovers() {
 
     // The worker answers 12 jobs (steps 0..3 at 4 shards), then vanishes
     // mid-step-3 without a Shutdown or Error frame — indistinguishable
-    // from a crashed node. Checkpoints land after steps 2 (and would land
-    // at 4 and 6); the last one before death is step 2.
+    // from a crashed node. It is the pool's ONLY node and it is external
+    // (no respawner), so the pool exhausts below its min-live floor of 1
+    // and the run fails typed. Checkpoints land after step 2 (and would
+    // land at 4 and 6); the last one before death is step 2.
     let sock = dir.join("chaos.sock");
     let addr = format!("unix:{}", sock.display());
     let (mut worker, _addr) = spawn_worker(&[

@@ -71,6 +71,27 @@ grep -q '^h2o_exec_node_deaths_total [1-9]' "$chdir/chaos.prom"
 grep -q '^h2o_exec_redispatched_jobs_total [1-9]' "$chdir/chaos.prom"
 rm -rf "$chdir"
 
+# Model-served smoke: a search evaluated by the pretrained performance
+# model with a gate tight enough that some candidates fall back to the
+# simulator. Both paths must actually run (served > 0, fallback > 0 in
+# the metrics export) and — because the frozen model makes every routing
+# decision deterministically — two identical runs must write
+# byte-identical telemetry.
+echo "==> model-served smoke (--eval-backend model, served + fallback mix)"
+msdir=$(mktemp -d)
+for run in a b; do
+  ./target/release/h2o search --domain dlrm --steps 8 --shards 4 --workers 2 \
+      --eval-backend model --gate-threshold 0.4 --finetune-cadence 2 \
+      --csv "$msdir/$run" --metrics-out "$msdir/$run.prom" >/dev/null
+done
+grep -q '^h2o_eval_served_total [1-9]' "$msdir/a.prom"
+grep -q '^h2o_eval_fallback_total [1-9]' "$msdir/a.prom"
+grep -q '^h2o_eval_finetune_rounds_total [1-9]' "$msdir/a.prom"
+cmp "$msdir/a_candidates.csv" "$msdir/b_candidates.csv"
+cmp <(cut -d, -f1-4 "$msdir/a_history.csv") \
+    <(cut -d, -f1-4 "$msdir/b_history.csv")
+rm -rf "$msdir"
+
 # Loom-style smoke: force every executor batch through the serialized
 # in-order schedule and re-check the executor, cache and determinism
 # suites against it.
@@ -86,7 +107,7 @@ H2O_EXEC_SERIAL=1 cargo test -q --test determinism
 echo "==> perf smoke (bench_diff, warn-only, reduced steps)"
 H2O_BENCH_STEPS=8 H2O_BENCH_SIM_EVALS=20 H2O_BENCH_MATMUL_ITERS=5 \
 H2O_BENCH_STRICT=0 \
-    cargo run -q --release -p h2o-bench --bin bench_diff -- --baseline BENCH_pr7.json
+    cargo run -q --release -p h2o-bench --bin bench_diff -- --baseline BENCH_pr9.json
 
 # Workspace invariant checker: the determinism / NaN-robustness /
 # panic-hygiene contracts are enforced mechanically (see DESIGN.md,

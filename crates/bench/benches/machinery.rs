@@ -5,8 +5,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use h2o_core::{PerfObjective, Policy, RewardFn, RewardKind};
 use h2o_data::{CtrTraffic, CtrTrafficConfig, TrafficSource};
+use h2o_eval::{BackendSpec, Domain, EvalBackend};
 use h2o_exec::Executor;
-use h2o_hwsim::{arch_key, CachedSimulator, EvalCache, HardwareConfig, Simulator, SystemConfig};
+use h2o_hwsim::{arch_key, HardwareConfig, Simulator, SystemConfig};
 use h2o_models::coatnet::CoAtNet;
 use h2o_perfmodel::{PerfModel, PerfTargets, TrainConfig};
 use h2o_space::{DlrmSpace, DlrmSpaceConfig, DlrmSupernet};
@@ -154,13 +155,15 @@ fn bench_eval_cache(c: &mut Criterion) {
             )
         })
     });
-    let cache = EvalCache::new(1024);
-    let cached = CachedSimulator::new(Simulator::new(HardwareConfig::tpu_v4()), cache.clone());
+    let cached = EvalBackend::build(&BackendSpec::Cached { capacity: 1024 }, Domain::Dlrm)
+        .expect("cached backend");
     let key = arch_key("dlrm", &sample);
     c.bench_function("eval memoized (EvalCache hit)", |b| {
-        b.iter(|| black_box(cached.training_cost(key, &system, || arch.build_graph(64, 128))))
+        b.iter(|| {
+            black_box(cached.training_cost(&sample, key, &system, || arch.build_graph(64, 128)))
+        })
     });
-    let stats = cache.stats();
+    let stats = cached.cache().expect("cached backend").stats();
     println!(
         "eval cache after bench: {} hits / {} misses ({:.1}% hit rate)",
         stats.hits,

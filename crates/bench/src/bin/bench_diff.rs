@@ -16,7 +16,7 @@ use h2o_bench::perf::{
 };
 
 fn main() {
-    let mut baseline_path = "BENCH_pr7.json".to_string();
+    let mut baseline_path = "BENCH_pr9.json".to_string();
     let mut threshold = std::env::var("H2O_BENCH_THRESHOLD")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())

@@ -29,10 +29,8 @@ use h2o_core::{
     RewardKind, SearchConfig, PHASES,
 };
 use h2o_data::{CtrTraffic, CtrTrafficConfig, InMemoryPipeline};
-use h2o_hwsim::{
-    arch_key, CachedSimulator, EvalCache, EvalCost, HardwareConfig, Simulator, SystemConfig,
-};
-use h2o_models::quality::DlrmQualityModel;
+use h2o_eval::{BackendSpec, Domain, EvalBackend, EvalScenario, ModelSpec};
+use h2o_hwsim::{arch_key, HardwareConfig, Simulator, SystemConfig};
 use h2o_obs::HistogramSnapshot;
 use h2o_space::{ArchSample, DlrmSpace, DlrmSpaceConfig, DlrmSupernet};
 use h2o_tensor::Matrix;
@@ -632,6 +630,14 @@ pub fn run_matrix(tag: &str, scale: BenchScale) -> BenchReport {
         scenario_zipf_replay(scale.sim_evals),
     );
     report.scenarios.insert(
+        "eval_backend_ab".to_string(),
+        scenario_eval_backend_ab(scale.search_steps),
+    );
+    report.scenarios.insert(
+        "convergence_cache_saturation".to_string(),
+        scenario_convergence(scale.search_steps),
+    );
+    report.scenarios.insert(
         "tensor_matmul".to_string(),
         scenario_matmul(scale.matmul_iters),
     );
@@ -680,10 +686,14 @@ fn scenario_parallel(workers: usize, cached: bool, steps: usize) -> BTreeMap<Str
     h2o_obs::reset();
     let watch = h2o_obs::Stopwatch::start();
 
-    let config = dlrm_space_config();
-    let space = DlrmSpace::new(config.clone());
-    let base = space.decode(&space.baseline());
-    let quality = DlrmQualityModel::new(&base, 85.0);
+    let spec = if cached {
+        BackendSpec::Cached { capacity: 4096 }
+    } else {
+        BackendSpec::Simulator
+    };
+    // h2o-lint: allow(panic-hygiene) -- literal domain + validated spec, infallible by construction
+    let scenario = EvalScenario::new("dlrm", spec).expect("dlrm scenario");
+    let space = scenario.space();
     let reward = RewardFn::new(
         RewardKind::Relu,
         vec![PerfObjective::new("step_time", 0.1, -8.0)],
@@ -696,7 +706,6 @@ fn scenario_parallel(workers: usize, cached: bool, steps: usize) -> BTreeMap<Str
         seed: SEARCH_SEED,
         workers,
     };
-    let cache = cached.then(|| EvalCache::new(4096));
 
     // A real on-disk checkpoint sink (under target/) so the checkpoint
     // phase quantiles measure actual serialization + write latency.
@@ -704,39 +713,16 @@ fn scenario_parallel(workers: usize, cached: bool, steps: usize) -> BTreeMap<Str
         .join("perf_baseline_ckpt")
         .join(format!("w{workers}_{}", if cached { "on" } else { "off" }));
     let _ = std::fs::remove_dir_all(&ckpt_dir);
-    let mut sink = h2o_ckpt::CheckpointStore::new(&ckpt_dir, cfg.fingerprint(space.space()))
+    let mut sink = h2o_ckpt::CheckpointStore::new(&ckpt_dir, cfg.fingerprint(&space))
         .ok()
         .map(|store| h2o_ckpt::FileCheckpointSink::new(store, (steps / 4).max(1)));
 
+    // h2o-lint: allow(panic-hygiene) -- sim/cached backends cannot fail to build
+    let backend = scenario.backend().expect("backend");
     let outcome = parallel_search_with(
-        space.space(),
+        &space,
         &reward,
-        |_| {
-            let space = DlrmSpace::new(config.clone());
-            let sim = Simulator::new(HardwareConfig::tpu_v4());
-            let cached_sim = cache
-                .as_ref()
-                .map(|c| CachedSimulator::new(sim.clone(), c.clone()));
-            let plain = sim;
-            let quality = quality.clone();
-            move |sample: &ArchSample| {
-                let key = arch_key("dlrm", sample);
-                let arch = space.decode(sample);
-                let cost = match &cached_sim {
-                    Some(c) => c.training_cost(key, &SystemConfig::training_pod(), || {
-                        arch.build_graph(64, 128)
-                    }),
-                    None => EvalCost::from_report(&plain.simulate_training(
-                        &arch.build_graph(64, 128),
-                        &SystemConfig::training_pod(),
-                    )),
-                };
-                h2o_core::EvalResult {
-                    quality: quality.quality(&arch),
-                    perf_values: vec![cost.latency],
-                }
-            }
-        },
+        |_| scenario.shard_evaluator(&backend),
         &cfg,
         None,
         sink.as_mut()
@@ -884,10 +870,14 @@ fn zipf_replay_over(
         .collect();
     let total: f64 = weights.iter().sum();
 
-    let cached = CachedSimulator::new(
-        Simulator::new(HardwareConfig::tpu_v4()),
-        EvalCache::new(pool_size * 2),
-    );
+    let backend = EvalBackend::build(
+        &BackendSpec::Cached {
+            capacity: pool_size * 2,
+        },
+        Domain::Dlrm,
+    )
+    // h2o-lint: allow(panic-hygiene) -- cached backend over a literal spec, infallible
+    .expect("cached backend");
     let hist = h2o_obs::histogram("bench_zipf_eval_seconds");
     for _ in 0..evals {
         let mut point = rng.gen::<f64>() * total;
@@ -901,7 +891,8 @@ fn zipf_replay_over(
         }
         let sample = &pool[rank];
         let _ = hist.time(|| {
-            cached.training_cost(
+            backend.training_cost(
+                sample,
                 arch_key("dlrm", sample),
                 &SystemConfig::training_pod(),
                 || space.decode(sample).build_graph(64, 128),
@@ -933,6 +924,166 @@ fn zipf_replay_over(
         metrics.insert("zipf_eval_p50_ms".to_string(), h.p50 * 1e3);
         metrics.insert("zipf_eval_p99_ms".to_string(), h.p99 * 1e3);
     }
+    metrics
+}
+
+/// Runs one pinned DLRM search through the given backend spec and
+/// returns `(candidates, wall_seconds, backend)` — the shared arm of the
+/// A/B and convergence scenarios. The backend is built *before* the
+/// stopwatch starts: model pretraining is a once-per-deployment cost the
+/// paper amortizes across searches, so candidates/sec measures serving
+/// throughput, not setup.
+fn search_through(spec: BackendSpec, steps: usize, workers: usize) -> (usize, f64, EvalBackend) {
+    // h2o-lint: allow(panic-hygiene) -- literal domain + validated spec, infallible by construction
+    let scenario = EvalScenario::new("dlrm", spec).expect("dlrm scenario");
+    let space = scenario.space();
+    let reward = RewardFn::new(
+        RewardKind::Relu,
+        vec![PerfObjective::new("step_time", 0.1, -8.0)],
+    );
+    let cfg = SearchConfig {
+        steps,
+        shards: SHARDS,
+        policy_lr: 0.06,
+        baseline_momentum: 0.9,
+        seed: SEARCH_SEED,
+        workers,
+    };
+    // h2o-lint: allow(panic-hygiene) -- sim/cached backends cannot fail to build
+    let backend = scenario.backend().expect("backend");
+    let watch = h2o_obs::Stopwatch::start();
+    let outcome = parallel_search_with(
+        &space,
+        &reward,
+        |_| scenario.shard_evaluator(&backend),
+        &cfg,
+        None,
+        None,
+    );
+    (outcome.evaluated.len(), watch.elapsed_secs(), backend)
+}
+
+/// The model-served A/B: the same pinned search at equal eval budget
+/// (steps × shards), once through the plain simulator and once through
+/// the model-served backend. The headline pair is
+/// `sim_candidates_per_sec` vs `model_candidates_per_sec`; the served
+/// share and fine-tune rounds are deterministic under the pinned seeds
+/// and recorded as unguarded counts. `model_batch_infer_per_sec` pins
+/// the vectorized `infer_batch` hot path itself.
+fn scenario_eval_backend_ab(steps: usize) -> BTreeMap<String, f64> {
+    h2o_obs::reset();
+    let watch = h2o_obs::Stopwatch::start();
+
+    let (sim_candidates, sim_wall, sim_backend) = search_through(BackendSpec::Simulator, steps, 4);
+    let (model_candidates, model_wall, backend) = search_through(
+        BackendSpec::ModelServed {
+            fallback_capacity: Some(4096),
+            model: ModelSpec::default(),
+        },
+        steps,
+        4,
+    );
+
+    let mut metrics = BTreeMap::new();
+    metrics.insert("wall_seconds".to_string(), watch.elapsed_secs());
+    metrics.insert("sim_candidates_count".to_string(), sim_candidates as f64);
+    metrics.insert(
+        "sim_candidates_per_sec".to_string(),
+        sim_candidates as f64 / sim_wall.max(1e-9),
+    );
+    metrics.insert(
+        "model_candidates_count".to_string(),
+        model_candidates as f64,
+    );
+    metrics.insert(
+        "model_candidates_per_sec".to_string(),
+        model_candidates as f64 / model_wall.max(1e-9),
+    );
+    // Search-arm stats, read before the eval-stream A/B below reuses the
+    // backend (its counters keep accruing there).
+    // h2o-lint: allow(panic-hygiene) -- this arm was built with the model spec two lines up
+    let served = backend.model_served().expect("model backend");
+    let stats = served.stats();
+    metrics.insert("served_count".to_string(), stats.served as f64);
+    metrics.insert("fallback_count".to_string(), stats.fallback as f64);
+    metrics.insert("served_share".to_string(), stats.served_share());
+    metrics.insert(
+        "finetune_rounds_count".to_string(),
+        stats.finetune_rounds as f64,
+    );
+
+    // Equal-eval-budget A/B: the same pinned candidate stream through each
+    // backend's shard evaluator, no search machinery in the timed window.
+    // This isolates the per-candidate eval cost (decode + quality + cost
+    // backend) that the search-level candidates/sec above dilutes with
+    // policy sampling and REINFORCE updates.
+    // h2o-lint: allow(panic-hygiene) -- literal domain + simulator spec, infallible
+    let eval_scenario = EvalScenario::new("dlrm", BackendSpec::Simulator).expect("dlrm scenario");
+    let space = eval_scenario.space();
+    let mut rng = StdRng::seed_from_u64(11);
+    let stream: Vec<_> = (0..2000).map(|_| space.sample_uniform(&mut rng)).collect();
+    let mut eval_rates = Vec::new();
+    for arm in [&sim_backend, &backend] {
+        let mut evaluate = eval_scenario.shard_evaluator(arm);
+        let arm_watch = h2o_obs::Stopwatch::start();
+        for sample in &stream {
+            let _ = evaluate(sample);
+        }
+        eval_rates.push(stream.len() as f64 / arm_watch.elapsed_secs().max(1e-9));
+    }
+    metrics.insert("sim_eval_candidates_per_sec".to_string(), eval_rates[0]);
+    metrics.insert("model_eval_candidates_per_sec".to_string(), eval_rates[1]);
+    // The ratio is what the acceptance gate reads; it is informational
+    // (no direction suffix) because both arms are timing-based.
+    metrics.insert(
+        "model_speedup_ratio".to_string(),
+        eval_rates[1] / eval_rates[0].max(1e-9),
+    );
+
+    // Batched inference microbench: one multi-row forward over a fixed
+    // candidate pool, the shape the serving hot path is vectorized for.
+    // h2o-lint: allow(panic-hygiene) -- literal domain + simulator spec, infallible
+    let scenario = EvalScenario::new("dlrm", BackendSpec::Simulator).expect("dlrm scenario");
+    let space = scenario.space();
+    let mut rng = StdRng::seed_from_u64(5);
+    let rows: Vec<Vec<f32>> = (0..256)
+        .map(|_| served.featurize(&space.sample_uniform(&mut rng)))
+        .collect();
+    let iters = 20;
+    let batch_watch = h2o_obs::Stopwatch::start();
+    for _ in 0..iters {
+        let _ = served.frozen_model().infer_batch(&rows);
+    }
+    metrics.insert(
+        "model_batch_infer_per_sec".to_string(),
+        (rows.len() * iters) as f64 / batch_watch.elapsed_secs().max(1e-9),
+    );
+    metrics
+}
+
+/// The convergence-scale scenario: a 3×-longer pinned search against a
+/// deliberately tiny eval cache, so the cache spends the whole late
+/// phase saturated — entries pinned at capacity, every insert paying an
+/// eviction. The baseline pins that eviction-path overhead (evictions ≈
+/// candidates − capacity) alongside step latency at convergence scale.
+/// Intra-run hit rate stays ~0 by construction: with ~330 decisions per
+/// candidate the policy essentially never resamples an exact
+/// architecture, so cache hits are a resume/replay phenomenon (see
+/// `hwsim_zipf_replay`), not a search-loop one.
+fn scenario_convergence(steps: usize) -> BTreeMap<String, f64> {
+    h2o_obs::reset();
+    let watch = h2o_obs::Stopwatch::start();
+
+    let (candidates, _, backend) =
+        search_through(BackendSpec::Cached { capacity: 64 }, steps * 3, 4);
+    let wall = watch.elapsed_secs();
+
+    let mut metrics = search_metrics(candidates, wall);
+    // h2o-lint: allow(panic-hygiene) -- the spec above is Cached, so a cache exists
+    let stats = backend.cache().expect("cached backend").stats();
+    metrics.insert("cache_hit_rate".to_string(), stats.hit_rate());
+    metrics.insert("cache_evictions_count".to_string(), stats.evictions as f64);
+    metrics.insert("cache_entries_count".to_string(), stats.entries as f64);
     metrics
 }
 

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// The eight contracts h2o-lint enforces. Rule ids (`as_str`) are what
+/// The nine contracts h2o-lint enforces. Rule ids (`as_str`) are what
 /// the allow-pragma names: `// h2o-lint: allow(no-wallclock) -- reason`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
@@ -34,6 +34,12 @@ pub enum Rule {
     /// disproves the belief — return a typed error (or justify the
     /// structural invariant with a pragma) instead.
     NoUnreachable,
+    /// `std::process::exit` in library code: it skips every destructor on
+    /// the stack — checkpoint sinks never flush, worker sockets never
+    /// send Shutdown, temp dirs leak — and it makes the library unusable
+    /// from a host that needs to survive the error. Return a typed error
+    /// and let the binary entry point decide the exit code.
+    NoProcessExit,
     /// A well-formed `allow` pragma that suppresses no finding: stale
     /// escape hatches must be deleted, or they silently license a future
     /// violation at the same site.
@@ -42,7 +48,7 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 9] = [
         Rule::NoWallclock,
         Rule::NoAmbientRng,
         Rule::NoUnorderedCollections,
@@ -50,6 +56,7 @@ impl Rule {
         Rule::PanicHygiene,
         Rule::NoPrintlnInLibs,
         Rule::NoUnreachable,
+        Rule::NoProcessExit,
         Rule::UnusedPragma,
     ];
 
@@ -63,6 +70,7 @@ impl Rule {
             Rule::PanicHygiene => "panic-hygiene",
             Rule::NoPrintlnInLibs => "no-println-in-libs",
             Rule::NoUnreachable => "no-unreachable",
+            Rule::NoProcessExit => "no-process-exit",
             Rule::UnusedPragma => "unused-pragma",
         }
     }

@@ -53,7 +53,7 @@ impl Scope {
 /// The crates whose CSV/console/checkpoint output must be reproducible:
 /// unordered iteration anywhere here can leak schedule- or hash-order
 /// noise into user-visible bytes.
-const ORDERED_OUTPUT_CRATES: &[&str] = &["core", "data", "hwsim", "tensor", "ckpt"];
+const ORDERED_OUTPUT_CRATES: &[&str] = &["core", "data", "hwsim", "tensor", "ckpt", "eval"];
 
 /// The crates on the search hot path, where a panic kills a multi-hour
 /// run: errors must be typed (or the panic justified by a pragma). `obs`
@@ -61,7 +61,8 @@ const ORDERED_OUTPUT_CRATES: &[&str] = &["core", "data", "hwsim", "tensor", "ckp
 /// because a panicking harness scenario loses the whole baseline run.
 /// `tensor`/`graph`/`models`/`space` carry the decode → build-graph →
 /// train path every shard evaluator (and every worker node) runs per
-/// candidate, so a panic there takes down a distributed run too.
+/// candidate, so a panic there takes down a distributed run too; `eval`
+/// is the backend layer every one of those evaluations flows through.
 const PANIC_SCOPED_CRATES: &[&str] = &[
     "core",
     "exec",
@@ -75,6 +76,7 @@ const PANIC_SCOPED_CRATES: &[&str] = &[
     "space",
     "models",
     "graph",
+    "eval",
 ];
 
 /// Crates allowed to read the wall clock: the observability crate (spans,
@@ -91,6 +93,7 @@ fn scope_of(rule: Rule) -> Scope {
         Rule::PanicHygiene => Scope::Only(PANIC_SCOPED_CRATES),
         Rule::NoPrintlnInLibs => Scope::AllExcept(&[]),
         Rule::NoUnreachable => Scope::AllExcept(&[]),
+        Rule::NoProcessExit => Scope::AllExcept(&[]),
         Rule::UnusedPragma => Scope::AllExcept(&[]),
     }
 }
@@ -127,7 +130,9 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> 
     let active: Vec<Rule> = Rule::ALL
         .into_iter()
         .filter(|&r| r != Rule::UnusedPragma && scope_of(r).contains(crate_name))
-        .filter(|&r| !(r == Rule::NoPrintlnInLibs && is_binary_entry(rel_path)))
+        .filter(|&r| {
+            !(matches!(r, Rule::NoPrintlnInLibs | Rule::NoProcessExit) && is_binary_entry(rel_path))
+        })
         .collect();
 
     let tokens = lex(src);
@@ -314,6 +319,22 @@ fn match_rule(rule: Rule, code: &[&Token], i: usize, rel_path: &str) -> Option<F
                      justify the structural invariant with a pragma",
                     t.text
                 ));
+            }
+            None
+        }
+        Rule::NoProcessExit => {
+            if t.is_ident("process")
+                && path_sep(code, i + 1)
+                && code.get(i + 3).is_some_and(|n| n.is_ident("exit"))
+                && code.get(i + 4).is_some_and(|p| p.is_punct('('))
+            {
+                return finding(
+                    "`process::exit` in library code skips every destructor on the \
+                     stack — checkpoint sinks never flush, worker sockets never say \
+                     goodbye; return a typed error and let the binary entry point \
+                     pick the exit code"
+                        .to_string(),
+                );
             }
             None
         }
@@ -774,6 +795,52 @@ mod tests {
     fn t(x: u32) { match x { 0 => {}, _ => unreachable!() } }
 }
 ";
+        assert!(lint_in("core", src).is_empty());
+    }
+
+    #[test]
+    fn process_exit_fires_in_library_code_everywhere() {
+        let src = "fn f() { std::process::exit(1); }\n";
+        for crate_name in ["core", "lint", "h2o-nas"] {
+            let found = lint_in(crate_name, src);
+            assert_eq!(found.len(), 1, "process::exit should fire in {crate_name}");
+            assert_eq!(found[0].rule, Rule::NoProcessExit);
+        }
+        // Both the fully-qualified and the `process::exit(..)` spelling.
+        let short = "use std::process;\nfn f() { process::exit(1); }\n";
+        assert_eq!(lint_in("core", short).len(), 1);
+    }
+
+    #[test]
+    fn process_exit_in_binary_entry_points_is_allowed() {
+        let src = "fn main() { std::process::exit(2); }\n";
+        for path in ["crates/lint/src/main.rs", "src/bin/h2o.rs", "main.rs"] {
+            assert!(
+                lint_source("h2o-nas", path, src).is_empty(),
+                "{path} owns the exit code"
+            );
+        }
+        assert_eq!(
+            lint_source("h2o-nas", "src/distributed.rs", src).len(),
+            1,
+            "library modules of a package with binaries still may not exit"
+        );
+    }
+
+    #[test]
+    fn process_exit_pragma_with_reason_suppresses() {
+        let src = "\
+// h2o-lint: allow(no-process-exit) -- simulated node death for the chaos tests
+fn f() { std::process::exit(41); }
+";
+        assert!(lint_in("h2o-nas", src).is_empty());
+    }
+
+    #[test]
+    fn exit_without_the_process_path_is_fine() {
+        // A method or free fn named `exit` on its own is not the process
+        // killer — only the `process::exit(` path pattern fires.
+        let src = "fn f(l: Loop) { l.exit(); }\n";
         assert!(lint_in("core", src).is_empty());
     }
 

@@ -1,4 +1,4 @@
-//! Per-rule fixture tests: each of the five rules gets at least one
+//! Per-rule fixture tests: every token-pattern rule gets at least one
 //! known-bad snippet that must produce exactly the expected findings, plus
 //! a known-good variant that must stay clean. These pin the token-pattern
 //! matchers against regressions in the lexer or the rule engine.
@@ -279,6 +279,43 @@ pub fn f(x: u8) {
 }
 "#;
     assert!(findings_in("lint", justified).is_empty());
+}
+
+// ---------------------------------------------------------------- rule 8
+
+#[test]
+fn no_process_exit_flags_library_exits() {
+    let bad = r#"
+pub fn die(code: i32) {
+    std::process::exit(code);
+}
+"#;
+    let got = findings_in("core", bad);
+    assert_eq!(got, vec![(Rule::NoProcessExit, 3)]);
+    // Short path spelling after `use std::process`.
+    let short = "use std::process;\npub fn die() { process::exit(1); }\n";
+    assert_eq!(findings_in("exec", short), vec![(Rule::NoProcessExit, 2)]);
+}
+
+#[test]
+fn no_process_exit_spares_binaries_and_honours_pragmas() {
+    let main = "fn main() { std::process::exit(2); }\n";
+    assert!(
+        lint_source("h2o-nas", "src/bin/h2o.rs", main).is_empty(),
+        "binaries own the exit code"
+    );
+
+    let justified = r#"
+pub fn chaos() {
+    // h2o-lint: allow(no-process-exit) -- simulated node death for fault-tolerance tests
+    std::process::exit(41);
+}
+"#;
+    assert!(findings_in("h2o-nas", justified).is_empty());
+
+    // A method named `exit` is not the process killer.
+    let method = "pub fn f(l: &mut Loop) { l.exit(); }\n";
+    assert!(findings_in("core", method).is_empty());
 }
 
 // ---------------------------------------------------------------- pragmas

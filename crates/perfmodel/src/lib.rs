@@ -40,4 +40,4 @@ mod features;
 mod model;
 
 pub use features::Featurizer;
-pub use model::{Head, PerfModel, PerfPrediction, PerfTargets, TrainConfig};
+pub use model::{BatchPrediction, Head, PerfModel, PerfPrediction, PerfTargets, TrainConfig};

@@ -15,10 +15,11 @@ use h2o_nas::core::{
     parallel_search_with, CheckpointSink, DistributedStage, PerfObjective, ResumeState, RewardFn,
     RewardKind, SearchConfig, SearchDriver, SearchOutcome,
 };
-use h2o_nas::distributed::{EvalScenario, NodeCluster};
+use h2o_nas::distributed::NodeCluster;
+use h2o_nas::eval::{BackendKind, BackendSpec, EvalBackend, EvalScenario, ModelSpec};
 use h2o_nas::exec::{DistributedPool, NodeAddr, PoolOptions};
 use h2o_nas::graph::Graph;
-use h2o_nas::hwsim::{EvalCache, HardwareConfig, Simulator, SystemConfig};
+use h2o_nas::hwsim::{HardwareConfig, Simulator, SystemConfig};
 use h2o_nas::models::coatnet::CoAtNet;
 use h2o_nas::models::efficientnet::EfficientNet;
 use h2o_nas::space::{
@@ -40,13 +41,25 @@ USAGE:
   h2o roofline [--hw <tpuv3|tpuv4|tpuv4i|v100|a100|h100>]
   h2o sweep --model <NAME> [--hw ...] [--batches 1,8,64,256] [--load 0.7]
   h2o search --domain <cnn|dlrm|vit|dlrm-oneshot> [--budget-ms X] [--steps N] [--shards N]
-             [--workers N] [--eval-cache on|off] [--eval-cache-capacity N]
+             [--workers N] [--eval-backend sim|cached|model]
+             [--eval-cache on|off] [--eval-cache-capacity N]
+             [--gate-threshold X] [--finetune-cadence N]
              [--csv STEM] [--metrics-out FILE] [--trace-out FILE]
              [--checkpoint-dir DIR] [--checkpoint-every K] [--resume]
              [--nodes N | --nodes addr,addr,...] [--node-timeout-ms X]
              [--node-retries N] [--min-live-nodes N]
   h2o node-worker --addr <unix:PATH|tcp:HOST:PORT> --domain <cnn|dlrm|vit>
-             [--eval-cache on|off] [--eval-cache-capacity N] [--chaos-exit-after N]
+             [--eval-backend sim|cached|model] [--eval-cache on|off]
+             [--eval-cache-capacity N] [--gate-threshold X]
+             [--finetune-cadence N] [--chaos-exit-after N]
+
+  --eval-backend selects how candidate costs are produced: 'sim' walks
+  the roofline simulator per candidate, 'cached' (the default when
+  --eval-cache is on) memoizes those walks, and 'model' (dlrm only)
+  serves in-distribution candidates from the pretrained MLP performance
+  model, falling back to the cached simulator when the novelty gate
+  exceeds --gate-threshold and fine-tuning a refined model every
+  --finetune-cadence distinct fallback measurements.
 
   --nodes N spawns N local node-worker subprocesses on Unix sockets;
   --nodes with addresses connects to already-running workers (H2O_NODES
@@ -440,12 +453,22 @@ fn run_distributed(
     result.map_err(|e| e.to_string())
 }
 
-fn cmd_node_worker(flags: &HashMap<String, String>) -> Result<(), String> {
-    let addr = flags.get("addr").ok_or("missing --addr")?;
-    let domain = flags.get("domain").ok_or("missing --domain")?;
+/// Resolves the `--eval-backend` / `--eval-cache` / `--gate-threshold` /
+/// `--finetune-cadence` flag group into one [`BackendSpec`] — the single
+/// translation both `h2o search` and `h2o node-worker` use, so a
+/// controller and its workers can never parse the same flags into
+/// different backends.
+///
+/// Legacy mapping: with `--eval-backend` unset, `--eval-cache on` (the
+/// default) is the cached backend and `--eval-cache off` the plain
+/// simulator. Contradictory combinations (`sim` with an explicit
+/// `--eval-cache on`, `cached` with `--eval-cache off`, model-gate flags
+/// without the model backend) are rejected rather than guessed at.
+fn backend_spec_from_flags(flags: &HashMap<String, String>) -> Result<BackendSpec, String> {
     let cache_on = match flags.get("eval-cache").map(String::as_str) {
-        None | Some("on") | Some("true") => true,
-        Some("off") | Some("false") => false,
+        None => None,
+        Some("on") | Some("true") => Some(true),
+        Some("off") | Some("false") => Some(false),
         Some(other) => return Err(format!("bad --eval-cache '{other}' (on|off)")),
     };
     let cache_capacity: usize = flags
@@ -453,11 +476,114 @@ fn cmd_node_worker(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --eval-cache-capacity"))
         .transpose()?
         .unwrap_or(4096);
+    let gate_threshold: Option<f64> = flags
+        .get("gate-threshold")
+        .map(|s| s.parse().map_err(|_| "bad --gate-threshold"))
+        .transpose()?;
+    let finetune_cadence: Option<usize> = flags
+        .get("finetune-cadence")
+        .map(|s| s.parse().map_err(|_| "bad --finetune-cadence"))
+        .transpose()?;
+    let kind = match flags.get("eval-backend").map(String::as_str) {
+        None => match cache_on {
+            Some(false) => BackendKind::Simulator,
+            _ => BackendKind::Cached,
+        },
+        Some(name) => BackendKind::parse(name)
+            .ok_or_else(|| format!("bad --eval-backend '{name}' (sim|cached|model)"))?,
+    };
+    if kind != BackendKind::ModelServed {
+        if gate_threshold.is_some() {
+            return Err("--gate-threshold requires --eval-backend model".into());
+        }
+        if finetune_cadence.is_some() {
+            return Err("--finetune-cadence requires --eval-backend model".into());
+        }
+    }
+    let spec = match kind {
+        BackendKind::Simulator => {
+            if cache_on == Some(true) {
+                return Err("--eval-backend sim contradicts --eval-cache on \
+                            (use --eval-backend cached)"
+                    .into());
+            }
+            BackendSpec::Simulator
+        }
+        BackendKind::Cached => {
+            if cache_on == Some(false) {
+                return Err("--eval-backend cached contradicts --eval-cache off \
+                            (use --eval-backend sim)"
+                    .into());
+            }
+            BackendSpec::Cached {
+                capacity: cache_capacity,
+            }
+        }
+        BackendKind::ModelServed => {
+            let defaults = ModelSpec::default();
+            BackendSpec::ModelServed {
+                // For the model backend the cache flags govern the
+                // fallback simulator's memoization.
+                fallback_capacity: match cache_on {
+                    Some(false) => None,
+                    _ => Some(cache_capacity),
+                },
+                model: ModelSpec {
+                    gate_threshold: gate_threshold.unwrap_or(defaults.gate_threshold),
+                    finetune_cadence: finetune_cadence.unwrap_or(defaults.finetune_cadence),
+                    ..defaults
+                },
+            }
+        }
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Prints the end-of-run evaluation report for an in-process backend:
+/// model serving statistics (when model-served) and fallback/eval cache
+/// statistics (when memoizing).
+fn report_backend(backend: &EvalBackend) {
+    if let Some(served) = backend.model_served() {
+        let stats = served.stats();
+        println!(
+            "model served: {} served / {} fallback ({:.0}% served), {} finetune rounds, \
+             {} measurements buffered",
+            stats.served,
+            stats.fallback,
+            stats.served_share() * 100.0,
+            stats.finetune_rounds,
+            stats.buffered
+        );
+        if let Some((frozen, refined)) = served.buffer_nrmse() {
+            println!(
+                "model refinement: training-head NRMSE on fallback ground truth \
+                 {frozen:.3} frozen -> {refined:.3} refined"
+            );
+        }
+    }
+    if let Some(cache) = backend.cache() {
+        let s = cache.stats();
+        println!(
+            "eval cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} entries resident",
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.evictions,
+            s.entries
+        );
+    }
+}
+
+fn cmd_node_worker(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("addr").ok_or("missing --addr")?;
+    let domain = flags.get("domain").ok_or("missing --domain")?;
+    let backend = backend_spec_from_flags(flags)?;
     let chaos_exit_after: Option<usize> = flags
         .get("chaos-exit-after")
         .map(|s| s.parse().map_err(|_| "bad --chaos-exit-after"))
         .transpose()?;
-    let scenario = EvalScenario::new(domain, cache_on.then_some(cache_capacity))?;
+    let scenario = EvalScenario::new(domain, backend)?;
     h2o_nas::distributed::run_worker(addr, scenario, chaos_exit_after)
 }
 
@@ -484,17 +610,7 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --workers"))
         .transpose()?
         .unwrap_or(0);
-    let cache_on = match flags.get("eval-cache").map(String::as_str) {
-        None | Some("on") | Some("true") => true,
-        Some("off") | Some("false") => false,
-        Some(other) => return Err(format!("bad --eval-cache '{other}' (on|off)")),
-    };
-    let cache_capacity: usize = flags
-        .get("eval-cache-capacity")
-        .map(|s| s.parse().map_err(|_| "bad --eval-cache-capacity"))
-        .transpose()?
-        .unwrap_or(4096);
-    let cache = cache_on.then(|| EvalCache::new(cache_capacity));
+    let backend_spec = backend_spec_from_flags(flags)?;
     // --nodes / H2O_NODES switches candidate evaluation from in-process
     // threads to worker subprocesses; either an integer (auto-spawn that
     // many local Unix-socket workers) or a comma-separated address list.
@@ -556,10 +672,16 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
         // EvalScenario builds the evaluator for in-process shards and for
         // worker subprocesses, so the two modes cannot drift apart.
         "cnn" | "dlrm" | "vit" => {
-            let scenario = EvalScenario::new(domain, cache_on.then_some(cache_capacity))?;
+            let scenario = EvalScenario::new(domain, backend_spec)?;
             let space = scenario.space();
-            let (mut sink, resume_state) =
-                checkpoint_setup(flags, cfg.fingerprint(&space), cfg.steps)?;
+            // The backend's value-affecting parameters (model gate, seed,
+            // cadence — never cache capacity) are part of checkpoint
+            // identity: a model-served run must not resume a sim run.
+            let (mut sink, resume_state) = checkpoint_setup(
+                flags,
+                cfg.fingerprint(&space) ^ scenario.value_fingerprint(),
+                cfg.steps,
+            )?;
             let outcome = match &nodes_spec {
                 Some(spec) => run_distributed(
                     &scenario,
@@ -571,16 +693,21 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                     resume_state,
                     sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
                 )?,
-                None => parallel_search_with(
-                    &space,
-                    &reward,
-                    // Every shard shares the same cache storage; a clone
-                    // is a handle.
-                    |_| scenario.shard_evaluator(cache.clone()),
-                    &cfg,
-                    resume_state,
-                    sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
-                ),
+                None => {
+                    // One backend per process, cloned into every shard:
+                    // clones share cache storage and fine-tuning state.
+                    let backend = scenario.backend()?;
+                    let outcome = parallel_search_with(
+                        &space,
+                        &reward,
+                        |_| scenario.shard_evaluator(&backend),
+                        &cfg,
+                        resume_state,
+                        sink.as_mut().map(|s| s as &mut dyn CheckpointSink),
+                    );
+                    report_backend(&backend);
+                    outcome
+                }
             };
             maybe_export(&outcome)?;
             println!("{}", scenario.describe_best(&outcome.best));
@@ -589,6 +716,13 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
             return Err(
                 "--nodes does not support dlrm-oneshot: the one-shot search trains a shared \
                  supernet, which cannot be sharded across stateless worker processes"
+                    .into(),
+            );
+        }
+        "dlrm-oneshot" if backend_spec.kind() == BackendKind::ModelServed => {
+            return Err(
+                "--eval-backend model does not support dlrm-oneshot: the one-shot search \
+                 already scores candidates with its own supernet-trained performance model"
                     .into(),
             );
         }
@@ -700,17 +834,6 @@ fn cmd_search(flags: &HashMap<String, String>) -> Result<(), String> {
                 "unknown domain '{other}' (cnn|dlrm|vit|dlrm-oneshot)"
             ))
         }
-    }
-    if let Some(cache) = &cache {
-        let s = cache.stats();
-        println!(
-            "eval cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} entries resident",
-            s.hits,
-            s.misses,
-            s.hit_rate() * 100.0,
-            s.evictions,
-            s.entries
-        );
     }
     export_observability(flags)?;
     Ok(())

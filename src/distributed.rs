@@ -1,295 +1,34 @@
 //! Multi-process search plumbing shared by the `h2o` CLI's controller
 //! side (`--nodes` / `H2O_NODES`) and its `node-worker` subprocess mode.
 //!
-//! A *scenario* ([`EvalScenario`]) is everything a worker process needs to
-//! evaluate candidates exactly like the in-process loop: the search
-//! domain, its decode/quality/simulation stack, and the eval-cache
-//! setting. Both sides of a run construct the scenario from the same CLI
-//! flags, so the controller's [`EvalScenario::fingerprint`] and the
-//! worker's agree — and a worker launched against the wrong domain fails
-//! the transport handshake with a typed `ScenarioMismatch` instead of
-//! silently returning numbers from a different search space.
+//! The evaluation recipe itself — the [`EvalScenario`] both sides agree
+//! on, and the `BackendSpec → EvalBackend` factory every evaluator is
+//! built through — lives in [`crate::eval`] (`h2o-eval`) and is
+//! re-exported here for convenience. This module keeps the process
+//! plumbing: the worker serve loop and the local cluster spawner.
 //!
 //! Determinism across process counts holds because both execution paths
 //! run the *same* evaluator closure from
 //! [`EvalScenario::shard_evaluator`]: the in-process path hands it to
-//! `ParallelStage` (one per shard, shared cache handle), the worker path
-//! hosts one per process behind `h2o_exec::serve`. Caches memoize
-//! value-identical results, so worker-local caches cannot perturb the
-//! outcome.
+//! `ParallelStage` (one per shard, shared backend handle), the worker
+//! path hosts one per process behind `h2o_exec::serve`. Backends are
+//! value-invisible to topology — caches memoize value-identical results,
+//! and the model-served backend's frozen-generation rule (see the
+//! `h2o-eval` docs) guarantees served values are pure functions of the
+//! candidate — so process-local state cannot perturb the outcome.
 
-use crate::core::{decode_eval_job, encode_eval_result, EvalResult};
+use crate::core::{decode_eval_job, encode_eval_result};
 use crate::exec::{serve, NodeAddr, NodeListener};
-use crate::hwsim::{
-    arch_key, CachedSimulator, EvalCache, EvalCost, HardwareConfig, Simulator, SystemConfig,
-};
-use crate::models::quality::{DatasetScale, DlrmQualityModel, VisionQualityModel};
-use crate::space::{
-    ArchSample, CnnSpace, CnnSpaceConfig, DlrmSpace, DlrmSpaceConfig, SearchSpace, VitSpace,
-    VitSpaceConfig,
-};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
+pub use crate::eval::{Domain, EvalScenario};
+
 /// How long a freshly-spawned worker waits for its controller to connect
 /// before giving up and exiting with a timeout error.
 const ACCEPT_TIMEOUT: Duration = Duration::from_secs(60);
-
-/// The search domains a worker process can host (the stateless-evaluator
-/// domains of `h2o search`; `dlrm-oneshot` trains a shared supernet and
-/// cannot be sharded across processes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Domain {
-    /// EfficientNet-style CNN space, vision quality surrogate.
-    Cnn,
-    /// Production DLRM space (truncated to 40 tables), DLRM quality model.
-    Dlrm,
-    /// Pure ViT space, vision quality surrogate.
-    Vit,
-}
-
-impl Domain {
-    /// Parses a `--domain` value; `None` for domains without a stateless
-    /// evaluator.
-    pub fn parse(name: &str) -> Option<Self> {
-        match name {
-            "cnn" => Some(Domain::Cnn),
-            "dlrm" => Some(Domain::Dlrm),
-            "vit" => Some(Domain::Vit),
-            _ => None,
-        }
-    }
-
-    /// The CLI name of the domain.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Domain::Cnn => "cnn",
-            Domain::Dlrm => "dlrm",
-            Domain::Vit => "vit",
-        }
-    }
-}
-
-/// Per-shard simulator front-end: plain, or memoizing through a shared
-/// [`EvalCache`].
-enum ShardSim {
-    Plain(Simulator),
-    Cached(CachedSimulator),
-}
-
-impl ShardSim {
-    fn new(cache: Option<EvalCache>) -> Self {
-        let sim = Simulator::new(HardwareConfig::tpu_v4());
-        match cache {
-            Some(c) => ShardSim::Cached(CachedSimulator::new(sim, c)),
-            None => ShardSim::Plain(sim),
-        }
-    }
-
-    fn training_cost(
-        &self,
-        key: u64,
-        system: &SystemConfig,
-        build: impl FnOnce() -> crate::graph::Graph,
-    ) -> EvalCost {
-        match self {
-            ShardSim::Plain(sim) => EvalCost::from_report(&sim.simulate_training(&build(), system)),
-            ShardSim::Cached(cached) => cached.training_cost(key, system, build),
-        }
-    }
-}
-
-/// The evaluation recipe both sides of a multi-process run agree on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EvalScenario {
-    /// The search domain.
-    pub domain: Domain,
-    /// Eval-cache capacity, or `None` when the cache is off. Cache state
-    /// is value-invisible memoization, so it is *excluded* from the
-    /// handshake fingerprint — cache-on and cache-off processes may
-    /// legally interoperate.
-    pub cache_capacity: Option<usize>,
-}
-
-impl EvalScenario {
-    /// Builds the scenario from CLI flag values.
-    ///
-    /// # Errors
-    ///
-    /// Rejects domains that have no stateless per-candidate evaluator.
-    pub fn new(domain: &str, cache_capacity: Option<usize>) -> Result<Self, String> {
-        let domain = Domain::parse(domain).ok_or_else(|| {
-            format!("domain '{domain}' cannot run multi-process (needs a stateless evaluator)")
-        })?;
-        Ok(Self {
-            domain,
-            cache_capacity,
-        })
-    }
-
-    /// The decision space this scenario searches — identical to the space
-    /// the single-process `h2o search` arm builds for the same domain.
-    pub fn space(&self) -> SearchSpace {
-        match self.domain {
-            Domain::Cnn => CnnSpace::new(CnnSpaceConfig::default()).space().clone(),
-            Domain::Dlrm => DlrmSpace::new(Self::dlrm_config()).space().clone(),
-            Domain::Vit => VitSpace::new(VitSpaceConfig::pure()).space().clone(),
-        }
-    }
-
-    /// The handshake fingerprint: domain identity plus the shape of its
-    /// decision space, so a controller never exchanges jobs with a worker
-    /// evaluating a different search.
-    pub fn fingerprint(&self) -> u64 {
-        let space = self.space();
-        let descriptor = format!(
-            "h2o-eval-scenario|{}|{}|{:.3}",
-            self.domain.name(),
-            space.num_decisions(),
-            space.log10_size()
-        );
-        crate::exec::wire::fnv1a(descriptor.as_bytes())
-    }
-
-    /// The `node-worker` CLI arguments that reconstruct this scenario in a
-    /// spawned subprocess.
-    pub fn worker_args(&self) -> Vec<String> {
-        let mut args = vec!["--domain".to_string(), self.domain.name().to_string()];
-        match self.cache_capacity {
-            Some(capacity) => {
-                args.push("--eval-cache".to_string());
-                args.push("on".to_string());
-                args.push("--eval-cache-capacity".to_string());
-                args.push(capacity.to_string());
-            }
-            None => {
-                args.push("--eval-cache".to_string());
-                args.push("off".to_string());
-            }
-        }
-        args
-    }
-
-    /// The production DLRM config the CLI searches (truncated to 40
-    /// tables, matching the single-process arm).
-    fn dlrm_config() -> DlrmSpaceConfig {
-        let mut config = DlrmSpaceConfig::production();
-        config.tables.truncate(40);
-        config
-    }
-
-    /// Builds one shard's evaluator: the pure
-    /// `sample → (quality, perf_values)` function both the in-process
-    /// `ParallelStage` and the worker's serve loop run. `cache` is a
-    /// handle; clones share storage, `None` simulates every candidate.
-    pub fn shard_evaluator(
-        &self,
-        cache: Option<EvalCache>,
-    ) -> Box<dyn FnMut(&ArchSample) -> EvalResult + Send> {
-        let sim = ShardSim::new(cache);
-        match self.domain {
-            Domain::Cnn => {
-                let space = CnnSpace::new(CnnSpaceConfig::default());
-                let quality = VisionQualityModel::new(DatasetScale::Medium);
-                Box::new(move |sample: &ArchSample| {
-                    let arch = space.decode(sample);
-                    let cost = sim.training_cost(
-                        arch_key("cnn", sample),
-                        &SystemConfig::training_pod(),
-                        || arch.build_graph(64),
-                    );
-                    EvalResult {
-                        quality: quality.accuracy_of_cnn(&arch, cost.params / 1e6),
-                        perf_values: vec![cost.latency],
-                    }
-                })
-            }
-            Domain::Dlrm => {
-                let space = DlrmSpace::new(Self::dlrm_config());
-                let base = space.decode(&space.baseline());
-                let quality = DlrmQualityModel::new(&base, 85.0);
-                Box::new(move |sample: &ArchSample| {
-                    let arch = space.decode(sample);
-                    let cost = sim.training_cost(
-                        arch_key("dlrm", sample),
-                        &SystemConfig::training_pod(),
-                        || arch.build_graph(64, 128),
-                    );
-                    EvalResult {
-                        quality: quality.quality(&arch),
-                        perf_values: vec![cost.latency],
-                    }
-                })
-            }
-            Domain::Vit => {
-                let space = VitSpace::new(VitSpaceConfig::pure());
-                let quality = VisionQualityModel::new(DatasetScale::Medium);
-                Box::new(move |sample: &ArchSample| {
-                    let arch = space.decode(sample);
-                    let cost = sim.training_cost(
-                        arch_key("vit", sample),
-                        &SystemConfig::training_pod(),
-                        || arch.build_graph(32, 512),
-                    );
-                    EvalResult {
-                        quality: quality.accuracy_of_vit(&arch, cost.params / 1e6),
-                        perf_values: vec![cost.latency],
-                    }
-                })
-            }
-        }
-    }
-
-    /// Renders the decoded best architecture the way the single-process
-    /// search arm prints it.
-    pub fn describe_best(&self, best: &ArchSample) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        match self.domain {
-            Domain::Cnn => {
-                let space = CnnSpace::new(CnnSpaceConfig::default());
-                let arch = space.decode(best);
-                let _ = writeln!(out, "best: resolution {}, blocks:", arch.resolution);
-                for (i, b) in arch.blocks.iter().enumerate() {
-                    let _ = writeln!(
-                        out,
-                        "  {i}: {:?} k{} e{} d{} w{}",
-                        b.block_type, b.kernel, b.expansion, b.depth, b.width
-                    );
-                }
-            }
-            Domain::Dlrm => {
-                let space = DlrmSpace::new(Self::dlrm_config());
-                let arch = space.decode(best);
-                let _ = writeln!(
-                    out,
-                    "best: {} tables totalling {:.0}M embedding params, {} MLP groups, size {:.1} MB",
-                    arch.tables.len(),
-                    arch.embedding_params() / 1e6,
-                    arch.mlp_groups.len(),
-                    arch.model_size_bytes() / 1e6
-                );
-            }
-            Domain::Vit => {
-                let space = VitSpace::new(VitSpaceConfig::pure());
-                let arch = space.decode(best);
-                for (i, b) in arch.tfm_blocks.iter().enumerate() {
-                    let _ = writeln!(
-                        out,
-                        "  block {i}: hidden {} x{} layers, {:?}, rank {:.1}, pool={}, primer={}",
-                        b.hidden, b.layers, b.act, b.low_rank, b.seq_pool, b.primer
-                    );
-                }
-            }
-        }
-        // The arms above end with writeln!, so trim the trailing newline
-        // for println!-style use.
-        out.truncate(out.trim_end().len());
-        out
-    }
-}
 
 /// Runs the `node-worker` serve loop: bind, announce the resolved
 /// address on stdout (`node-worker listening <addr>` — how callers
@@ -316,12 +55,14 @@ pub fn run_worker(
     // discovery protocol: controllers and tests read this line to learn the bound port
     println!("node-worker listening {resolved}");
     let mut transport = listener.accept(ACCEPT_TIMEOUT).map_err(|e| e.to_string())?;
-    let mut evaluate = scenario.shard_evaluator(scenario.cache_capacity.map(EvalCache::new));
+    let backend = scenario.backend()?;
+    let mut evaluate = scenario.shard_evaluator(&backend);
     let mut served = 0usize;
     serve(&mut transport, scenario.fingerprint(), move |payload| {
         if chaos_exit_after.is_some_and(|limit| served >= limit) {
-            // Simulated node death: vanish mid-conversation, leaving the
-            // controller a half-open socket.
+            // h2o-lint: allow(no-process-exit) -- simulated node death for the
+            // fault-tolerance tests: vanish mid-conversation without Shutdown or
+            // Error frame, leaving the controller a half-open socket
             std::process::exit(41);
         }
         served += 1;

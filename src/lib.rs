@@ -23,9 +23,13 @@
 //!   searches.
 //! * [`obs`] (`h2o-obs`) — the observability layer: metrics registry, span
 //!   timers and Prometheus / JSON / Chrome-trace exporters.
+//! * [`eval`] (`h2o-eval`) — the unified evaluation-backend layer: the
+//!   `BackendSpec → EvalBackend` factory behind every evaluator
+//!   (simulator / cached / model-served) and the [`eval::EvalScenario`]
+//!   recipe all execution paths share.
 //! * [`distributed`] — multi-process search plumbing shared by the CLI's
 //!   `--nodes` controller side and its `node-worker` subprocess mode:
-//!   evaluation scenarios, the worker serve loop, local cluster spawning.
+//!   the worker serve loop and local cluster spawning.
 //! * [`graph`] (`h2o-graph`) — the HLO-like operator IR.
 //! * [`tensor`] (`h2o-tensor`) — the minimal dense NN training substrate.
 //! * [`models`] (`h2o-models`) — CoAtNet(-H), EfficientNet-X/H, DLRM(-H)
@@ -68,6 +72,7 @@ pub mod distributed;
 pub use h2o_ckpt as ckpt;
 pub use h2o_core as core;
 pub use h2o_data as data;
+pub use h2o_eval as eval;
 pub use h2o_exec as exec;
 pub use h2o_graph as graph;
 pub use h2o_hwsim as hwsim;

@@ -12,10 +12,9 @@ use h2o_nas::core::{
     parallel_search, parallel_search_with, shard_seed, ArchEvaluator, CheckpointSink, EvalResult,
     PerfObjective, ResumeState, RewardFn, RewardKind, SearchConfig, SearchOutcome, SearchSnapshot,
 };
+use h2o_nas::eval::{BackendSpec, Domain, EvalBackend};
 use h2o_nas::graph::{DType, Graph, OpKind};
-use h2o_nas::hwsim::{
-    arch_key, CachedSimulator, EvalCache, HardwareConfig, Simulator, SystemConfig,
-};
+use h2o_nas::hwsim::{arch_key, SystemConfig};
 use h2o_nas::space::{ArchSample, Decision, SearchSpace};
 
 fn space() -> SearchSpace {
@@ -66,9 +65,21 @@ fn det_cfg(workers: usize) -> SearchConfig {
     }
 }
 
+/// Builds a fresh backend through the unified factory: the domain only
+/// selects a pretraining space for the model backend, so the cached and
+/// plain simulator backends work on this test's custom space too.
+fn det_backend(cached: bool) -> EvalBackend {
+    let spec = if cached {
+        BackendSpec::Cached { capacity: 512 }
+    } else {
+        BackendSpec::Simulator
+    };
+    EvalBackend::build(&spec, Domain::Dlrm).expect("backend builds")
+}
+
 fn det_search(
     cfg: &SearchConfig,
-    cache: Option<EvalCache>,
+    backend: &EvalBackend,
     resume: Option<ResumeState>,
     sink: Option<&mut dyn CheckpointSink>,
 ) -> SearchOutcome {
@@ -76,27 +87,17 @@ fn det_search(
         &space(),
         &reward(),
         |_| {
-            let sim = Simulator::new(HardwareConfig::tpu_v4());
-            let cached = cache
-                .as_ref()
-                .map(|c| CachedSimulator::new(Simulator::new(HardwareConfig::tpu_v4()), c.clone()));
+            let backend = backend.clone();
             move |sample: &ArchSample| {
-                let system = SystemConfig::training_pod();
-                let (latency, params) = match &cached {
-                    Some(cached) => {
-                        let cost = cached.training_cost(arch_key("det", sample), &system, || {
-                            sample_graph(sample)
-                        });
-                        (cost.latency, cost.params)
-                    }
-                    None => {
-                        let report = sim.simulate_training(&sample_graph(sample), &system);
-                        (report.time, report.params)
-                    }
-                };
+                let cost = backend.training_cost(
+                    sample,
+                    arch_key("det", sample),
+                    &SystemConfig::training_pod(),
+                    || sample_graph(sample),
+                );
                 EvalResult {
-                    quality: (params / 1e6).ln_1p(),
-                    perf_values: vec![latency],
+                    quality: (cost.params / 1e6).ln_1p(),
+                    perf_values: vec![cost.latency],
                 }
             }
         },
@@ -106,14 +107,19 @@ fn det_search(
     )
 }
 
-fn run_with(workers: usize, cache: Option<EvalCache>) -> (String, String) {
-    normalized_csvs(det_search(&det_cfg(workers), cache, None, None))
+fn run_with(workers: usize, cached: bool) -> (String, String) {
+    normalized_csvs(det_search(
+        &det_cfg(workers),
+        &det_backend(cached),
+        None,
+        None,
+    ))
 }
 
 #[test]
 fn workers_1_and_4_write_byte_identical_csvs() {
-    let (hist_1, cand_1) = run_with(1, None);
-    let (hist_4, cand_4) = run_with(4, None);
+    let (hist_1, cand_1) = run_with(1, false);
+    let (hist_4, cand_4) = run_with(4, false);
     assert_eq!(
         hist_1, hist_4,
         "history CSV must not depend on worker count"
@@ -126,14 +132,14 @@ fn workers_1_and_4_write_byte_identical_csvs() {
 
 #[test]
 fn cache_on_and_off_write_byte_identical_csvs() {
-    let (hist_off, cand_off) = run_with(2, None);
-    let cache = EvalCache::new(512);
-    let (hist_on, cand_on) = run_with(2, Some(cache.clone()));
+    let (hist_off, cand_off) = run_with(2, false);
+    let backend = det_backend(true);
+    let (hist_on, cand_on) = normalized_csvs(det_search(&det_cfg(2), &backend, None, None));
     assert_eq!(hist_off, hist_on, "memoization must be value-invisible");
     assert_eq!(cand_off, cand_on);
     // And the cache did real work: 30 steps x 6 shards over a 120-point
     // space guarantees repeats.
-    let stats = cache.stats();
+    let stats = backend.cache().expect("cached backend").stats();
     assert!(stats.hits > 0, "expected cache hits, got {stats:?}");
 }
 
@@ -141,8 +147,8 @@ fn cache_on_and_off_write_byte_identical_csvs() {
 fn cached_parallel_run_matches_uncached_serial_run() {
     // The strongest cross-configuration claim: (workers=4, cache on) is
     // byte-identical to (workers=1, cache off).
-    let serial = run_with(1, None);
-    let parallel = run_with(4, Some(EvalCache::new(512)));
+    let serial = run_with(1, false);
+    let parallel = run_with(4, true);
     assert_eq!(serial, parallel);
 }
 
@@ -195,8 +201,8 @@ fn serialized_executor_mode_matches_parallel() {
     // mutation is unsafe under parallel tests, so exercise the same path
     // via workers=1 (which the executor treats identically) against a wide
     // pool.
-    let narrow = run_with(1, None);
-    let wide = run_with(6, None);
+    let narrow = run_with(1, false);
+    let wide = run_with(6, false);
     assert_eq!(narrow, wide);
 }
 
@@ -276,8 +282,7 @@ fn interrupted_search_resumes_byte_identically() {
     // uninterrupted run — at every worker count, cache on or off.
     for workers in [1usize, 4] {
         for cache_on in [false, true] {
-            let mk_cache = || cache_on.then(|| EvalCache::new(512));
-            let full = run_with(workers, mk_cache());
+            let full = run_with(workers, cache_on);
 
             let dir = std::env::temp_dir().join(format!(
                 "h2o_resume_{}_{workers}_{cache_on}",
@@ -299,7 +304,7 @@ fn interrupted_search_resumes_byte_identically() {
             // The "interrupted" run: 12 of 30 steps, snapshot every 4.
             let store = CheckpointStore::new(&dir, fingerprint).expect("store opens");
             let mut sink = FileCheckpointSink::new(store, 4);
-            det_search(&cfg_cut, mk_cache(), None, Some(&mut sink));
+            det_search(&cfg_cut, &det_backend(cache_on), None, Some(&mut sink));
 
             // Crash. A fresh process re-opens the store and resumes; the
             // eval cache starts cold again, which must be value-invisible.
@@ -309,7 +314,12 @@ fn interrupted_search_resumes_byte_identically() {
                 .expect("latest loads")
                 .expect("a snapshot exists");
             assert_eq!(state.steps_done, 12);
-            let resumed = normalized_csvs(det_search(&cfg_full, mk_cache(), Some(state), None));
+            let resumed = normalized_csvs(det_search(
+                &cfg_full,
+                &det_backend(cache_on),
+                Some(state),
+                None,
+            ));
 
             assert_eq!(
                 full, resumed,

@@ -1,0 +1,151 @@
+//! Determinism proof for the model-served evaluation backend: because the
+//! frozen generation-0 model makes every serve/fallback decision as a pure
+//! function of candidate features, a model-served search must write
+//! byte-identical telemetry CSVs at any worker count and across process
+//! boundaries — and with the gate forced shut (`--gate-threshold -1`) it
+//! must degenerate, bit for bit, to the cached-simulator backend.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn unique_temp_dir(test_name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "h2o_model_determinism_{}_{}",
+        std::process::id(),
+        test_name
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// Runs `h2o search --domain dlrm --steps 6 --shards 4` plus `extra`
+/// flags, writing CSVs to `<dir>/<stem>_*`.
+fn run_search(dir: &Path, stem: &str, extra: &[&str]) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_h2o"));
+    cmd.args([
+        "search", "--domain", "dlrm", "--steps", "6", "--shards", "4",
+    ]);
+    cmd.args(extra);
+    cmd.arg("--csv").arg(dir.join(stem));
+    cmd.output().expect("h2o binary runs")
+}
+
+fn assert_success(out: &std::process::Output, what: &str) {
+    assert!(
+        out.status.success(),
+        "{what} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Reads `<stem>_history.csv` (wall-clock column stripped) and
+/// `<stem>_candidates.csv`.
+fn read_csvs(dir: &Path, stem: &str) -> (String, String) {
+    let text = |suffix: &str| {
+        let path = dir.join(format!("{stem}{suffix}"));
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path:?}: {e}"))
+    };
+    let history: String = text("_history.csv")
+        .lines()
+        .map(|line| {
+            let (rest, _timing) = line.rsplit_once(',').expect("timing column");
+            format!("{rest}\n")
+        })
+        .collect();
+    (history, text("_candidates.csv"))
+}
+
+/// A gate threshold tight enough that some candidates fall back to the
+/// simulator (exercising both paths and the finetune buffer) while most
+/// are still served by the frozen model.
+const MIXED_GATE: &[&str] = &[
+    "--eval-backend",
+    "model",
+    "--gate-threshold",
+    "0.4",
+    "--finetune-cadence",
+    "2",
+];
+
+#[test]
+fn model_served_is_byte_identical_across_worker_counts() {
+    let dir = unique_temp_dir("worker_counts");
+    let out = run_search(&dir, "w1", &[MIXED_GATE, &["--workers", "1"]].concat());
+    assert_success(&out, "1-worker model-served run");
+    let golden = read_csvs(&dir, "w1");
+    let out = run_search(&dir, "w4", &[MIXED_GATE, &["--workers", "4"]].concat());
+    assert_success(&out, "4-worker model-served run");
+    assert_eq!(
+        read_csvs(&dir, "w4"),
+        golden,
+        "model-served search diverged between 1 and 4 workers"
+    );
+    // Both gate paths actually ran: the frozen model served candidates
+    // AND routed out-of-distribution ones to the simulator.
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let served_line = stdout
+        .lines()
+        .find(|l| l.starts_with("model served:"))
+        .expect("model-served stats line");
+    assert!(
+        !served_line.contains(" 0 served") && !served_line.contains(" 0 fallback"),
+        "expected a served/fallback mix, got: {served_line}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn model_served_two_nodes_matches_the_serial_run() {
+    // Each worker process pretrains its own frozen model from the same
+    // seeded recipe, so cross-process routing decisions agree with the
+    // in-process run's.
+    let dir = unique_temp_dir("two_nodes");
+    let out = run_search(&dir, "serial", MIXED_GATE);
+    assert_success(&out, "serial model-served run");
+    let golden = read_csvs(&dir, "serial");
+    let out = run_search(&dir, "nodes2", &[MIXED_GATE, &["--nodes", "2"]].concat());
+    assert_success(&out, "2-node model-served run");
+    assert_eq!(
+        read_csvs(&dir, "nodes2"),
+        golden,
+        "model-served search diverged between serial and 2-node runs"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn closed_gate_degenerates_to_the_cached_backend() {
+    // A negative threshold rejects every candidate (novelty is a max of
+    // absolute z-scores, hence >= 0), so every evaluation takes the
+    // fallback path — and the run must be byte-identical to the cached
+    // backend's golden.
+    let dir = unique_temp_dir("closed_gate");
+    let out = run_search(&dir, "cached", &["--eval-backend", "cached"]);
+    assert_success(&out, "cached golden run");
+    let out = run_search(
+        &dir,
+        "closed",
+        &[
+            "--eval-backend",
+            "model",
+            "--gate-threshold",
+            "-1",
+            "--workers",
+            "2",
+        ],
+    );
+    assert_success(&out, "closed-gate model run");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        stdout.contains("0 served"),
+        "a negative gate threshold must serve nothing:\n{stdout}"
+    );
+    assert_eq!(
+        read_csvs(&dir, "closed"),
+        read_csvs(&dir, "cached"),
+        "closed-gate model backend diverged from the cached backend"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -13,10 +13,9 @@ use h2o_nas::core::{
     parallel_search_with, ArchEvaluator, EvalResult, PerfObjective, RewardFn, RewardKind,
     SearchConfig, SearchOutcome, PHASES,
 };
+use h2o_nas::eval::{BackendSpec, Domain, EvalBackend};
 use h2o_nas::graph::{DType, Graph, OpKind};
-use h2o_nas::hwsim::{
-    arch_key, CachedSimulator, EvalCache, HardwareConfig, Simulator, SystemConfig,
-};
+use h2o_nas::hwsim::{arch_key, SystemConfig};
 use h2o_nas::space::{ArchSample, Decision, SearchSpace};
 
 fn space() -> SearchSpace {
@@ -39,31 +38,29 @@ fn sample_graph(sample: &ArchSample) -> Graph {
     g
 }
 
-fn evaluator(cache: Option<&EvalCache>) -> impl ArchEvaluator + Send {
-    let cached =
-        cache.map(|c| CachedSimulator::new(Simulator::new(HardwareConfig::tpu_v4()), c.clone()));
-    let sim = Simulator::new(HardwareConfig::tpu_v4());
+fn evaluator(backend: &EvalBackend) -> impl ArchEvaluator + Send {
+    let backend = backend.clone();
     move |sample: &ArchSample| {
-        let system = SystemConfig::training_pod();
-        let (latency, params) = match &cached {
-            Some(cached) => {
-                let cost =
-                    cached.training_cost(arch_key("obs", sample), &system, || sample_graph(sample));
-                (cost.latency, cost.params)
-            }
-            None => {
-                let report = sim.simulate_training(&sample_graph(sample), &system);
-                (report.time, report.params)
-            }
-        };
+        let cost = backend.training_cost(
+            sample,
+            arch_key("obs", sample),
+            &SystemConfig::training_pod(),
+            || sample_graph(sample),
+        );
         EvalResult {
-            quality: (params / 1e6).ln_1p(),
-            perf_values: vec![latency],
+            quality: (cost.params / 1e6).ln_1p(),
+            perf_values: vec![cost.latency],
         }
     }
 }
 
-fn run(workers: usize, cache: Option<&EvalCache>) -> SearchOutcome {
+fn run(workers: usize, cached: bool) -> SearchOutcome {
+    let spec = if cached {
+        BackendSpec::Cached { capacity: 256 }
+    } else {
+        BackendSpec::Simulator
+    };
+    let backend = EvalBackend::build(&spec, Domain::Dlrm).expect("backend builds");
     let cfg = SearchConfig {
         steps: 20,
         shards: 4,
@@ -71,7 +68,14 @@ fn run(workers: usize, cache: Option<&EvalCache>) -> SearchOutcome {
         workers,
         ..Default::default()
     };
-    parallel_search_with(&space(), &reward(), |_| evaluator(cache), &cfg, None, None)
+    parallel_search_with(
+        &space(),
+        &reward(),
+        |_| evaluator(&backend),
+        &cfg,
+        None,
+        None,
+    )
 }
 
 fn reward() -> RewardFn {
@@ -92,13 +96,12 @@ fn normalized_csvs(mut outcome: SearchOutcome) -> (String, String) {
 fn instrumentation_is_observation_only() {
     // Cold registry.
     h2o_nas::obs::reset();
-    let cold = normalized_csvs(run(2, None));
+    let cold = normalized_csvs(run(2, false));
 
     // Warm registry: histograms and counters already hold data from a
     // previous differently-shaped run (different worker count + cache).
-    let cache = EvalCache::new(256);
-    let _ = run(4, Some(&cache));
-    let warm = normalized_csvs(run(2, None));
+    let _ = run(4, true);
+    let warm = normalized_csvs(run(2, false));
 
     assert_eq!(
         cold.0, warm.0,
@@ -113,8 +116,7 @@ fn instrumentation_is_observation_only() {
 #[test]
 fn run_populates_the_observatory_instruments() {
     h2o_nas::obs::reset();
-    let cache = EvalCache::new(256);
-    let _ = run(2, Some(&cache));
+    let _ = run(2, true);
     let snap = h2o_nas::obs::snapshot();
 
     // Driver: one histogram per phase (checkpoint absent — no sink here)

@@ -118,6 +118,9 @@ pub const PHASES: [&str; 6] = [
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ControllerConfig {
     /// Search steps (policy updates).
+    // h2o-lint: allow(fingerprint-completeness) -- deliberately excluded from the
+    // resume fingerprint: a resumed run may extend the horizon without perturbing
+    // the trajectory (resume.rs::fingerprint_ignores_steps_and_workers).
     pub steps: usize,
     /// Virtual accelerator shards per step (parallel candidate samples).
     pub shards: usize,
@@ -395,6 +398,8 @@ impl<'a> SearchDriver<'a> {
                         }
                     })
                     .collect();
+                // h2o-lint: allow(float-cast-on-reward-path) -- shard counts are far
+                // below 2^53, so this usize -> f64 conversion is exact.
                 let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
                 let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 let b = baseline.update(mean);

@@ -122,12 +122,18 @@ pub enum BackendSpec {
     /// Memoizing simulator with this cache capacity.
     Cached {
         /// Maximum entries in the shared eval cache.
+        // h2o-lint: allow(fingerprint-completeness) -- cache capacity is
+        // value-invisible memoization: results are bit-identical across cache
+        // states (cache_transparency tier-1 tests), so it stays out of the
+        // scenario handshake descriptor by design.
         capacity: usize,
     },
     /// Model-served hot path with a simulator fallback.
     ModelServed {
         /// Cache capacity of the fallback simulator, or `None` to
         /// simulate every fallback candidate uncached.
+        // h2o-lint: allow(fingerprint-completeness) -- value-invisible memoization,
+        // same argument as `capacity` above.
         fallback_capacity: Option<usize>,
         /// Gate / fine-tuning parameters.
         model: ModelSpec,

@@ -84,6 +84,9 @@ pub fn resolve_workers(requested: usize, max_useful: usize) -> usize {
             .and_then(|v| v.parse::<usize>().ok())
             .filter(|&w| w > 0)
             .unwrap_or_else(|| {
+                // h2o-lint: allow(nondet-taint) -- the worker count is value-invisible
+                // by the determinism contract: search output is bit-identical for every
+                // worker count (enforced by the tier-1 determinism suite).
                 std::thread::available_parallelism()
                     .map(|n| n.get())
                     .unwrap_or(1)

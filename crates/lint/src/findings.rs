@@ -2,8 +2,14 @@
 
 use std::fmt;
 
-/// The nine contracts h2o-lint enforces. Rule ids (`as_str`) are what
+/// The twelve contracts h2o-lint enforces. Rule ids (`as_str`) are what
 /// the allow-pragma names: `// h2o-lint: allow(no-wallclock) -- reason`.
+///
+/// The first eight are per-file token-pattern rules; `nondet-taint`,
+/// `fingerprint-completeness` and `float-cast-on-reward-path` are
+/// *semantic* rules that run over the workspace symbol index and call
+/// graph (see [`crate::graph`]); `unused-pragma` is the post-pass that
+/// polices the escape hatch itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Rule {
     /// `Instant::now` / `SystemTime::now` outside the observability crate
@@ -40,6 +46,24 @@ pub enum Rule {
     /// from a host that needs to survive the error. Return a typed error
     /// and let the binary entry point decide the exit code.
     NoProcessExit,
+    /// Cross-file taint: a function in a determinism-contract crate
+    /// (`core`, `exec`, `eval`, `hwsim`, `ckpt`) calls — possibly through
+    /// helpers in other crates — a function that reads a nondeterminism
+    /// source (wall clock, ambient RNG, unordered-collection iteration,
+    /// thread identity). The per-file rules see the source; this rule sees
+    /// the *laundering path* that smuggles its value into contract code.
+    NondetTaint,
+    /// Every field of a struct feeding `fingerprint` /
+    /// `value_fingerprint` / `value_descriptor` must be hashed by that
+    /// fingerprint family (or justified value-invisible with a pragma):
+    /// a behavior-affecting field missing from the handshake lets two
+    /// processes agree on a fingerprint while computing different values.
+    FingerprintCompleteness,
+    /// `as f64` / `as f32` in functions call-graph-reachable from the
+    /// reward computation (`RewardFn::reward`, `clamp_reward`, their
+    /// callers and transitive callees): a silent rounding there changes
+    /// rewards and therefore search decisions. Off-path casts are fine.
+    FloatCastOnRewardPath,
     /// A well-formed `allow` pragma that suppresses no finding: stale
     /// escape hatches must be deleted, or they silently license a future
     /// violation at the same site.
@@ -48,7 +72,7 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in reporting order.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 12] = [
         Rule::NoWallclock,
         Rule::NoAmbientRng,
         Rule::NoUnorderedCollections,
@@ -57,6 +81,9 @@ impl Rule {
         Rule::NoPrintlnInLibs,
         Rule::NoUnreachable,
         Rule::NoProcessExit,
+        Rule::NondetTaint,
+        Rule::FingerprintCompleteness,
+        Rule::FloatCastOnRewardPath,
         Rule::UnusedPragma,
     ];
 
@@ -71,6 +98,9 @@ impl Rule {
             Rule::NoPrintlnInLibs => "no-println-in-libs",
             Rule::NoUnreachable => "no-unreachable",
             Rule::NoProcessExit => "no-process-exit",
+            Rule::NondetTaint => "nondet-taint",
+            Rule::FingerprintCompleteness => "fingerprint-completeness",
+            Rule::FloatCastOnRewardPath => "float-cast-on-reward-path",
             Rule::UnusedPragma => "unused-pragma",
         }
     }

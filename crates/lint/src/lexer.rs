@@ -61,6 +61,16 @@ impl Token {
         self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
     }
 
+    /// Whether this token is an identifier equal to any of `names`.
+    pub fn is_any_ident(&self, names: &[&str]) -> bool {
+        self.kind == TokenKind::Ident && names.contains(&self.text.as_str())
+    }
+
+    /// Whether this token is any identifier or keyword.
+    pub fn is_ident_like(&self) -> bool {
+        self.kind == TokenKind::Ident
+    }
+
     /// Whether this token is trivia (a comment).
     pub fn is_trivia(&self) -> bool {
         matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)

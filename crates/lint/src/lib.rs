@@ -17,7 +17,17 @@
 //! | `panic-hygiene` | crash-safety: typed errors on search-reachable paths |
 //! | `no-println-in-libs` | output ownership: only binary entry points (`main.rs`, `src/bin/`) write to stdout/stderr |
 //! | `no-unreachable` | crash-safety: no `unreachable!`/`todo!` in non-test code — "impossible" branches return typed errors |
+//! | `no-process-exit` | crash-safety: `std::process::exit` only in binary entry points — libraries return typed errors |
+//! | `nondet-taint` | cross-file determinism: no call path carries a nondeterminism source's value into `core`/`exec`/`eval`/`hwsim`/`ckpt` |
+//! | `fingerprint-completeness` | value visibility: every field of a fingerprinted struct is hashed (or pragma'd value-invisible) |
+//! | `float-cast-on-reward-path` | reward integrity: no silent `as f64`/`as f32` rounding in fns call-graph-reachable from the reward computation |
 //! | `unused-pragma` | escape-hatch hygiene: an `allow` pragma that suppresses nothing must be deleted |
+//!
+//! The per-file rules are token-pattern matchers. The three *semantic*
+//! rules run over a workspace symbol index ([`parser`] items →
+//! [`graph::WorkspaceIndex`]) with a conservative name-resolved call
+//! graph — that is what lets `nondet-taint` catch a wall-clock read
+//! laundered through a helper crate, which no per-file rule can see.
 //!
 //! Run it with `cargo run -p h2o-lint` (add `--json` for machine-readable
 //! findings); it exits non-zero when any un-allowed finding exists, and
@@ -25,10 +35,15 @@
 //! rationale and the `// h2o-lint: allow(<rule>) -- <reason>` escape
 //! hatch.
 
+pub mod analysis;
 pub mod findings;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod semantic;
 
+pub use analysis::{lint_files, SourceFile};
 pub use findings::{to_json, Finding, Rule};
 pub use rules::lint_source;
 
@@ -90,8 +105,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     // workspace-wide rules under its package name.
     units.push(("h2o-nas".to_string(), root.join("src")));
 
-    let mut findings = Vec::new();
-    let mut files_checked = 0usize;
+    let mut sources: Vec<SourceFile> = Vec::new();
     for (crate_name, src_dir) in units {
         if !src_dir.is_dir() {
             continue;
@@ -106,14 +120,18 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
                 .unwrap_or(&file)
                 .to_string_lossy()
                 .replace('\\', "/");
-            findings.extend(rules::lint_source(&crate_name, &rel, &source));
-            files_checked += 1;
+            sources.push(SourceFile {
+                crate_name: crate_name.clone(),
+                rel_path: rel,
+                source,
+            });
         }
     }
-    findings
-        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    // One lint_files call over the whole tree: the semantic rules need
+    // every file's symbols in a single index to see cross-crate paths.
+    let files_checked = sources.len();
     Ok(LintReport {
-        findings,
+        findings: lint_files(&sources),
         files_checked,
     })
 }

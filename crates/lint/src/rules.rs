@@ -29,12 +29,12 @@
 //! pragmas must be deleted, not left to license a future violation.
 
 use crate::findings::{Finding, Rule};
-use crate::lexer::{lex, Token, TokenKind};
+use crate::lexer::{Token, TokenKind};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Where a rule applies, expressed over crate directory names (`core`,
 /// `hwsim`, …; the root `h2o-nas` package participates as `h2o-nas`).
-enum Scope {
+pub(crate) enum Scope {
     /// Every workspace crate except the listed ones.
     AllExcept(&'static [&'static str]),
     /// Only the listed crates.
@@ -42,7 +42,7 @@ enum Scope {
 }
 
 impl Scope {
-    fn contains(&self, crate_name: &str) -> bool {
+    pub(crate) fn contains(&self, crate_name: &str) -> bool {
         match self {
             Scope::AllExcept(excluded) => !excluded.contains(&crate_name),
             Scope::Only(included) => included.contains(&crate_name),
@@ -53,7 +53,14 @@ impl Scope {
 /// The crates whose CSV/console/checkpoint output must be reproducible:
 /// unordered iteration anywhere here can leak schedule- or hash-order
 /// noise into user-visible bytes.
-const ORDERED_OUTPUT_CRATES: &[&str] = &["core", "data", "hwsim", "tensor", "ckpt", "eval"];
+pub(crate) const ORDERED_OUTPUT_CRATES: &[&str] =
+    &["core", "data", "hwsim", "tensor", "ckpt", "eval"];
+
+/// The crates bound by the determinism contract end to end: controller,
+/// executor, evaluation backends, hardware simulator, checkpoints. The
+/// `nondet-taint` rule flags any call path that carries a nondeterminism
+/// source's value into these crates.
+pub(crate) const NONDET_CONTRACT_CRATES: &[&str] = &["ckpt", "core", "eval", "exec", "hwsim"];
 
 /// The crates on the search hot path, where a panic kills a multi-hour
 /// run: errors must be typed (or the panic justified by a pragma). `obs`
@@ -82,9 +89,9 @@ const PANIC_SCOPED_CRATES: &[&str] = &[
 /// Crates allowed to read the wall clock: the observability crate (spans,
 /// histograms — the `step_time_ms` sink measures through it) and the
 /// bench harness binaries, which exist to measure wall time.
-const WALLCLOCK_ALLOWED_CRATES: &[&str] = &["obs", "bench"];
+pub(crate) const WALLCLOCK_ALLOWED_CRATES: &[&str] = &["obs", "bench"];
 
-fn scope_of(rule: Rule) -> Scope {
+pub(crate) fn scope_of(rule: Rule) -> Scope {
     match rule {
         Rule::NoWallclock => Scope::AllExcept(WALLCLOCK_ALLOWED_CRATES),
         Rule::NoAmbientRng => Scope::AllExcept(&[]),
@@ -94,6 +101,9 @@ fn scope_of(rule: Rule) -> Scope {
         Rule::NoPrintlnInLibs => Scope::AllExcept(&[]),
         Rule::NoUnreachable => Scope::AllExcept(&[]),
         Rule::NoProcessExit => Scope::AllExcept(&[]),
+        Rule::NondetTaint => Scope::Only(NONDET_CONTRACT_CRATES),
+        Rule::FingerprintCompleteness => Scope::AllExcept(&[]),
+        Rule::FloatCastOnRewardPath => Scope::AllExcept(&[]),
         Rule::UnusedPragma => Scope::AllExcept(&[]),
     }
 }
@@ -112,7 +122,7 @@ fn is_binary_entry(rel_path: &str) -> bool {
 const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
 
 /// RNG constructors that bypass the seeded SplitMix64 stream discipline.
-const AMBIENT_RNG_IDENTS: &[&str] = &[
+pub(crate) const AMBIENT_RNG_IDENTS: &[&str] = &[
     "thread_rng",
     "from_entropy",
     "from_os_rng",
@@ -121,28 +131,47 @@ const AMBIENT_RNG_IDENTS: &[&str] = &[
     "getrandom",
 ];
 
-/// Lints one source file. `crate_name` is the crate's directory name
-/// (`core`, `data`, …, or `h2o-nas` for the root package); `rel_path` is
-/// the workspace-relative path reported in findings.
+/// Lints one source file in isolation, as a one-file workspace: the
+/// token-pattern rules see everything they ever did, and the semantic
+/// rules see whatever call graph the single file carries. `crate_name`
+/// is the crate's directory name (`core`, `data`, …, or `h2o-nas` for
+/// the root package); `rel_path` is the workspace-relative path reported
+/// in findings.
 pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> {
-    // `unused-pragma` is not a token-pattern rule: it fires in the
-    // post-pass below, over whatever pragmas the token rules left unused.
+    crate::analysis::lint_files(&[crate::analysis::SourceFile {
+        crate_name: crate_name.to_string(),
+        rel_path: rel_path.to_string(),
+        source: src.to_string(),
+    }])
+}
+
+/// Runs every in-scope token-pattern rule over one file's non-trivia
+/// token slice, suppressing pragma'd findings (and marking those pragmas
+/// used). The `unused-pragma` post-pass runs later, in
+/// [`crate::analysis::lint_files`], after the semantic rules have had
+/// their chance to consume pragmas too.
+pub(crate) fn token_pass(
+    crate_name: &str,
+    rel_path: &str,
+    code: &[&Token],
+    test_ranges: &BTreeMap<usize, usize>,
+    pragmas: &mut Pragmas,
+) -> Vec<Finding> {
     let active: Vec<Rule> = Rule::ALL
         .into_iter()
-        .filter(|&r| r != Rule::UnusedPragma && scope_of(r).contains(crate_name))
+        .filter(|&r| {
+            !matches!(
+                r,
+                Rule::UnusedPragma
+                    | Rule::NondetTaint
+                    | Rule::FingerprintCompleteness
+                    | Rule::FloatCastOnRewardPath
+            ) && scope_of(r).contains(crate_name)
+        })
         .filter(|&r| {
             !(matches!(r, Rule::NoPrintlnInLibs | Rule::NoProcessExit) && is_binary_entry(rel_path))
         })
         .collect();
-
-    let tokens = lex(src);
-    let mut pragmas = collect_pragmas(&tokens);
-    if active.is_empty() && !pragmas.any_pragmas() {
-        return Vec::new();
-    }
-
-    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_trivia()).collect();
-    let test_ranges = test_item_ranges(&code);
 
     let mut findings = Vec::new();
     let mut i = 0usize;
@@ -152,7 +181,7 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> 
             continue;
         }
         for &rule in &active {
-            if let Some(finding) = match_rule(rule, &code, i, rel_path) {
+            if let Some(finding) = match_rule(rule, code, i, rel_path) {
                 if !pragmas.allows(rule, finding.line) {
                     findings.push(finding);
                 }
@@ -160,10 +189,20 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> 
         }
         i += 1;
     }
+    findings
+}
 
-    // Post-pass: every well-formed pragma that suppressed nothing is a
-    // stale escape hatch. Pragmas inside test items are exempt — test
-    // code is outside every rule, so theirs can never suppress anything.
+/// The escape-hatch post-pass: every well-formed pragma that suppressed
+/// nothing is a stale escape hatch. Pragmas inside test items are exempt
+/// — test code is outside every rule, so theirs can never suppress
+/// anything.
+pub(crate) fn unused_pragma_pass(
+    rel_path: &str,
+    code: &[&Token],
+    test_ranges: &BTreeMap<usize, usize>,
+    pragmas: &mut Pragmas,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
     let test_line_spans: Vec<(u32, u32)> = test_ranges
         .iter()
         .map(|(&start, &end)| (code[start].line, code[end - 1].line))
@@ -190,7 +229,6 @@ pub fn lint_source(crate_name: &str, rel_path: &str, src: &str) -> Vec<Finding> 
             ),
         });
     }
-    findings.sort_by_key(|f| (f.line, f.col, f.rule));
     findings
 }
 
@@ -338,13 +376,17 @@ fn match_rule(rule: Rule, code: &[&Token], i: usize, rel_path: &str) -> Option<F
             }
             None
         }
-        // Not a token pattern — handled by the post-pass in `lint_source`.
-        Rule::UnusedPragma => None,
+        // Semantic rules run over the workspace call graph in
+        // `crate::semantic`; `unused-pragma` is the post-pass above.
+        Rule::NondetTaint
+        | Rule::FingerprintCompleteness
+        | Rule::FloatCastOnRewardPath
+        | Rule::UnusedPragma => None,
     }
 }
 
 /// Whether tokens `i`, `i+1` are the `::` path separator.
-fn path_sep(code: &[&Token], i: usize) -> bool {
+pub(crate) fn path_sep(code: &[&Token], i: usize) -> bool {
     code.get(i).is_some_and(|a| a.is_punct(':')) && code.get(i + 1).is_some_and(|b| b.is_punct(':'))
 }
 
@@ -377,7 +419,7 @@ fn matching_close(code: &[&Token], open_idx: usize, open: char, close: char) -> 
 /// Maps the index of each token starting a `#[cfg(test)]`/`#[test]` item
 /// to the index one past that item's end. The walker jumps the whole
 /// item, so nothing inside test modules or test functions is linted.
-fn test_item_ranges(code: &[&Token]) -> BTreeMap<usize, usize> {
+pub(crate) fn test_item_ranges(code: &[&Token]) -> BTreeMap<usize, usize> {
     let mut ranges = BTreeMap::new();
     let mut i = 0usize;
     while i < code.len() {
@@ -453,7 +495,7 @@ fn skip_item(code: &[&Token], start: usize) -> usize {
 // Pragmas
 // ---------------------------------------------------------------------------
 
-struct Pragmas {
+pub(crate) struct Pragmas {
     /// Line → (rule allowed with a valid justification → pragma column).
     by_line: BTreeMap<u32, BTreeMap<Rule, u32>>,
     /// `(line, rule)` pragmas that suppressed at least one finding.
@@ -468,7 +510,7 @@ impl Pragmas {
     /// Whether `rule` is allowed at `line`: a pragma on the line itself,
     /// or on the run of comment-only lines directly above it. The
     /// allowing pragma is marked used (feeding the `unused-pragma` pass).
-    fn allows(&mut self, rule: Rule, line: u32) -> bool {
+    pub(crate) fn allows(&mut self, rule: Rule, line: u32) -> bool {
         if self
             .by_line
             .get(&line)
@@ -488,14 +530,9 @@ impl Pragmas {
         false
     }
 
-    /// Whether any well-formed pragma exists at all.
-    fn any_pragmas(&self) -> bool {
-        !self.by_line.is_empty()
-    }
-
     /// Well-formed pragmas that never suppressed a finding, as
     /// `(line, rule, col)` in line order.
-    fn unused(&self) -> Vec<(u32, Rule, u32)> {
+    pub(crate) fn unused(&self) -> Vec<(u32, Rule, u32)> {
         self.by_line
             .iter()
             .flat_map(|(&line, rules)| {
@@ -511,7 +548,7 @@ impl Pragmas {
 /// Scans every comment for `h2o-lint: allow(<rule>) -- <reason>`. A
 /// pragma only registers when the rule id is known **and** the reason is
 /// non-empty — an unjustified pragma suppresses nothing.
-fn collect_pragmas(tokens: &[Token]) -> Pragmas {
+pub(crate) fn collect_pragmas(tokens: &[Token]) -> Pragmas {
     let mut by_line: BTreeMap<u32, BTreeMap<Rule, u32>> = BTreeMap::new();
     let mut code_lines = BTreeSet::new();
     let mut comment_lines = BTreeSet::new();

@@ -1,20 +1,25 @@
 //! The self-check: the workspace this linter ships in must itself be
-//! lint-clean. This is the test that turns the five rules from a style
+//! lint-clean. This is the test that turns the twelve rules from a style
 //! suggestion into an enforced contract — reintroducing a wall-clock read,
 //! an ambient RNG, an unordered map in an output crate, a
-//! `partial_cmp().unwrap()`, or an unjustified `.unwrap()` on a scoped
-//! path fails `cargo test`, not just the separate ci.sh lint stage.
+//! `partial_cmp().unwrap()`, an unjustified `.unwrap()` on a scoped path,
+//! or (since the semantic rules) a cross-file nondeterminism laundering
+//! chain, an unhashed fingerprint field, or a reward-path float cast
+//! fails `cargo test`, not just the separate ci.sh lint stage.
 
-use h2o_lint::lint_workspace;
+use h2o_lint::{lint_files, lint_workspace, Rule, SourceFile};
 use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
 
 #[test]
 fn workspace_has_no_unallowed_findings() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .canonicalize()
-        .expect("workspace root resolves");
-    let report = lint_workspace(&root).expect("workspace walk succeeds");
+    let report = lint_workspace(&workspace_root()).expect("workspace walk succeeds");
     assert!(
         report.files_checked > 50,
         "expected to walk the whole workspace, saw only {} files",
@@ -29,5 +34,71 @@ fn workspace_has_no_unallowed_findings() {
             .map(|f| f.to_string())
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+/// The `--json` exporter feeds CI artifacts and diffing; two runs over the
+/// same tree must be byte-identical (the linter is itself held to the
+/// repository's determinism contract).
+#[test]
+fn json_output_is_byte_identical_across_runs() {
+    let root = workspace_root();
+    let a = lint_workspace(&root).expect("first run");
+    let b = lint_workspace(&root).expect("second run");
+    assert_eq!(a.files_checked, b.files_checked);
+    assert_eq!(
+        h2o_lint::to_json(&a.findings),
+        h2o_lint::to_json(&b.findings)
+    );
+
+    // And with a non-empty finding set, via the same engine: the fixture
+    // has sources in multiple crates so the cross-file machinery (index
+    // build, taint BFS) is on the path being checked for determinism.
+    let files = vec![
+        SourceFile {
+            crate_name: "space".to_string(),
+            rel_path: "crates/space/src/host.rs".to_string(),
+            source: "pub fn width() -> usize {\n    \
+                     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)\n}\n"
+                .to_string(),
+        },
+        SourceFile {
+            crate_name: "core".to_string(),
+            rel_path: "crates/core/src/lib.rs".to_string(),
+            source: "pub fn plan() -> usize {\n    width()\n}\n\
+                     pub fn t() -> f64 {\n    let x = std::time::Instant::now();\n    0.0\n}\n"
+                .to_string(),
+        },
+    ];
+    let x = h2o_lint::to_json(&lint_files(&files));
+    let y = h2o_lint::to_json(&lint_files(&files));
+    assert!(x.contains("nondet-taint"), "fixture must produce findings");
+    assert_eq!(x, y, "--json must be byte-identical across runs");
+}
+
+/// Proof that the in-tree pragmas are load-bearing: stripping the
+/// justification from the one sanctioned `available_parallelism` read in
+/// `exec` must reintroduce a `nondet-taint` finding on the *real* source.
+#[test]
+fn stripping_a_load_bearing_pragma_reintroduces_the_finding() {
+    let path = workspace_root().join("crates/exec/src/lib.rs");
+    let src = std::fs::read_to_string(&path).expect("exec/src/lib.rs readable");
+    assert!(
+        src.contains("h2o-lint: allow(nondet-taint)"),
+        "the sanctioned host-shape read must carry its pragma"
+    );
+    let stripped: String = src
+        .lines()
+        .filter(|l| !l.contains("h2o-lint: allow(nondet-taint)"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let findings = lint_files(&[SourceFile {
+        crate_name: "exec".to_string(),
+        rel_path: "crates/exec/src/lib.rs".to_string(),
+        source: stripped,
+    }]);
+    assert!(
+        findings.iter().any(|f| f.rule == Rule::NondetTaint),
+        "removing the pragma must resurface the nondet-taint finding"
     );
 }
